@@ -1,0 +1,40 @@
+"""Ablation 1 (DESIGN.md §5): the revised DTD graph's leaf decoupling.
+
+Section 3.2 duplicates shared character-bearing leaves so XORator can
+absorb them into per-parent XADT columns.  Without the revision, every
+shared leaf (TITLE, SUBTITLE, STAGEDIR, SUBHEAD, PERSONA) forces its own
+relation — more tables, more joins, a bigger database.
+"""
+
+from conftest import print_report
+
+from repro.bench.experiments import run_ablation_decouple
+from repro.bench.report import render_decouple
+from repro.dtd import samples
+from repro.mapping import map_xorator, map_xorator_without_decoupling
+
+
+def test_decoupling_report(benchmark):
+    ablation = run_ablation_decouple(1)
+    print_report(
+        "Ablation — revised-graph decoupling (paper §3.2)",
+        render_decouple(ablation),
+    )
+    assert ablation.with_decoupling_tables == 7
+    assert ablation.without_decoupling_tables > ablation.with_decoupling_tables
+    benchmark(run_ablation_decouple, 1)
+
+
+def test_decoupling_join_savings(benchmark):
+    """The revision removes joins from subtitle-style path queries."""
+    simplified = samples.shakespeare_simplified()
+    with_schema = map_xorator(simplified)
+    without_schema = map_xorator_without_decoupling(simplified)
+    # with decoupling, ACT stores its subtitles inline (0 joins);
+    # without, subtitles live in their own shared relation (1 join +
+    # a parentCODE discriminator)
+    act_with = with_schema.table("act")
+    assert "act_subtitle" in act_with.column_names()
+    assert without_schema.table_for_element("SUBTITLE") is not None
+    assert "act_subtitle" not in without_schema.table("act").column_names()
+    benchmark(map_xorator_without_decoupling, simplified)

@@ -1,0 +1,32 @@
+"""Ablation 5 (DESIGN.md §5): the inlining family vs XORator.
+
+Shanmugasundaram et al. found Hybrid the best of Basic/Shared/Hybrid;
+the paper builds on that result.  This bench regenerates the structural
+comparison: tables, loaded size, stored rows, and the relations a
+canonical PLAY -> SPEAKER path query must join.
+"""
+
+from conftest import print_report
+
+from repro.bench.experiments import run_ablation_inlining
+from repro.bench.report import render_inlining
+
+
+def test_inlining_family_report(benchmark):
+    results = run_ablation_inlining(1)
+    print_report(
+        "The inlining family on the Shakespeare corpus "
+        "(fewer tables / fewer path relations = fewer joins)",
+        render_inlining(results),
+    )
+    by_name = {r.algorithm: r for r in results}
+    assert (
+        by_name["xorator"].tables
+        < by_name["hybrid"].tables
+        <= by_name["shared"].tables
+        <= by_name["basic"].tables
+    )
+    assert by_name["xorator"].path_relations < by_name["basic"].path_relations
+    assert by_name["xorator"].database_bytes < by_name["basic"].database_bytes
+    assert by_name["xorator"].rows < by_name["hybrid"].rows
+    benchmark(run_ablation_inlining, 1)

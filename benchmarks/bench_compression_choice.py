@@ -1,0 +1,70 @@
+"""§4.1: the storage-codec decision and a threshold sweep.
+
+The paper's transformer samples a few documents and chooses compression
+only when it saves at least 20 %: rejected for Shakespeare (the
+per-fragment dictionary inflates its small fragments), chosen for the
+SIGMOD Proceedings (~38 % smaller).  The sweep shows where the decision
+flips as the threshold moves (ablation 2 of DESIGN.md §5).
+"""
+
+from conftest import print_report
+
+from repro.bench.experiments import run_compression_choice
+from repro.bench.report import render_compression
+from repro.datagen.sigmod import SigmodConfig, generate_corpus
+from repro.dtd import samples
+from repro.mapping import map_xorator
+from repro.shred import decide_codecs
+from repro.xadt import choose_codec
+from repro.xadt.fragment import XadtValue
+
+
+def test_codec_decision_report(benchmark):
+    outcomes = run_compression_choice(1)
+    print_report(
+        "Storage-codec decision (paper §4.1: Shakespeare plain, "
+        "SIGMOD compressed at ~38%)",
+        render_compression(outcomes),
+    )
+    by_dataset = {o.dataset: o for o in outcomes}
+    assert set(by_dataset["sigmod"].codecs.values()) == {"dict"}
+    assert by_dataset["sigmod"].savings >= 0.2
+    assert by_dataset["shakespeare"].savings < 0.2
+    benchmark(run_compression_choice, 1)
+
+
+def test_threshold_sweep():
+    documents = generate_corpus(SigmodConfig(documents=4))
+    schema = map_xorator(samples.sigmod_simplified())
+    rows = []
+    for threshold in (0.05, 0.2, 0.5, 0.9):
+        codecs = decide_codecs(schema, documents, threshold=threshold)
+        rows.append((threshold, codecs.get("pp.pp_slist")))
+    print_report(
+        "Threshold sweep for pp.pp_slist (decision flips past the savings)",
+        "\n".join(f"threshold={t:4.2f} -> {codec}" for t, codec in rows),
+    )
+    assert rows[0][1] == "dict"
+    assert rows[-1][1] == "plain"
+
+
+def test_fragment_size_crossover(benchmark):
+    """Dictionary compression pays off once tags repeat enough."""
+
+    def fragment(repeats):
+        xml = "".join(
+            f'<authorName position="{i:02d}">A{i}</authorName>'
+            for i in range(repeats)
+        )
+        return XadtValue.from_xml(xml)
+
+    small = choose_codec([fragment(1)])
+    large = choose_codec([fragment(40)])
+    print_report(
+        "Per-fragment dictionary economics",
+        f"1 element : savings {small.savings * 100:6.1f}% -> {small.codec}\n"
+        f"40 elements: savings {large.savings * 100:6.1f}% -> {large.codec}",
+    )
+    assert small.codec == "plain"
+    assert large.codec == "dict"
+    benchmark(choose_codec, [fragment(40)])

@@ -1,0 +1,52 @@
+"""Figure 13: Hybrid/XORator ratios for QG1-QG6 + loading, DSx1-DSx8.
+
+The paper's two observations both reproduce: at DSx1/DSx2 XORator is
+slower (its queries make 4-8 UDF calls over the big sList fragments
+while Hybrid's joins still fit in memory), and the ratio crosses above
+1 as the data outgrows join memory.
+"""
+
+import pytest
+from conftest import print_report
+
+from repro.bench.experiments import run_fig13
+from repro.bench.report import render_ratio_sweep
+from repro.workloads import SIGMOD_QUERIES
+
+
+@pytest.mark.parametrize("query", SIGMOD_QUERIES, ids=lambda q: q.key)
+def test_hybrid_query(query, sigmod_pair_x1, benchmark):
+    db = sigmod_pair_x1.hybrid.db
+    benchmark(db.execute, query.hybrid_sql)
+
+
+@pytest.mark.parametrize("query", SIGMOD_QUERIES, ids=lambda q: q.key)
+def test_xorator_query(query, sigmod_pair_x1, benchmark):
+    db = sigmod_pair_x1.xorator.db
+    benchmark(db.execute, query.xorator_sql)
+
+
+def test_figure13_sweep(benchmark):
+    sweep = run_fig13(scales=(1, 2, 4, 8))
+    print_report(
+        "Figure 13 — Hybrid/XORator performance ratios, SIGMOD Proceedings "
+        "(paper: below 1 at DSx1/DSx2, above 1 at DSx4/DSx8)",
+        render_ratio_sweep(sweep, "Figure 13"),
+    )
+    # observation (a): Hybrid wins when the data is small
+    small_losses = sum(
+        1 for key in sweep.ratios if sweep.ratio(key, 1) < 1.0
+    )
+    assert small_losses >= 4
+    # observation (b): the ratios grow with scale and XORator takes over
+    big_wins = sum(1 for key in sweep.ratios if sweep.ratio(key, 8) > 1.0)
+    assert big_wins >= 4
+    for key in sweep.ratios:
+        assert sweep.ratio(key, 8) > sweep.ratio(key, 1), key
+
+    from repro.bench.harness import build_pair, cold_query
+
+    pair = build_pair("sigmod", 1)
+    benchmark(
+        lambda: cold_query(pair.xorator.db, SIGMOD_QUERIES[0].xorator_sql)
+    )

@@ -1,0 +1,63 @@
+"""Table 1: number of tables / database size / index size (Shakespeare).
+
+Regenerates the paper's Table 1 and benchmarks the loading path of both
+algorithms (the paper's "loading time" column of Figure 11).
+"""
+
+from conftest import print_report
+
+from repro.bench.experiments import env_scale
+from repro.bench.harness import build_database
+from repro.bench.sizing import compare_sizes
+from repro.datagen.shakespeare import ShakespeareConfig, generate_corpus
+from repro.dtd import samples
+from repro.mapping import map_hybrid, map_xorator
+from repro.shred import load_documents
+from repro.workloads.shakespeare_queries import workload_sql
+from repro.xadt import register_xadt_functions
+
+
+def test_table1_report(shakespeare_pair_x1, benchmark):
+    comparison = compare_sizes(shakespeare_pair_x1)
+    from repro.bench.report import render_size_table
+
+    print_report(
+        "Table 1 — Shakespeare data set (paper: 17 vs 7 tables, "
+        "XORator db ~60% of Hybrid, index 3MB vs 30MB)",
+        render_size_table(comparison, "Table 1"),
+    )
+    benchmark(lambda: compare_sizes(shakespeare_pair_x1))
+    assert comparison.hybrid.tables == 17
+    assert comparison.xorator.tables == 7
+    assert comparison.database_ratio < 0.8
+
+
+def _load_once(mapper, documents, workload):
+    from repro.engine.database import Database
+
+    db = Database("bench")
+    register_xadt_functions(db)
+    load_documents(db, mapper(samples.shakespeare_simplified()), documents)
+    return db
+
+
+def test_hybrid_load(benchmark):
+    documents = generate_corpus(ShakespeareConfig(plays=2 * env_scale()))
+    benchmark(_load_once, map_hybrid, documents, workload_sql("hybrid"))
+
+
+def test_xorator_load(benchmark):
+    documents = generate_corpus(ShakespeareConfig(plays=2 * env_scale()))
+    benchmark(_load_once, map_xorator, documents, workload_sql("xorator"))
+
+
+def test_loading_time_ratio(shakespeare_pair_x1):
+    pair = shakespeare_pair_x1
+    ratio = pair.hybrid.load_modeled_seconds / pair.xorator.load_modeled_seconds
+    print_report(
+        "Loading time (Figure 11, rightmost group)",
+        f"Hybrid  {pair.hybrid.load_modeled_seconds * 1000:9.1f} ms\n"
+        f"XORator {pair.xorator.load_modeled_seconds * 1000:9.1f} ms\n"
+        f"Hybrid/XORator ratio: {ratio:.2f}  (paper: >1 at every scale)",
+    )
+    assert ratio > 1.0

@@ -1,0 +1,67 @@
+"""Path-query compiler benchmarks (the rewriting layer the paper defers).
+
+Compiles the same path queries against both schemas, times compilation
+and execution, and prints the generated SQL side by side — the automatic
+version of the paper's hand-written Figure 7/8 pairs.
+"""
+
+import pytest
+from conftest import print_report
+
+from repro.bench.harness import cold_query
+from repro.mapping import map_hybrid, map_xorator
+from repro.xquery import compile_path, parse_path
+
+PATHS = [
+    "/PLAY/ACT/SCENE/SPEECH/SPEAKER",
+    "/PLAY[contains(TITLE, 'Romeo')]/ACT/SCENE/SPEECH[SPEAKER='ROMEO']"
+    "/LINE[contains(., 'love')]",
+    "/PLAY/ACT/SCENE/SPEECH/LINE[2]",
+]
+
+
+@pytest.mark.parametrize("path", PATHS, ids=["flatten", "twig", "order"])
+def test_compile_speed(path, shakespeare_pair_x1, benchmark):
+    from repro.dtd import samples
+
+    schema = map_xorator(samples.shakespeare_simplified())
+    query = parse_path(path)
+    compiled = benchmark(compile_path, query, schema)
+    assert compiled.sql
+
+
+def test_compiled_queries_report(shakespeare_pair_x1, benchmark):
+    from repro.dtd import samples
+
+    simplified = samples.shakespeare_simplified()
+    hybrid_schema = map_hybrid(simplified)
+    xorator_schema = map_xorator(simplified)
+    lines = []
+    for path in PATHS:
+        query = parse_path(path)
+        hybrid_compiled = compile_path(query, hybrid_schema)
+        xorator_compiled = compile_path(query, xorator_schema)
+        hybrid_run = cold_query(shakespeare_pair_x1.hybrid.db, hybrid_compiled.sql)
+        xorator_run = cold_query(
+            shakespeare_pair_x1.xorator.db, xorator_compiled.sql
+        )
+        ratio = hybrid_run.modeled_seconds / xorator_run.modeled_seconds
+        lines.append(f"{path}")
+        lines.append(
+            f"  hybrid  {hybrid_run.modeled_seconds * 1000:8.1f} ms  |  "
+            f"xorator {xorator_run.modeled_seconds * 1000:8.1f} ms  |  "
+            f"H/X {ratio:5.2f}"
+        )
+        lines.append("  -- hybrid SQL --")
+        lines.extend(f"    {l}" for l in hybrid_compiled.sql.splitlines())
+        lines.append("  -- xorator SQL --")
+        lines.extend(f"    {l}" for l in xorator_compiled.sql.splitlines())
+        lines.append("")
+    print_report(
+        "Automatically compiled path queries (Figure 7/8, automated)",
+        "\n".join(lines),
+    )
+    benchmark(
+        shakespeare_pair_x1.xorator.db.execute,
+        compile_path(parse_path(PATHS[0]), xorator_schema).sql,
+    )

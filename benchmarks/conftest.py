@@ -1,0 +1,41 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark pairs a ``pytest-benchmark`` measurement (wall-clock CPU
+of the operation) with a printed paper-style table of the *modeled cold*
+results (wall + simulated 2002 disk; see ``repro.engine.io``).  Corpus
+sizes multiply by the ``REPRO_SCALE`` environment variable.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+The printed sections (``-s`` or captured in the summary) regenerate each
+table/figure of the paper; EXPERIMENTS.md records one such run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import env_scale
+from repro.bench.harness import build_pair
+
+
+def _scaled(base: int) -> int:
+    return base * env_scale()
+
+
+@pytest.fixture(scope="session")
+def shakespeare_pair_x1():
+    return build_pair("shakespeare", _scaled(1))
+
+
+@pytest.fixture(scope="session")
+def sigmod_pair_x1():
+    return build_pair("sigmod", _scaled(1))
+
+
+def print_report(title: str, body: str) -> None:
+    """Emit a paper-style table into the captured benchmark output."""
+    bar = "=" * 72
+    print(f"\n{bar}\n{title}\n{bar}\n{body}\n")

@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Quickstart: map a DTD two ways, load documents, query both databases.
+
+Walks the paper's whole pipeline on a small recipe-book DTD:
+
+1. parse and simplify the DTD (§3.1);
+2. map it with Hybrid (relational baseline) and XORator (§3.3);
+3. shred and load the same documents into both databases;
+4. run the same question as SQL over each schema — a join for Hybrid,
+   an XADT method call for XORator (§3.4).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Database, map_hybrid, map_xorator, register_xadt_functions
+from repro.dtd import parse_dtd, simplify_dtd
+from repro.shred import load_documents
+
+RECIPES_DTD = """
+<!ELEMENT cookbook  (title, recipe*)>
+<!ELEMENT title     (#PCDATA)>
+<!ELEMENT recipe    (name, ingredient*, step*)>
+<!ELEMENT name      (#PCDATA)>
+<!ELEMENT ingredient (#PCDATA)>
+<!ELEMENT step      (#PCDATA)>
+"""
+
+DOCUMENTS = [
+    """
+    <cookbook>
+      <title>Winter Suppers</title>
+      <recipe>
+        <name>Onion Soup</name>
+        <ingredient>onions</ingredient>
+        <ingredient>stock</ingredient>
+        <ingredient>gruyere</ingredient>
+        <step>caramelize the onions slowly</step>
+        <step>simmer in stock</step>
+        <step>top with gruyere and broil</step>
+      </recipe>
+      <recipe>
+        <name>Root Vegetable Stew</name>
+        <ingredient>carrots</ingredient>
+        <ingredient>parsnips</ingredient>
+        <step>roast everything</step>
+        <step>simmer with barley</step>
+      </recipe>
+    </cookbook>
+    """,
+]
+
+
+def main() -> None:
+    simplified = simplify_dtd(parse_dtd(RECIPES_DTD))
+    print("Simplified DTD (paper section 3.1):")
+    print(simplified)
+    print()
+
+    hybrid_schema = map_hybrid(simplified)
+    xorator_schema = map_xorator(simplified)
+    print(f"Hybrid schema ({hybrid_schema.table_count()} tables):")
+    print(hybrid_schema.describe())
+    print()
+    print(f"XORator schema ({xorator_schema.table_count()} tables):")
+    print(xorator_schema.describe())
+    print()
+
+    hybrid_db = Database("hybrid")
+    register_xadt_functions(hybrid_db)
+    load_documents(hybrid_db, hybrid_schema, DOCUMENTS)
+
+    xorator_db = Database("xorator")
+    register_xadt_functions(xorator_db)
+    load_documents(xorator_db, xorator_schema, DOCUMENTS)
+
+    question = "Which recipes use gruyere?"
+    print(question)
+    print()
+
+    hybrid_sql = """
+        SELECT recipe_name
+        FROM recipe, ingredient
+        WHERE ingredient_parentID = recipeID
+          AND ingredient_value = 'gruyere'
+    """
+    print("Hybrid (join across shredded tables):")
+    print(hybrid_db.execute(hybrid_sql).to_table())
+    print()
+
+    # XORator absorbed the whole recipe* subtree into cookbook_recipe:
+    # one table, queried with unnest + the XADT methods
+    xorator_sql = """
+        SELECT elmText(getElm(r.out, 'name', '', '')) AS recipe_name
+        FROM cookbook, TABLE(unnest(cookbook_recipe, 'recipe')) r
+        WHERE findKeyInElm(r.out, 'ingredient', 'gruyere') = 1
+    """
+    print("XORator (XADT methods over a single table, no join):")
+    print(xorator_db.execute(xorator_sql).to_table())
+    print()
+
+    print("Plans:")
+    print("-- hybrid --")
+    print(hybrid_db.explain(hybrid_sql))
+    print("-- xorator --")
+    print(xorator_db.explain(xorator_sql))
+    print()
+    print(
+        f"database bytes: hybrid={hybrid_db.data_size_bytes()} "
+        f"xorator={xorator_db.data_size_bytes()}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Shakespeare workload tour: the paper's §4.3 experiment, interactive.
+
+Builds the Hybrid and XORator databases over the synthetic Shakespeare
+corpus, runs QS1–QS6 on both, reports cold-run times under the simulated
+2002 disk, and closes with some free-form exploration using unnest.
+
+Run:  python examples/shakespeare_analysis.py [scale]
+"""
+
+import sys
+
+from repro.bench.harness import build_pair, cold_query
+from repro.workloads import SHAKESPEARE_QUERIES
+
+
+def main() -> None:
+    scale = int(sys.argv[1]) if len(sys.argv) > 1 else 1
+    print(f"Building the Shakespeare pair at DSx{scale} ...")
+    pair = build_pair("shakespeare", scale)
+
+    print(f"\nHybrid:  {pair.hybrid.db}")
+    print(f"         indexes: {len(pair.hybrid.index_ddl)}, "
+          f"data {pair.hybrid.db.data_size_bytes() // 1024} KB, "
+          f"index {pair.hybrid.db.index_size_bytes() // 1024} KB")
+    print(f"XORator: {pair.xorator.db}")
+    print(f"         indexes: {len(pair.xorator.index_ddl)}, "
+          f"data {pair.xorator.db.data_size_bytes() // 1024} KB, "
+          f"index {pair.xorator.db.index_size_bytes() // 1024} KB")
+
+    print("\nQS1-QS6, modeled cold time (wall CPU + simulated 2002 disk):")
+    print(f"{'query':7}{'Hybrid':>12}{'XORator':>12}{'H/X':>8}  description")
+    for query in SHAKESPEARE_QUERIES:
+        hybrid = cold_query(pair.hybrid.db, query.hybrid_sql)
+        xorator = cold_query(pair.xorator.db, query.xorator_sql)
+        ratio = hybrid.modeled_seconds / xorator.modeled_seconds
+        print(
+            f"{query.key:7}"
+            f"{hybrid.modeled_seconds * 1000:>10.1f}ms"
+            f"{xorator.modeled_seconds * 1000:>10.1f}ms"
+            f"{ratio:>8.2f}  {query.title}"
+        )
+
+    db = pair.xorator.db
+    print("\nWho speaks the most? (unnest over the speech_speaker XADT)")
+    result = db.execute(
+        """
+        SELECT elmText(s.out) AS speaker, COUNT(*) AS speeches
+        FROM speech, TABLE(unnest(speech_speaker, 'SPEAKER')) s
+        GROUP BY elmText(s.out)
+        ORDER BY speeches DESC, speaker
+        LIMIT 8
+        """
+    )
+    print(result.to_table())
+
+    print("\nLines mentioning love, spoken in Romeo and Juliet:")
+    result = db.execute(
+        """
+        SELECT getElm(speech_line, 'LINE', 'LINE', 'love')
+        FROM play, act, scene, speech
+        WHERE act_parentID = playID
+          AND scene_parentID = actID AND scene_parentCODE = 'ACT'
+          AND speech_parentID = sceneID AND speech_parentCODE = 'SCENE'
+          AND findKeyInElm(speech_line, 'LINE', 'love') = 1
+          AND play_title LIKE '%Romeo and Juliet%'
+        LIMIT 5
+        """
+    )
+    print(result.to_table(max_width=76))
+
+    print("\nUDF invocations during this session:")
+    for name, count in sorted(db.registry.stats.scalar_calls.items()):
+        print(f"  {name:16} {count}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""repro — a reproduction of "Storing and Querying XML Data in
+Object-Relational DBMSs" (Runapongsa & Patel, EDBT 2002).
+
+The package implements the paper's full stack from scratch:
+
+* :mod:`repro.xmlkit` — XML DOM, parser, serializer;
+* :mod:`repro.dtd` — DTD parsing, simplification, DTD graphs;
+* :mod:`repro.engine` — an object-relational engine (SQL subset,
+  cost-based optimizer, indexes, statistics, UDFs, size accounting,
+  and a year-2002 disk/memory model for cold-run timing);
+* :mod:`repro.xadt` — the XML abstract data type with two storage
+  codecs and the getElm/findKeyInElm/getElmIndex/unnest methods;
+* :mod:`repro.mapping` — XORator plus the Hybrid/Shared/Basic and
+  Monet baselines;
+* :mod:`repro.shred` — document shredding, loading, reconstruction;
+* :mod:`repro.datagen` — synthetic Shakespeare/SIGMOD/Plays corpora;
+* :mod:`repro.workloads` — the paper's QS/QG/QE/QT query sets;
+* :mod:`repro.bench` — the experiment harness for every table/figure.
+
+Quick start::
+
+    from repro import Database, map_xorator, register_xadt_functions
+    from repro.dtd import parse_dtd, simplify_dtd
+    from repro.shred import load_documents
+
+    dtd = simplify_dtd(parse_dtd("<!ELEMENT note (body)*><!ELEMENT body (#PCDATA)>"))
+    schema = map_xorator(dtd)
+    db = Database()
+    register_xadt_functions(db)
+    load_documents(db, schema, ["<note><body>hi</body></note>"])
+    db.execute("SELECT getElm(note_body, 'body', '', 'hi') FROM note")
+"""
+
+from repro.engine import Database, Result
+from repro.errors import ReproError
+from repro.mapping import map_basic, map_hybrid, map_shared, map_xorator
+from repro.shred import load_documents
+from repro.xadt import XadtValue, register_xadt_functions
+from repro.xmlkit import parse, serialize
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Database",
+    "ReproError",
+    "Result",
+    "XadtValue",
+    "__version__",
+    "load_documents",
+    "map_basic",
+    "map_hybrid",
+    "map_shared",
+    "map_xorator",
+    "parse",
+    "register_xadt_functions",
+    "serialize",
+]

@@ -1,0 +1,22 @@
+"""Benchmark harness: experiment definitions and paper-style reports."""
+
+from repro.bench.harness import (
+    ColdRun,
+    DatasetPair,
+    LoadedDatabase,
+    build_database,
+    build_pair,
+    cold_query,
+)
+from repro.bench.sizing import SizeComparison, compare_sizes
+
+__all__ = [
+    "ColdRun",
+    "DatasetPair",
+    "LoadedDatabase",
+    "SizeComparison",
+    "build_database",
+    "build_pair",
+    "cold_query",
+    "compare_sizes",
+]

@@ -1,0 +1,171 @@
+"""Interactive shell over a loaded corpus (a tiny DB2-CLP stand-in).
+
+Usage::
+
+    python -m repro [--dataset shakespeare|sigmod|plays]
+                    [--algorithm xorator|hybrid] [--scale N]
+                    [--execute SQL] [--path PATHQUERY]
+
+Without ``--execute``/``--path``, an interactive prompt opens.  Shell
+commands (interactive or piped):
+
+* any SQL statement — executed and rendered DB2-CLP-style;
+* ``\\dt`` — list tables with row counts and sizes;
+* ``\\d <table>`` — describe a table;
+* ``\\explain <sql>`` — show the physical plan;
+* ``\\path <pathquery>`` — compile a path query for the loaded schema,
+  show the SQL, and run it;
+* ``\\io`` — I/O counters of the last statement (the simulated disk);
+* ``\\q`` — quit.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import TextIO
+
+from repro.bench.harness import build_pair
+from repro.engine.database import Database
+from repro.errors import ReproError
+from repro.mapping.base import MappedSchema
+from repro.xquery import compile_path, parse_path
+
+
+class Shell:
+    """Command dispatcher bound to one loaded database."""
+
+    def __init__(self, db: Database, schema: MappedSchema, out: TextIO):
+        self.db = db
+        self.schema = schema
+        self.out = out
+
+    def handle(self, line: str) -> bool:
+        """Process one input line; returns False when the shell should exit."""
+        line = line.strip()
+        if not line:
+            return True
+        try:
+            if line in ("\\q", "\\quit", "quit", "exit"):
+                return False
+            if line == "\\dt":
+                self._list_tables()
+            elif line.startswith("\\d "):
+                self._describe(line[3:].strip())
+            elif line.startswith("\\explain "):
+                self._print(self.db.explain(line[len("\\explain "):]))
+            elif line.startswith("\\path "):
+                self._run_path(line[len("\\path "):].strip())
+            elif line == "\\io":
+                self._print_io()
+            elif line.startswith("\\"):
+                self._print(f"unknown command {line.split()[0]!r}; try \\dt, "
+                            f"\\d, \\explain, \\path, \\io, \\q")
+            else:
+                self._run_sql(line)
+        except ReproError as exc:
+            self._print(f"error: {exc}")
+        return True
+
+    # -- commands ---------------------------------------------------------
+
+    def _run_sql(self, sql: str) -> None:
+        self.db.io.reset()
+        result = self.db.execute(sql)
+        self._print(result.to_table())
+
+    def _run_path(self, path_text: str) -> None:
+        compiled = compile_path(parse_path(path_text), self.schema)
+        self._print(f"-- compiled for the {self.schema.algorithm} schema --")
+        self._print(compiled.sql)
+        self._print("")
+        self.db.io.reset()
+        self._print(self.db.execute(compiled.sql).to_table())
+
+    def _list_tables(self) -> None:
+        self._print(f"{'table':16}{'rows':>10}{'data KB':>10}{'indexes':>9}")
+        for name in sorted(self.db.catalog.table_names()):
+            heap = self.db.heap(name)
+            self._print(
+                f"{name:16}{heap.row_count():>10}"
+                f"{heap.data_bytes() // 1024:>10}"
+                f"{len(self.db.catalog.indexes_on(name)):>9}"
+            )
+
+    def _describe(self, name: str) -> None:
+        schema = self.db.catalog.table(name)
+        for column in schema.columns:
+            marker = " PRIMARY KEY" if column.primary_key else ""
+            self._print(f"  {column.name:28}{column.sql_type!r}{marker}")
+
+    def _print_io(self) -> None:
+        io = self.db.io
+        self._print(
+            f"sequential pages: {io.sequential_pages}, random: "
+            f"{io.random_pages}, spill: {io.spill_pages}, modeled disk "
+            f"time: {io.modeled_seconds() * 1000:.1f} ms"
+        )
+
+    def _print(self, text: str) -> None:
+        print(text, file=self.out)
+
+
+def main(argv: list[str] | None = None, stdin: TextIO | None = None,
+         stdout: TextIO | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("--dataset", default="shakespeare",
+                        choices=("shakespeare", "sigmod", "plays"))
+    parser.add_argument("--algorithm", default="xorator",
+                        choices=("xorator", "hybrid"))
+    parser.add_argument("--scale", type=int, default=1)
+    parser.add_argument("--execute", metavar="SQL",
+                        help="run one SQL statement and exit")
+    parser.add_argument("--path", metavar="PATHQUERY",
+                        help="compile and run one path query and exit")
+    args = parser.parse_args(argv)
+
+    out = stdout or sys.stdout
+    source = stdin or sys.stdin
+
+    print(
+        f"loading {args.dataset} DSx{args.scale} under the "
+        f"{args.algorithm} mapping ...",
+        file=out,
+    )
+    pair = build_pair(args.dataset, args.scale)
+    loaded = pair.side(args.algorithm)
+    shell = Shell(loaded.db, loaded.schema, out)
+    print(
+        f"{loaded.db} | {len(loaded.index_ddl)} indexes | "
+        f"type SQL, \\path <query>, or \\q",
+        file=out,
+    )
+
+    if args.execute:
+        shell.handle(args.execute)
+        return 0
+    if args.path:
+        shell.handle(f"\\path {args.path}")
+        return 0
+
+    interactive = source is sys.stdin and sys.stdin.isatty()
+    while True:
+        if interactive:
+            try:
+                line = input(f"{args.dataset}/{args.algorithm}> ")
+            except (EOFError, KeyboardInterrupt):
+                print("", file=out)
+                return 0
+        else:
+            line = source.readline()
+            if not line:
+                return 0
+        if not shell.handle(line):
+            return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

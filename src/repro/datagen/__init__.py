@@ -1,0 +1,11 @@
+"""Synthetic data substrate: the two corpora of the paper's evaluation."""
+
+from repro.datagen.shakespeare import ShakespeareConfig, generate_corpus as generate_shakespeare
+from repro.datagen.sigmod import SigmodConfig, generate_corpus as generate_sigmod
+
+__all__ = [
+    "ShakespeareConfig",
+    "SigmodConfig",
+    "generate_shakespeare",
+    "generate_sigmod",
+]

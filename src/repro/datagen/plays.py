@@ -1,0 +1,87 @@
+"""Tiny generator for the Figure-1 Plays DTD.
+
+Section 3's running example (queries QE1/QE2, Figures 7 and 8) is posed
+against the Plays DTD, whose SPEECH sits directly under ACT — unlike the
+full Shakespeare DTD.  This corpus exists so those two queries run
+against the exact schemas of Figures 5 and 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datagen import text
+from repro.datagen.rng import stream
+from repro.xmlkit.dom import Document, Element, element
+
+
+@dataclass(frozen=True)
+class PlaysConfig:
+    plays: int = 2
+    acts_per_play: int = 2
+    scenes_per_act: int = 2
+    speeches_per_act: int = 6
+    lines_per_speech: int = 3
+    seed: int = 11
+    friend_rate: float = 0.15
+
+
+def generate_corpus(config: PlaysConfig | None = None) -> list[Document]:
+    config = config or PlaysConfig()
+    return [_play(config, index) for index in range(config.plays)]
+
+
+def _play(config: PlaysConfig, index: int) -> Document:
+    rng = stream(config.seed, "plays", index)
+    cast = ["HAMLET", "HORATIO"] + rng.sample(text.SPEAKER_NAMES, 3)
+    play = Element("PLAY")
+    if rng.random() < 0.5:
+        play.append(_induct(config, rng, cast))
+    for act_number in range(1, config.acts_per_play + 1):
+        play.append(_act(config, rng, cast, act_number))
+    return Document(play)
+
+
+def _induct(config: PlaysConfig, rng, cast: list[str]) -> Element:
+    induct = Element("INDUCT")
+    induct.append(element("TITLE", "INDUCTION"))
+    if rng.random() < 0.4:
+        induct.append(element("SUBTITLE", text.sentence(rng, 2, 4)))
+    induct.append(_scene(config, rng, cast, 1))
+    return induct
+
+
+def _act(config: PlaysConfig, rng, cast: list[str], number: int) -> Element:
+    act = Element("ACT")
+    for scene_number in range(1, config.scenes_per_act + 1):
+        act.append(_scene(config, rng, cast, scene_number))
+    act.append(element("TITLE", f"ACT {number}"))
+    if rng.random() < 0.4:
+        act.append(element("SUBTITLE", text.sentence(rng, 2, 4)))
+    for _ in range(config.speeches_per_act):
+        act.append(_speech(config, rng, cast))
+    if rng.random() < 0.5:
+        act.append(element("PROLOGUE", text.sentence(rng, 6, 10)))
+    return act
+
+
+def _scene(config: PlaysConfig, rng, cast: list[str], number: int) -> Element:
+    scene = Element("SCENE")
+    scene.append(element("TITLE", f"SCENE {number}"))
+    if rng.random() < 0.3:
+        scene.append(element("SUBTITLE", text.sentence(rng, 2, 4)))
+    for _ in range(3):
+        if rng.random() < 0.15:
+            scene.append(element("SUBHEAD", text.sentence(rng, 2, 3).upper()))
+        scene.append(_speech(config, rng, cast))
+    return scene
+
+
+def _speech(config: PlaysConfig, rng, cast: list[str]) -> Element:
+    speech = Element("SPEECH")
+    pair_count = max(1, config.lines_per_speech)
+    for _ in range(pair_count):
+        speech.append(element("SPEAKER", rng.choice(cast)))
+        keyword = "friend" if rng.random() < config.friend_rate else None
+        speech.append(element("LINE", text.line_of_verse(rng, keyword)))
+    return speech

@@ -1,0 +1,241 @@
+"""Synthetic Shakespeare-play generator (conforms to the Figure-10 DTD).
+
+Stands in for Bosak's 37-play corpus (DESIGN.md §2).  Every structural
+feature the QS1–QS6 workload touches is generated:
+
+* plays titled from the real canon, including *Romeo and Juliet*
+  (speaker ROMEO, lines planting "love" and "friend") and *Hamlet*
+  (speaker HAMLET) — QS4/QS5;
+* STAGEDIR elements nested inside LINE (mixed content) and as scene
+  children, some reading "Rising" — QS2/QS3;
+* ACT-level PROLOGUE elements whose speeches have several lines — QS6;
+* FM/P, PERSONAE/PGROUP/PERSONA, SCNDESCR, PLAYSUBT, SUBTITLE, SUBHEAD,
+  EPILOGUE and INDUCT so that all 21 element types occur.
+
+``scale`` multiplies the play count: scale 1 ≈ the configured base
+corpus, scale 8 = DSx8.  Generation is deterministic per (seed, play
+index), so DSx2 contains DSx1's plays plus more — matching the paper's
+"loaded the original data set multiple times" methodology in spirit
+while keeping primary keys unique.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datagen import text
+from repro.datagen.rng import stream
+from repro.errors import GenerationError
+from repro.xmlkit.dom import Document, Element, element
+
+
+@dataclass(frozen=True)
+class ShakespeareConfig:
+    """Knobs for corpus size and keyword selectivity."""
+
+    plays: int = 6
+    acts_per_play: int = 3
+    scenes_per_act: int = 3
+    speeches_per_scene: int = 8
+    lines_per_speech: int = 4
+    seed: int = 42
+    #: probability that a line carries the QS5 keyword "love"
+    love_rate: float = 0.04
+    #: probability that a line carries the QS1/QE1 keyword "friend"
+    friend_rate: float = 0.03
+    #: probability that a line contains a nested STAGEDIR (QS2)
+    stagedir_in_line_rate: float = 0.08
+    #: probability that such a stage direction reads "Rising" (QS3)
+    rising_rate: float = 0.25
+    #: probability of a SUBTITLE on act/scene/prologue
+    subtitle_rate: float = 0.3
+    #: probability of a SUBHEAD among scene children
+    subhead_rate: float = 0.05
+
+    def scaled(self, scale: int) -> "ShakespeareConfig":
+        if scale < 1:
+            raise GenerationError("scale must be >= 1")
+        return ShakespeareConfig(
+            plays=self.plays * scale,
+            acts_per_play=self.acts_per_play,
+            scenes_per_act=self.scenes_per_act,
+            speeches_per_scene=self.speeches_per_scene,
+            lines_per_speech=self.lines_per_speech,
+            seed=self.seed,
+            love_rate=self.love_rate,
+            friend_rate=self.friend_rate,
+            stagedir_in_line_rate=self.stagedir_in_line_rate,
+            rising_rate=self.rising_rate,
+            subtitle_rate=self.subtitle_rate,
+            subhead_rate=self.subhead_rate,
+        )
+
+
+def generate_corpus(config: ShakespeareConfig | None = None) -> list[Document]:
+    """Generate the play documents for ``config``."""
+    config = config or ShakespeareConfig()
+    return [generate_play(config, index) for index in range(config.plays)]
+
+
+def generate_play(config: ShakespeareConfig, index: int) -> Document:
+    rng = stream(config.seed, "play", index)
+    title = text.PLAY_TITLES[index % len(text.PLAY_TITLES)]
+    if index >= len(text.PLAY_TITLES):
+        title = f"{title}, Part {index // len(text.PLAY_TITLES) + 1}"
+    cast = _cast_for(title, rng)
+
+    play = Element("PLAY")
+    play.append(element("TITLE", title))
+    play.append(_front_matter(rng))
+    play.append(_personae(rng, cast, title))
+    play.append(element("SCNDESCR", "SCENE " + text.sentence(rng, 3, 5)))
+    play.append(element("PLAYSUBT", title.upper()))
+    if rng.random() < 0.3:
+        play.append(_induct(config, rng, cast))
+    if rng.random() < 0.5:
+        play.append(_prologue(config, rng, cast))
+    for act_number in range(1, config.acts_per_play + 1):
+        play.append(_act(config, rng, cast, act_number))
+    if rng.random() < 0.4:
+        play.append(_epilogue(config, rng, cast))
+    return Document(play)
+
+
+def _cast_for(title: str, rng) -> list[str]:
+    cast = rng.sample(text.SPEAKER_NAMES, 8)
+    if "Romeo" in title:
+        cast[0] = "ROMEO"
+        cast[1] = "JULIET"
+    if "Hamlet" in title:
+        cast[0] = "HAMLET"
+    return cast
+
+
+def _front_matter(rng) -> Element:
+    fm = Element("FM")
+    for _ in range(rng.randint(2, 4)):
+        fm.append(element("P", text.sentence(rng, 6, 12)))
+    return fm
+
+
+def _personae(rng, cast: list[str], title: str) -> Element:
+    personae = Element("PERSONAE")
+    personae.append(element("TITLE", f"Dramatis Personae: {title}"))
+    for name in cast[:5]:
+        personae.append(element("PERSONA", f"{name}, {text.sentence(rng, 2, 4)}"))
+    group = Element("PGROUP")
+    for name in cast[5:7]:
+        group.append(element("PERSONA", name))
+    group.append(element("GRPDESCR", text.sentence(rng, 2, 4)))
+    personae.append(group)
+    for name in cast[7:]:
+        personae.append(element("PERSONA", name))
+    return personae
+
+
+def _act(config: ShakespeareConfig, rng, cast: list[str], number: int) -> Element:
+    act = Element("ACT")
+    act.append(element("TITLE", f"ACT {_roman(number)}"))
+    if rng.random() < config.subtitle_rate:
+        act.append(element("SUBTITLE", text.sentence(rng, 2, 4)))
+    # the first act always carries a prologue so QS6 has targets
+    if number == 1 or rng.random() < 0.2:
+        act.append(_prologue(config, rng, cast))
+    for scene_number in range(1, config.scenes_per_act + 1):
+        act.append(_scene(config, rng, cast, number, scene_number))
+    if rng.random() < 0.15:
+        act.append(_epilogue(config, rng, cast))
+    return act
+
+
+def _scene(
+    config: ShakespeareConfig, rng, cast: list[str], act: int, number: int
+) -> Element:
+    scene = Element("SCENE")
+    scene.append(element("TITLE", f"SCENE {_roman(number)}. {text.sentence(rng, 3, 5)}"))
+    if rng.random() < config.subtitle_rate:
+        scene.append(element("SUBTITLE", text.sentence(rng, 2, 4)))
+    for _ in range(config.speeches_per_scene):
+        roll = rng.random()
+        if roll < config.subhead_rate:
+            scene.append(element("SUBHEAD", text.sentence(rng, 2, 3).upper()))
+        elif roll < config.subhead_rate + 0.08:
+            scene.append(element("STAGEDIR", _stagedir_text(config, rng)))
+        scene.append(_speech(config, rng, cast))
+    return scene
+
+
+def _speech(config: ShakespeareConfig, rng, cast: list[str]) -> Element:
+    speech = Element("SPEECH")
+    speakers = [rng.choice(cast)]
+    if rng.random() < 0.06:  # occasional two-speaker speeches ("All", duets)
+        speakers.append(rng.choice(cast))
+    for speaker in speakers:
+        speech.append(element("SPEAKER", speaker))
+    line_count = max(1, rng.randint(config.lines_per_speech - 2,
+                                    config.lines_per_speech + 2))
+    for _ in range(line_count):
+        speech.append(_line(config, rng))
+    if rng.random() < 0.05:
+        speech.append(element("STAGEDIR", _stagedir_text(config, rng)))
+    if rng.random() < 0.02:
+        speech.append(element("SUBHEAD", text.sentence(rng, 2, 3).upper()))
+    return speech
+
+
+def _line(config: ShakespeareConfig, rng) -> Element:
+    keyword = None
+    roll = rng.random()
+    if roll < config.love_rate:
+        keyword = "love"
+    elif roll < config.love_rate + config.friend_rate:
+        keyword = "friend"
+    line = Element("LINE")
+    line.append(text.line_of_verse(rng, keyword))
+    if rng.random() < config.stagedir_in_line_rate:
+        line.append(element("STAGEDIR", _stagedir_text(config, rng)))
+        line.append(text.words(rng, rng.randint(1, 3)))
+    return line
+
+
+def _stagedir_text(config: ShakespeareConfig, rng) -> str:
+    if rng.random() < config.rising_rate:
+        return "Rising"
+    return rng.choice(text.STAGE_DIRECTIONS)
+
+
+def _prologue(config: ShakespeareConfig, rng, cast: list[str]) -> Element:
+    prologue = Element("PROLOGUE")
+    prologue.append(element("TITLE", "PROLOGUE"))
+    if rng.random() < config.subtitle_rate:
+        prologue.append(element("SUBTITLE", text.sentence(rng, 2, 4)))
+    prologue.append(element("STAGEDIR", "Enter Chorus"))
+    for _ in range(2):
+        prologue.append(_speech(config, rng, ["CHORUS"] + cast[:2]))
+    return prologue
+
+
+def _epilogue(config: ShakespeareConfig, rng, cast: list[str]) -> Element:
+    epilogue = Element("EPILOGUE")
+    epilogue.append(element("TITLE", "EPILOGUE"))
+    epilogue.append(element("STAGEDIR", "Enter Epilogue"))
+    epilogue.append(_speech(config, rng, cast[:3]))
+    return epilogue
+
+
+def _induct(config: ShakespeareConfig, rng, cast: list[str]) -> Element:
+    induct = Element("INDUCT")
+    induct.append(element("TITLE", "INDUCTION"))
+    if rng.random() < config.subtitle_rate:
+        induct.append(element("SUBTITLE", text.sentence(rng, 2, 4)))
+    for _ in range(2):
+        induct.append(_speech(config, rng, cast))
+    induct.append(element("STAGEDIR", _stagedir_text(config, rng)))
+    return induct
+
+
+def _roman(number: int) -> str:
+    numerals = ("", "I", "II", "III", "IV", "V", "VI", "VII", "VIII", "IX", "X")
+    if 0 < number < len(numerals):
+        return numerals[number]
+    return str(number)

@@ -1,0 +1,153 @@
+"""Synthetic SIGMOD-Proceedings generator (conforms to the Figure-12 DTD).
+
+Stands in for the IBM XML Generator output the paper used (DESIGN.md
+§2).  The DTD is the paper's "deep" worst case: the whole ``sList``
+subtree lands in a single XADT column under XORator.  Keywords for the
+QG workload are planted at controlled rates:
+
+* "Join" in paper titles (QG1/QG6),
+* author surnames "Worthy" (QG3) and "Bird" (QG5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datagen import text
+from repro.datagen.rng import stream
+from repro.errors import GenerationError
+from repro.xmlkit.dom import Document, Element, element
+
+
+@dataclass(frozen=True)
+class SigmodConfig:
+    """Knobs for corpus size and keyword selectivity."""
+
+    documents: int = 40
+    sections_per_issue: int = 3
+    articles_per_section: int = 5
+    authors_per_article: int = 2
+    seed: int = 7
+    #: probability a title mentions "Join"
+    join_rate: float = 0.10
+    #: probability an author is named Worthy / Bird
+    worthy_rate: float = 0.02
+    bird_rate: float = 0.02
+
+    def scaled(self, scale: int) -> "SigmodConfig":
+        if scale < 1:
+            raise GenerationError("scale must be >= 1")
+        return SigmodConfig(
+            documents=self.documents * scale,
+            sections_per_issue=self.sections_per_issue,
+            articles_per_section=self.articles_per_section,
+            authors_per_article=self.authors_per_article,
+            seed=self.seed,
+            join_rate=self.join_rate,
+            worthy_rate=self.worthy_rate,
+            bird_rate=self.bird_rate,
+        )
+
+
+MONTHS = ("March", "June", "September", "December")
+
+
+def generate_corpus(config: SigmodConfig | None = None) -> list[Document]:
+    config = config or SigmodConfig()
+    return [generate_issue(config, index) for index in range(config.documents)]
+
+
+def generate_issue(config: SigmodConfig, index: int) -> Document:
+    rng = stream(config.seed, "issue", index)
+    year = 1975 + (index % 28)
+    volume = index // 4 + 1
+    number = index % 4 + 1
+
+    pp = Element("PP")
+    pp.append(element("volume", str(volume)))
+    pp.append(element("number", str(number)))
+    pp.append(element("month", MONTHS[index % 4]))
+    pp.append(element("year", str(year)))
+    pp.append(element("conference", "ACM SIGMOD International Conference"))
+    pp.append(element("date", f"{rng.randint(1, 28)} {MONTHS[index % 4]} {year}"))
+    pp.append(element("confyear", str(year)))
+    pp.append(element("location", rng.choice(text.CONFERENCE_LOCATIONS)))
+
+    slist = Element("sList")
+    page = 1
+    for section_number in range(config.sections_per_issue):
+        slist_tuple = Element("sListTuple")
+        section_name = Element(
+            "sectionName",
+            attributes={"SectionPosition": f"{section_number + 1:02d}"},
+        )
+        section_name.append(
+            text.SECTION_NAMES[(index + section_number) % len(text.SECTION_NAMES)]
+        )
+        slist_tuple.append(section_name)
+        articles = Element("articles")
+        for article_number in range(config.articles_per_section):
+            article, page = _article(config, rng, index, section_number,
+                                     article_number, page)
+            articles.append(article)
+        slist_tuple.append(articles)
+        slist.append(slist_tuple)
+    pp.append(slist)
+    return Document(pp)
+
+
+def _article(
+    config: SigmodConfig,
+    rng,
+    issue_index: int,
+    section_number: int,
+    article_number: int,
+    page: int,
+) -> tuple[Element, int]:
+    keyword = "Join" if rng.random() < config.join_rate else None
+    title = Element(
+        "title",
+        attributes={
+            "articleCode": f"{issue_index:04d}{section_number}{article_number:02d}"
+        },
+    )
+    title.append(text.paper_title(rng, keyword))
+
+    authors = Element("authors")
+    author_count = max(1, rng.randint(config.authors_per_article - 1,
+                                      config.authors_per_article + 1))
+    for position in range(author_count):
+        roll = rng.random()
+        if roll < config.worthy_rate:
+            name = f"{rng.choice(text.AUTHOR_FIRST)} Worthy"
+        elif roll < config.worthy_rate + config.bird_rate:
+            name = f"{rng.choice(text.AUTHOR_FIRST)} Bird"
+        else:
+            name = text.author_name(rng)
+        author = Element(
+            "author", attributes={"AuthorPosition": f"{position + 1:02d}"}
+        )
+        author.append(name)
+        authors.append(author)
+
+    length = rng.randint(8, 24)
+    article = Element("aTuple")
+    article.append(title)
+    article.append(authors)
+    article.append(element("initPage", str(page)))
+    article.append(element("endPage", str(page + length)))
+    to_index = Element("Toindex")
+    if rng.random() < 0.8:
+        index_el = Element(
+            "index", attributes={"href": f"index/{issue_index}/{page}.xml"}
+        )
+        index_el.append(f"idx-{issue_index}-{section_number}-{article_number}")
+        to_index.append(index_el)
+    article.append(to_index)
+    full_text = Element(
+        "fullText", attributes={"href": f"papers/{issue_index}/{page}.pdf"}
+    )
+    if rng.random() < 0.9:
+        full_text.append(element("size", str(rng.randint(80, 900))))
+    article.append(full_text)
+    return article, page + length + 1

@@ -1,0 +1,140 @@
+"""Word material for the synthetic corpora.
+
+A compact pseudo-Elizabethan vocabulary plus name pools.  The workload
+keywords the paper's queries search for ("friend", "love", "Rising",
+"Join", "Worthy", "Bird" ...) are planted by the generators at
+controlled rates, so query selectivities are tunable and results are
+non-empty at every scale factor.
+"""
+
+from __future__ import annotations
+
+import random
+
+WORDS = (
+    "thou art hath doth wherefore henceforth morrow night day sweet bitter "
+    "crown sword heart blood rose thorn king queen prince duke lord lady "
+    "ghost spirit grave tomb star moon sun storm thunder sea shore castle "
+    "tower gate wall garden orchard feast cup wine poison dagger letter "
+    "messenger horse battle war peace honor shame glory sorrow joy tear "
+    "smile laugh sigh breath soul mind dream sleep wake dawn dusk shadow "
+    "light dark fire ice wind rain snow summer winter spring autumn bird "
+    "nightingale lark raven owl serpent lion wolf lamb flower oak willow "
+    "noble villain traitor hero coward fool jester priest friar nurse "
+    "soldier captain guard watch market street bridge river forest hill "
+    "valley meadow field harvest gold silver jewel ring chain cloak gown "
+    "mask face eye hand foot voice song music dance play stage curtain "
+    "scene act verse rhyme tale story truth lie oath vow promise curse "
+    "blessing prayer mercy justice law crime guilt pardon exile return "
+    "welcome farewell greeting parting journey quest fortune fate chance "
+    "destiny doom hope despair fear courage wisdom folly youth age time"
+).split()
+
+SPEAKER_NAMES = (
+    "BENVOLIO MERCUTIO TYBALT CAPULET MONTAGUE ESCALUS PARIS LAURENCE "
+    "BALTHASAR SAMPSON GREGORY ABRAHAM HORATIO CLAUDIUS GERTRUDE OPHELIA "
+    "POLONIUS LAERTES FORTINBRAS MARCELLUS BERNARDO OSRIC REYNALDO "
+    "ROSENCRANTZ GUILDENSTERN ORSINO VIOLA OLIVIA MALVOLIO FESTE SEBASTIAN "
+    "ANTONIO PROSPERO MIRANDA ARIEL CALIBAN FERDINAND ALONSO GONZALO"
+).split()
+
+PLAY_TITLES = (
+    "The Tragedy of Romeo and Juliet",
+    "The Tragedy of Hamlet, Prince of Denmark",
+    "The Tempest",
+    "Twelfth Night, or What You Will",
+    "A Midsummer Night's Dream",
+    "The Tragedy of Macbeth",
+    "The Tragedy of King Lear",
+    "The Tragedy of Othello, the Moor of Venice",
+    "The Merchant of Venice",
+    "Much Ado About Nothing",
+    "As You Like It",
+    "The Taming of the Shrew",
+    "The Comedy of Errors",
+    "The Winter's Tale",
+    "The Life of King Henry the Fifth",
+    "The First Part of King Henry the Fourth",
+    "The Tragedy of Julius Caesar",
+    "The Tragedy of Antony and Cleopatra",
+    "The Tragedy of Coriolanus",
+    "The Life of Timon of Athens",
+)
+
+STAGE_DIRECTIONS = (
+    "Exit", "Exeunt", "Enter the KING", "Aside", "Dies", "They fight",
+    "Drawing his sword", "Reads the letter", "Music plays", "Thunder",
+    "Alarum", "Flourish", "Kneels", "Falls", "Within",
+)
+
+AUTHOR_FIRST = (
+    "Ada Grace Alan Edgar Michael Jim David Pat Hector Rakesh Jennifer "
+    "Serge Jeffrey Ronald Mary Susan Peter Laura Umesh Moshe Christos "
+    "Hamid Jignesh Kanda Timos Gerhard Guy Betty Carlo Stefano"
+).split()
+
+AUTHOR_LAST = (
+    "Lovelace Hopper Turing Codd Stonebraker Gray DeWitt Selinger "
+    "Garcia-Molina Agrawal Widom Abiteboul Ullman Fagin Chen Davidson "
+    "Buneman Haas Vardi Papadimitriou Pirahesh Patel Runapongsa Sellis "
+    "Weikum Lohman Salzberg Zaniolo Ceri Worthy Bird"
+).split()
+
+PAPER_TOPICS = (
+    "Query Optimization", "Join Processing", "Semantic Caching",
+    "Transaction Recovery", "Index Structures", "Parallel Join Algorithms",
+    "View Maintenance", "Schema Evolution", "Data Integration",
+    "Stream Processing", "Spatial Indexing", "XML Storage",
+    "Access Path Selection", "Concurrency Control", "Buffer Management",
+    "Deductive Databases", "Object-Relational Mapping", "Data Warehousing",
+)
+
+SECTION_NAMES = (
+    "Query Processing", "Storage Systems", "Data Mining", "XML and the Web",
+    "Transaction Management", "Distributed Systems", "Indexing",
+    "Optimization", "Data Integration", "Industrial Applications",
+)
+
+CONFERENCE_LOCATIONS = (
+    "Santa Barbara, California", "Edinburgh, Scotland", "Cairo, Egypt",
+    "Dallas, Texas", "San Jose, California", "Rome, Italy",
+    "Athens, Greece", "Seattle, Washington", "Madison, Wisconsin",
+)
+
+
+def words(rng: random.Random, count: int) -> str:
+    """A space-joined run of ``count`` corpus words."""
+    return " ".join(rng.choice(WORDS) for _ in range(count))
+
+
+def sentence(rng: random.Random, low: int = 4, high: int = 9) -> str:
+    """A capitalized pseudo-sentence."""
+    body = words(rng, rng.randint(low, high))
+    return body[:1].upper() + body[1:]
+
+
+def line_of_verse(rng: random.Random, keyword: str | None = None) -> str:
+    """A verse line, optionally planting ``keyword`` mid-line."""
+    text = sentence(rng, 5, 8)
+    if keyword is None:
+        return text
+    parts = text.split()
+    position = rng.randint(1, max(len(parts) - 1, 1))
+    parts.insert(position, keyword)
+    return " ".join(parts)
+
+
+def author_name(rng: random.Random) -> str:
+    return f"{rng.choice(AUTHOR_FIRST)} {rng.choice(AUTHOR_LAST)}"
+
+
+def paper_title(rng: random.Random, keyword: str | None = None) -> str:
+    topic = rng.choice(PAPER_TOPICS)
+    pattern = rng.choice(
+        ("On the Complexity of {}", "Efficient {}", "{} Revisited",
+         "A Framework for {}", "Towards Adaptive {}", "Benchmarking {}")
+    )
+    title = pattern.format(topic)
+    if keyword is not None and keyword not in title:
+        title = f"{title} with {keyword} Techniques"
+    return title

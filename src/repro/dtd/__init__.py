@@ -1,0 +1,49 @@
+"""DTD substrate: parsing, simplification, DTD graphs, element graphs.
+
+This package implements Section 3.1/3.2 of the paper: reducing DTD
+complexity and building the (revised) DTD graph the mapping algorithms
+consume.
+"""
+
+from repro.dtd.ast import (
+    AttributeDecl,
+    AttributeDefault,
+    Choice,
+    ContentKind,
+    Dtd,
+    ElementDecl,
+    NameRef,
+    Occurrence,
+    PCData,
+    Sequence,
+)
+from repro.dtd.element_graph import ElementGraph
+from repro.dtd.graph import DtdGraph
+from repro.dtd.parser import parse_dtd, parse_dtd_file
+from repro.dtd.simplify import (
+    ChildSpec,
+    SimplifiedDtd,
+    SimplifiedElement,
+    simplify_dtd,
+)
+
+__all__ = [
+    "AttributeDecl",
+    "AttributeDefault",
+    "Choice",
+    "ChildSpec",
+    "ContentKind",
+    "Dtd",
+    "DtdGraph",
+    "ElementDecl",
+    "ElementGraph",
+    "NameRef",
+    "Occurrence",
+    "PCData",
+    "Sequence",
+    "SimplifiedDtd",
+    "SimplifiedElement",
+    "parse_dtd",
+    "parse_dtd_file",
+    "simplify_dtd",
+]

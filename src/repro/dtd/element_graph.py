@@ -1,0 +1,99 @@
+"""Element graph (Shanmugasundaram et al., used by the Hybrid family).
+
+The element graph expands the relevant part of a DTD graph into a tree:
+starting from the root, each element is expanded once per *path*; when an
+element that is already on the current path is reached again, a back edge
+is recorded instead of expanding (that marks recursion).  The inlining
+algorithms use it to (a) detect recursive elements and (b) enumerate the
+inlining paths for column naming.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dtd.ast import Occurrence
+from repro.dtd.graph import DtdGraph
+
+
+@dataclass
+class ElementGraphNode:
+    """A node of the expanded element graph."""
+
+    element: str
+    occurrence: Occurrence
+    parent: "ElementGraphNode | None" = None
+    children: list["ElementGraphNode"] = field(default_factory=list)
+    #: element names this node loops back to (recursion markers)
+    back_edges: list[str] = field(default_factory=list)
+
+    def path(self) -> list[str]:
+        """Element names from the root down to this node."""
+        names: list[str] = []
+        node: ElementGraphNode | None = self
+        while node is not None:
+            names.append(node.element)
+            node = node.parent
+        return list(reversed(names))
+
+    def walk(self):
+        """Depth-first iteration over this node and its descendants."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+class ElementGraph:
+    """The expanded element graph of a DTD graph."""
+
+    def __init__(self, root: ElementGraphNode, recursive_elements: set[str]):
+        self.root = root
+        #: element names that participate in recursion
+        self.recursive_elements = recursive_elements
+
+    @classmethod
+    def from_dtd_graph(cls, graph: DtdGraph) -> "ElementGraph":
+        recursive: set[str] = set()
+
+        def expand(
+            node_id: str,
+            occurrence: Occurrence,
+            parent: ElementGraphNode | None,
+            on_path: tuple[str, ...],
+        ) -> ElementGraphNode:
+            element = graph.node(node_id).element
+            eg_node = ElementGraphNode(element, occurrence, parent)
+            for edge in graph.node(node_id).children:
+                child_element = graph.node(edge.child).element
+                if child_element in on_path or child_element == element:
+                    eg_node.back_edges.append(child_element)
+                    recursive.add(child_element)
+                    continue
+                child = expand(
+                    edge.child, edge.occurrence, eg_node, on_path + (element,)
+                )
+                eg_node.children.append(child)
+            return eg_node
+
+        root = expand(graph.root_id, Occurrence.ONE, None, ())
+        return cls(root, recursive)
+
+    def find_all(self, element: str) -> list[ElementGraphNode]:
+        """All expansion nodes for ``element`` (one per distinct path)."""
+        return [node for node in self.root.walk() if node.element == element]
+
+    def size(self) -> int:
+        return sum(1 for _ in self.root.walk())
+
+    def dump(self, node: ElementGraphNode | None = None, depth: int = 0) -> str:
+        """Indented textual rendering, for tests and documentation."""
+        node = node or self.root
+        lines = [
+            "  " * depth
+            + node.element
+            + node.occurrence.value
+            + (f"  ~> {','.join(node.back_edges)}" if node.back_edges else "")
+        ]
+        for child in node.children:
+            lines.append(self.dump(child, depth + 1))
+        return "\n".join(lines)

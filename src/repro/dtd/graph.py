@@ -1,0 +1,235 @@
+"""DTD graphs (paper §3.2).
+
+A DTD graph has one node per element; edges run parent -> child and carry
+the occurrence indicator of the simplified DTD (the paper draws the
+indicators as separate operator nodes; we keep them as edge labels, which
+is the same information).
+
+Two graphs matter:
+
+* the **base graph** — one node per element, shared children shared;
+* the **revised graph** — elements that contain character data and are
+  shared by several parents are *duplicated*, one copy per parent, to
+  eliminate the sharing (paper Figure 4).  XORator runs on the revised
+  graph; Hybrid runs on the base graph.
+
+Duplication iterates to a fixpoint because copying a node can raise the
+in-degree of its children (the copies all point at the original children
+until those are themselves duplicated).  Nodes that participate in a
+cycle (recursive DTDs) are never duplicated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dtd.ast import Occurrence
+from repro.dtd.simplify import SimplifiedDtd
+from repro.errors import DtdError
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A parent->child edge with its occurrence indicator."""
+
+    child: str  #: node id of the child
+    occurrence: Occurrence
+
+
+@dataclass
+class GraphNode:
+    """One node of a DTD graph.
+
+    ``node_id`` is unique within the graph; ``element`` is the underlying
+    element name (several nodes share an element name after duplication).
+    """
+
+    node_id: str
+    element: str
+    has_pcdata: bool
+    children: list[Edge] = field(default_factory=list)
+
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    def child_ids(self) -> list[str]:
+        return [edge.child for edge in self.children]
+
+
+class DtdGraph:
+    """A DTD graph over a simplified DTD."""
+
+    def __init__(self, root_id: str) -> None:
+        self.nodes: dict[str, GraphNode] = {}
+        self.root_id = root_id
+        self._parents: dict[str, list[str]] | None = None
+
+    # -- construction ----------------------------------------------------
+
+    @classmethod
+    def from_simplified(cls, sdtd: SimplifiedDtd) -> "DtdGraph":
+        if not sdtd.root:
+            raise DtdError("simplified DTD has no root; cannot build a graph")
+        graph = cls(root_id=sdtd.root)
+        for name, element in sdtd.elements.items():
+            node = GraphNode(name, name, element.has_pcdata)
+            node.children = [Edge(spec.name, spec.occurrence) for spec in element.children]
+            graph.nodes[name] = node
+        graph._invalidate()
+        return graph
+
+    def _invalidate(self) -> None:
+        self._parents = None
+
+    # -- basic queries -----------------------------------------------------
+
+    def node(self, node_id: str) -> GraphNode:
+        return self.nodes[node_id]
+
+    def parents_of(self, node_id: str) -> list[str]:
+        """Distinct parent node ids, in insertion order."""
+        if self._parents is None:
+            parents: dict[str, list[str]] = {nid: [] for nid in self.nodes}
+            for nid, node in self.nodes.items():
+                for edge in node.children:
+                    if nid not in parents[edge.child]:
+                        parents[edge.child].append(nid)
+            self._parents = parents
+        return self._parents[node_id]
+
+    def in_degree(self, node_id: str) -> int:
+        return len(self.parents_of(node_id))
+
+    def incoming_edges(self, node_id: str) -> list[tuple[str, Occurrence]]:
+        """(parent id, occurrence) pairs for every edge into ``node_id``."""
+        result: list[tuple[str, Occurrence]] = []
+        for nid, node in self.nodes.items():
+            for edge in node.children:
+                if edge.child == node_id:
+                    result.append((nid, edge.occurrence))
+        return result
+
+    def below_star(self, node_id: str) -> bool:
+        """True if any incoming edge repeats (the node sits below a ``*``)."""
+        return any(
+            occ.is_repeating() for _, occ in self.incoming_edges(node_id)
+        )
+
+    def descendants(self, node_id: str) -> set[str]:
+        """All nodes reachable from ``node_id``, excluding it (cycle-safe)."""
+        seen: set[str] = set()
+        stack = [edge.child for edge in self.nodes[node_id].children]
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            stack.extend(self.nodes[current].child_ids())
+        return seen
+
+    def cycle_nodes(self) -> set[str]:
+        """Node ids that participate in a cycle (recursive elements)."""
+        # A node is in a cycle iff it can reach itself.
+        in_cycle: set[str] = set()
+        for nid in self.nodes:
+            if nid in self.descendants(nid):
+                in_cycle.add(nid)
+        return in_cycle
+
+    def subtree_is_closed(self, node_id: str) -> bool:
+        """True if no edge from outside enters the subtree of ``node_id``.
+
+        This is XORator rule 1's side condition ("no link incident any
+        descendant of the node"): every parent of every descendant must
+        itself be the node or one of its descendants.
+        """
+        subtree = self.descendants(node_id)
+        inside = subtree | {node_id}
+        return all(
+            parent in inside
+            for descendant in subtree
+            for parent in self.parents_of(descendant)
+        )
+
+    # -- the revised graph --------------------------------------------------
+
+    def revised(self, keep_shared: set[str] | None = None) -> "DtdGraph":
+        """Return the revised graph with shared PCDATA elements duplicated.
+
+        Elements named in ``keep_shared`` are *not* decoupled — the
+        workload-aware mapping uses this to keep an element queried
+        standalone in a single shared relation (paper §3.2's noted
+        trade-off).
+        """
+        graph = self._clone()
+        in_cycle = graph.cycle_nodes()
+        if keep_shared:
+            in_cycle = in_cycle | keep_shared
+        # Iterate to fixpoint: duplicating a node can make its children
+        # shared by multiple copies, which may then need duplication too.
+        for _ in range(len(graph.nodes) * 4 + 8):
+            target = graph._find_duplication_target(in_cycle)
+            if target is None:
+                return graph
+            graph._duplicate(target)
+        raise DtdError("revised-graph duplication did not converge")
+
+    def _clone(self) -> "DtdGraph":
+        clone = DtdGraph(self.root_id)
+        for nid, node in self.nodes.items():
+            copy = GraphNode(nid, node.element, node.has_pcdata)
+            copy.children = list(node.children)
+            clone.nodes[nid] = copy
+        return clone
+
+    def _find_duplication_target(self, in_cycle: set[str]) -> str | None:
+        # The paper duplicates "elements that contain characters"; childless
+        # (EMPTY) leaves are included so that every shared leaf decouples.
+        for nid, node in self.nodes.items():
+            if nid in in_cycle or not (node.has_pcdata or node.is_leaf()):
+                continue
+            if self.in_degree(nid) > 1:
+                return nid
+        return None
+
+    def _duplicate(self, node_id: str) -> None:
+        """Split ``node_id`` into one copy per parent edge position."""
+        original = self.nodes[node_id]
+        for parent_id in list(self.parents_of(node_id)):
+            copy_id = self._fresh_id(original.element, parent_id)
+            copy = GraphNode(copy_id, original.element, original.has_pcdata)
+            copy.children = list(original.children)
+            self.nodes[copy_id] = copy
+            parent = self.nodes[parent_id]
+            parent.children = [
+                Edge(copy_id, edge.occurrence) if edge.child == node_id else edge
+                for edge in parent.children
+            ]
+        del self.nodes[node_id]
+        self._invalidate()
+
+    def _fresh_id(self, element: str, parent_id: str) -> str:
+        base = f"{element}@{parent_id}"
+        candidate = base
+        counter = 2
+        while candidate in self.nodes:
+            candidate = f"{base}#{counter}"
+            counter += 1
+        return candidate
+
+    # -- reporting -----------------------------------------------------------
+
+    def dump(self) -> str:
+        """Human-readable adjacency listing (stable order), for tests/docs."""
+        lines: list[str] = []
+        for nid in sorted(self.nodes):
+            node = self.nodes[nid]
+            kids = ", ".join(
+                f"{edge.child}{edge.occurrence.value}" for edge in node.children
+            )
+            marker = " [PCDATA]" if node.has_pcdata else ""
+            lines.append(f"{nid}{marker} -> ({kids})")
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.nodes)

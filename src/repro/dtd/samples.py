@@ -1,0 +1,113 @@
+"""The paper's three DTDs, transcribed verbatim.
+
+* :data:`PLAYS_DTD` — the running example of Section 3 (Figure 1);
+* :data:`SHAKESPEARE_DTD` — Bosak's Shakespeare DTD (Figure 10), used for
+  the QS1–QS6 experiments;
+* :data:`SIGMOD_DTD` — the SIGMOD Proceedings DTD (Figure 12), the "deep"
+  worst case for XORator, used for QG1–QG6.
+"""
+
+from __future__ import annotations
+
+from repro.dtd.ast import Dtd
+from repro.dtd.parser import parse_dtd
+from repro.dtd.simplify import SimplifiedDtd, simplify_dtd
+
+PLAYS_DTD = """
+<!ELEMENT PLAY      (INDUCT?, ACT+)>
+<!ELEMENT INDUCT    (TITLE, SUBTITLE*, SCENE+)>
+<!ELEMENT ACT       (SCENE+, TITLE, SUBTITLE*, SPEECH+, PROLOGUE?)>
+<!ELEMENT SCENE     (TITLE, SUBTITLE*, (SPEECH | SUBHEAD)+)>
+<!ELEMENT SPEECH    (SPEAKER, LINE)+>
+<!ELEMENT PROLOGUE  (#PCDATA)>
+<!ELEMENT TITLE     (#PCDATA)>
+<!ELEMENT SUBTITLE  (#PCDATA)>
+<!ELEMENT SUBHEAD   (#PCDATA)>
+<!ELEMENT SPEAKER   (#PCDATA)>
+<!ELEMENT LINE      (#PCDATA)>
+"""
+
+SHAKESPEARE_DTD = """
+<!ELEMENT PLAY      (TITLE, FM, PERSONAE, SCNDESCR, PLAYSUBT, INDUCT?,
+                     PROLOGUE?, ACT+, EPILOGUE?)>
+<!ELEMENT TITLE     (#PCDATA)>
+<!ELEMENT FM        (P+)>
+<!ELEMENT P         (#PCDATA)>
+<!ELEMENT PERSONAE  (TITLE, (PERSONA | PGROUP)+)>
+<!ELEMENT PGROUP    (PERSONA+, GRPDESCR)>
+<!ELEMENT PERSONA   (#PCDATA)>
+<!ELEMENT GRPDESCR  (#PCDATA)>
+<!ELEMENT SCNDESCR  (#PCDATA)>
+<!ELEMENT PLAYSUBT  (#PCDATA)>
+<!ELEMENT INDUCT    (TITLE, SUBTITLE*, (SCENE+ | (SPEECH | STAGEDIR | SUBHEAD)+))>
+<!ELEMENT ACT       (TITLE, SUBTITLE*, PROLOGUE?, SCENE+, EPILOGUE?)>
+<!ELEMENT SCENE     (TITLE, SUBTITLE*, (SPEECH | STAGEDIR | SUBHEAD)+)>
+<!ELEMENT PROLOGUE  (TITLE, SUBTITLE*, (STAGEDIR | SPEECH)+)>
+<!ELEMENT EPILOGUE  (TITLE, SUBTITLE*, (STAGEDIR | SPEECH)+)>
+<!ELEMENT SPEECH    (SPEAKER+, (LINE | STAGEDIR | SUBHEAD)+)>
+<!ELEMENT SPEAKER   (#PCDATA)>
+<!ELEMENT LINE      (#PCDATA | STAGEDIR)*>
+<!ELEMENT STAGEDIR  (#PCDATA)>
+<!ELEMENT SUBTITLE  (#PCDATA)>
+<!ELEMENT SUBHEAD   (#PCDATA)>
+"""
+
+SIGMOD_DTD = """
+<!ELEMENT PP          (volume, number, month, year, conference,
+                       date, confyear, location, sList)>
+<!ELEMENT volume      (#PCDATA)>
+<!ELEMENT number      (#PCDATA)>
+<!ELEMENT month       (#PCDATA)>
+<!ELEMENT year        (#PCDATA)>
+<!ELEMENT conference  (#PCDATA)>
+<!ELEMENT date        (#PCDATA)>
+<!ELEMENT confyear    (#PCDATA)>
+<!ELEMENT location    (#PCDATA)>
+<!ELEMENT sList       (sListTuple)*>
+<!ELEMENT sListTuple  (sectionName, articles)>
+<!ELEMENT sectionName (#PCDATA)>
+<!ATTLIST sectionName SectionPosition CDATA #IMPLIED>
+<!ELEMENT articles    (aTuple)*>
+<!ELEMENT aTuple      (title, authors, initPage, endPage, Toindex, fullText)>
+<!ELEMENT title       (#PCDATA)>
+<!ATTLIST title       articleCode CDATA #IMPLIED>
+<!ELEMENT authors     (author)*>
+<!ELEMENT author      (#PCDATA)>
+<!ATTLIST author      AuthorPosition CDATA #IMPLIED>
+<!ELEMENT initPage    (#PCDATA)>
+<!ELEMENT endPage     (#PCDATA)>
+<!ELEMENT Toindex     (index)?>
+<!ELEMENT index       (#PCDATA)>
+<!ATTLIST index       %Xlink;>
+<!ELEMENT fullText    (size)?>
+<!ELEMENT size        (#PCDATA)>
+<!ATTLIST fullText    %Xlink;>
+"""
+
+
+def plays_dtd() -> Dtd:
+    """Figure 1's Plays DTD, parsed."""
+    return parse_dtd(PLAYS_DTD)
+
+
+def shakespeare_dtd() -> Dtd:
+    """Figure 10's Shakespeare DTD, parsed."""
+    return parse_dtd(SHAKESPEARE_DTD)
+
+
+def sigmod_dtd() -> Dtd:
+    """Figure 12's SIGMOD Proceedings DTD, parsed."""
+    return parse_dtd(SIGMOD_DTD)
+
+
+def plays_simplified() -> SimplifiedDtd:
+    """Figure 2: the simplified Plays DTD."""
+    return simplify_dtd(plays_dtd())
+
+
+def shakespeare_simplified() -> SimplifiedDtd:
+    return simplify_dtd(shakespeare_dtd())
+
+
+def sigmod_simplified() -> SimplifiedDtd:
+    return simplify_dtd(sigmod_dtd())

@@ -1,0 +1,203 @@
+"""DTD simplification (paper §3.1).
+
+The mapping algorithms do not operate on raw content models; they operate
+on a *simplified* DTD in which every element's content is a flat, ordered
+list of ``child-name + occurrence`` pairs, with occurrence restricted to
+ONE, ``?``, or ``*`` (``+`` is rewritten to ``*``).  The transformations,
+taken from Shanmugasundaram et al. and restated in the paper:
+
+* **flattening**   ``(e1, e2)*`` -> ``e1*, e2*`` — a repetition or option
+  on a group distributes onto its members; choice groups become sequences
+  of optional/starred members (order inside a choice is not meaningful
+  for storage).
+* **simplification** ``e1**`` -> ``e1*``, ``e1?+`` -> ``e1*`` ... nested
+  unary operators collapse (see ``combine_occurrence``).
+* **grouping**     ``e0, e1, e1, e2`` -> ``e0, e1*, e2`` — duplicate
+  mentions of the same child merge; the merged occurrence is ``*`` when
+  the child can repeat, else the weaker of the two.
+* ``e+`` -> ``e*``.
+
+The output preserves first-mention order of children, which is what the
+figures in the paper show (e.g. Figure 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dtd.ast import (
+    AttributeDecl,
+    Choice,
+    ContentKind,
+    Dtd,
+    ElementDecl,
+    NameRef,
+    Occurrence,
+    PCData,
+    Particle,
+    Sequence,
+    combine_occurrence,
+)
+from repro.errors import DtdError
+
+
+@dataclass(frozen=True)
+class ChildSpec:
+    """One child slot of a simplified element."""
+
+    name: str
+    occurrence: Occurrence
+
+    def __str__(self) -> str:
+        return self.name + self.occurrence.value
+
+
+@dataclass
+class SimplifiedElement:
+    """An element after simplification: optional text plus flat children."""
+
+    name: str
+    has_pcdata: bool
+    children: list[ChildSpec] = field(default_factory=list)
+    attributes: list[AttributeDecl] = field(default_factory=list)
+
+    def child(self, name: str) -> ChildSpec:
+        for spec in self.children:
+            if spec.name == name:
+                return spec
+        raise KeyError(name)
+
+    def child_names(self) -> list[str]:
+        return [spec.name for spec in self.children]
+
+    def is_leaf(self) -> bool:
+        """True when the element has no element children (text-only or empty)."""
+        return not self.children
+
+    def __str__(self) -> str:
+        parts: list[str] = []
+        if self.has_pcdata:
+            parts.append("#PCDATA")
+        parts.extend(str(spec) for spec in self.children)
+        return f"<!ELEMENT {self.name} ({', '.join(parts) or 'EMPTY'})>"
+
+
+@dataclass
+class SimplifiedDtd:
+    """The whole DTD after simplification, in declaration order."""
+
+    elements: dict[str, SimplifiedElement] = field(default_factory=dict)
+    root: str = ""
+
+    def element(self, name: str) -> SimplifiedElement:
+        return self.elements[name]
+
+    def element_names(self) -> list[str]:
+        return list(self.elements)
+
+    def parents_of(self, name: str) -> list[str]:
+        """Distinct elements that list ``name`` as a child, in order."""
+        return [
+            parent.name
+            for parent in self.elements.values()
+            if name in parent.child_names()
+        ]
+
+    def __str__(self) -> str:
+        return "\n".join(str(e) for e in self.elements.values())
+
+
+def simplify_particle(particle: Particle, outer: Occurrence = Occurrence.ONE) -> list[ChildSpec]:
+    """Flatten ``particle`` into an ordered list of ChildSpec.
+
+    ``outer`` is the occurrence accumulated from enclosing groups.
+    Duplicate names are merged per the grouping rule.
+    """
+    flat: list[ChildSpec] = []
+    _flatten(particle, outer, flat)
+    return _group(flat)
+
+
+def _flatten(particle: Particle, outer: Occurrence, out: list[ChildSpec]) -> None:
+    effective = combine_occurrence(outer, particle.occurrence)
+    if isinstance(particle, PCData):
+        return  # text presence is tracked separately
+    if isinstance(particle, NameRef):
+        if effective is Occurrence.PLUS:
+            effective = Occurrence.STAR
+        out.append(ChildSpec(particle.name, effective))
+        return
+    if isinstance(particle, Sequence):
+        for item in particle.items:
+            _flatten(item, effective, out)
+        return
+    if isinstance(particle, Choice):
+        # members of a choice are individually optional; a repeated choice
+        # makes each member repeatable: (a|b)+ -> a*, b*
+        member_outer = (
+            Occurrence.STAR if effective.is_repeating() else Occurrence.OPT
+        )
+        for item in particle.items:
+            _flatten(item, member_outer, out)
+        return
+    raise DtdError(f"unknown particle type {type(particle).__name__}")
+
+
+def _group(flat: list[ChildSpec]) -> list[ChildSpec]:
+    merged: dict[str, Occurrence] = {}
+    order: list[str] = []
+    for spec in flat:
+        if spec.name in merged:
+            # seen more than once in sequence => the child repeats
+            merged[spec.name] = Occurrence.STAR
+        else:
+            merged[spec.name] = spec.occurrence
+            order.append(spec.name)
+    return [ChildSpec(name, merged[name]) for name in order]
+
+
+def simplify_element(decl: ElementDecl, attributes: list[AttributeDecl]) -> SimplifiedElement:
+    if decl.kind is ContentKind.EMPTY:
+        return SimplifiedElement(decl.name, has_pcdata=False, attributes=list(attributes))
+    if decl.kind is ContentKind.ANY:
+        # ANY elements are treated as opaque text for storage mapping
+        return SimplifiedElement(decl.name, has_pcdata=True, attributes=list(attributes))
+    assert decl.content is not None
+    children = simplify_particle(decl.content)
+    return SimplifiedElement(
+        decl.name,
+        has_pcdata=decl.has_pcdata(),
+        children=children,
+        attributes=list(attributes),
+    )
+
+
+def simplify_dtd(dtd: Dtd, root: str | None = None) -> SimplifiedDtd:
+    """Simplify every element of ``dtd`` and identify the root.
+
+    ``root`` may be given explicitly (documents name their root in the
+    DOCTYPE); otherwise the unique never-referenced element is used.
+    """
+    simplified = SimplifiedDtd()
+    for name, decl in dtd.elements.items():
+        simplified.elements[name] = simplify_element(decl, dtd.attributes_of(name))
+
+    if root is not None:
+        if root not in simplified.elements:
+            raise DtdError(f"declared root {root!r} is not an element of the DTD")
+        simplified.root = root
+        return simplified
+
+    candidates = dtd.root_candidates()
+    if len(candidates) == 1:
+        simplified.root = candidates[0]
+    elif not candidates:
+        raise DtdError(
+            "DTD has no root candidate (every element is referenced; "
+            "pass root= explicitly for recursive DTDs)"
+        )
+    else:
+        raise DtdError(
+            f"DTD has multiple root candidates {candidates}; pass root= explicitly"
+        )
+    return simplified

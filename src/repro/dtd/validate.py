@@ -1,0 +1,108 @@
+"""Validation of documents against a simplified DTD.
+
+Checks the constraints the storage mapping relies on (and that the
+synthetic generators must honour): every element is declared, child
+tags and their multiplicities match the simplified content model
+(ONE/OPT/STAR), character data appears only in mixed/PCDATA elements,
+and attributes are declared (with #REQUIRED ones present).
+
+This validates against the *simplified* DTD, not the original content
+model's ordering — by §3.1 the simplification is exactly the structure
+the mappings preserve, so it is the right conformance level for
+shredding round-trips.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dtd.ast import AttributeDefault, Occurrence
+from repro.dtd.simplify import SimplifiedDtd
+from repro.xmlkit.chars import is_whitespace
+from repro.xmlkit.dom import Document, Element, Text
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One conformance problem."""
+
+    element: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"<{self.element}>: {self.message}"
+
+
+def validate(document: Document | Element, sdtd: SimplifiedDtd) -> list[Violation]:
+    """All violations of ``document`` against ``sdtd`` (empty = valid)."""
+    root = document.root if isinstance(document, Document) else document
+    violations: list[Violation] = []
+    if root.tag != sdtd.root:
+        violations.append(
+            Violation(root.tag, f"root element should be {sdtd.root!r}")
+        )
+    _validate_element(root, sdtd, violations)
+    return violations
+
+
+def is_valid(document: Document | Element, sdtd: SimplifiedDtd) -> bool:
+    return not validate(document, sdtd)
+
+
+def _validate_element(
+    element: Element, sdtd: SimplifiedDtd, violations: list[Violation]
+) -> None:
+    if element.tag not in sdtd.elements:
+        violations.append(Violation(element.tag, "element is not declared"))
+        return
+    declaration = sdtd.element(element.tag)
+
+    # character data
+    has_text = any(
+        isinstance(child, Text) and not is_whitespace(child.data) and child.data
+        for child in element.children
+    )
+    if has_text and not declaration.has_pcdata:
+        violations.append(
+            Violation(element.tag, "character data in an element without #PCDATA")
+        )
+
+    # children multiplicities
+    declared = {spec.name: spec.occurrence for spec in declaration.children}
+    counts: dict[str, int] = {}
+    for child in element.child_elements():
+        counts[child.tag] = counts.get(child.tag, 0) + 1
+    for tag, count in counts.items():
+        occurrence = declared.get(tag)
+        if occurrence is None:
+            violations.append(
+                Violation(element.tag, f"undeclared child <{tag}>")
+            )
+        elif occurrence in (Occurrence.ONE, Occurrence.OPT) and count > 1:
+            violations.append(
+                Violation(
+                    element.tag,
+                    f"child <{tag}> occurs {count} times but is not repeatable",
+                )
+            )
+    for tag, occurrence in declared.items():
+        if occurrence is Occurrence.ONE and counts.get(tag, 0) == 0:
+            violations.append(
+                Violation(element.tag, f"required child <{tag}> is missing")
+            )
+
+    # attributes
+    declared_attributes = {a.name: a for a in declaration.attributes}
+    for name in element.attributes:
+        if name not in declared_attributes:
+            violations.append(
+                Violation(element.tag, f"undeclared attribute {name!r}")
+            )
+    for name, attribute in declared_attributes.items():
+        if attribute.default is AttributeDefault.REQUIRED and name not in element.attributes:
+            violations.append(
+                Violation(element.tag, f"required attribute {name!r} is missing")
+            )
+
+    for child in element.child_elements():
+        _validate_element(child, sdtd, violations)

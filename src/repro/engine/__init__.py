@@ -1,0 +1,45 @@
+"""The object-relational engine substrate.
+
+This package stands in for IBM DB2 UDB V.7.2 in the paper's experiments:
+heap tables with page-accurate size accounting, hash/B-tree indexes, a
+SQL subset with a cost-based optimizer, statistics (``runstats``), an
+index advisor, and a UDF registry modelling fenced/not-fenced invocation
+overhead.  See DESIGN.md §2 for the substitution argument.
+"""
+
+from repro.engine.advisor import IndexAdvisor, IndexSuggestion
+from repro.engine.database import Database
+from repro.engine.result import Result
+from repro.engine.schema import Catalog, Column, IndexDef, TableSchema
+from repro.engine.types import (
+    INTEGER,
+    VARCHAR,
+    XADT,
+    IntegerType,
+    SqlType,
+    VarcharType,
+    XadtType,
+    type_from_name,
+)
+from repro.engine.udf import FunctionKind, FunctionRegistry
+
+__all__ = [
+    "Catalog",
+    "Column",
+    "Database",
+    "FunctionKind",
+    "FunctionRegistry",
+    "INTEGER",
+    "IndexAdvisor",
+    "IndexDef",
+    "IndexSuggestion",
+    "IntegerType",
+    "Result",
+    "SqlType",
+    "TableSchema",
+    "VARCHAR",
+    "VarcharType",
+    "XADT",
+    "XadtType",
+    "type_from_name",
+]

@@ -1,0 +1,232 @@
+"""The user-facing database facade.
+
+A :class:`Database` owns the catalog, the heap tables, the live index
+structures, per-table statistics, and the function registry.  It executes
+SQL (SELECT / CREATE TABLE / CREATE INDEX / INSERT / DROP TABLE), exposes
+EXPLAIN, ``runstats``, the index advisor, and the size accounting used by
+the paper's Tables 1 and 2.
+"""
+
+from __future__ import annotations
+
+from repro.engine.advisor import IndexAdvisor
+from repro.engine.expr import Binding, compile_expr
+from repro.engine.index import Index, build_index
+from repro.engine.io import IoCounters
+from repro.engine.plan.optimizer import plan_select
+from repro.engine.result import Result
+from repro.engine.schema import Catalog, Column, IndexDef, TableSchema
+from repro.engine.sql.ast import (
+    CreateIndexStmt,
+    CreateTableStmt,
+    DropTableStmt,
+    InsertStmt,
+    SelectStmt,
+)
+from repro.engine.sql.parser import parse_sql
+from repro.engine.statistics import TableStats, collect_stats
+from repro.engine.storage import HeapTable
+from repro.engine.types import type_from_name
+from repro.engine.udf import FunctionRegistry
+from repro.errors import CatalogError, ExecutionError
+
+
+class Database:
+    """An in-process object-relational database."""
+
+    def __init__(self, name: str = "db", work_mem_bytes: int | None = None) -> None:
+        self.name = name
+        self.catalog = Catalog()
+        self.registry = FunctionRegistry()
+        #: logical-I/O counters charged by the physical operators; the
+        #: benchmark harness resets this before each cold query run
+        self.io = IoCounters()
+        if work_mem_bytes is not None:
+            self.io.work_mem_bytes = work_mem_bytes
+        self._heaps: dict[str, HeapTable] = {}
+        self._indexes: dict[str, Index] = {}
+        self._stats: dict[str, TableStats] = {}
+
+    # -- PlannerContext protocol -------------------------------------------
+
+    def heap(self, table_name: str) -> HeapTable:
+        try:
+            return self._heaps[table_name.lower()]
+        except KeyError:
+            raise CatalogError(f"unknown table {table_name!r}") from None
+
+    def stats_for(self, table_name: str) -> TableStats | None:
+        return self._stats.get(table_name.lower())
+
+    def live_index(
+        self, table_name: str, column_name: str
+    ) -> tuple[IndexDef, Index] | None:
+        definition = self.catalog.find_index(table_name, column_name)
+        if definition is None:
+            return None
+        return definition, self._indexes[definition.name.lower()]
+
+    # -- DDL -------------------------------------------------------------------
+
+    def create_table(self, schema: TableSchema) -> None:
+        self.catalog.add_table(schema)
+        self._heaps[schema.key] = HeapTable(schema)
+
+    def drop_table(self, name: str) -> None:
+        key = name.lower()
+        for definition in self.catalog.indexes_on(name):
+            self._indexes.pop(definition.name.lower(), None)
+        self.catalog.drop_table(name)
+        self._heaps.pop(key, None)
+        self._stats.pop(key, None)
+
+    def create_index(
+        self,
+        name: str,
+        table: str,
+        column: str,
+        kind: str = "btree",
+        unique: bool = False,
+    ) -> None:
+        from repro.engine.types import XadtType
+
+        column_type = self.catalog.table(table).column(column).sql_type
+        if isinstance(column_type, XadtType) and kind == "btree":
+            raise CatalogError(
+                f"XADT column {column!r} has no ordering; only hash "
+                f"indexes apply (XML fragments compare for equality only)"
+            )
+        definition = IndexDef(name, table, column, kind, unique)
+        self.catalog.add_index(definition)
+        heap = self.heap(table)
+        index = build_index(definition, heap)
+        self._indexes[name.lower()] = index
+        heap.attach_index(index)
+
+    # -- DML ---------------------------------------------------------------------
+
+    def insert(self, table: str, row: tuple | list) -> int:
+        return self.heap(table).insert(tuple(row))
+
+    def bulk_insert(self, table: str, rows) -> int:
+        return self.heap(table).bulk_insert(rows)
+
+    # -- queries ------------------------------------------------------------------
+
+    def execute(self, sql: str) -> Result:
+        statement = parse_sql(sql)
+        if isinstance(statement, SelectStmt):
+            plan = plan_select(statement, self)
+            columns = [slot.name for slot in plan.binding.slots]
+            return Result(columns, list(plan.rows()))
+        if isinstance(statement, CreateTableStmt):
+            columns = [
+                Column(c.name, type_from_name(c.type_name), c.primary_key)
+                for c in statement.columns
+            ]
+            self.create_table(TableSchema(statement.table, columns))
+            return Result(["status"], [("table created",)])
+        if isinstance(statement, CreateIndexStmt):
+            self.create_index(
+                statement.name,
+                statement.table,
+                statement.column,
+                statement.kind,
+                statement.unique,
+            )
+            return Result(["status"], [("index created",)])
+        if isinstance(statement, InsertStmt):
+            return self._execute_insert(statement)
+        if isinstance(statement, DropTableStmt):
+            self.drop_table(statement.table)
+            return Result(["status"], [("table dropped",)])
+        raise ExecutionError(f"unsupported statement {type(statement).__name__}")
+
+    def _execute_insert(self, statement: InsertStmt) -> Result:
+        heap = self.heap(statement.table)
+        schema = heap.schema
+        empty = Binding([])
+        inserted = 0
+        for value_row in statement.rows:
+            values = [
+                compile_expr(expr, empty, self.registry)(()) for expr in value_row
+            ]
+            if statement.columns:
+                if len(values) != len(statement.columns):
+                    raise ExecutionError("INSERT arity mismatch")
+                full: list[object] = [None] * schema.arity()
+                for column_name, value in zip(statement.columns, values):
+                    full[schema.position(column_name)] = value
+                heap.insert(tuple(full))
+            else:
+                heap.insert(tuple(values))
+            inserted += 1
+        return Result(["rows_inserted"], [(inserted,)])
+
+    def explain(self, sql: str) -> str:
+        statement = parse_sql(sql)
+        if not isinstance(statement, SelectStmt):
+            raise ExecutionError("EXPLAIN supports SELECT statements only")
+        plan = plan_select(statement, self)
+        return "\n".join(plan.explain())
+
+    # -- statistics & advice ------------------------------------------------------
+
+    def runstats(self, table: str | None = None) -> None:
+        """Collect statistics for one table or every table."""
+        if table is not None:
+            self._stats[table.lower()] = collect_stats(self.heap(table))
+            return
+        for key, heap in self._heaps.items():
+            self._stats[key] = collect_stats(heap)
+
+    def advise_indexes(self, workload: list[str]) -> list[str]:
+        """DDL suggestions from the index advisor for ``workload``."""
+        advisor = IndexAdvisor(self.catalog)
+        for sql in workload:
+            advisor.observe_sql(sql)
+        return advisor.ddl()
+
+    def apply_index_advice(self, workload: list[str]) -> list[str]:
+        """Create the advisor's suggested indexes; returns the DDL applied."""
+        ddl = self.advise_indexes(workload)
+        for statement in ddl:
+            self.execute(statement)
+        return ddl
+
+    # -- sizing -------------------------------------------------------------------
+
+    def table_count(self) -> int:
+        return len(self._heaps)
+
+    def index_count(self) -> int:
+        return len(self._indexes)
+
+    def data_size_bytes(self) -> int:
+        return sum(heap.data_bytes() for heap in self._heaps.values())
+
+    def index_size_bytes(self) -> int:
+        return sum(index.byte_size() for index in self._indexes.values())
+
+    def row_count(self, table: str | None = None) -> int:
+        if table is not None:
+            return self.heap(table).row_count()
+        return sum(heap.row_count() for heap in self._heaps.values())
+
+    def size_report(self) -> dict[str, object]:
+        """The three quantities of the paper's Tables 1 and 2."""
+        return {
+            "tables": self.table_count(),
+            "database_bytes": self.data_size_bytes(),
+            "index_bytes": self.index_size_bytes(),
+            "rows": self.row_count(),
+        }
+
+    def reset_function_stats(self) -> None:
+        self.registry.stats.reset()
+
+    def __repr__(self) -> str:
+        return (
+            f"Database({self.name!r}, {self.table_count()} tables, "
+            f"{self.row_count()} rows)"
+        )

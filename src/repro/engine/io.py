@@ -1,0 +1,105 @@
+"""Cold-run I/O accounting and the simulated disk model.
+
+The paper's timings are *cold numbers* from DB2 V7.2 on a 550 MHz
+Pentium III with 256 MB of RAM and a year-2002 disk: every query paid
+real page I/O, and joins whose build side outgrew working memory paid
+spill I/O.  A pure in-memory Python engine hides all of that — hash
+probes cost nanoseconds regardless of table size — so the engine counts
+logical I/O while executing and the benchmark harness converts the
+counts into modeled cold-run time:
+
+    elapsed = wall_cpu_seconds
+            + sequential_pages * SEQUENTIAL_PAGE_SECONDS
+            + random_pages    * RANDOM_PAGE_SECONDS
+
+Charging rules (documented in DESIGN.md §2):
+
+* a sequential scan charges the table's data pages, sequentially;
+* an index probe charges one random page (leaf; interior pages are
+  assumed cached) plus one random data page per fetched row
+  (secondary indexes are unclustered, as in the paper's setup);
+* a hash join whose build side exceeds ``work_mem_bytes`` partitions to
+  disk GRACE-style: both inputs are written and re-read once
+  (2 x (build+probe) pages, sequential);
+* everything already resident in the operator pipeline (lateral table
+  functions, projections, in-memory aggregation) charges nothing extra.
+
+The constants are fixed a priori from period hardware — 20 MB/s
+sequential bandwidth and ~5 ms per random 8 KB page — not tuned per
+experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.engine.pages import PAGE_SIZE, pages_for
+
+#: seconds to read one 8 KB page sequentially (~20 MB/s, year-2002 disk)
+SEQUENTIAL_PAGE_SECONDS = PAGE_SIZE / (20 * 1024 * 1024)
+#: seconds per random page (seek + rotational latency + transfer)
+RANDOM_PAGE_SECONDS = 0.005
+#: join/sort working memory before spilling.  This is a *scale model*:
+#: the paper's machine gave DB2 roughly 2 MB of buffer/sort memory against
+#: 7.5-96 MB data sets (a 1:4 .. 1:48 ratio); our benchmark corpora are
+#: ~100 KB-10 MB, so 64 KB preserves the memory:data ratio band in which
+#: the paper's join-spill behaviour lives.  Override per Database.
+DEFAULT_WORK_MEM_BYTES = 64 * 1024
+
+
+@dataclass
+class IoCounters:
+    """Logical I/O accumulated by the physical operators."""
+
+    sequential_pages: int = 0
+    random_pages: int = 0
+    spill_pages: int = 0  #: sequential pages written+read by join spills
+    #: memory ceiling used by spill decisions
+    work_mem_bytes: int = DEFAULT_WORK_MEM_BYTES
+    #: per-category detail for EXPLAIN-style reporting
+    notes: list[str] = field(default_factory=list)
+
+    def reset(self) -> None:
+        self.sequential_pages = 0
+        self.random_pages = 0
+        self.spill_pages = 0
+        self.notes.clear()
+
+    def charge_sequential(self, pages: int) -> None:
+        self.sequential_pages += pages
+
+    def charge_random(self, pages: int = 1) -> None:
+        self.random_pages += pages
+
+    def charge_spill(self, pages: int) -> None:
+        self.spill_pages += pages
+
+    def modeled_seconds(self) -> float:
+        """Disk seconds implied by the counters."""
+        return (
+            (self.sequential_pages + self.spill_pages) * SEQUENTIAL_PAGE_SECONDS
+            + self.random_pages * RANDOM_PAGE_SECONDS
+        )
+
+    def snapshot(self) -> tuple[int, int, int]:
+        return (self.sequential_pages, self.random_pages, self.spill_pages)
+
+
+def estimate_row_bytes(row: tuple) -> int:
+    """Cheap in-flight width estimate for spill decisions."""
+    width = 24 + 8 * len(row)
+    for value in row:
+        if isinstance(value, str):
+            width += len(value)
+        elif value is not None and not isinstance(value, (int, float)):
+            size = getattr(value, "byte_size", None)
+            if size is not None:
+                width += size()
+    return width
+
+
+def pages_of_bytes(total: int) -> int:
+    """Pages for ``total`` raw bytes (delegates to the page model)."""
+    if total <= 0:
+        return 0
+    return pages_for(total)

@@ -1,0 +1,6 @@
+"""Query planning: physical operators, cost model, optimizer."""
+
+from repro.engine.plan.optimizer import PlannerContext, plan_select
+from repro.engine.plan.physical import Operator
+
+__all__ = ["Operator", "PlannerContext", "plan_select"]

@@ -1,0 +1,902 @@
+"""Query planner/optimizer.
+
+Turns a parsed :class:`SelectStmt` into a physical operator tree:
+
+1. classify WHERE conjuncts (single-table, equi-join edge, residual);
+2. pick an access path per base table (index scan when an equality
+   predicate has a live index, else sequential scan with the pushed
+   predicate);
+3. order joins greedily by estimated cost, choosing between hash join
+   and index nested-loop join per step;
+4. append lateral table functions in declared order (DB2 semantics:
+   their arguments may reference any FROM item to their left);
+5. plan aggregation / having / distinct / order / limit on top.
+
+Statistics come from the engine's ``runstats``; without them the
+defaults in :mod:`repro.engine.statistics` apply.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+from repro.engine.expr import (
+    And,
+    Arithmetic,
+    Binding,
+    ColumnRef,
+    Comparison,
+    Compiled,
+    Expr,
+    FuncCall,
+    Like,
+    Literal,
+    Not,
+    Or,
+    Slot,
+    Star,
+    and_together,
+    compile_expr,
+    conjuncts_of,
+)
+from repro.engine.index import Index
+from repro.engine.plan import cost as cost_model
+from repro.engine.plan.physical import (
+    AggSpec,
+    Filter,
+    HashAggregate,
+    HashDistinct,
+    HashJoin,
+    IndexNestedLoopJoin,
+    IndexScan,
+    LateralFunctionScan,
+    Limit,
+    NestedLoopJoin,
+    Operator,
+    Project,
+    SeqScan,
+    Sort,
+    table_binding,
+)
+from repro.engine.schema import IndexDef
+from repro.engine.statistics import TableStats
+from repro.engine.storage import HeapTable
+from repro.engine.sql.ast import SelectStmt, TableFunctionRef, TableRef
+from repro.engine.types import INTEGER, VARCHAR, SqlType
+from repro.engine.udf import FunctionRegistry
+from repro.errors import PlanError
+
+
+class PlannerContext(Protocol):
+    """What the planner needs from the database."""
+
+    registry: FunctionRegistry
+    io: "object"  #: IoCounters shared by the physical operators
+
+    def heap(self, table_name: str) -> HeapTable: ...
+
+    def stats_for(self, table_name: str) -> TableStats | None: ...
+
+    def live_index(
+        self, table_name: str, column_name: str
+    ) -> tuple[IndexDef, Index] | None: ...
+
+
+# ---------------------------------------------------------------------------
+# conjunct classification
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _JoinEdge:
+    """An equi-join conjunct ``left.col = right.col``."""
+
+    expr: Comparison
+    left_qualifier: str
+    left_column: str
+    right_qualifier: str
+    right_column: str
+
+    def side(self, qualifier: str) -> str | None:
+        if self.left_qualifier == qualifier:
+            return self.left_column
+        if self.right_qualifier == qualifier:
+            return self.right_column
+        return None
+
+    def other(self, qualifier: str) -> tuple[str, str]:
+        if self.left_qualifier == qualifier:
+            return self.right_qualifier, self.right_column
+        return self.left_qualifier, self.left_column
+
+
+class _Classified:
+    def __init__(self) -> None:
+        self.per_table: dict[str, list[Expr]] = {}
+        self.edges: list[_JoinEdge] = []
+        self.residual: list[Expr] = []
+        self.constants: list[Expr] = []
+
+
+def _qualifiers_of(expr: Expr, global_binding: Binding) -> set[str]:
+    qualifiers: set[str] = set()
+    for ref in expr.column_refs():
+        slot = global_binding.slot_of(ref)
+        qualifiers.add(slot.qualifier)
+    return qualifiers
+
+
+def _classify(
+    conjuncts: list[Expr],
+    global_binding: Binding,
+    base_qualifiers: set[str],
+) -> _Classified:
+    result = _Classified()
+    for conjunct in conjuncts:
+        qualifiers = _qualifiers_of(conjunct, global_binding)
+        if not qualifiers:
+            result.constants.append(conjunct)
+            continue
+        if not qualifiers <= base_qualifiers:
+            # touches a lateral table function; applied after the lateral
+            result.residual.append(conjunct)
+            continue
+        if len(qualifiers) == 1:
+            result.per_table.setdefault(next(iter(qualifiers)), []).append(conjunct)
+            continue
+        edge = _as_join_edge(conjunct, global_binding)
+        if edge is not None and len(qualifiers) == 2:
+            result.edges.append(edge)
+        else:
+            result.residual.append(conjunct)
+    return result
+
+
+def _as_join_edge(expr: Expr, global_binding: Binding) -> _JoinEdge | None:
+    if not (
+        isinstance(expr, Comparison)
+        and expr.op == "="
+        and isinstance(expr.left, ColumnRef)
+        and isinstance(expr.right, ColumnRef)
+    ):
+        return None
+    left_slot = global_binding.slot_of(expr.left)
+    right_slot = global_binding.slot_of(expr.right)
+    if left_slot.qualifier == right_slot.qualifier:
+        return None
+    return _JoinEdge(
+        expr,
+        left_slot.qualifier,
+        left_slot.name,
+        right_slot.qualifier,
+        right_slot.name,
+    )
+
+
+# ---------------------------------------------------------------------------
+# planner
+# ---------------------------------------------------------------------------
+
+
+def plan_select(stmt: SelectStmt, ctx: PlannerContext) -> Operator:
+    base_refs = [item for item in stmt.from_items if isinstance(item, TableRef)]
+    lateral_refs = [
+        item for item in stmt.from_items if isinstance(item, TableFunctionRef)
+    ]
+    if not stmt.from_items:
+        raise PlanError("queries require at least one FROM item")
+    _check_alias_uniqueness(stmt)
+
+    heaps = {ref.qualifier: ctx.heap(ref.table) for ref in base_refs}
+    stats = {ref.qualifier: ctx.stats_for(ref.table) for ref in base_refs}
+
+    global_binding = _global_binding(stmt, heaps, ctx.registry)
+    classified = _classify(
+        conjuncts_of(stmt.where), global_binding, set(heaps)
+    )
+
+    plan = _plan_joins(base_refs, heaps, stats, classified, ctx)
+    plan = _plan_laterals(plan, lateral_refs, classified.residual, ctx.registry)
+    plan = _plan_output(plan, stmt, ctx.registry)
+    return plan
+
+
+def _check_alias_uniqueness(stmt: SelectStmt) -> None:
+    seen: set[str] = set()
+    for item in stmt.from_items:
+        if item.qualifier in seen:
+            raise PlanError(f"duplicate FROM alias {item.qualifier!r}")
+        seen.add(item.qualifier)
+
+
+def _global_binding(
+    stmt: SelectStmt,
+    heaps: dict[str, HeapTable],
+    registry: FunctionRegistry,
+) -> Binding:
+    slots: list[Slot] = []
+    for item in stmt.from_items:
+        if isinstance(item, TableRef):
+            slots.extend(table_binding(heaps[item.qualifier], item.alias).slots)
+        else:
+            function = registry.table_function(item.call.name)
+            slots.extend(
+                Slot(item.qualifier, name, sql_type)
+                for name, sql_type in function.output_columns
+            )
+    return Binding(slots)
+
+
+# -- base-table access and joins ---------------------------------------------
+
+
+def _plan_access(
+    ref: TableRef,
+    heap: HeapTable,
+    table_stats: TableStats | None,
+    pushed: list[Expr],
+    ctx: PlannerContext,
+) -> tuple[Operator, float]:
+    """Access path for one base table; returns (operator, estimated rows)."""
+    binding = table_binding(heap, ref.alias)
+    registry = ctx.registry
+    selectivity = 1.0
+    for conjunct in pushed:
+        selectivity *= cost_model.predicate_selectivity(conjunct, table_stats)
+    estimate = max(heap.row_count() * selectivity, 0.1)
+
+    index_choice = _find_eq_index(ref, pushed, ctx)
+    if index_choice is not None:
+        eq_conjunct, key_value, index = index_choice
+        column, _ = _split_eq(eq_conjunct)  # type: ignore[arg-type]
+        matches = cost_model.eq_match_estimate(
+            table_stats, column.name if column else "", heap.row_count()
+        )
+        index_cost = cost_model.index_scan_cost(matches, heap.data_pages())
+        scan_cost = cost_model.seq_scan_cost(heap.row_count(), heap.data_pages())
+        if index_cost >= scan_cost:
+            index_choice = None
+    if index_choice is not None:
+        eq_conjunct, key_value, index = index_choice
+        rest = [c for c in pushed if c is not eq_conjunct]
+        residual = and_together(rest)
+        operator: Operator = IndexScan(
+            heap,
+            ref.alias,
+            index,
+            key=key_value,
+            residual=(
+                compile_expr(residual, binding, registry) if residual else None
+            ),
+            residual_sql=residual.sql() if residual else "",
+            io=getattr(ctx, "io", None),
+        )
+        operator.estimated_rows = estimate
+        return operator, estimate
+
+    predicate = and_together(pushed)
+    operator = SeqScan(
+        heap,
+        ref.alias,
+        predicate=compile_expr(predicate, binding, registry) if predicate else None,
+        predicate_sql=predicate.sql() if predicate else "",
+        io=getattr(ctx, "io", None),
+    )
+    operator.estimated_rows = estimate
+    return operator, estimate
+
+
+def _find_eq_index(
+    ref: TableRef, pushed: list[Expr], ctx: PlannerContext
+) -> tuple[Expr, object, Index] | None:
+    for conjunct in pushed:
+        if not (isinstance(conjunct, Comparison) and conjunct.op == "="):
+            continue
+        column, literal = _split_eq(conjunct)
+        if column is None:
+            continue
+        found = ctx.live_index(ref.table, column.name)
+        if found is not None:
+            return conjunct, literal.value, found[1]
+    return None
+
+
+def _split_eq(comparison: Comparison) -> tuple[ColumnRef | None, Literal | None]:
+    if isinstance(comparison.left, ColumnRef) and isinstance(comparison.right, Literal):
+        return comparison.left, comparison.right
+    if isinstance(comparison.right, ColumnRef) and isinstance(comparison.left, Literal):
+        return comparison.right, comparison.left
+    return None, None
+
+
+def _plan_joins(
+    base_refs: list[TableRef],
+    heaps: dict[str, HeapTable],
+    stats: dict[str, TableStats | None],
+    classified: _Classified,
+    ctx: PlannerContext,
+) -> Operator:
+    if not base_refs:
+        raise PlanError("at least one base table is required in FROM")
+    registry = ctx.registry
+    pushed = dict(classified.per_table)
+    # constant conjuncts ride along with the first planned table
+    first_extra = list(classified.constants)
+
+    estimates: dict[str, float] = {}
+    for ref in base_refs:
+        table_pushed = pushed.get(ref.qualifier, [])
+        selectivity = 1.0
+        for conjunct in table_pushed:
+            selectivity *= cost_model.predicate_selectivity(
+                conjunct, stats[ref.qualifier]
+            )
+        estimates[ref.qualifier] = max(
+            heaps[ref.qualifier].row_count() * selectivity, 0.1
+        )
+
+    remaining = {ref.qualifier: ref for ref in base_refs}
+    edges = list(classified.edges)
+    applied_edges: set[int] = set()
+
+    # start from the most selective table
+    start_qualifier = min(remaining, key=lambda q: estimates[q])
+    start_ref = remaining.pop(start_qualifier)
+    start_pushed = pushed.get(start_qualifier, []) + first_extra
+    plan, current_rows = _plan_access(
+        start_ref, heaps[start_qualifier], stats[start_qualifier], start_pushed, ctx
+    )
+    joined = {start_qualifier}
+
+    while remaining:
+        candidate = _pick_candidate(remaining, joined, edges, applied_edges, estimates)
+        ref = remaining.pop(candidate)
+        connecting = [
+            (i, edge)
+            for i, edge in enumerate(edges)
+            if i not in applied_edges
+            and edge.side(candidate) is not None
+            and edge.other(candidate)[0] in joined
+        ]
+        table_pushed = pushed.get(ref.qualifier, [])
+        if connecting:
+            plan, current_rows = _join_one(
+                plan,
+                current_rows,
+                ref,
+                heaps[ref.qualifier],
+                stats[ref.qualifier],
+                table_pushed,
+                connecting,
+                ctx,
+            )
+            applied_edges.update(i for i, _ in connecting)
+        else:
+            right, right_rows = _plan_access(
+                ref, heaps[ref.qualifier], stats[ref.qualifier], table_pushed, ctx
+            )
+            plan = NestedLoopJoin(plan, right)
+            current_rows = max(current_rows * right_rows, 0.1)
+            plan.estimated_rows = current_rows
+        joined.add(candidate)
+
+    # residual conjuncts that touch only base tables
+    base_only = [
+        conjunct
+        for conjunct in classified.residual
+        if _refs_within(conjunct, plan.binding)
+    ]
+    for conjunct in base_only:
+        classified.residual.remove(conjunct)
+    predicate = and_together(base_only)
+    if predicate is not None:
+        plan = Filter(
+            plan,
+            compile_expr(predicate, plan.binding, registry),
+            predicate.sql(),
+        )
+        plan.estimated_rows = current_rows * 0.5
+    return plan
+
+
+def _pick_candidate(
+    remaining: dict[str, TableRef],
+    joined: set[str],
+    edges: list[_JoinEdge],
+    applied_edges: set[int],
+    estimates: dict[str, float],
+) -> str:
+    connected = [
+        qualifier
+        for qualifier in remaining
+        if any(
+            i not in applied_edges
+            and edge.side(qualifier) is not None
+            and edge.other(qualifier)[0] in joined
+            for i, edge in enumerate(edges)
+        )
+    ]
+    pool = connected or list(remaining)
+    return min(pool, key=lambda q: estimates[q])
+
+
+def _join_one(
+    plan: Operator,
+    current_rows: float,
+    ref: TableRef,
+    heap: HeapTable,
+    table_stats: TableStats | None,
+    table_pushed: list[Expr],
+    connecting: list[tuple[int, _JoinEdge]],
+    ctx: PlannerContext,
+) -> tuple[Operator, float]:
+    registry = ctx.registry
+    qualifier = ref.qualifier
+
+    # estimated join selectivity over all connecting edges
+    join_sel = 1.0
+    for _, edge in connecting:
+        other_q, other_col = edge.other(qualifier)
+        join_sel *= cost_model.join_selectivity(
+            None, other_col, table_stats, edge.side(qualifier) or ""
+        )
+    pushed_sel = 1.0
+    for conjunct in table_pushed:
+        pushed_sel *= cost_model.predicate_selectivity(conjunct, table_stats)
+    right_rows = max(heap.row_count() * pushed_sel, 0.1)
+    output_rows = max(current_rows * heap.row_count() * pushed_sel * join_sel, 0.1)
+
+    # cost the two strategies; the hash option must also scan the right side
+    io_counters = getattr(ctx, "io", None)
+    work_mem = getattr(io_counters, "work_mem_bytes", None)
+    right_width = (
+        heap.data_bytes() / heap.row_count() if heap.row_count() else 80.0
+    )
+    hash_cost = (
+        cost_model.seq_scan_cost(heap.row_count(), heap.data_pages())
+        + cost_model.hash_join_cost(
+            current_rows, right_rows, work_mem, right_row_bytes=right_width
+        )
+    )
+    index_option: tuple[Index, _JoinEdge] | None = None
+    for _, edge in connecting:
+        own_column = edge.side(qualifier)
+        found = ctx.live_index(ref.table, own_column or "")
+        if found is not None:
+            index_option = (found[1], edge)
+            break
+    index_cost = float("inf")
+    if index_option is not None:
+        matches = max(heap.row_count() * join_sel, 0.1)
+        index_cost = cost_model.index_nl_join_cost(
+            current_rows, matches, heap.data_pages()
+        )
+
+    if index_option is not None and index_cost < hash_cost:
+        index, main_edge = index_option
+        other_q, other_col = main_edge.other(qualifier)
+        left_key_slot = plan.binding.resolve(ColumnRef(other_q, other_col))
+        residual_parts = [edge.expr for i, edge in connecting if edge is not main_edge]
+        residual_parts.extend(table_pushed)
+        residual = and_together(residual_parts)
+        join: Operator = IndexNestedLoopJoin(
+            plan,
+            heap,
+            ref.alias,
+            index,
+            left_key_slot,
+            residual=(
+                compile_expr(
+                    residual,
+                    plan.binding.extend(table_binding(heap, ref.alias)),
+                    registry,
+                )
+                if residual
+                else None
+            ),
+            residual_sql=residual.sql() if residual else "",
+            io=getattr(ctx, "io", None),
+        )
+        join.estimated_rows = output_rows
+        return join, output_rows
+
+    right, _ = _plan_access(ref, heap, table_stats, table_pushed, ctx)
+    left_keys: list[int] = []
+    right_keys: list[int] = []
+    for _, edge in connecting:
+        own_column = edge.side(qualifier)
+        other_q, other_col = edge.other(qualifier)
+        left_keys.append(plan.binding.resolve(ColumnRef(other_q, other_col)))
+        right_keys.append(right.binding.resolve(ColumnRef(qualifier, own_column)))
+    join = HashJoin(plan, right, left_keys, right_keys, io=getattr(ctx, "io", None))
+    join.estimated_rows = output_rows
+    return join, output_rows
+
+
+def _refs_within(expr: Expr, binding: Binding) -> bool:
+    return all(binding.can_resolve(ref) for ref in expr.column_refs())
+
+
+# -- lateral table functions ---------------------------------------------------
+
+
+def _plan_laterals(
+    plan: Operator,
+    lateral_refs: list[TableFunctionRef],
+    residual: list[Expr],
+    registry: FunctionRegistry,
+) -> Operator:
+    pending = list(residual)
+    for item in lateral_refs:
+        function = registry.table_function(item.call.name)
+        args = [
+            compile_expr(arg, plan.binding, registry) for arg in item.call.args
+        ]
+        plan = LateralFunctionScan(
+            plan,
+            item.call.name,
+            args,
+            item.alias,
+            function.output_columns,
+            registry,
+        )
+        plan.estimated_rows = plan.input.estimated_rows * 4  # fan-out guess
+        ready = [c for c in pending if _refs_within(c, plan.binding)]
+        for conjunct in ready:
+            pending.remove(conjunct)
+        predicate = and_together(ready)
+        if predicate is not None:
+            plan = Filter(
+                plan,
+                compile_expr(predicate, plan.binding, registry),
+                predicate.sql(),
+            )
+            plan.estimated_rows = plan.input.estimated_rows * 0.5
+    if pending:
+        raise PlanError(
+            f"predicate {pending[0].sql()!r} references unknown columns"
+        )
+    return plan
+
+
+# -- aggregation / projection / ordering ------------------------------------------
+
+
+def _collect_aggregates(stmt: SelectStmt) -> list[FuncCall]:
+    collected: list[FuncCall] = []
+
+    def visit(expr: Expr) -> None:
+        if isinstance(expr, FuncCall) and expr.is_aggregate():
+            if expr not in collected:
+                collected.append(expr)
+            return  # no nested aggregates
+        for child in _children_of(expr):
+            visit(child)
+
+    for item in stmt.items:
+        visit(item.expr)
+    if stmt.having is not None:
+        visit(stmt.having)
+    for order in stmt.order_by:
+        visit(order.expr)
+    return collected
+
+
+def _children_of(expr: Expr) -> list[Expr]:
+    if isinstance(expr, FuncCall):
+        return list(expr.args)
+    for attribute in ("items",):
+        if hasattr(expr, attribute):
+            return list(getattr(expr, attribute))
+    children: list[Expr] = []
+    for attribute in ("left", "right", "operand"):
+        child = getattr(expr, attribute, None)
+        if isinstance(child, Expr):
+            children.append(child)
+    return children
+
+
+def _rebuild_with_slots(expr: Expr, substitutions: dict[Expr, int]) -> Expr | None:
+    """Replace substituted subtrees by _SlotRef placeholders.
+
+    Returns None when the expression still contains free aggregates.
+    """
+    # Local import keeps the placeholder private to planning.
+    if expr in substitutions:
+        return _SlotRef(substitutions[expr])
+    if isinstance(expr, FuncCall):
+        if expr.is_aggregate():
+            return None
+        new_args = []
+        for arg in expr.args:
+            rebuilt = _rebuild_with_slots(arg, substitutions)
+            if rebuilt is None:
+                return None
+            new_args.append(rebuilt)
+        return FuncCall(expr.name, tuple(new_args), expr.distinct)
+    import dataclasses
+
+    if dataclasses.is_dataclass(expr):
+        replacements = {}
+        for field_info in dataclasses.fields(expr):
+            value = getattr(expr, field_info.name)
+            if isinstance(value, Expr):
+                rebuilt = _rebuild_with_slots(value, substitutions)
+                if rebuilt is None:
+                    return None
+                replacements[field_info.name] = rebuilt
+            elif isinstance(value, tuple) and value and isinstance(value[0], Expr):
+                rebuilt_items = []
+                for item in value:
+                    rebuilt = _rebuild_with_slots(item, substitutions)
+                    if rebuilt is None:
+                        return None
+                    rebuilt_items.append(rebuilt)
+                replacements[field_info.name] = tuple(rebuilt_items)
+        if replacements:
+            return dataclasses.replace(expr, **replacements)
+    return expr
+
+
+@dataclass(frozen=True)
+class _SlotRef(Expr):
+    """Planner-internal direct slot reference."""
+
+    index: int
+
+    def sql(self) -> str:
+        return f"$${self.index}"
+
+
+def _plan_output(
+    plan: Operator, stmt: SelectStmt, registry: FunctionRegistry
+) -> Operator:
+    aggregates = _collect_aggregates(stmt)
+    needs_aggregate = bool(aggregates) or bool(stmt.group_by)
+    substitutions: dict[Expr, int] = {}
+
+    if needs_aggregate:
+        plan, substitutions = _plan_aggregate(plan, stmt, aggregates, registry)
+
+    if stmt.having is not None:
+        if not needs_aggregate:
+            raise PlanError("HAVING requires GROUP BY or aggregates")
+        having = _compile_substituted(stmt.having, substitutions, plan.binding, registry)
+        plan = Filter(plan, having, stmt.having.sql())
+
+    # SELECT list
+    select_items = stmt.items
+    if len(select_items) == 1 and isinstance(select_items[0].expr, Star):
+        if needs_aggregate:
+            raise PlanError("SELECT * cannot be combined with aggregation")
+        out_slots = list(plan.binding.slots)
+        exprs: list[Compiled] = [
+            (lambda i: (lambda row: row[i]))(i) for i in range(len(out_slots))
+        ]
+        projected_slots = [
+            Slot("", slot.name, slot.sql_type) for slot in out_slots
+        ]
+    else:
+        exprs = []
+        projected_slots = []
+        for position, item in enumerate(select_items):
+            compiled = _compile_substituted(
+                item.expr, substitutions, plan.binding, registry,
+                allow_free_columns=not needs_aggregate,
+            )
+            exprs.append(compiled)
+            projected_slots.append(
+                Slot("", _output_name(item.expr, item.alias, position),
+                     _infer_type(item.expr, plan.binding, registry))
+            )
+
+    # ORDER BY: try before projection (can see all columns + aggregates)
+    pre_sort: Sort | None = None
+    post_sort_keys: list[tuple[int, bool]] = []
+    if stmt.order_by:
+        try:
+            keys = [
+                _compile_substituted(
+                    order.expr, substitutions, plan.binding, registry,
+                    allow_free_columns=not needs_aggregate,
+                )
+                for order in stmt.order_by
+            ]
+            pre_sort = Sort(plan, keys, [o.descending for o in stmt.order_by])
+        except PlanError:
+            # fall back to aliases of the projected output
+            output_binding = Binding(projected_slots)
+            for order in stmt.order_by:
+                if not isinstance(order.expr, ColumnRef):
+                    raise
+                post_sort_keys.append(
+                    (output_binding.resolve(order.expr), order.descending)
+                )
+
+    if pre_sort is not None:
+        pre_sort.estimated_rows = plan.estimated_rows
+        plan = pre_sort
+
+    projected = Project(plan, exprs, projected_slots)
+    projected.estimated_rows = plan.estimated_rows
+    plan = projected
+
+    if stmt.distinct:
+        plan = HashDistinct(plan)
+        plan.estimated_rows = projected.estimated_rows * 0.5
+
+    if post_sort_keys:
+        keys = [
+            (lambda i: (lambda row: row[i]))(index) for index, _ in post_sort_keys
+        ]
+        plan = Sort(plan, keys, [desc for _, desc in post_sort_keys])
+
+    if stmt.limit is not None:
+        plan = Limit(plan, stmt.limit)
+    return plan
+
+
+def _compile_substituted(
+    expr: Expr,
+    substitutions: dict[Expr, int],
+    binding: Binding,
+    registry: FunctionRegistry,
+    allow_free_columns: bool = False,
+) -> Compiled:
+    if not substitutions:
+        return compile_expr(expr, binding, registry)
+    rebuilt = _rebuild_with_slots(expr, substitutions)
+    if rebuilt is None:
+        raise PlanError(f"cannot plan expression {expr.sql()!r}")
+    if not allow_free_columns:
+        for ref in rebuilt.column_refs():
+            raise PlanError(
+                f"column {ref.sql()!r} must appear in GROUP BY or inside an aggregate"
+            )
+    return _compile_tree(rebuilt, binding, registry)
+
+
+def _compile_tree(expr: Expr, binding: Binding, registry: FunctionRegistry) -> Compiled:
+    """compile_expr extended with _SlotRef support, applied recursively."""
+    if isinstance(expr, _SlotRef):
+        index = expr.index
+        return lambda row: row[index]
+    if isinstance(expr, FuncCall) and not expr.is_aggregate():
+        parts = [_compile_tree(arg, binding, registry) for arg in expr.args]
+        name = expr.name
+        return lambda row: registry.call_scalar(name, [part(row) for part in parts])
+    if _contains_slot_ref(expr):
+        # decompose one level and recurse
+        if isinstance(expr, Comparison):
+            left = _compile_tree(expr.left, binding, registry)
+            right = _compile_tree(expr.right, binding, registry)
+            op = expr.op
+            from repro.engine import values as value_ops
+
+            return lambda row: value_ops.compare(op, left(row), right(row))
+        if isinstance(expr, And):
+            parts = [_compile_tree(item, binding, registry) for item in expr.items]
+            return lambda row: all(part(row) for part in parts)
+        if isinstance(expr, Or):
+            parts = [_compile_tree(item, binding, registry) for item in expr.items]
+            return lambda row: any(part(row) for part in parts)
+        if isinstance(expr, Like):
+            operand = _compile_tree(expr.operand, binding, registry)
+            from repro.engine import values as value_ops
+
+            pattern = expr.pattern
+            negated = expr.negated
+            if negated:
+                return lambda row: (
+                    operand(row) is not None
+                    and not value_ops.like(operand(row), pattern)
+                )
+            return lambda row: value_ops.like(operand(row), pattern)
+        if isinstance(expr, Not):
+            operand = _compile_tree(expr.operand, binding, registry)
+            return lambda row: not operand(row)
+        if isinstance(expr, Arithmetic):
+            left = _compile_tree(expr.left, binding, registry)
+            right = _compile_tree(expr.right, binding, registry)
+            op = expr.op
+
+            def arith(row: tuple) -> object:
+                lv, rv = left(row), right(row)
+                if lv is None or rv is None:
+                    return None
+                if op == "+":
+                    return lv + rv
+                if op == "-":
+                    return lv - rv
+                if op == "*":
+                    return lv * rv
+                return lv / rv
+
+            return arith
+        raise PlanError(f"cannot compile substituted expression {expr.sql()!r}")
+    return compile_expr(expr, binding, registry)
+
+
+def _contains_slot_ref(expr: Expr) -> bool:
+    if isinstance(expr, _SlotRef):
+        return True
+    return any(_contains_slot_ref(child) for child in _children_of(expr))
+
+
+def _plan_aggregate(
+    plan: Operator,
+    stmt: SelectStmt,
+    aggregates: list[FuncCall],
+    registry: FunctionRegistry,
+) -> tuple[Operator, dict[Expr, int]]:
+    group_exprs_ast = list(stmt.group_by)
+    group_compiled = [
+        compile_expr(expr, plan.binding, registry) for expr in group_exprs_ast
+    ]
+    group_slots = []
+    for position, expr in enumerate(group_exprs_ast):
+        if isinstance(expr, ColumnRef):
+            slot = plan.binding.slot_of(expr)
+            group_slots.append(Slot("", slot.name, slot.sql_type))
+        else:
+            group_slots.append(
+                Slot("", f"group_{position}", _infer_type(expr, plan.binding, registry))
+            )
+
+    agg_specs: list[AggSpec] = []
+    agg_slots: list[Slot] = []
+    for position, call in enumerate(aggregates):
+        kind = call.name.lower()
+        if kind == "count" and (not call.args or isinstance(call.args[0], Star)):
+            arg = None
+        else:
+            if len(call.args) != 1:
+                raise PlanError(f"{call.name}() takes exactly one argument")
+            arg = compile_expr(call.args[0], plan.binding, registry)
+        agg_specs.append(AggSpec(kind, arg, call.distinct))
+        result_type: SqlType = INTEGER if kind in ("count", "sum") else VARCHAR
+        if kind in ("min", "max", "avg") and call.args and isinstance(call.args[0], ColumnRef):
+            result_type = plan.binding.slot_of(call.args[0]).sql_type
+        agg_slots.append(Slot("", f"agg_{position}", result_type))
+
+    aggregate = HashAggregate(plan, group_compiled, group_slots, agg_specs, agg_slots)
+    aggregate.estimated_rows = max(plan.estimated_rows * 0.1, 1.0)
+
+    substitutions: dict[Expr, int] = {}
+    for position, expr in enumerate(group_exprs_ast):
+        substitutions[expr] = position
+    for position, call in enumerate(aggregates):
+        substitutions[call] = len(group_exprs_ast) + position
+    return aggregate, substitutions
+
+
+def _output_name(expr: Expr, alias: str | None, position: int) -> str:
+    if alias:
+        return alias
+    if isinstance(expr, ColumnRef):
+        return expr.name
+    if isinstance(expr, FuncCall):
+        return expr.name.lower()
+    return f"col_{position}"
+
+
+def _infer_type(expr: Expr, binding: Binding, registry: FunctionRegistry) -> SqlType:
+    if isinstance(expr, ColumnRef):
+        try:
+            return binding.slot_of(expr).sql_type
+        except PlanError:
+            return VARCHAR
+    if isinstance(expr, Literal):
+        return INTEGER if isinstance(expr.value, int) else VARCHAR
+    if isinstance(expr, FuncCall):
+        if expr.name.lower() in ("count", "sum"):
+            return INTEGER
+        if registry.has_scalar(expr.name):
+            declared = registry.scalar(expr.name).result_type
+            if declared is not None:
+                return declared
+        return VARCHAR
+    if isinstance(expr, (Comparison, Like)):
+        return INTEGER
+    return VARCHAR

@@ -1,0 +1,655 @@
+"""Physical operators (iterator model).
+
+Every operator exposes its output :class:`~repro.engine.expr.Binding`
+(flat slot layout), a ``rows()`` iterator, and an ``explain()`` listing.
+Predicates and expressions arrive pre-compiled as closures, so operators
+stay free of name-resolution concerns.  The optimizer is responsible for
+wiring compiled closures against the correct child bindings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.engine.expr import Binding, Compiled, Slot
+from repro.engine.index import BTreeIndex, Index
+from repro.engine.io import IoCounters, estimate_row_bytes, pages_of_bytes
+from repro.engine.storage import HeapTable
+from repro.engine.types import SqlType
+from repro.engine.udf import FunctionRegistry
+from repro.engine.values import group_key
+from repro.errors import ExecutionError
+
+
+class Operator:
+    """Base class of physical operators."""
+
+    binding: Binding
+    #: optimizer's cardinality estimate, for EXPLAIN output
+    estimated_rows: float = 0.0
+
+    def rows(self) -> Iterator[tuple]:
+        raise NotImplementedError
+
+    def explain(self, depth: int = 0) -> list[str]:
+        raise NotImplementedError
+
+    def _line(self, depth: int, text: str) -> str:
+        return "  " * depth + text + f"  [est {self.estimated_rows:.0f} rows]"
+
+
+class SeqScan(Operator):
+    """Full scan of a heap table, with an optional pushed-down filter."""
+
+    def __init__(
+        self,
+        table: HeapTable,
+        alias: str,
+        predicate: Compiled | None = None,
+        predicate_sql: str = "",
+        io: IoCounters | None = None,
+    ) -> None:
+        self.table = table
+        self.alias = alias.lower()
+        self.predicate = predicate
+        self.predicate_sql = predicate_sql
+        self.io = io
+        self.binding = table_binding(table, alias)
+
+    def rows(self) -> Iterator[tuple]:
+        if self.io is not None:
+            self.io.charge_sequential(self.table.data_pages())
+        predicate = self.predicate
+        if predicate is None:
+            yield from self.table.scan()
+            return
+        for row in self.table.scan():
+            if predicate(row):
+                yield row
+
+    def explain(self, depth: int = 0) -> list[str]:
+        suffix = f" filter[{self.predicate_sql}]" if self.predicate else ""
+        return [
+            self._line(
+                depth, f"SeqScan {self.table.schema.name} as {self.alias}{suffix}"
+            )
+        ]
+
+
+class IndexScan(Operator):
+    """Equality or range probe of an index, with an optional residual filter."""
+
+    def __init__(
+        self,
+        table: HeapTable,
+        alias: str,
+        index: Index,
+        key: object = None,
+        key_range: tuple[object, object] | None = None,
+        residual: Compiled | None = None,
+        residual_sql: str = "",
+        io: IoCounters | None = None,
+    ) -> None:
+        self.table = table
+        self.alias = alias.lower()
+        self.index = index
+        self.key = key
+        self.key_range = key_range
+        self.residual = residual
+        self.residual_sql = residual_sql
+        self.io = io
+        self.binding = table_binding(table, alias)
+
+    def rows(self) -> Iterator[tuple]:
+        if self.io is not None:
+            self.io.charge_random(1)  # leaf descent; interior pages cached
+        if self.key_range is not None:
+            if not isinstance(self.index, BTreeIndex):
+                raise ExecutionError("range scans require a btree index")
+            low, high = self.key_range
+            row_ids: Iterator[int] = self.index.range(low, high)
+        else:
+            row_ids = iter(self.index.lookup(self.key))
+        fetch = self.table.fetch
+        residual = self.residual
+        io = self.io
+        rows_per_page = _rows_per_page(self.table)
+        touched: set[int] = set()
+        for row_id in row_ids:
+            if io is not None:
+                page = row_id // rows_per_page
+                if page not in touched:  # buffer pool caches within a query
+                    touched.add(page)
+                    io.charge_random(1)
+            row = fetch(row_id)
+            if residual is None or residual(row):
+                yield row
+
+    def explain(self, depth: int = 0) -> list[str]:
+        if self.key_range is not None:
+            probe = f"range {self.key_range!r}"
+        else:
+            probe = f"key = {self.key!r}"
+        suffix = f" residual[{self.residual_sql}]" if self.residual else ""
+        return [
+            self._line(
+                depth,
+                f"IndexScan {self.table.schema.name} as {self.alias} "
+                f"using {self.index.definition.name} ({probe}){suffix}",
+            )
+        ]
+
+
+class HashJoin(Operator):
+    """Equi-join: build a hash table on the right input, probe with the left."""
+
+    def __init__(
+        self,
+        left: Operator,
+        right: Operator,
+        left_keys: list[int],
+        right_keys: list[int],
+        residual: Compiled | None = None,
+        residual_sql: str = "",
+        io: IoCounters | None = None,
+    ) -> None:
+        if len(left_keys) != len(right_keys) or not left_keys:
+            raise ExecutionError("hash join requires matching, non-empty key lists")
+        self.left = left
+        self.right = right
+        self.left_keys = left_keys
+        self.right_keys = right_keys
+        self.residual = residual
+        self.residual_sql = residual_sql
+        self.io = io
+        self.binding = left.binding.extend(right.binding)
+
+    def rows(self) -> Iterator[tuple]:
+        table: dict[tuple, list[tuple]] = {}
+        right_keys = self.right_keys
+        build_bytes = 0
+        for row in self.right.rows():
+            build_bytes += estimate_row_bytes(row)
+            key = tuple(group_key(row[i]) for i in right_keys)
+            if any(part is None for part in key):
+                continue  # NULL keys never join
+            table.setdefault(key, []).append(row)
+        spilled = (
+            self.io is not None and build_bytes > self.io.work_mem_bytes
+        )
+        left_keys = self.left_keys
+        residual = self.residual
+        probe_bytes = 0
+        for left_row in self.left.rows():
+            if spilled:
+                probe_bytes += estimate_row_bytes(left_row)
+            key = tuple(group_key(left_row[i]) for i in left_keys)
+            bucket = table.get(key)
+            if bucket is None:
+                continue
+            for right_row in bucket:
+                combined = left_row + right_row
+                if residual is None or residual(combined):
+                    yield combined
+        if spilled:
+            # GRACE partitioning: both inputs are written out sequentially
+            # and read back during the merge phase, where partition files
+            # interleave — the re-reads behave like random page I/O.
+            pages = pages_of_bytes(build_bytes) + pages_of_bytes(probe_bytes)
+            self.io.charge_spill(pages)
+            self.io.charge_random(pages)
+            self.io.notes.append(
+                f"hash join spilled {pages} pages (build {build_bytes} B)"
+            )
+
+    def explain(self, depth: int = 0) -> list[str]:
+        keys = ", ".join(
+            f"{self.left.binding.slots[l].qualifier}.{self.left.binding.slots[l].name}"
+            f" = {self.right.binding.slots[r].qualifier}.{self.right.binding.slots[r].name}"
+            for l, r in zip(self.left_keys, self.right_keys)
+        )
+        suffix = f" residual[{self.residual_sql}]" if self.residual else ""
+        lines = [self._line(depth, f"HashJoin on {keys}{suffix}")]
+        lines.extend(self.left.explain(depth + 1))
+        lines.extend(self.right.explain(depth + 1))
+        return lines
+
+
+class NestedLoopJoin(Operator):
+    """General join: the right input is materialized and rescanned per row."""
+
+    def __init__(
+        self,
+        left: Operator,
+        right: Operator,
+        predicate: Compiled | None = None,
+        predicate_sql: str = "",
+    ) -> None:
+        self.left = left
+        self.right = right
+        self.predicate = predicate
+        self.predicate_sql = predicate_sql
+        self.binding = left.binding.extend(right.binding)
+
+    def rows(self) -> Iterator[tuple]:
+        right_rows = list(self.right.rows())
+        predicate = self.predicate
+        for left_row in self.left.rows():
+            for right_row in right_rows:
+                combined = left_row + right_row
+                if predicate is None or predicate(combined):
+                    yield combined
+
+    def explain(self, depth: int = 0) -> list[str]:
+        suffix = f" on [{self.predicate_sql}]" if self.predicate else " (cross)"
+        lines = [self._line(depth, f"NestedLoopJoin{suffix}")]
+        lines.extend(self.left.explain(depth + 1))
+        lines.extend(self.right.explain(depth + 1))
+        return lines
+
+
+class IndexNestedLoopJoin(Operator):
+    """For each left row, probe an index on the inner table.
+
+    This is the access path that lets the Hybrid schema exploit its
+    parentID indexes: joins become O(n log n) instead of O(n^2).
+    """
+
+    def __init__(
+        self,
+        left: Operator,
+        table: HeapTable,
+        alias: str,
+        index: Index,
+        left_key_slot: int,
+        residual: Compiled | None = None,
+        residual_sql: str = "",
+        io: IoCounters | None = None,
+    ) -> None:
+        self.left = left
+        self.table = table
+        self.alias = alias.lower()
+        self.index = index
+        self.left_key_slot = left_key_slot
+        self.residual = residual
+        self.residual_sql = residual_sql
+        self.io = io
+        self.binding = left.binding.extend(table_binding(table, alias))
+
+    def rows(self) -> Iterator[tuple]:
+        fetch = self.table.fetch
+        lookup = self.index.lookup
+        key_slot = self.left_key_slot
+        residual = self.residual
+        io = self.io
+        rows_per_page = _rows_per_page(self.table)
+        probed_keys: set[object] = set()
+        touched_pages: set[int] = set()
+        for left_row in self.left.rows():
+            key = left_row[key_slot]
+            if key is None:
+                continue
+            if io is not None and key not in probed_keys:
+                probed_keys.add(key)
+                io.charge_random(1)  # index leaf, cached per key
+            for row_id in lookup(key):
+                if io is not None:
+                    page = row_id // rows_per_page
+                    if page not in touched_pages:
+                        touched_pages.add(page)
+                        io.charge_random(1)
+                combined = left_row + fetch(row_id)
+                if residual is None or residual(combined):
+                    yield combined
+
+    def explain(self, depth: int = 0) -> list[str]:
+        key_slot = self.left.binding.slots[self.left_key_slot]
+        suffix = f" residual[{self.residual_sql}]" if self.residual else ""
+        lines = [
+            self._line(
+                depth,
+                f"IndexNLJoin {self.table.schema.name} as {self.alias} using "
+                f"{self.index.definition.name} (outer key "
+                f"{key_slot.qualifier}.{key_slot.name}){suffix}",
+            )
+        ]
+        lines.extend(self.left.explain(depth + 1))
+        return lines
+
+
+class LateralFunctionScan(Operator):
+    """DB2-style lateral table function: invoked once per input row.
+
+    The paper's ``TABLE(unnest(speaker, 'speaker')) unnestedS`` runs this
+    way — argument expressions may reference the columns of FROM items to
+    the left.
+    """
+
+    def __init__(
+        self,
+        input_op: Operator,
+        function_name: str,
+        args: list[Compiled],
+        alias: str,
+        output_columns: list[tuple[str, SqlType]],
+        registry: FunctionRegistry,
+    ) -> None:
+        self.input = input_op
+        self.function_name = function_name
+        self.args = args
+        self.alias = alias.lower()
+        self.registry = registry
+        slots = [
+            Slot(self.alias, name, sql_type) for name, sql_type in output_columns
+        ]
+        self.binding = input_op.binding.extend(Binding(slots))
+        self._arity = len(output_columns)
+
+    def rows(self) -> Iterator[tuple]:
+        call = self.registry.call_table
+        name = self.function_name
+        args = self.args
+        arity = self._arity
+        for input_row in self.input.rows():
+            evaluated = [arg(input_row) for arg in args]
+            for produced in call(name, evaluated):
+                if len(produced) != arity:
+                    raise ExecutionError(
+                        f"table function {name!r} produced {len(produced)} columns, "
+                        f"declared {arity}"
+                    )
+                yield input_row + tuple(produced)
+
+    def explain(self, depth: int = 0) -> list[str]:
+        lines = [
+            self._line(
+                depth, f"LateralFunctionScan {self.function_name}(...) as {self.alias}"
+            )
+        ]
+        lines.extend(self.input.explain(depth + 1))
+        return lines
+
+
+class Filter(Operator):
+    """Row filter for predicates that could not be pushed into scans/joins."""
+
+    def __init__(self, input_op: Operator, predicate: Compiled, predicate_sql: str = ""):
+        self.input = input_op
+        self.predicate = predicate
+        self.predicate_sql = predicate_sql
+        self.binding = input_op.binding
+
+    def rows(self) -> Iterator[tuple]:
+        predicate = self.predicate
+        for row in self.input.rows():
+            if predicate(row):
+                yield row
+
+    def explain(self, depth: int = 0) -> list[str]:
+        lines = [self._line(depth, f"Filter [{self.predicate_sql}]")]
+        lines.extend(self.input.explain(depth + 1))
+        return lines
+
+
+class Project(Operator):
+    """Compute the SELECT list."""
+
+    def __init__(
+        self,
+        input_op: Operator,
+        exprs: list[Compiled],
+        out_slots: list[Slot],
+    ) -> None:
+        if len(exprs) != len(out_slots):
+            raise ExecutionError("projection arity mismatch")
+        self.input = input_op
+        self.exprs = exprs
+        self.binding = Binding(out_slots)
+
+    def rows(self) -> Iterator[tuple]:
+        exprs = self.exprs
+        for row in self.input.rows():
+            yield tuple(expr(row) for expr in exprs)
+
+    def explain(self, depth: int = 0) -> list[str]:
+        names = ", ".join(slot.name for slot in self.binding.slots)
+        lines = [self._line(depth, f"Project [{names}]")]
+        lines.extend(self.input.explain(depth + 1))
+        return lines
+
+
+class HashDistinct(Operator):
+    """Duplicate elimination over full rows."""
+
+    def __init__(self, input_op: Operator) -> None:
+        self.input = input_op
+        self.binding = input_op.binding
+
+    def rows(self) -> Iterator[tuple]:
+        seen: set[tuple] = set()
+        for row in self.input.rows():
+            key = tuple(group_key(value) for value in row)
+            if key in seen:
+                continue
+            seen.add(key)
+            yield row
+
+    def explain(self, depth: int = 0) -> list[str]:
+        lines = [self._line(depth, "HashDistinct")]
+        lines.extend(self.input.explain(depth + 1))
+        return lines
+
+
+@dataclass
+class AggSpec:
+    """One aggregate of a GROUP BY (or a grand total)."""
+
+    kind: str                 #: count | sum | avg | min | max
+    arg: Compiled | None      #: None only for COUNT(*)
+    distinct: bool = False
+
+
+class _Accumulator:
+    __slots__ = ("kind", "count", "total", "best", "distinct_seen")
+
+    def __init__(self, kind: str, distinct: bool) -> None:
+        self.kind = kind
+        self.count = 0
+        self.total: float | int = 0
+        self.best: object = None
+        self.distinct_seen: set[object] | None = set() if distinct else None
+
+    def add(self, value: object) -> None:
+        if value is None:
+            return
+        if self.distinct_seen is not None:
+            key = group_key(value)
+            if key in self.distinct_seen:
+                return
+            self.distinct_seen.add(key)
+        self.count += 1
+        kind = self.kind
+        if kind in ("sum", "avg"):
+            if not isinstance(value, (int, float)):
+                raise ExecutionError(f"{kind.upper()} over non-numeric {value!r}")
+            self.total += value
+        elif kind == "min":
+            if self.best is None or value < self.best:  # type: ignore[operator]
+                self.best = value
+        elif kind == "max":
+            if self.best is None or value > self.best:  # type: ignore[operator]
+                self.best = value
+
+    def result(self) -> object:
+        kind = self.kind
+        if kind == "count":
+            return self.count
+        if kind == "sum":
+            return self.total if self.count else None
+        if kind == "avg":
+            return (self.total / self.count) if self.count else None
+        return self.best
+
+
+class HashAggregate(Operator):
+    """Hash aggregation; output = group keys then aggregate results."""
+
+    def __init__(
+        self,
+        input_op: Operator,
+        group_exprs: list[Compiled],
+        group_slots: list[Slot],
+        aggregates: list[AggSpec],
+        agg_slots: list[Slot],
+    ) -> None:
+        self.input = input_op
+        self.group_exprs = group_exprs
+        self.aggregates = aggregates
+        self.binding = Binding(group_slots + agg_slots)
+        self._grand_total = not group_exprs
+
+    def rows(self) -> Iterator[tuple]:
+        groups: dict[tuple, tuple[tuple, list[_Accumulator]]] = {}
+        for row in self.input.rows():
+            raw_key = tuple(expr(row) for expr in self.group_exprs)
+            key = tuple(group_key(value) for value in raw_key)
+            entry = groups.get(key)
+            if entry is None:
+                entry = (
+                    raw_key,
+                    [_Accumulator(a.kind, a.distinct) for a in self.aggregates],
+                )
+                groups[key] = entry
+            accumulators = entry[1]
+            for spec, accumulator in zip(self.aggregates, accumulators):
+                if spec.arg is None:  # COUNT(*)
+                    accumulator.count += 1
+                else:
+                    accumulator.add(spec.arg(row))
+        if not groups and self._grand_total:
+            empty = [_Accumulator(a.kind, a.distinct) for a in self.aggregates]
+            yield tuple(acc.result() for acc in empty)
+            return
+        for raw_key, accumulators in groups.values():
+            yield raw_key + tuple(acc.result() for acc in accumulators)
+
+    def explain(self, depth: int = 0) -> list[str]:
+        described = ", ".join(
+            ("count(*)" if a.arg is None else a.kind + "(...)")
+            + (" distinct" if a.distinct else "")
+            for a in self.aggregates
+        )
+        lines = [
+            self._line(
+                depth,
+                f"HashAggregate groups={len(self.group_exprs)} aggs=[{described}]",
+            )
+        ]
+        lines.extend(self.input.explain(depth + 1))
+        return lines
+
+
+class _SortKey:
+    """Total-order wrapper tolerant of mixed types and NULLs (NULLs last)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: object) -> None:
+        self.value = value
+
+    def __lt__(self, other: "_SortKey") -> bool:
+        a, b = self.value, other.value
+        if a is None:
+            return False
+        if b is None:
+            return True
+        try:
+            return a < b  # type: ignore[operator]
+        except TypeError:
+            return str(a) < str(b)
+
+
+class Sort(Operator):
+    """Full materializing sort (stable, multi-key)."""
+
+    def __init__(
+        self,
+        input_op: Operator,
+        keys: list[Compiled],
+        descending: list[bool],
+    ) -> None:
+        self.input = input_op
+        self.keys = keys
+        self.descending = descending
+        self.binding = input_op.binding
+
+    def rows(self) -> Iterator[tuple]:
+        rows = list(self.input.rows())
+        # stable multi-key sort: apply keys right-to-left
+        for key, desc in reversed(list(zip(self.keys, self.descending))):
+            rows.sort(key=lambda row: _SortKey(key(row)), reverse=desc)
+        return iter(rows)
+
+    def explain(self, depth: int = 0) -> list[str]:
+        lines = [self._line(depth, f"Sort keys={len(self.keys)}")]
+        lines.extend(self.input.explain(depth + 1))
+        return lines
+
+
+class Limit(Operator):
+    def __init__(self, input_op: Operator, limit: int) -> None:
+        self.input = input_op
+        self.limit = limit
+        self.binding = input_op.binding
+
+    def rows(self) -> Iterator[tuple]:
+        remaining = self.limit
+        if remaining <= 0:
+            return
+        for row in self.input.rows():
+            yield row
+            remaining -= 1
+            if remaining == 0:
+                return
+
+    def explain(self, depth: int = 0) -> list[str]:
+        lines = [self._line(depth, f"Limit {self.limit}")]
+        lines.extend(self.input.explain(depth + 1))
+        return lines
+
+
+def _rows_per_page(table: HeapTable) -> int:
+    """Average rows per data page, for page-id derivation from row ids."""
+    pages = max(table.data_pages(), 1)
+    return max(table.row_count() // pages, 1)
+
+
+def table_binding(table: HeapTable, alias: str) -> Binding:
+    """The slot layout a table contributes under ``alias``."""
+    qualifier = alias.lower()
+    return Binding(
+        [
+            Slot(qualifier, column.name, column.sql_type)
+            for column in table.schema.columns
+        ]
+    )
+
+
+__all__ = [
+    "AggSpec",
+    "Filter",
+    "HashAggregate",
+    "HashDistinct",
+    "HashJoin",
+    "IndexNestedLoopJoin",
+    "IndexScan",
+    "LateralFunctionScan",
+    "Limit",
+    "NestedLoopJoin",
+    "Operator",
+    "Project",
+    "SeqScan",
+    "Sort",
+    "table_binding",
+]

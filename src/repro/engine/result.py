@@ -1,0 +1,68 @@
+"""Query results.
+
+A :class:`Result` materializes the rows of a plan together with the
+output column names; it renders in the classic DB2 command-line style
+the paper's Figure 9 shows (column header, dashes, rows, record count).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.engine.values import render
+from repro.errors import ExecutionError
+
+
+class Result:
+    """A materialized query result."""
+
+    def __init__(self, columns: list[str], rows: list[tuple]):
+        self.columns = columns
+        self.rows = rows
+
+    def __iter__(self) -> Iterator[tuple]:
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def scalar(self) -> object:
+        """The single value of a 1x1 result."""
+        if len(self.rows) != 1 or len(self.columns) != 1:
+            raise ExecutionError(
+                f"scalar() requires a 1x1 result, got "
+                f"{len(self.rows)}x{len(self.columns)}"
+            )
+        return self.rows[0][0]
+
+    def column(self, name: str) -> list[object]:
+        """All values of the named output column."""
+        lowered = [c.lower() for c in self.columns]
+        try:
+            index = lowered.index(name.lower())
+        except ValueError:
+            raise ExecutionError(f"result has no column {name!r}") from None
+        return [row[index] for row in self.rows]
+
+    def first(self) -> tuple | None:
+        return self.rows[0] if self.rows else None
+
+    def to_table(self, max_rows: int = 20, max_width: int = 60) -> str:
+        """DB2-CLP-style rendering (used by the examples and Figure 9)."""
+        header = "  ".join(self.columns)
+        lines = [header, "-" * max(len(header), 5)]
+        for row in self.rows[:max_rows]:
+            cells = []
+            for value in row:
+                text = render(value)
+                if len(text) > max_width:
+                    text = text[: max_width - 3] + "..."
+                cells.append(text)
+            lines.append("  ".join(cells))
+        if len(self.rows) > max_rows:
+            lines.append(f"... ({len(self.rows) - max_rows} more)")
+        lines.append(f"{len(self.rows)} record(s) selected.")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"Result({len(self.rows)} rows x {len(self.columns)} cols)"

@@ -1,0 +1,34 @@
+"""SQL front end: lexer, AST, parser."""
+
+from repro.engine.sql.ast import (
+    ColumnDef,
+    CreateIndexStmt,
+    CreateTableStmt,
+    DropTableStmt,
+    FromItem,
+    InsertStmt,
+    OrderItem,
+    SelectItem,
+    SelectStmt,
+    Statement,
+    TableFunctionRef,
+    TableRef,
+)
+from repro.engine.sql.parser import parse_expression, parse_sql
+
+__all__ = [
+    "ColumnDef",
+    "CreateIndexStmt",
+    "CreateTableStmt",
+    "DropTableStmt",
+    "FromItem",
+    "InsertStmt",
+    "OrderItem",
+    "SelectItem",
+    "SelectStmt",
+    "Statement",
+    "TableFunctionRef",
+    "TableRef",
+    "parse_expression",
+    "parse_sql",
+]

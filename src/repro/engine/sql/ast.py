@@ -1,0 +1,99 @@
+"""Statement-level AST for the SQL subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.engine.expr import Expr, FuncCall
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    """One entry of a SELECT list."""
+
+    expr: Expr
+    alias: str | None = None
+
+
+@dataclass(frozen=True)
+class TableRef:
+    """``FROM tablename [alias]``."""
+
+    table: str
+    alias: str
+
+    @property
+    def qualifier(self) -> str:
+        return self.alias.lower()
+
+
+@dataclass(frozen=True)
+class TableFunctionRef:
+    """``FROM TABLE(func(args)) alias`` — lateral: args may reference
+    columns of FROM items to its left (DB2 table-UDF semantics, which the
+    paper's unnest queries rely on)."""
+
+    call: FuncCall
+    alias: str
+
+    @property
+    def qualifier(self) -> str:
+        return self.alias.lower()
+
+
+FromItem = TableRef | TableFunctionRef
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    expr: Expr
+    descending: bool = False
+
+
+@dataclass
+class SelectStmt:
+    items: list[SelectItem]
+    from_items: list[FromItem]
+    where: Expr | None = None
+    group_by: list[Expr] = field(default_factory=list)
+    having: Expr | None = None
+    order_by: list[OrderItem] = field(default_factory=list)
+    limit: int | None = None
+    distinct: bool = False
+
+
+@dataclass(frozen=True)
+class ColumnDef:
+    name: str
+    type_name: str
+    primary_key: bool = False
+
+
+@dataclass
+class CreateTableStmt:
+    table: str
+    columns: list[ColumnDef]
+
+
+@dataclass
+class CreateIndexStmt:
+    name: str
+    table: str
+    column: str
+    kind: str = "btree"  #: 'btree' or 'hash'
+    unique: bool = False
+
+
+@dataclass
+class InsertStmt:
+    table: str
+    columns: list[str]          #: empty means "all columns in order"
+    rows: list[list[Expr]]      #: literal expressions only
+
+
+@dataclass
+class DropTableStmt:
+    table: str
+
+
+Statement = SelectStmt | CreateTableStmt | CreateIndexStmt | InsertStmt | DropTableStmt

@@ -1,0 +1,116 @@
+"""SQL lexer.
+
+Produces a token list for the parser.  Keywords are recognized
+case-insensitively; identifiers keep their spelling.  String literals
+use single quotes with ``''`` escaping; C-style ``--`` line comments are
+skipped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SqlSyntaxError
+
+KEYWORDS = {
+    "select", "distinct", "from", "where", "and", "or", "not", "like",
+    "group", "order", "by", "having", "as", "table", "is", "null",
+    "asc", "desc", "limit", "create", "index", "on", "insert", "into",
+    "values", "primary", "key", "unique", "using", "drop", "between",
+    "in",
+}
+
+SYMBOLS = (
+    "<>", "!=", "<=", ">=", "=", "<", ">", "(", ")", ",", ".", "*",
+    "+", "-", "/", ";",
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str   #: 'keyword' | 'ident' | 'number' | 'string' | 'symbol' | 'eof'
+    text: str   #: keyword/symbol text is lower/canonical; ident keeps case
+    position: int
+
+    def is_keyword(self, word: str) -> bool:
+        return self.kind == "keyword" and self.text == word
+
+    def is_symbol(self, symbol: str) -> bool:
+        return self.kind == "symbol" and self.text == symbol
+
+
+def tokenize(sql: str) -> list[Token]:
+    tokens: list[Token] = []
+    i = 0
+    n = len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch in " \t\r\n":
+            i += 1
+            continue
+        if sql.startswith("--", i):
+            end = sql.find("\n", i)
+            i = n if end == -1 else end + 1
+            continue
+        if ch == "'":
+            text, i = _read_string(sql, i)
+            tokens.append(Token("string", text, i))
+            continue
+        if ch == '"':
+            # double-quoted identifier: preserves case, never a keyword
+            end = sql.find('"', i + 1)
+            if end == -1:
+                raise SqlSyntaxError(f"unterminated quoted identifier at {i}")
+            tokens.append(Token("ident", sql[i + 1:end], i))
+            i = end + 1
+            continue
+        if ch.isdigit():
+            start = i
+            while i < n and sql[i].isdigit():
+                i += 1
+            if i < n and sql[i] == "." and i + 1 < n and sql[i + 1].isdigit():
+                i += 1
+                while i < n and sql[i].isdigit():
+                    i += 1
+            tokens.append(Token("number", sql[start:i], start))
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (sql[i].isalnum() or sql[i] == "_"):
+                i += 1
+            word = sql[start:i]
+            if word.lower() in KEYWORDS:
+                tokens.append(Token("keyword", word.lower(), start))
+            else:
+                tokens.append(Token("ident", word, start))
+            continue
+        matched = False
+        for symbol in SYMBOLS:
+            if sql.startswith(symbol, i):
+                canonical = "<>" if symbol == "!=" else symbol
+                tokens.append(Token("symbol", canonical, i))
+                i += len(symbol)
+                matched = True
+                break
+        if not matched:
+            raise SqlSyntaxError(f"unexpected character {ch!r} at offset {i}")
+    tokens.append(Token("eof", "", n))
+    return tokens
+
+
+def _read_string(sql: str, start: int) -> tuple[str, int]:
+    """Read a single-quoted string starting at ``start``; handles ''."""
+    parts: list[str] = []
+    i = start + 1
+    n = len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch == "'":
+            if i + 1 < n and sql[i + 1] == "'":
+                parts.append("'")
+                i += 2
+                continue
+            return "".join(parts), i + 1
+        parts.append(ch)
+        i += 1
+    raise SqlSyntaxError(f"unterminated string literal at offset {start}")

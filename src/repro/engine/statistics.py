@@ -1,0 +1,88 @@
+"""Table and column statistics (the engine's ``runstats``).
+
+The optimizer's selectivity and cardinality estimates come from these
+statistics, mirroring the paper's methodology ("we always ran the
+runstats command ... before executing the queries").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.engine.storage import HeapTable
+from repro.engine.types import is_xadt_value
+
+#: selectivity assumed for predicates we cannot estimate (LIKE, UDFs)
+DEFAULT_SELECTIVITY = 0.1
+#: selectivity for equality against a column with no statistics
+DEFAULT_EQ_SELECTIVITY = 0.01
+
+
+@dataclass
+class ColumnStats:
+    """Statistics for one column."""
+
+    n_distinct: int = 0
+    null_count: int = 0
+    avg_width: float = 0.0
+    min_value: object = None
+    max_value: object = None
+
+    def eq_selectivity(self) -> float:
+        if self.n_distinct <= 0:
+            return DEFAULT_EQ_SELECTIVITY
+        return 1.0 / self.n_distinct
+
+
+@dataclass
+class TableStats:
+    """Statistics for one table."""
+
+    row_count: int = 0
+    data_pages: int = 0
+    columns: dict[str, ColumnStats] = field(default_factory=dict)
+
+    def column(self, name: str) -> ColumnStats | None:
+        return self.columns.get(name.lower())
+
+
+def collect_stats(table: HeapTable) -> TableStats:
+    """One full pass over ``table`` collecting per-column statistics."""
+    stats = TableStats(row_count=table.row_count(), data_pages=table.data_pages())
+    arity = table.schema.arity()
+    distinct: list[set[object]] = [set() for _ in range(arity)]
+    nulls = [0] * arity
+    widths = [0] * arity
+    minima: list[object] = [None] * arity
+    maxima: list[object] = [None] * arity
+
+    for row in table.scan():
+        for position in range(arity):
+            value = row[position]
+            if value is None:
+                nulls[position] += 1
+                continue
+            if is_xadt_value(value):
+                # XADT columns: track width only; fragments are not
+                # meaningfully comparable for min/max or distinct-count.
+                widths[position] += value.byte_size()
+                continue
+            distinct[position].add(value)
+            widths[position] += (
+                4 if isinstance(value, int) else len(str(value))
+            )
+            if minima[position] is None or value < minima[position]:  # type: ignore[operator]
+                minima[position] = value
+            if maxima[position] is None or value > maxima[position]:  # type: ignore[operator]
+                maxima[position] = value
+
+    for position, column in enumerate(table.schema.columns):
+        non_null = stats.row_count - nulls[position]
+        stats.columns[column.key] = ColumnStats(
+            n_distinct=len(distinct[position]),
+            null_count=nulls[position],
+            avg_width=(widths[position] / non_null) if non_null else 0.0,
+            min_value=minima[position],
+            max_value=maxima[position],
+        )
+    return stats

@@ -1,0 +1,108 @@
+"""Heap table storage.
+
+Rows live as Python tuples in insertion order (their position is the row
+id).  Every insert validates and coerces values against the schema and
+feeds the page accountant, so a table always knows its modelled on-disk
+size.  Indexes attached to the table are kept consistent on insert.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
+
+from repro.engine.pages import PageAccounting
+from repro.engine.schema import TableSchema
+from repro.engine.types import COLUMN_OVERHEAD, ROW_OVERHEAD
+from repro.errors import ExecutionError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.engine.index import Index
+
+
+class HeapTable:
+    """A heap of rows conforming to a :class:`TableSchema`."""
+
+    def __init__(self, schema: TableSchema) -> None:
+        self.schema = schema
+        self.rows: list[tuple] = []
+        self.accounting = PageAccounting()
+        self.indexes: list["Index"] = []
+        self._pk_position = (
+            schema.position(schema.primary_key.name)
+            if schema.primary_key is not None
+            else None
+        )
+        self._pk_seen: set[object] = set()
+
+    # -- writes -----------------------------------------------------------
+
+    def insert(self, row: Sequence[object]) -> int:
+        """Insert one row; returns its row id."""
+        if len(row) != self.schema.arity():
+            raise ExecutionError(
+                f"table {self.schema.name!r} expects {self.schema.arity()} values, "
+                f"got {len(row)}"
+            )
+        coerced = tuple(
+            column.sql_type.validate(value)
+            for column, value in zip(self.schema.columns, row)
+        )
+        if self._pk_position is not None:
+            key = coerced[self._pk_position]
+            if key is None:
+                raise ExecutionError(
+                    f"primary key {self.schema.primary_key.name!r} cannot be NULL"
+                )
+            if key in self._pk_seen:
+                raise ExecutionError(
+                    f"duplicate primary key {key!r} in table {self.schema.name!r}"
+                )
+            self._pk_seen.add(key)
+        row_id = len(self.rows)
+        self.rows.append(coerced)
+        self.accounting.add_row(self._row_bytes(coerced))
+        for index in self.indexes:
+            index.insert(coerced, row_id)
+        return row_id
+
+    def bulk_insert(self, rows: Iterable[Sequence[object]]) -> int:
+        """Insert many rows; returns the number inserted."""
+        count = 0
+        for row in rows:
+            self.insert(row)
+            count += 1
+        return count
+
+    def _row_bytes(self, row: tuple) -> int:
+        width = ROW_OVERHEAD + COLUMN_OVERHEAD * len(row)
+        for column, value in zip(self.schema.columns, row):
+            width += column.sql_type.byte_width(value)
+        return width
+
+    # -- reads ---------------------------------------------------------------
+
+    def scan(self) -> Iterator[tuple]:
+        return iter(self.rows)
+
+    def fetch(self, row_id: int) -> tuple:
+        return self.rows[row_id]
+
+    def row_count(self) -> int:
+        return len(self.rows)
+
+    # -- size accounting -------------------------------------------------------
+
+    def data_pages(self) -> int:
+        return self.accounting.pages
+
+    def data_bytes(self) -> int:
+        return self.accounting.total_bytes()
+
+    def index_bytes(self) -> int:
+        return sum(index.byte_size() for index in self.indexes)
+
+    def attach_index(self, index: "Index") -> None:
+        self.indexes.append(index)
+
+    def __repr__(self) -> str:
+        return f"HeapTable({self.schema.name}, {len(self.rows)} rows)"

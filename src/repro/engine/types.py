@@ -1,0 +1,160 @@
+"""SQL data types for the engine.
+
+Three types cover the paper's schemas: INTEGER, VARCHAR, and the XADT
+(the paper's XML abstract data type).  Each type knows how to validate
+and coerce Python values and how many bytes a value occupies on a page,
+which drives the database/index size accounting behind Tables 1 and 2.
+
+The engine does not import the XADT implementation (that would invert
+the layering); it recognizes XADT values structurally via the
+``__xadt__`` marker attribute that :class:`repro.xadt.fragment.XadtValue`
+sets.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TypeMismatchError
+
+#: bytes of per-row header overhead (tuple header, null bitmap, rid slot)
+ROW_OVERHEAD = 8
+#: bytes of per-column overhead (offset entry in the tuple layout)
+COLUMN_OVERHEAD = 2
+
+
+class SqlType:
+    """Base class of SQL types.  Instances are stateless and reusable."""
+
+    name = "TYPE"
+
+    def validate(self, value: object) -> object:
+        """Coerce ``value`` for storage, or raise TypeMismatchError.
+
+        ``None`` is always accepted (NULL).
+        """
+        raise NotImplementedError
+
+    def byte_width(self, value: object) -> int:
+        """On-page width of ``value`` (0 for NULL: only the bitmap bit)."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return self.name
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other)
+
+    def __hash__(self) -> int:
+        return hash(type(self))
+
+
+class IntegerType(SqlType):
+    """A 32-bit signed integer."""
+
+    name = "INTEGER"
+
+    def validate(self, value: object) -> object:
+        if value is None:
+            return None
+        if isinstance(value, bool):
+            raise TypeMismatchError("BOOLEAN is not valid for INTEGER columns")
+        if isinstance(value, int):
+            if not -(2**31) <= value < 2**31:
+                raise TypeMismatchError(f"integer out of 32-bit range: {value}")
+            return value
+        if isinstance(value, str) and value.lstrip("-").isdigit():
+            return self.validate(int(value))
+        raise TypeMismatchError(f"cannot store {type(value).__name__} in INTEGER")
+
+    def byte_width(self, value: object) -> int:
+        return 0 if value is None else 4
+
+
+class VarcharType(SqlType):
+    """A variable-length string, optionally with a declared maximum."""
+
+    name = "VARCHAR"
+
+    def __init__(self, max_length: int | None = None) -> None:
+        self.max_length = max_length
+
+    def validate(self, value: object) -> object:
+        if value is None:
+            return None
+        if isinstance(value, str):
+            if self.max_length is not None and len(value) > self.max_length:
+                raise TypeMismatchError(
+                    f"string of length {len(value)} exceeds VARCHAR({self.max_length})"
+                )
+            return value
+        if isinstance(value, int) and not isinstance(value, bool):
+            return self.validate(str(value))
+        raise TypeMismatchError(f"cannot store {type(value).__name__} in VARCHAR")
+
+    def byte_width(self, value: object) -> int:
+        if value is None:
+            return 0
+        return 2 + len(value.encode("utf-8"))
+
+    def __repr__(self) -> str:
+        if self.max_length is None:
+            return "VARCHAR"
+        return f"VARCHAR({self.max_length})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, VarcharType) and other.max_length == self.max_length
+
+    def __hash__(self) -> int:
+        return hash((VarcharType, self.max_length))
+
+
+def is_xadt_value(value: object) -> bool:
+    """True if ``value`` is an XADT fragment (structural check)."""
+    return getattr(value, "__xadt__", False) is True
+
+
+class XadtType(SqlType):
+    """The paper's XML abstract data type.
+
+    Values are :class:`~repro.xadt.fragment.XadtValue` instances; plain
+    strings are accepted and passed through unconverted only when empty
+    (NULL-ish), otherwise callers must construct proper fragments so the
+    storage codec is explicit.
+    """
+
+    name = "XADT"
+
+    def validate(self, value: object) -> object:
+        if value is None:
+            return None
+        if is_xadt_value(value):
+            return value
+        raise TypeMismatchError(
+            f"XADT columns require XadtValue instances, got {type(value).__name__}"
+        )
+
+    def byte_width(self, value: object) -> int:
+        if value is None:
+            return 0
+        return 4 + value.byte_size()
+
+
+INTEGER = IntegerType()
+VARCHAR = VarcharType()
+XADT = XadtType()
+
+
+def type_from_name(name: str) -> SqlType:
+    """Resolve a type name from DDL text (``VARCHAR(30)`` supported)."""
+    text = name.strip().upper()
+    if text == "INTEGER" or text == "INT":
+        return INTEGER
+    if text == "XADT":
+        return XADT
+    if text == "VARCHAR" or text == "STRING":
+        return VARCHAR
+    if text.startswith("VARCHAR(") and text.endswith(")"):
+        inner = text[len("VARCHAR("):-1].strip()
+        if not inner.isdigit():
+            raise TypeMismatchError(f"bad VARCHAR length in {name!r}")
+        return VarcharType(int(inner))
+    raise TypeMismatchError(f"unknown SQL type {name!r}")

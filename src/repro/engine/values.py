@@ -1,0 +1,113 @@
+"""Value semantics: comparisons, LIKE matching, and null handling.
+
+The engine uses a pragmatic subset of SQL's three-valued logic: any
+comparison involving NULL is *not true* (filters drop the row), and
+NULLs group together in GROUP BY / DISTINCT, which matches the behaviour
+the paper's queries rely on.
+"""
+
+from __future__ import annotations
+
+import re
+from functools import lru_cache
+
+from repro.engine.types import is_xadt_value
+from repro.errors import ExecutionError
+
+
+def compare(op: str, left: object, right: object) -> bool:
+    """Evaluate ``left op right`` with SQL semantics.
+
+    ``op`` is one of ``= <> < <= > >=``.  NULL on either side yields
+    False.  XADT values compare by their serialized text for equality
+    only (ordering XML fragments is not meaningful).
+    """
+    if left is None or right is None:
+        return False
+    if is_xadt_value(left) or is_xadt_value(right):
+        if op == "=":
+            return _xadt_text(left) == _xadt_text(right)
+        if op == "<>":
+            return _xadt_text(left) != _xadt_text(right)
+        raise ExecutionError(f"operator {op!r} is not defined for XADT values")
+    left, right = _align(left, right)
+    if op == "=":
+        return left == right
+    if op == "<>":
+        return left != right
+    try:
+        if op == "<":
+            return left < right
+        if op == "<=":
+            return left <= right
+        if op == ">":
+            return left > right
+        if op == ">=":
+            return left >= right
+    except TypeError as exc:
+        raise ExecutionError(f"cannot compare {left!r} {op} {right!r}") from exc
+    raise ExecutionError(f"unknown comparison operator {op!r}")
+
+
+def _xadt_text(value: object) -> str:
+    # fragments compare by their serialized XML (codec-insensitive)
+    if is_xadt_value(value):
+        return value.to_xml()  # type: ignore[attr-defined]
+    return str(value)
+
+
+def _align(left: object, right: object) -> tuple[object, object]:
+    """Make int/str comparisons behave like SQL's implicit casts."""
+    if isinstance(left, int) and isinstance(right, str):
+        try:
+            return left, int(right)
+        except ValueError:
+            return str(left), right
+    if isinstance(left, str) and isinstance(right, int):
+        try:
+            return int(left), right
+        except ValueError:
+            return left, str(right)
+    return left, right
+
+
+@lru_cache(maxsize=512)
+def _like_regex(pattern: str) -> re.Pattern[str]:
+    """Translate a SQL LIKE pattern to a compiled regex.
+
+    ``%`` matches any run (including empty), ``_`` matches one character.
+    All other characters match literally.
+    """
+    out: list[str] = []
+    for ch in pattern:
+        if ch == "%":
+            out.append(".*")
+        elif ch == "_":
+            out.append(".")
+        else:
+            out.append(re.escape(ch))
+    return re.compile("".join(out), re.DOTALL)
+
+
+def like(value: object, pattern: str) -> bool:
+    """SQL LIKE.  NULL input yields False; XADT matches on its text."""
+    if value is None:
+        return False
+    text = _xadt_text(value) if is_xadt_value(value) else str(value)
+    return _like_regex(pattern).fullmatch(text) is not None
+
+
+def group_key(value: object) -> object:
+    """A hashable grouping key for DISTINCT / GROUP BY / hash joins."""
+    if is_xadt_value(value):
+        return ("\0xadt", _xadt_text(value))
+    return value
+
+
+def render(value: object) -> str:
+    """Human-readable rendering for result tables."""
+    if value is None:
+        return "-"
+    if is_xadt_value(value):
+        return value.to_xml()  # type: ignore[attr-defined]
+    return str(value)

@@ -1,0 +1,104 @@
+"""Shared exception hierarchy for the repro package.
+
+Every subsystem raises exceptions derived from :class:`ReproError` so that
+callers can catch one base class at the library boundary.  The hierarchy
+mirrors the package layout: XML parsing, DTD handling, the relational
+engine, the XADT, and the mapping algorithms each get their own branch.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro package."""
+
+
+class XmlError(ReproError):
+    """Base class for XML toolkit errors."""
+
+
+class XmlSyntaxError(XmlError):
+    """Raised when an XML document is not well-formed.
+
+    Carries the character ``offset`` into the input at which the problem
+    was detected, plus the derived 1-based ``line`` and ``column``.
+    """
+
+    def __init__(self, message: str, offset: int = -1, text: str | None = None):
+        self.offset = offset
+        self.line = None
+        self.column = None
+        if text is not None and offset >= 0:
+            prefix = text[:offset]
+            self.line = prefix.count("\n") + 1
+            self.column = offset - (prefix.rfind("\n") + 1) + 1
+            message = f"{message} (line {self.line}, column {self.column})"
+        super().__init__(message)
+
+
+class DtdError(ReproError):
+    """Base class for DTD errors."""
+
+
+class DtdSyntaxError(DtdError):
+    """Raised when a DTD declaration cannot be parsed."""
+
+
+class DtdValidationError(DtdError):
+    """Raised when a document does not conform to its DTD."""
+
+
+class EngineError(ReproError):
+    """Base class for relational engine errors."""
+
+
+class CatalogError(EngineError):
+    """Raised for schema-level problems (unknown/duplicate tables, columns)."""
+
+
+class SqlSyntaxError(EngineError):
+    """Raised when a SQL statement cannot be parsed."""
+
+
+class PlanError(EngineError):
+    """Raised when a parsed statement cannot be turned into an executable plan."""
+
+
+class ExecutionError(EngineError):
+    """Raised when a plan fails at run time (type errors, bad UDF calls...)."""
+
+
+class TypeMismatchError(ExecutionError):
+    """Raised when a value does not conform to its declared SQL type."""
+
+
+class UdfError(EngineError):
+    """Raised for user-defined-function registration or invocation problems."""
+
+
+class XadtError(ReproError):
+    """Base class for XML-abstract-data-type errors."""
+
+
+class XadtCodecError(XadtError):
+    """Raised when an XADT payload cannot be encoded or decoded."""
+
+
+class XadtMethodError(XadtError):
+    """Raised when an XADT method is called with invalid arguments."""
+
+
+class MappingError(ReproError):
+    """Raised when a DTD cannot be mapped to a relational schema."""
+
+
+class ShreddingError(ReproError):
+    """Raised when a document cannot be shredded into tuples."""
+
+
+class GenerationError(ReproError):
+    """Raised when synthetic data generation is misconfigured."""
+
+
+class BenchmarkError(ReproError):
+    """Raised by the benchmark harness for invalid experiment setups."""

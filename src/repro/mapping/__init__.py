@@ -1,0 +1,36 @@
+"""The mapping algorithms: XORator (core contribution) and baselines."""
+
+from repro.mapping.base import ColumnKind, MappedColumn, MappedSchema, MappedTable
+from repro.mapping.basic import map_basic
+from repro.mapping.hybrid import hybrid_relations, map_hybrid
+from repro.mapping.monet import MonetSummary, monet_summary
+from repro.mapping.shared import map_shared
+from repro.mapping.tuned import (
+    TuningReport,
+    estimate_fragment_bytes,
+    map_xorator_tuned,
+)
+from repro.mapping.xorator import (
+    map_xorator,
+    map_xorator_without_decoupling,
+    xorator_relations,
+)
+
+__all__ = [
+    "ColumnKind",
+    "MappedColumn",
+    "MappedSchema",
+    "MappedTable",
+    "MonetSummary",
+    "TuningReport",
+    "estimate_fragment_bytes",
+    "hybrid_relations",
+    "map_basic",
+    "map_hybrid",
+    "map_shared",
+    "map_xorator",
+    "map_xorator_tuned",
+    "map_xorator_without_decoupling",
+    "monet_summary",
+    "xorator_relations",
+]

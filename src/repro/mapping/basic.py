@@ -1,0 +1,24 @@
+"""The Basic inlining strategy (extension/ablation baseline).
+
+Shanmugasundaram et al.'s Basic strategy creates a relation for every
+element so that queries can start anywhere without navigating from the
+root.  It is the many-tables extreme of the inlining family; the paper
+identifies Hybrid as superior, and the ablation benchmark
+(`bench_ablation_inlining`) quantifies why: Basic's schemas have the
+most tables and its queries the most joins.
+"""
+
+from __future__ import annotations
+
+from repro.dtd.simplify import SimplifiedDtd
+from repro.mapping.base import MappedSchema
+from repro.mapping.inline import build_schema, reachable_elements
+
+
+def basic_relations(sdtd: SimplifiedDtd) -> set[str]:
+    return set(reachable_elements(sdtd))
+
+
+def map_basic(sdtd: SimplifiedDtd) -> MappedSchema:
+    """Map a simplified DTD with the Basic strategy (one table per element)."""
+    return build_schema("basic", sdtd, basic_relations(sdtd))

@@ -1,0 +1,90 @@
+"""Column naming conventions shared by all mapping algorithms.
+
+The paper's Figures 5 and 6 fix the conventions:
+
+* relation names are the element name in lower case (``speech``);
+* the primary key is ``<rel>ID`` (``speechID``);
+* foreign key to the parent tuple: ``<rel>_parentID``;
+* parent-table discriminator (only when several parent tables exist):
+  ``<rel>_parentCODE``;
+* sibling order: ``<rel>_childOrder``;
+* the element's own text: ``<rel>_value``;
+* an inlined leaf or an XADT child: ``<rel>_<child>`` (lower case);
+* an attribute: ``<rel>_<attr>`` on the relation's own element, and
+  ``<rel>_<elem>_<attr>`` on an inlined element.
+
+``childOrder`` counts position among *same-tag* siblings (1-based); the
+XADT method ``getElmIndex`` counts identically, so the two mappings give
+the same answers to order queries (QS6/QG6).
+"""
+
+from __future__ import annotations
+
+from repro.errors import MappingError
+
+
+def sanitize(name: str) -> str:
+    """Make an XML name usable as a SQL identifier.
+
+    XML names may contain ``:``, ``-``, and ``.`` (e.g. the XLink
+    attribute ``xml:link``); SQL identifiers may not.
+    """
+    return name.replace(":", "_").replace("-", "_").replace(".", "_")
+
+
+def relation_name(element: str) -> str:
+    return sanitize(element.lower())
+
+
+def id_column(element: str) -> str:
+    return f"{relation_name(element)}ID"
+
+
+def parent_id_column(element: str) -> str:
+    return f"{relation_name(element)}_parentID"
+
+
+def parent_code_column(element: str) -> str:
+    return f"{relation_name(element)}_parentCODE"
+
+
+def child_order_column(element: str) -> str:
+    return f"{relation_name(element)}_childOrder"
+
+
+def value_column(element: str) -> str:
+    return f"{relation_name(element)}_value"
+
+
+def child_column(element: str, child: str) -> str:
+    return f"{relation_name(element)}_{sanitize(child.lower())}"
+
+
+def attribute_column(element: str, attribute: str, via: str | None = None) -> str:
+    if via is None:
+        return f"{relation_name(element)}_{sanitize(attribute.lower())}"
+    return f"{relation_name(element)}_{sanitize(via.lower())}_{sanitize(attribute.lower())}"
+
+
+class NameAllocator:
+    """Uniquifies column names within one relation.
+
+    Deep inlining can produce colliding flat names (two different paths
+    ending in a leaf of the same name); the second taker gets a numbered
+    suffix, deterministically.
+    """
+
+    def __init__(self) -> None:
+        self._taken: set[str] = set()
+
+    def claim(self, name: str) -> str:
+        key = name.lower()
+        if key not in self._taken:
+            self._taken.add(key)
+            return name
+        for counter in range(2, 1000):
+            candidate = f"{name}_{counter}"
+            if candidate.lower() not in self._taken:
+                self._taken.add(candidate.lower())
+                return candidate
+        raise MappingError(f"cannot uniquify column name {name!r}")

@@ -1,0 +1,269 @@
+"""Shared machinery for the inlining family of mappings.
+
+Given the set of *relation elements*, this module builds the
+:class:`~repro.mapping.base.MappedTable` for each relation: key columns,
+the optional value column, attribute columns, and the transitive
+inlining of non-relation children (Hybrid/Shared/Basic) or their
+assignment to XADT columns (XORator passes an ``xadt_children``
+classification instead of inlining non-leaf subtrees).
+"""
+
+from __future__ import annotations
+
+from repro.dtd.ast import Occurrence
+from repro.dtd.simplify import SimplifiedDtd
+from repro.errors import MappingError
+from repro.mapping import fields
+from repro.mapping.base import ColumnKind, MappedColumn, MappedSchema, MappedTable
+
+
+def prune_unreachable(sdtd: SimplifiedDtd) -> SimplifiedDtd:
+    """Restrict ``sdtd`` to elements reachable from its root.
+
+    Documents can never contain unreachable elements, so they must not
+    influence in-degrees or sharing decisions.  Returns ``sdtd`` itself
+    when nothing needs pruning.
+    """
+    keep = set(reachable_elements(sdtd))
+    if len(keep) == len(sdtd.elements):
+        return sdtd
+    pruned = SimplifiedDtd(root=sdtd.root)
+    pruned.elements = {
+        name: element for name, element in sdtd.elements.items() if name in keep
+    }
+    return pruned
+
+
+def reachable_elements(sdtd: SimplifiedDtd) -> list[str]:
+    """Elements reachable from the root, in BFS order."""
+    order: list[str] = []
+    seen: set[str] = set()
+    queue = [sdtd.root]
+    while queue:
+        element = queue.pop(0)
+        if element in seen:
+            continue
+        seen.add(element)
+        order.append(element)
+        queue.extend(sdtd.element(element).child_names())
+    return order
+
+
+def below_repeating_edge(sdtd: SimplifiedDtd, element: str) -> bool:
+    """True when any parent lists ``element`` with a ``*`` occurrence."""
+    for parent in sdtd.parents_of(element):
+        for spec in sdtd.element(parent).children:
+            if spec.name == element and spec.occurrence is Occurrence.STAR:
+                return True
+    return False
+
+
+def has_repeating_child(sdtd: SimplifiedDtd, element: str) -> bool:
+    return any(
+        spec.occurrence is Occurrence.STAR
+        for spec in sdtd.element(element).children
+    )
+
+
+def recursive_elements(sdtd: SimplifiedDtd) -> set[str]:
+    """Elements that can reach themselves through child edges."""
+    result: set[str] = set()
+    for element in sdtd.element_names():
+        stack = list(sdtd.element(element).child_names())
+        seen: set[str] = set()
+        while stack:
+            current = stack.pop()
+            if current == element:
+                result.add(element)
+                break
+            if current in seen:
+                continue
+            seen.add(current)
+            stack.extend(sdtd.element(current).child_names())
+    return result
+
+
+def relation_parents(
+    element: str, relations: set[str], sdtd: SimplifiedDtd
+) -> list[str]:
+    """Nearest relation ancestors of ``element`` (walking through inlined
+    intermediates), in deterministic order."""
+    found: list[str] = []
+    seen: set[str] = set()
+
+    def walk(current: str) -> None:
+        for parent in sdtd.parents_of(current):
+            if parent in relations:
+                if parent not in found:
+                    found.append(parent)
+            elif parent not in seen:
+                seen.add(parent)
+                walk(parent)
+
+    walk(element)
+    return found
+
+
+def build_table(
+    element: str,
+    sdtd: SimplifiedDtd,
+    relations: set[str],
+    xadt_children: set[str] | None = None,
+    forbid_inline_nonleaf: bool = False,
+) -> MappedTable:
+    """Build the relation for ``element``.
+
+    ``xadt_children`` (XORator) names the direct children stored as XADT
+    columns; all other non-relation children are inlined (and for
+    XORator, a non-relation non-leaf child *must* be in
+    ``xadt_children`` — inlining subtrees is the Hybrid behaviour).
+    """
+    spec = sdtd.element(element)
+    table = MappedTable(fields.relation_name(element), element)
+    table.parent_elements = relation_parents(element, relations, sdtd)
+    allocator = fields.NameAllocator()
+
+    def claim(name: str) -> str:
+        return allocator.claim(name)
+
+    table.columns.append(
+        MappedColumn(claim(fields.id_column(element)), ColumnKind.ID,
+                     "INTEGER", primary_key=True)
+    )
+    if table.parent_elements:
+        table.columns.append(
+            MappedColumn(claim(fields.parent_id_column(element)),
+                         ColumnKind.PARENT_ID, "INTEGER")
+        )
+        if table.needs_parent_code():
+            table.columns.append(
+                MappedColumn(claim(fields.parent_code_column(element)),
+                             ColumnKind.PARENT_CODE, "VARCHAR")
+            )
+        table.columns.append(
+            MappedColumn(claim(fields.child_order_column(element)),
+                         ColumnKind.CHILD_ORDER, "INTEGER")
+        )
+    if spec.has_pcdata:
+        table.columns.append(
+            MappedColumn(claim(fields.value_column(element)), ColumnKind.VALUE)
+        )
+    for attribute in spec.attributes:
+        table.columns.append(
+            MappedColumn(
+                claim(fields.attribute_column(element, attribute.name)),
+                ColumnKind.ATTRIBUTE,
+                attribute=attribute.name,
+            )
+        )
+
+    _map_children(table, element, element, (), sdtd, relations,
+                  xadt_children or set(), claim, forbid_inline_nonleaf)
+    return table
+
+
+def _map_children(
+    table: MappedTable,
+    relation_element: str,
+    current: str,
+    path: tuple[str, ...],
+    sdtd: SimplifiedDtd,
+    relations: set[str],
+    xadt_children: set[str],
+    claim,
+    forbid_inline_nonleaf: bool = False,
+) -> None:
+    for child_spec in sdtd.element(current).children:
+        child = child_spec.name
+        if child in relations:
+            continue  # represented by its own table, linked via parentID
+        child_path = path + (child,)
+        child_decl = sdtd.element(child)
+        is_top_level = not path
+
+        if is_top_level and child in xadt_children:
+            table.columns.append(
+                MappedColumn(
+                    claim(fields.child_column(relation_element, child)),
+                    ColumnKind.XADT,
+                    "XADT",
+                    path=child_path,
+                )
+            )
+            continue
+
+        if child_spec.occurrence is Occurrence.STAR:
+            raise MappingError(
+                f"repeating child {child!r} of {current!r} is neither a "
+                f"relation nor an XADT column; the relation set is incomplete"
+            )
+        if not child_decl.is_leaf() and forbid_inline_nonleaf and is_top_level:
+            raise MappingError(
+                f"non-leaf child {child!r} of XORator relation "
+                f"{relation_element!r} must map to an XADT column"
+            )
+
+        if child_decl.has_pcdata:
+            table.columns.append(
+                MappedColumn(
+                    claim(fields.child_column(relation_element, child)),
+                    ColumnKind.INLINED_LEAF,
+                    path=child_path,
+                )
+            )
+        else:
+            # presence marker: an EMPTY leaf, or an inlined non-leaf whose
+            # own occurrence is optional (an empty <Toindex/> must survive
+            # the round trip even when its optional children are absent)
+            table.columns.append(
+                MappedColumn(
+                    claim(fields.child_column(relation_element, child)),
+                    ColumnKind.PRESENCE,
+                    "INTEGER",
+                    path=child_path,
+                )
+            )
+        for attribute in child_decl.attributes:
+            table.columns.append(
+                MappedColumn(
+                    claim(
+                        fields.attribute_column(
+                            relation_element, attribute.name, via=child
+                        )
+                    ),
+                    ColumnKind.ATTRIBUTE,
+                    path=child_path,
+                    attribute=attribute.name,
+                )
+            )
+        if not child_decl.is_leaf():
+            _map_children(
+                table, relation_element, child, child_path, sdtd,
+                relations, xadt_children, claim, forbid_inline_nonleaf,
+            )
+
+
+def build_schema(
+    algorithm: str,
+    sdtd: SimplifiedDtd,
+    relations: set[str],
+    xadt_children_by_relation: dict[str, set[str]] | None = None,
+) -> MappedSchema:
+    """Assemble a MappedSchema for the given relation set."""
+    reachable = reachable_elements(sdtd)
+    ordered_relations = [e for e in reachable if e in relations]
+    missing = relations - set(reachable)
+    if missing:
+        raise MappingError(f"relation elements not reachable from root: {missing}")
+    schema = MappedSchema(algorithm, sdtd)
+    strict = xadt_children_by_relation is not None
+    for element in ordered_relations:
+        xadt_children = (
+            (xadt_children_by_relation or {}).get(element, set())
+        )
+        schema.tables.append(
+            build_table(element, sdtd, relations, xadt_children,
+                        forbid_inline_nonleaf=strict)
+        )
+    schema.validate()
+    return schema

@@ -1,0 +1,58 @@
+"""The Monet XML mapping (Schmidt et al.), table-count comparison only.
+
+Monet stores one binary-association table per *distinct path* in the
+document schema: a table for every root-to-element path, one for every
+path that carries character data, and one per attribute path.  The
+XORator paper uses it for a single claim (§2): the Plays/Shakespeare
+DTD maps to a handful of tables under XORator but ninety-five under
+Monet.  This module reproduces that count; the full Monet storage
+engine is out of the reproduction's scope (the paper never runs it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dtd.simplify import SimplifiedDtd
+
+
+@dataclass(frozen=True)
+class MonetSummary:
+    """Path census of a DTD under the Monet mapping."""
+
+    element_paths: int    #: distinct root-to-element paths (edge tables)
+    cdata_paths: int      #: paths whose element carries character data
+    attribute_paths: int  #: paths contributed by attributes
+
+    @property
+    def table_count(self) -> int:
+        return self.element_paths + self.cdata_paths + self.attribute_paths
+
+
+def monet_summary(sdtd: SimplifiedDtd, max_depth: int = 32) -> MonetSummary:
+    """Count the Monet association tables for ``sdtd``.
+
+    Recursive DTDs have unboundedly many paths; expansion stops at
+    ``max_depth`` (paths deeper than real documents do not materialize
+    tables in practice).
+    """
+    element_paths = 0
+    cdata_paths = 0
+    attribute_paths = 0
+
+    def walk(element: str, on_path: tuple[str, ...]) -> None:
+        nonlocal element_paths, cdata_paths, attribute_paths
+        if len(on_path) >= max_depth:
+            return
+        declaration = sdtd.element(element)
+        element_paths += 1
+        if declaration.has_pcdata:
+            cdata_paths += 1
+        attribute_paths += len(declaration.attributes)
+        for child in declaration.child_names():
+            if child in on_path:
+                continue  # recursion: the path repeats; stop expanding
+            walk(child, on_path + (element,))
+
+    walk(sdtd.root, ())
+    return MonetSummary(element_paths, cdata_paths, attribute_paths)

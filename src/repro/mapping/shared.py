@@ -1,0 +1,29 @@
+"""The Shared inlining strategy (extension/ablation baseline).
+
+Between Basic and Hybrid: elements referenced by more than one parent
+get their own relation (shared content is stored once), while
+single-parent non-repeated elements are inlined.  The relation set is
+Hybrid's plus every element with in-degree greater than one.
+"""
+
+from __future__ import annotations
+
+from repro.dtd.simplify import SimplifiedDtd
+from repro.mapping.base import MappedSchema
+from repro.mapping.hybrid import hybrid_relations
+from repro.mapping.inline import build_schema, prune_unreachable, reachable_elements
+
+
+def shared_relations(sdtd: SimplifiedDtd) -> set[str]:
+    sdtd = prune_unreachable(sdtd)
+    relations = hybrid_relations(sdtd)
+    for element in reachable_elements(sdtd):
+        if len(sdtd.parents_of(element)) > 1:
+            relations.add(element)
+    return relations
+
+
+def map_shared(sdtd: SimplifiedDtd) -> MappedSchema:
+    """Map a simplified DTD with the Shared strategy."""
+    sdtd = prune_unreachable(sdtd)
+    return build_schema("shared", sdtd, shared_relations(sdtd))

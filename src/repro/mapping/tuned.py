@@ -1,0 +1,150 @@
+"""Workload- and statistics-aware XORator mapping (the paper's §3.2/§5
+future work, implemented).
+
+Two planned refinements the paper names are realized here:
+
+* §3.2: "The disadvantage of this approach is that queries on the
+  SUBTITLE elements must now query all tables ... In the future, we plan
+  to take the query workload (if it is available) into account during
+  the transformation."  — a shared character element that the workload
+  queries *standalone* (as a query target under more than one parent
+  context) is **kept shared** as its own relation instead of being
+  decoupled into per-parent XADT columns.
+
+* §5: "we will expand the mapping rules to accommodate additional
+  factors, such as ... the statistics of XML data, including the number
+  of levels and the size of the data that is in an XML fragment." — a
+  subtree whose average serialized size exceeds ``max_fragment_bytes``
+  *and* into which the workload navigates is **promoted to a relation**
+  (its XADT fragment would be scanned repeatedly by every query).
+
+The workload is a list of :class:`~repro.xquery.ast.PathQuery` (or path
+strings); fragment statistics come from :func:`estimate_fragment_bytes`
+over sample documents, mirroring how the codec chooser samples (§4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.dtd.graph import DtdGraph
+from repro.dtd.simplify import SimplifiedDtd
+from repro.mapping.base import MappedSchema
+from repro.mapping.inline import build_schema, prune_unreachable
+from repro.mapping.xorator import xorator_relations
+from repro.xmlkit.dom import Document, Element
+from repro.xmlkit.serializer import serialize
+from repro.xquery.ast import PathQuery
+from repro.xquery.parser import parse_path
+
+#: default fragment-size ceiling before a subtree is promoted (one page)
+DEFAULT_MAX_FRAGMENT_BYTES = 8192
+
+
+@dataclass
+class TuningReport:
+    """What the tuner decided and why (surfaced to callers)."""
+
+    kept_shared: set[str] = field(default_factory=set)
+    promoted: set[str] = field(default_factory=set)
+    notes: list[str] = field(default_factory=list)
+
+
+def estimate_fragment_bytes(
+    documents: Iterable[Document | Element],
+) -> dict[str, float]:
+    """Average serialized bytes per element name, from sample documents."""
+    totals: dict[str, int] = {}
+    counts: dict[str, int] = {}
+    for document in documents:
+        root = document.root if isinstance(document, Document) else document
+        for node in root.iter():
+            size = len(serialize(node).encode("utf-8"))
+            totals[node.tag] = totals.get(node.tag, 0) + size
+            counts[node.tag] = counts.get(node.tag, 0) + 1
+    return {tag: totals[tag] / counts[tag] for tag in totals}
+
+
+def map_xorator_tuned(
+    sdtd: SimplifiedDtd,
+    workload: Iterable[PathQuery | str] = (),
+    fragment_bytes: dict[str, float] | None = None,
+    max_fragment_bytes: int = DEFAULT_MAX_FRAGMENT_BYTES,
+) -> tuple[MappedSchema, TuningReport]:
+    """XORator with workload- and statistics-driven adjustments."""
+    sdtd = prune_unreachable(sdtd)
+    queries = [
+        parse_path(item) if isinstance(item, str) else item
+        for item in workload
+    ]
+    report = TuningReport()
+
+    targets = _workload_targets(queries)
+    interior = _workload_interior_elements(queries, sdtd)
+
+    # §3.2 rule: keep standalone-queried shared character elements shared
+    for element in sorted(targets):
+        if element not in sdtd.elements:
+            continue
+        declaration = sdtd.element(element)
+        shared = len(sdtd.parents_of(element)) > 1
+        if shared and (declaration.has_pcdata or declaration.is_leaf()):
+            report.kept_shared.add(element)
+            report.notes.append(
+                f"{element}: queried standalone under multiple parents; "
+                f"kept as one shared relation instead of decoupling"
+            )
+
+    # §5 rule: promote oversized fragments the workload navigates into
+    for element, average in sorted((fragment_bytes or {}).items()):
+        if element not in sdtd.elements or sdtd.element(element).is_leaf():
+            continue
+        if element == sdtd.root:
+            continue  # the root is always a relation
+        if average > max_fragment_bytes and element in interior:
+            report.promoted.add(element)
+            report.notes.append(
+                f"{element}: avg fragment {average:.0f} B > "
+                f"{max_fragment_bytes} B and the workload navigates inside "
+                f"it; promoted to a relation"
+            )
+
+    revised = DtdGraph.from_simplified(sdtd).revised(
+        keep_shared=report.kept_shared
+    )
+    relations, xadt_children = xorator_relations(
+        sdtd,
+        revised=revised,
+        extra_relations=report.kept_shared | report.promoted,
+    )
+    schema = build_schema("xorator-tuned", sdtd, relations, xadt_children)
+    return schema, report
+
+
+def _workload_targets(queries: list[PathQuery]) -> set[str]:
+    """Elements that are the *result* of some query (final step names)."""
+    return {query.steps[-1].name for query in queries if query.steps}
+
+
+def _workload_interior_elements(
+    queries: list[PathQuery], sdtd: SimplifiedDtd
+) -> set[str]:
+    """Elements the workload steps *through* or predicates *into*.
+
+    An element is interior when some query has steps or predicate paths
+    strictly below it — the access pattern that repeatedly scans an XADT
+    fragment rooted there.
+    """
+    interior: set[str] = set()
+    for query in queries:
+        names = [step.name for step in query.steps]
+        # every non-final step is navigated through
+        interior.update(names[:-1])
+        for step in query.steps:
+            for predicate in step.predicates:
+                rel = getattr(predicate, "rel", ())
+                if rel:
+                    interior.add(step.name)
+                    interior.update(rel[:-1])
+    return {name for name in interior if name in sdtd.elements}

@@ -1,0 +1,145 @@
+"""The XORator mapping algorithm (the paper's contribution, §3.3).
+
+XORator runs on the *revised* DTD graph (shared character-bearing leaves
+duplicated per parent, paper §3.2) and applies three rules:
+
+1. a non-leaf node accessed by only one node whose subtree has no
+   externally-incident links maps to an **XADT attribute** of its
+   parent's relation (maximal such subtrees);
+2. a non-leaf node accessed by multiple nodes maps to a **relation**,
+   and every ancestor of a relation is a relation;
+3. a leaf below a ``*`` edge maps to an **XADT attribute**; other leaves
+   map to string attributes.
+
+The relation set is therefore the closure of {root} ∪ {shared non-leaf
+nodes} ∪ {recursive nodes} under "ancestor of a relation"; every
+remaining child of a relation becomes an XADT or scalar column.
+
+On the paper's DTDs this yields exactly Figure 6 (Plays: 5 relations
+with XADT subtitle/speaker/line columns), 7 relations for Shakespeare
+(Table 1), and the single-table mapping for the SIGMOD Proceedings DTD
+(Table 2, the whole ``sList`` subtree in one XADT column).
+"""
+
+from __future__ import annotations
+
+from repro.dtd.ast import Occurrence
+from repro.dtd.graph import DtdGraph
+from repro.dtd.simplify import SimplifiedDtd
+from repro.errors import MappingError
+from repro.mapping.base import MappedSchema
+from repro.mapping.inline import build_schema, prune_unreachable
+
+
+def xorator_relations(
+    sdtd: SimplifiedDtd,
+    revised: DtdGraph | None = None,
+    extra_relations: set[str] | None = None,
+) -> tuple[set[str], dict[str, set[str]]]:
+    """Compute (relation elements, XADT children per relation element).
+
+    ``revised`` lets callers supply a customized revised graph (e.g. with
+    some elements kept shared); ``extra_relations`` forces additional
+    elements into the relation set — both hooks exist for the
+    workload-aware variant in :mod:`repro.mapping.tuned`.
+    """
+    sdtd = prune_unreachable(sdtd)
+    graph = revised if revised is not None else DtdGraph.from_simplified(sdtd).revised()
+
+    in_cycle = graph.cycle_nodes()
+    forced: set[str] = {graph.root_id}
+    for element in extra_relations or ():
+        if element in graph.nodes:
+            forced.add(element)
+    for node_id, node in graph.nodes.items():
+        if node_id in in_cycle:
+            forced.add(node_id)
+        elif not node.is_leaf() and graph.in_degree(node_id) > 1:
+            forced.add(node_id)
+
+    # closure: every ancestor of a relation is a relation
+    relations_by_node: set[str] = set(forced)
+    changed = True
+    while changed:
+        changed = False
+        for node_id in list(relations_by_node):
+            for parent in graph.parents_of(node_id):
+                if parent not in relations_by_node:
+                    relations_by_node.add(parent)
+                    changed = True
+
+    # map node ids to element names; duplicated copies cannot be relations
+    relation_elements: set[str] = set()
+    for node_id in relations_by_node:
+        node = graph.node(node_id)
+        if node_id != node.element:
+            raise MappingError(
+                f"duplicated node {node_id!r} would need to become a relation; "
+                f"this DTD shape is outside XORator's rules"
+            )
+        relation_elements.add(node.element)
+
+    # classify each relation's non-relation children
+    xadt_children: dict[str, set[str]] = {}
+    for node_id in relations_by_node:
+        node = graph.node(node_id)
+        assigned: set[str] = set()
+        for edge in node.children:
+            child = graph.node(edge.child)
+            if child.element in relation_elements:
+                continue
+            if not child.is_leaf():
+                assigned.add(child.element)  # rule 1: whole subtree -> XADT
+            elif edge.occurrence is Occurrence.STAR:
+                assigned.add(child.element)  # rule 3: repeated leaf -> XADT
+            # other leaves become scalar columns (handled by the builder)
+        if assigned:
+            xadt_children[node.element] = assigned
+    return relation_elements, xadt_children
+
+
+def map_xorator(sdtd: SimplifiedDtd) -> MappedSchema:
+    """Map a simplified DTD with the XORator algorithm."""
+    sdtd = prune_unreachable(sdtd)
+    relations, xadt_children = xorator_relations(sdtd)
+    return build_schema("xorator", sdtd, relations, xadt_children)
+
+
+def map_xorator_without_decoupling(sdtd: SimplifiedDtd) -> MappedSchema:
+    """Ablation: XORator on the *base* DTD graph (no leaf duplication).
+
+    Shared character leaves then force extra relations, which is the
+    trade-off Section 3.2 discusses; the ablation benchmark measures the
+    cost of skipping the revision step.
+    """
+    sdtd = prune_unreachable(sdtd)
+    graph = DtdGraph.from_simplified(sdtd)
+    in_cycle = graph.cycle_nodes()
+    forced: set[str] = {graph.root_id}
+    for node_id, node in graph.nodes.items():
+        if node_id in in_cycle or graph.in_degree(node_id) > 1:
+            # without decoupling, *any* shared node must be a relation
+            forced.add(node_id)
+    relations = set(forced)
+    changed = True
+    while changed:
+        changed = False
+        for node_id in list(relations):
+            for parent in graph.parents_of(node_id):
+                if parent not in relations:
+                    relations.add(parent)
+                    changed = True
+
+    xadt_children: dict[str, set[str]] = {}
+    for node_id in relations:
+        node = graph.node(node_id)
+        assigned: set[str] = set()
+        for edge in node.children:
+            child = graph.node(edge.child)
+            if child.element in relations:
+                continue
+            if not child.is_leaf() or edge.occurrence is Occurrence.STAR:
+                assigned.add(child.element)
+        if assigned:
+            xadt_children[node.element] = assigned
+    return build_schema("xorator-nodecouple", sdtd, relations, xadt_children)

@@ -1,0 +1,20 @@
+"""Shredding XML documents into tuples and back."""
+
+from repro.shred.loader import (
+    LoadReport,
+    Shredder,
+    create_tables,
+    decide_codecs,
+    load_documents,
+)
+from repro.shred.reconstruct import canonicalize, reconstruct_documents
+
+__all__ = [
+    "LoadReport",
+    "Shredder",
+    "canonicalize",
+    "create_tables",
+    "decide_codecs",
+    "load_documents",
+    "reconstruct_documents",
+]

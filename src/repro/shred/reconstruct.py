@@ -1,0 +1,165 @@
+"""Reconstruction: rebuilding XML documents from a shredded database.
+
+The inverse of :mod:`repro.shred.loader`, used by the round-trip tests.
+Both mappings record sibling order *per tag* (``childOrder``), so
+reconstruction emits each element's children grouped by the DTD's child
+order, sorted by ``childOrder`` within each tag.  Interleaving across
+different tags is therefore canonicalized; :func:`canonicalize` applies
+the same grouping to an original document so round trips can be compared
+exactly (this order abstraction is inherent to both the paper's Hybrid
+and XORator storage, which keep one order column / fragment per tag).
+"""
+
+from __future__ import annotations
+
+from repro.dtd.simplify import SimplifiedDtd
+from repro.engine.database import Database
+from repro.errors import ShreddingError
+from repro.mapping.base import ColumnKind, MappedSchema, MappedTable
+from repro.xmlkit.dom import Document, Element, Text
+
+
+def reconstruct_documents(db: Database, schema: MappedSchema) -> list[Document]:
+    """Rebuild every stored document of ``schema`` from ``db``."""
+    builder = _Reconstructor(db, schema)
+    return builder.documents()
+
+
+def canonicalize(document: Document, sdtd: "SimplifiedDtd | None" = None) -> Document:
+    """Rewrite ``document`` into the reconstruction's canonical child order.
+
+    Children are grouped by tag — ordered by the simplified DTD's child
+    declaration order when ``sdtd`` is given, else by first appearance —
+    keeping their relative order within each tag; text is concatenated
+    first.  Apply to an original document before comparing it with a
+    reconstruction.
+    """
+    return Document(_canonical_element(document.root, sdtd))
+
+
+def _canonical_element(element: Element, sdtd: "SimplifiedDtd | None" = None) -> Element:
+    clone = Element(element.tag, attributes=dict(element.attributes))
+    text = element.direct_text()
+    if text:
+        clone.append(Text(text))
+    groups: dict[str, list[Element]] = {}
+    for child in element.child_elements():
+        groups.setdefault(child.tag, []).append(child)
+    for tag in _group_order(element.tag, list(groups), sdtd):
+        for child in groups[tag]:
+            clone.append(_canonical_element(child, sdtd))
+    return clone
+
+
+def _group_order(
+    parent_tag: str, present: list[str], sdtd: "SimplifiedDtd | None"
+) -> list[str]:
+    """Tag groups in DTD declaration order, then leftovers as seen."""
+    if sdtd is None or parent_tag not in sdtd.elements:
+        return present
+    declared = [
+        spec.name
+        for spec in sdtd.element(parent_tag).children
+        if spec.name in present
+    ]
+    declared.extend(tag for tag in present if tag not in declared)
+    return declared
+
+
+class _Reconstructor:
+    def __init__(self, db: Database, schema: MappedSchema) -> None:
+        self.db = db
+        self.schema = schema
+        root_table = schema.table_for_element(schema.dtd.root)
+        if root_table is None:
+            raise ShreddingError("mapping has no root relation")
+        self.root_table = root_table
+        # index child tables by (parent element) for navigation
+        self._children_of: dict[str, list[MappedTable]] = {}
+        for table in schema.tables:
+            for parent in table.parent_elements:
+                self._children_of.setdefault(parent, []).append(table)
+        self._rows: dict[str, list[tuple]] = {
+            table.name: list(db.heap(table.name).scan())
+            for table in schema.tables
+        }
+
+    def documents(self) -> list[Document]:
+        return [
+            Document(self._build(self.root_table, row))
+            for row in self._rows[self.root_table.name]
+        ]
+
+    def _build(self, table: MappedTable, row: tuple) -> Element:
+        element = Element(table.element)
+        columns = table.columns
+        row_id: int | None = None
+        inlined_children: dict[tuple[str, ...], Element] = {}
+
+        def container_for(path: tuple[str, ...]) -> Element:
+            """Materialize the inlined intermediate chain for ``path``."""
+            if not path:
+                return element
+            existing = inlined_children.get(path)
+            if existing is not None:
+                return existing
+            parent = container_for(path[:-1])
+            node = Element(path[-1])
+            parent.append(node)
+            inlined_children[path] = node
+            return node
+
+        for column, value in zip(columns, row):
+            kind = column.kind
+            if kind is ColumnKind.ID:
+                row_id = value  # type: ignore[assignment]
+            elif kind is ColumnKind.VALUE:
+                if value:
+                    element.append(Text(str(value)))
+            elif kind is ColumnKind.ATTRIBUTE and value is not None:
+                container_for(column.path).set(column.attribute or "", str(value))
+            elif kind is ColumnKind.INLINED_LEAF and value is not None:
+                node = container_for(column.path)
+                node.append(Text(str(value)))
+            elif kind is ColumnKind.PRESENCE and value is not None:
+                container_for(column.path)
+            elif kind is ColumnKind.XADT and value is not None:
+                for child in value.to_elements():
+                    element.append(child)
+
+        # relation children: fetched by parentID (+parentCODE), per-tag order
+        for child_table in self._children_of.get(table.element, []):
+            rows = self._matching_children(child_table, table.element, row_id)
+            for child_row in rows:
+                element.append(self._build(child_table, child_row))
+        return _canonical_element(element, self.schema.dtd)
+
+    def _matching_children(
+        self, child_table: MappedTable, parent_element: str, parent_id: int | None
+    ) -> list[tuple]:
+        schema_table = child_table
+        name = schema_table.name
+        parent_pos = self._position(schema_table, ColumnKind.PARENT_ID)
+        order_pos = self._position(schema_table, ColumnKind.CHILD_ORDER)
+        code_pos = (
+            self._position(schema_table, ColumnKind.PARENT_CODE)
+            if schema_table.needs_parent_code()
+            else None
+        )
+        matches = [
+            row
+            for row in self._rows[name]
+            if row[parent_pos] == parent_id
+            and (code_pos is None or row[code_pos] == parent_element)
+        ]
+        matches.sort(key=lambda row: row[order_pos] or 0)
+        return matches
+
+    @staticmethod
+    def _position(table: MappedTable, kind: ColumnKind) -> int:
+        for position, column in enumerate(table.columns):
+            if column.kind is kind:
+                return position
+        raise ShreddingError(
+            f"table {table.name!r} lacks a {kind.value} column"
+        )

@@ -1,0 +1,19 @@
+"""The paper's query workloads in both schemas' SQL."""
+
+from repro.workloads.base import WorkloadQuery, find_query
+from repro.workloads.shakespeare_queries import (
+    PLAYS_QUERIES,
+    SHAKESPEARE_QUERIES,
+)
+from repro.workloads.sigmod_queries import SIGMOD_QUERIES
+from repro.workloads.udf_micro import MICRO_QUERIES, MicroQuery
+
+__all__ = [
+    "MICRO_QUERIES",
+    "MicroQuery",
+    "PLAYS_QUERIES",
+    "SHAKESPEARE_QUERIES",
+    "SIGMOD_QUERIES",
+    "WorkloadQuery",
+    "find_query",
+]

@@ -1,0 +1,201 @@
+"""The Shakespeare workload: QS1–QS6 (paper §4.3) and QE1/QE2 (§3.4).
+
+Each query is given in the SQL dialect of both schemas.  The Hybrid SQL
+follows the paper's join style (parentID/parentCODE equi-joins); the
+XORator SQL uses the XADT methods.  QE1/QE2 are the paper's Figures 7
+and 8 and are posed against the *Plays* DTD schemas (Figures 5/6), where
+SPEECH is a direct child of ACT.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import WorkloadQuery
+
+QS1 = WorkloadQuery(
+    key="QS1",
+    title="Flattening",
+    description="List speakers and the lines that they speak.",
+    hybrid_sql="""
+        SELECT speaker_value, line_value
+        FROM speech, speaker, line
+        WHERE speaker_parentID = speechID
+          AND line_parentID = speechID
+    """,
+    xorator_sql="""
+        SELECT getElm(speech_speaker, 'SPEAKER', '', ''),
+               getElm(speech_line, 'LINE', '', '')
+        FROM speech
+    """,
+)
+
+QS2 = WorkloadQuery(
+    key="QS2",
+    title="Full path expression",
+    description="Retrieve all lines that have stage directions associated "
+                "with the lines.",
+    hybrid_sql="""
+        SELECT line_value
+        FROM line, stagedir
+        WHERE stagedir_parentID = lineID
+          AND stagedir_parentCODE = 'LINE'
+    """,
+    xorator_sql="""
+        SELECT getElm(speech_line, 'LINE', 'STAGEDIR', '')
+        FROM speech
+        WHERE findKeyInElm(speech_line, 'STAGEDIR', '') = 1
+    """,
+)
+
+QS3 = WorkloadQuery(
+    key="QS3",
+    title="Selection",
+    description="Retrieve the lines that have the keyword 'Rising' in the "
+                "text of the stage direction.",
+    hybrid_sql="""
+        SELECT line_value
+        FROM line, stagedir
+        WHERE stagedir_parentID = lineID
+          AND stagedir_parentCODE = 'LINE'
+          AND stagedir_value LIKE '%Rising%'
+    """,
+    xorator_sql="""
+        SELECT getElm(speech_line, 'LINE', 'STAGEDIR', 'Rising')
+        FROM speech
+        WHERE findKeyInElm(speech_line, 'STAGEDIR', 'Rising') = 1
+    """,
+)
+
+QS4 = WorkloadQuery(
+    key="QS4",
+    title="Multiple selections",
+    description="Retrieve the speeches spoken by the speaker 'ROMEO' in the "
+                "play 'Romeo and Juliet'.",
+    hybrid_sql="""
+        SELECT speechID
+        FROM play, act, scene, speech, speaker
+        WHERE act_parentID = playID
+          AND scene_parentID = actID
+          AND scene_parentCODE = 'ACT'
+          AND speech_parentID = sceneID
+          AND speech_parentCODE = 'SCENE'
+          AND speaker_parentID = speechID
+          AND speaker_value = 'ROMEO'
+          AND play_title LIKE '%Romeo and Juliet%'
+    """,
+    xorator_sql="""
+        SELECT speechID
+        FROM play, act, scene, speech
+        WHERE act_parentID = playID
+          AND scene_parentID = actID
+          AND scene_parentCODE = 'ACT'
+          AND speech_parentID = sceneID
+          AND speech_parentCODE = 'SCENE'
+          AND findKeyInElm(speech_speaker, 'SPEAKER', 'ROMEO') = 1
+          AND play_title LIKE '%Romeo and Juliet%'
+    """,
+)
+
+QS5 = WorkloadQuery(
+    key="QS5",
+    title="Twig with selection",
+    description="Retrieve the speeches in 'Romeo and Juliet' spoken by "
+                "'ROMEO' and the lines in the speech containing 'love'.",
+    hybrid_sql="""
+        SELECT line_value
+        FROM play, act, scene, speech, speaker, line
+        WHERE act_parentID = playID
+          AND scene_parentID = actID
+          AND scene_parentCODE = 'ACT'
+          AND speech_parentID = sceneID
+          AND speech_parentCODE = 'SCENE'
+          AND speaker_parentID = speechID
+          AND speaker_value = 'ROMEO'
+          AND line_parentID = speechID
+          AND line_value LIKE '%love%'
+          AND play_title LIKE '%Romeo and Juliet%'
+    """,
+    xorator_sql="""
+        SELECT getElm(speech_line, 'LINE', 'LINE', 'love')
+        FROM play, act, scene, speech
+        WHERE act_parentID = playID
+          AND scene_parentID = actID
+          AND scene_parentCODE = 'ACT'
+          AND speech_parentID = sceneID
+          AND speech_parentCODE = 'SCENE'
+          AND findKeyInElm(speech_speaker, 'SPEAKER', 'ROMEO') = 1
+          AND findKeyInElm(speech_line, 'LINE', 'love') = 1
+          AND play_title LIKE '%Romeo and Juliet%'
+    """,
+)
+
+QS6 = WorkloadQuery(
+    key="QS6",
+    title="Order access",
+    description="Retrieve the second line in all speeches that are in "
+                "prologues.",
+    hybrid_sql="""
+        SELECT line_value
+        FROM speech, line
+        WHERE line_parentID = speechID
+          AND speech_parentCODE = 'PROLOGUE'
+          AND line_childOrder = 2
+    """,
+    xorator_sql="""
+        SELECT getElmIndex(speech_line, '', 'LINE', 2, 2)
+        FROM speech
+        WHERE speech_parentCODE = 'PROLOGUE'
+    """,
+)
+
+SHAKESPEARE_QUERIES: list[WorkloadQuery] = [QS1, QS2, QS3, QS4, QS5, QS6]
+
+
+# --- the Section-3.4 example queries, over the Plays DTD (Figures 7/8) ---
+
+QE1 = WorkloadQuery(
+    key="QE1",
+    title="Path with selections",
+    description="Lines spoken in acts by the speaker HAMLET that contain "
+                "the keyword 'friend' (paper Figure 7).",
+    hybrid_sql="""
+        SELECT line_value
+        FROM speech, act, speaker, line
+        WHERE speech_parentID = actID
+          AND speech_parentCODE = 'ACT'
+          AND speaker_parentID = speechID
+          AND speaker_value = 'HAMLET'
+          AND line_parentID = speechID
+          AND line_value LIKE '%friend%'
+    """,
+    xorator_sql="""
+        SELECT getElm(speech_line, 'LINE', 'LINE', 'friend')
+        FROM speech, act
+        WHERE findKeyInElm(speech_speaker, 'SPEAKER', 'HAMLET') = 1
+          AND findKeyInElm(speech_line, 'LINE', 'friend') = 1
+          AND speech_parentID = actID
+          AND speech_parentCODE = 'ACT'
+    """,
+)
+
+QE2 = WorkloadQuery(
+    key="QE2",
+    title="Order access",
+    description="The second line in each speech (paper Figure 8).",
+    hybrid_sql="""
+        SELECT line_value
+        FROM speech, line
+        WHERE line_parentID = speechID
+          AND line_childOrder = 2
+    """,
+    xorator_sql="""
+        SELECT getElmIndex(speech_line, '', 'LINE', 2, 2)
+        FROM speech
+    """,
+)
+
+PLAYS_QUERIES: list[WorkloadQuery] = [QE1, QE2]
+
+
+def workload_sql(algorithm: str) -> list[str]:
+    """All QS SQL for one algorithm (feeds the index advisor)."""
+    return [query.sql_for(algorithm) for query in SHAKESPEARE_QUERIES]

@@ -1,0 +1,146 @@
+"""The SIGMOD Proceedings workload: QG1–QG6 (paper §4.4).
+
+Under XORator this data set maps to a *single* table whose ``pp_slist``
+XADT column holds the whole section list, so every query is a
+composition of XADT method calls and lateral ``unnest`` invocations —
+"four to eight calls of UDFs" per query, as the paper puts it.  The
+Hybrid side navigates the 7-table schema with joins.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import WorkloadQuery
+
+QG1 = WorkloadQuery(
+    key="QG1",
+    title="Selection and extraction",
+    description="Retrieve the authors of the papers with the keyword 'Join' "
+                "in the paper title.",
+    hybrid_sql="""
+        SELECT author_value
+        FROM atuple, authors, author
+        WHERE authors_parentID = atupleID
+          AND author_parentID = authorsID
+          AND atuple_title LIKE '%Join%'
+    """,
+    xorator_sql="""
+        SELECT getElm(getElm(pp_slist, 'aTuple', 'title', 'Join'),
+                      'author', '', '')
+        FROM pp
+        WHERE findKeyInElm(pp_slist, 'title', 'Join') = 1
+    """,
+)
+
+QG2 = WorkloadQuery(
+    key="QG2",
+    title="Flattening",
+    description="List all authors and the names of the proceeding sections "
+                "in which their papers appear.",
+    hybrid_sql="""
+        SELECT author_value, slisttuple_sectionname
+        FROM slisttuple, articles, atuple, authors, author
+        WHERE articles_parentID = slisttupleID
+          AND atuple_parentID = articlesID
+          AND authors_parentID = atupleID
+          AND author_parentID = authorsID
+    """,
+    xorator_sql="""
+        SELECT elmText(au.out) AS author_value,
+               elmText(getElm(st.out, 'sectionName', '', '')) AS section_name
+        FROM pp,
+             TABLE(unnest(pp_slist, 'sListTuple')) st,
+             TABLE(unnest(st.out, 'author')) au
+    """,
+)
+
+QG3 = WorkloadQuery(
+    key="QG3",
+    title="Flattening with selection",
+    description="Retrieve the proceeding section names that have papers "
+                "published by authors whose names have the keyword 'Worthy'.",
+    hybrid_sql="""
+        SELECT DISTINCT slisttuple_sectionname
+        FROM slisttuple, articles, atuple, authors, author
+        WHERE articles_parentID = slisttupleID
+          AND atuple_parentID = articlesID
+          AND authors_parentID = atupleID
+          AND author_parentID = authorsID
+          AND author_value LIKE '%Worthy%'
+    """,
+    xorator_sql="""
+        SELECT DISTINCT elmText(getElm(st.out, 'sectionName', '', ''))
+        FROM pp, TABLE(unnest(pp_slist, 'sListTuple')) st
+        WHERE findKeyInElm(st.out, 'author', 'Worthy') = 1
+    """,
+)
+
+QG4 = WorkloadQuery(
+    key="QG4",
+    title="Aggregation",
+    description="For each author, count the number of proceeding sections "
+                "in which the author has a paper.",
+    hybrid_sql="""
+        SELECT author_value, COUNT(DISTINCT slisttupleID)
+        FROM slisttuple, articles, atuple, authors, author
+        WHERE articles_parentID = slisttupleID
+          AND atuple_parentID = articlesID
+          AND authors_parentID = atupleID
+          AND author_parentID = authorsID
+        GROUP BY author_value
+    """,
+    xorator_sql="""
+        SELECT elmText(au.out) AS author_value, COUNT(DISTINCT st.out)
+        FROM pp,
+             TABLE(unnest(pp_slist, 'sListTuple')) st,
+             TABLE(unnest(st.out, 'author')) au
+        GROUP BY elmText(au.out)
+    """,
+)
+
+QG5 = WorkloadQuery(
+    key="QG5",
+    title="Aggregation with selection",
+    description="Count the number of proceeding sections that have papers "
+                "published by authors whose names have the keyword 'Bird'.",
+    hybrid_sql="""
+        SELECT COUNT(DISTINCT slisttupleID)
+        FROM slisttuple, articles, atuple, authors, author
+        WHERE articles_parentID = slisttupleID
+          AND atuple_parentID = articlesID
+          AND authors_parentID = atupleID
+          AND author_parentID = authorsID
+          AND author_value LIKE '%Bird%'
+    """,
+    xorator_sql="""
+        SELECT COUNT(*)
+        FROM pp, TABLE(unnest(pp_slist, 'sListTuple')) st
+        WHERE findKeyInElm(st.out, 'author', 'Bird') = 1
+    """,
+)
+
+QG6 = WorkloadQuery(
+    key="QG6",
+    title="Order access with selection",
+    description="Retrieve the second author of the papers with the keyword "
+                "'Join' in the paper title.",
+    hybrid_sql="""
+        SELECT author_value
+        FROM atuple, authors, author
+        WHERE authors_parentID = atupleID
+          AND author_parentID = authorsID
+          AND author_childOrder = 2
+          AND atuple_title LIKE '%Join%'
+    """,
+    xorator_sql="""
+        SELECT getElmIndex(at.out, 'authors', 'author', 2, 2)
+        FROM pp, TABLE(unnest(pp_slist, 'aTuple')) at
+        WHERE findKeyInElm(at.out, 'title', 'Join') = 1
+    """,
+)
+
+SIGMOD_QUERIES: list[WorkloadQuery] = [QG1, QG2, QG3, QG4, QG5, QG6]
+
+
+def workload_sql(algorithm: str) -> list[str]:
+    """All QG SQL for one algorithm (feeds the index advisor)."""
+    return [query.sql_for(algorithm) for query in SIGMOD_QUERIES]

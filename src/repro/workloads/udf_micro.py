@@ -1,0 +1,42 @@
+"""The UDF-overhead micro-benchmark (paper §4.4, Figure 14).
+
+QT1 and QT2 run the same string computation over the Hybrid schema's
+``speaker`` table twice: once with the engine's built-in function and
+once with a registered external UDF.  The paper measures the UDF at
+roughly 40 % more expensive; the FENCED variants quantify the paper's
+remark that fenced UDFs pay a much larger address-space-crossing
+penalty.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MicroQuery:
+    key: str
+    description: str
+    builtin_sql: str
+    udf_sql: str
+    fenced_sql: str
+
+
+QT1 = MicroQuery(
+    key="QT1",
+    description="Return the length of the string in the SPEAKER attribute.",
+    builtin_sql="SELECT length(speaker_value) FROM speaker",
+    udf_sql="SELECT udf_length(speaker_value) FROM speaker",
+    fenced_sql="SELECT fenced_length(speaker_value) FROM speaker",
+)
+
+QT2 = MicroQuery(
+    key="QT2",
+    description="Return the substring of the SPEAKER attribute from the "
+                "fifth position to the last position.",
+    builtin_sql="SELECT substr(speaker_value, 5) FROM speaker",
+    udf_sql="SELECT udf_substr(speaker_value, 5) FROM speaker",
+    fenced_sql="SELECT fenced_substr(speaker_value, 5) FROM speaker",
+)
+
+MICRO_QUERIES: list[MicroQuery] = [QT1, QT2]

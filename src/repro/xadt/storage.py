@@ -1,0 +1,120 @@
+"""The two XADT storage codecs (paper §3.4.1).
+
+* ``plain`` — the fragment is stored as its tagged XML text (the paper's
+  "naive" VARCHAR representation);
+* ``dict`` — the XMill-inspired compressed representation from
+  :mod:`repro.xadt.compress`.
+
+Both expose the same event-stream interface, so the XADT methods run
+unchanged over either representation (the compressed scan walks the
+byte stream directly — it never materializes the XML text).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.errors import XadtCodecError
+from repro.xadt import compress
+from repro.xmlkit.chars import escape_attribute, escape_text
+from repro.xmlkit.tokens import EndTag, StartTag, TextEvent, Tokenizer
+
+Event = compress.Event
+
+PLAIN = "plain"
+DICT = "dict"
+#: plain text plus a per-fragment element-span directory (paper §4.4/§5's
+#: "metadata associated with each XADT attribute"; see repro.xadt.metadata)
+INDEXED = "indexed"
+CODECS = (PLAIN, DICT, INDEXED)
+
+
+def text_to_events(xml_text: str) -> Iterator[Event]:
+    """Tokenize fragment text into the shared event vocabulary.
+
+    Comments and processing instructions are dropped: XADT payloads are
+    produced by the shredder from element content and the paper's methods
+    are defined over elements and text only.
+    """
+    for token in Tokenizer(xml_text).tokens():
+        if isinstance(token, StartTag):
+            yield ("open", token.name, token.attributes)
+            if token.self_closing:
+                yield ("close", token.name)
+        elif isinstance(token, EndTag):
+            yield ("close", token.name)
+        elif isinstance(token, TextEvent):
+            if token.data:
+                yield ("text", token.data)
+        # comments / PIs / doctype: dropped
+
+
+def events_to_text(events: Iterable[Event]) -> str:
+    """Serialize an event stream back to fragment text.
+
+    Empty elements render self-closed (``<a/>``), matching the compact
+    serializer, so the two codecs produce byte-identical text.
+    """
+    parts: list[str] = []
+    pending_open: str | None = None  # tag awaiting '>' or '/>'
+    for event in events:
+        kind = event[0]
+        if kind == "open":
+            if pending_open is not None:
+                parts.append(">")
+            _, tag, attrs = event
+            parts.append(f"<{tag}")
+            for name, value in (attrs or {}).items():
+                parts.append(f' {name}="{escape_attribute(value)}"')
+            pending_open = tag
+        elif kind == "close":
+            if pending_open == event[1]:
+                parts.append("/>")
+                pending_open = None
+            else:
+                if pending_open is not None:
+                    parts.append(">")
+                    pending_open = None
+                parts.append(f"</{event[1]}>")
+        elif kind == "text":
+            if pending_open is not None:
+                parts.append(">")
+                pending_open = None
+            parts.append(escape_text(event[1]))
+        else:
+            raise XadtCodecError(f"unknown event kind {kind!r}")
+    if pending_open is not None:
+        parts.append(">")
+    return "".join(parts)
+
+
+def encode(xml_text: str, codec: str) -> str | bytes:
+    """Encode fragment text into a codec payload."""
+    if codec in (PLAIN, INDEXED):
+        # the indexed codec's directory is derived (and cached) from the
+        # text by XadtValue; the payload itself stays plain
+        return xml_text
+    if codec == DICT:
+        return compress.encode_events(text_to_events(xml_text))
+    raise XadtCodecError(f"unknown codec {codec!r}")
+
+
+def payload_events(payload: str | bytes, codec: str) -> Iterator[Event]:
+    """The event stream of a stored payload."""
+    if codec in (PLAIN, INDEXED):
+        if not isinstance(payload, str):
+            raise XadtCodecError("plain payloads are text")
+        return text_to_events(payload)
+    if codec == DICT:
+        if not isinstance(payload, bytes):
+            raise XadtCodecError("dict payloads are bytes")
+        return compress.decode_events(payload)
+    raise XadtCodecError(f"unknown codec {codec!r}")
+
+
+def payload_size(payload: str | bytes, codec: str) -> int:
+    """Stored size in bytes (the indexed codec's directory is added by
+    XadtValue.byte_size, which owns the directory)."""
+    if codec in (PLAIN, INDEXED):
+        return len(payload.encode("utf-8"))  # type: ignore[union-attr]
+    return len(payload)  # type: ignore[arg-type]

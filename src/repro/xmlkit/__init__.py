@@ -1,0 +1,35 @@
+"""XML toolkit substrate: DOM, tokenizer, parser, serializer, paths.
+
+This package replaces the IBM XML4J parser the paper used.  Everything is
+implemented from scratch so that the shredders and the XADT control their
+own cost profile (see DESIGN.md §2).
+"""
+
+from repro.xmlkit.dom import (
+    Comment,
+    Document,
+    Element,
+    Node,
+    ProcessingInstruction,
+    Text,
+    element,
+)
+from repro.xmlkit.parser import parse, parse_file, parse_fragment
+from repro.xmlkit.path import select
+from repro.xmlkit.serializer import serialize, serialize_children
+
+__all__ = [
+    "Comment",
+    "Document",
+    "Element",
+    "Node",
+    "ProcessingInstruction",
+    "Text",
+    "element",
+    "parse",
+    "parse_file",
+    "parse_fragment",
+    "select",
+    "serialize",
+    "serialize_children",
+]

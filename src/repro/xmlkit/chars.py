@@ -1,0 +1,127 @@
+"""Character-level helpers for the XML toolkit.
+
+Implements the XML 1.0 name rules (slightly simplified to the ASCII +
+letter categories that the paper's data sets use), entity escaping and
+unescaping, and whitespace helpers.  Kept free of any parser state so the
+tokenizer, serializer, and XADT codecs can all share it.
+"""
+
+from __future__ import annotations
+
+# Characters that may start an XML name.  XML 1.0 allows a large set of
+# Unicode letters; ``str.isalpha`` covers the letter categories and we add
+# the two ASCII specials.
+_NAME_START_EXTRA = {"_", ":"}
+# Characters allowed after the first one.
+_NAME_EXTRA = {"_", ":", "-", "."}
+
+WHITESPACE = {" ", "\t", "\r", "\n"}
+
+# The five predefined XML entities.
+_ESCAPES = {
+    "&": "&amp;",
+    "<": "&lt;",
+    ">": "&gt;",
+    '"': "&quot;",
+    "'": "&apos;",
+}
+_UNESCAPES = {
+    "amp": "&",
+    "lt": "<",
+    "gt": ">",
+    "quot": '"',
+    "apos": "'",
+}
+
+
+def is_name_start_char(ch: str) -> bool:
+    """Return True if ``ch`` may start an XML name."""
+    return ch.isalpha() or ch in _NAME_START_EXTRA
+
+
+def is_name_char(ch: str) -> bool:
+    """Return True if ``ch`` may appear in an XML name after the first char."""
+    return ch.isalnum() or ch in _NAME_EXTRA
+
+
+def is_valid_name(name: str) -> bool:
+    """Return True if ``name`` is a syntactically valid XML name."""
+    if not name:
+        return False
+    if not is_name_start_char(name[0]):
+        return False
+    return all(is_name_char(ch) for ch in name[1:])
+
+
+def is_whitespace(text: str) -> bool:
+    """Return True if ``text`` is non-empty and consists only of XML whitespace."""
+    return bool(text) and all(ch in WHITESPACE for ch in text)
+
+
+def escape_text(text: str) -> str:
+    """Escape character data for inclusion between tags."""
+    if "&" in text:
+        text = text.replace("&", "&amp;")
+    if "<" in text:
+        text = text.replace("<", "&lt;")
+    if ">" in text:
+        text = text.replace(">", "&gt;")
+    return text
+
+
+def escape_attribute(text: str) -> str:
+    """Escape character data for inclusion inside a double-quoted attribute."""
+    return escape_text(text).replace('"', "&quot;")
+
+
+def unescape(text: str) -> str:
+    """Expand the five predefined entities and numeric character references.
+
+    Unknown entities are left untouched rather than raising: the paper's
+    data sets occasionally carry entities we do not want to be strict about
+    during benchmarking, and silently-preserved text is the least
+    surprising behaviour for a storage engine.
+    """
+    if "&" not in text:
+        return text
+    out: list[str] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch != "&":
+            out.append(ch)
+            i += 1
+            continue
+        end = text.find(";", i + 1)
+        if end == -1:
+            out.append(ch)
+            i += 1
+            continue
+        body = text[i + 1:end]
+        if body in _UNESCAPES:
+            out.append(_UNESCAPES[body])
+            i = end + 1
+        elif body.startswith("#x") or body.startswith("#X"):
+            try:
+                out.append(chr(int(body[2:], 16)))
+                i = end + 1
+            except ValueError:
+                out.append(ch)
+                i += 1
+        elif body.startswith("#"):
+            try:
+                out.append(chr(int(body[1:])))
+                i = end + 1
+            except ValueError:
+                out.append(ch)
+                i += 1
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def collapse_whitespace(text: str) -> str:
+    """Collapse runs of XML whitespace to single spaces and strip the ends."""
+    return " ".join(text.split())

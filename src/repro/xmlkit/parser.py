@@ -1,0 +1,126 @@
+"""Tree-building XML parser.
+
+Builds a :class:`~repro.xmlkit.dom.Document` from the tokenizer's event
+stream, enforcing well-formedness (matching tags, a single root element).
+Whitespace-only text between elements can optionally be dropped, which the
+shredders use so that pretty-printed input does not create phantom text
+nodes.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.errors import XmlSyntaxError
+from repro.xmlkit import chars
+from repro.xmlkit.dom import Comment, Document, Element, ProcessingInstruction, Text
+from repro.xmlkit.tokens import (
+    CommentEvent,
+    DoctypeEvent,
+    EndTag,
+    PIEvent,
+    StartTag,
+    TextEvent,
+    Tokenizer,
+)
+
+
+def parse(text: str, keep_whitespace: bool = False) -> Document:
+    """Parse ``text`` into a Document.
+
+    ``keep_whitespace`` controls whether whitespace-only text nodes between
+    elements are preserved.  Mixed-content whitespace adjacent to real text
+    is always preserved.
+    """
+    tokenizer = Tokenizer(text)
+    prolog: list[Comment | ProcessingInstruction] = []
+    doctype: str | None = None
+    root: Element | None = None
+    stack: list[Element] = []
+
+    for event in tokenizer.tokens():
+        if isinstance(event, TextEvent):
+            if not stack:
+                if chars.is_whitespace(event.data) or not event.data:
+                    continue
+                raise XmlSyntaxError("text outside the root element", event.offset, text)
+            if not keep_whitespace and chars.is_whitespace(event.data):
+                continue
+            top = stack[-1]
+            # Merge adjacent text nodes (CDATA next to character data).
+            if top.children and isinstance(top.children[-1], Text):
+                top.children[-1].data += event.data
+            else:
+                top.append(Text(event.data))
+        elif isinstance(event, StartTag):
+            if root is not None and not stack:
+                raise XmlSyntaxError(
+                    "multiple root elements", event.offset, text
+                )
+            node = Element(event.name, attributes=event.attributes)
+            if stack:
+                stack[-1].append(node)
+            else:
+                root = node
+            if not event.self_closing:
+                stack.append(node)
+        elif isinstance(event, EndTag):
+            if not stack:
+                raise XmlSyntaxError(
+                    f"unexpected end tag </{event.name}>", event.offset, text
+                )
+            open_element = stack.pop()
+            if open_element.tag != event.name:
+                raise XmlSyntaxError(
+                    f"mismatched end tag: expected </{open_element.tag}>, "
+                    f"found </{event.name}>",
+                    event.offset,
+                    text,
+                )
+        elif isinstance(event, CommentEvent):
+            node = Comment(event.data)
+            if stack:
+                stack[-1].append(node)
+            elif root is None:
+                prolog.append(node)
+            # comments after the root are legal but rarely useful; drop them
+        elif isinstance(event, PIEvent):
+            if event.target.lower() == "xml":
+                continue  # the XML declaration carries no tree content
+            node = ProcessingInstruction(event.target, event.data)
+            if stack:
+                stack[-1].append(node)
+            elif root is None:
+                prolog.append(node)
+        elif isinstance(event, DoctypeEvent):
+            if root is not None:
+                raise XmlSyntaxError(
+                    "DOCTYPE must precede the root element", event.offset, text
+                )
+            doctype = event.raw
+
+    if stack:
+        raise XmlSyntaxError(f"unclosed element <{stack[-1].tag}>", len(text), text)
+    if root is None:
+        raise XmlSyntaxError("document has no root element", 0, text)
+    return Document(root, prolog=prolog, doctype=doctype)
+
+
+def parse_fragment(text: str, keep_whitespace: bool = False) -> list[Element]:
+    """Parse a fragment that may contain several sibling root elements.
+
+    This is the grammar of XADT payloads (e.g. two ``<speaker>`` elements
+    concatenated, paper Figure 9).  Returns the list of top-level elements.
+    """
+    wrapped = f"<fragment-root>{text}</fragment-root>"
+    document = parse(wrapped, keep_whitespace=keep_whitespace)
+    roots = document.root.child_elements()
+    for node in roots:
+        node.parent = None
+    return roots
+
+
+def parse_file(path: str | os.PathLike[str], keep_whitespace: bool = False) -> Document:
+    """Parse the XML document stored at ``path``."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse(handle.read(), keep_whitespace=keep_whitespace)

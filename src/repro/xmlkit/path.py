@@ -1,0 +1,63 @@
+"""Simple path navigation over DOM trees.
+
+Implements the slash-separated descendant paths the examples and tests
+use to express the paper's query intents against raw documents (the
+"ground truth" evaluator for query correctness tests).  Supported steps:
+
+* ``name``   — child elements with that tag
+* ``*``      — any child element
+* ``//name`` — descendants with that tag (leading ``//`` anywhere rule)
+
+This is intentionally a small subset of XPath: just enough to describe
+paths like ``PLAY/ACT/SCENE/SPEECH`` or ``//SPEAKER``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.errors import XmlError
+from repro.xmlkit.dom import Document, Element
+
+
+def select(root: Element | Document, path: str) -> list[Element]:
+    """Evaluate ``path`` against ``root`` and return matching elements.
+
+    The first step is matched against the root element itself (as in
+    ``/PLAY/ACT`` with the leading slash removed), unless the path starts
+    with ``//`` in which case the first step matches any descendant.
+    """
+    if isinstance(root, Document):
+        root = root.root
+    path = path.strip()
+    if not path:
+        raise XmlError("empty path")
+
+    anywhere = path.startswith("//")
+    steps = [s for s in path.lstrip("/").split("/") if s]
+    if not steps:
+        raise XmlError(f"path {path!r} has no steps")
+
+    first, rest = steps[0], steps[1:]
+    if anywhere:
+        current = [e for e in root.iter() if _matches(e, first)]
+    else:
+        current = [root] if _matches(root, first) else []
+
+    for step in rest:
+        next_nodes: list[Element] = []
+        for node in current:
+            for child in node.child_elements():
+                if _matches(child, step):
+                    next_nodes.append(child)
+        current = next_nodes
+    return current
+
+
+def _matches(element: Element, step: str) -> bool:
+    return step == "*" or element.tag == step
+
+
+def texts(nodes: Iterable[Element]) -> list[str]:
+    """Text content of each node; convenience for assertions."""
+    return [node.text_content() for node in nodes]

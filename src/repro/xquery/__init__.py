@@ -1,0 +1,45 @@
+"""Path queries over shredded XML: the rewriting layer the paper defers.
+
+The paper's §4.3: "we do not focus on automatically rewriting XML
+queries into equivalent SQL queries" (citing XPERANTO and Shimura
+et al.).  This package implements that layer for a practical path
+subset: ``parse_path`` builds the query, ``compile_path`` translates it
+to SQL for a Hybrid or XORator schema, and ``ground.evaluate`` provides
+the document-level semantics the translations are tested against.
+
+    from repro.xquery import compile_path, parse_path
+    query = parse_path("/PLAY/ACT/SCENE/SPEECH[SPEAKER='ROMEO']"
+                       "/LINE[contains(., 'love')]")
+    compiled = compile_path(query, map_xorator(shakespeare))
+    db.execute(compiled.sql)
+"""
+
+from repro.xquery.ast import (
+    ComparePredicate,
+    ExistsPredicate,
+    PathQuery,
+    PositionPredicate,
+    Step,
+)
+from repro.xquery.compiler import (
+    CompiledPathQuery,
+    PathCompileError,
+    compile_path,
+)
+from repro.xquery.ground import evaluate, evaluate_texts
+from repro.xquery.parser import PathSyntaxError, parse_path
+
+__all__ = [
+    "ComparePredicate",
+    "CompiledPathQuery",
+    "ExistsPredicate",
+    "PathCompileError",
+    "PathQuery",
+    "PathSyntaxError",
+    "PositionPredicate",
+    "Step",
+    "compile_path",
+    "evaluate",
+    "evaluate_texts",
+    "parse_path",
+]

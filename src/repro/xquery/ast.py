@@ -1,0 +1,89 @@
+"""AST for the path-query language.
+
+The paper translates XML queries to SQL by hand and defers automatic
+rewriting to Carey et al. / Shimura et al.; this package implements that
+deferred piece for a practical path subset ("XPath-lite")::
+
+    /PLAY/ACT/SCENE/SPEECH[SPEAKER='ROMEO']/LINE[contains(., 'love')]
+    /PP//author[position()=2]
+    /PLAY[contains(TITLE, 'Romeo')]/ACT
+
+* absolute paths of child steps; one leading ``//`` descendant step is
+  allowed right after the root;
+* predicates per step: existence (``[STAGEDIR]``), equality
+  (``[SPEAKER='X']``), substring (``[contains(REL, 'x')]`` with ``.``
+  for the step's own content), and position (``[position()=N]`` or the
+  ``[N]`` shorthand, counted among same-tag siblings — the childOrder /
+  getElmIndex convention).
+
+The compilers in :mod:`repro.xquery.compiler` translate a parsed query
+to SQL for the Hybrid schema (joins) or the XORator schema (joins plus
+XADT method compositions); :mod:`repro.xquery.ground` evaluates the same
+query directly on DOM trees, which the tests use as the oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class ExistsPredicate:
+    """``[REL]`` — the step has a REL descendant."""
+
+    rel: tuple[str, ...]
+
+    def describe(self) -> str:
+        return "/".join(self.rel)
+
+
+@dataclass(frozen=True)
+class ComparePredicate:
+    """``[REL = 'v']`` or ``[contains(REL, 'v')]``; REL may be ``.``."""
+
+    rel: tuple[str, ...]  #: empty tuple means '.' (the step itself)
+    op: str               #: '=' or 'contains'
+    value: str
+
+    def describe(self) -> str:
+        target = "/".join(self.rel) or "."
+        if self.op == "contains":
+            return f"contains({target}, '{self.value}')"
+        return f"{target} = '{self.value}'"
+
+
+@dataclass(frozen=True)
+class PositionPredicate:
+    """``[position() = n]`` or ``[n]`` (1-based, same-tag siblings)."""
+
+    position: int
+
+    def describe(self) -> str:
+        return f"position() = {self.position}"
+
+
+Predicate = ExistsPredicate | ComparePredicate | PositionPredicate
+
+
+@dataclass(frozen=True)
+class Step:
+    name: str
+    predicates: tuple[Predicate, ...] = ()
+    #: True when this step was written ``//name`` (any depth)
+    descendant: bool = False
+
+    def describe(self) -> str:
+        preds = "".join(f"[{p.describe()}]" for p in self.predicates)
+        prefix = "//" if self.descendant else "/"
+        return f"{prefix}{self.name}{preds}"
+
+
+@dataclass(frozen=True)
+class PathQuery:
+    steps: tuple[Step, ...] = field(default_factory=tuple)
+
+    def describe(self) -> str:
+        return "".join(step.describe() for step in self.steps)
+
+    def __str__(self) -> str:
+        return self.describe()

@@ -1,0 +1,471 @@
+"""Path-query to SQL compilation for both mappings.
+
+``compile_path(query, schema)`` walks the query's steps through a
+:class:`~repro.mapping.base.MappedSchema`:
+
+* while steps land on *relations*, both compilers emit joins
+  (parentID/parentCODE conjuncts, like the paper's hand-written SQL);
+* when a step lands on an *inlined column*, it terminates the path
+  (inlined leaves have no element children);
+* when a step lands on an *XADT column* (XORator only), the compiler
+  switches to fragment mode: further steps and predicates become
+  compositions of ``getElm`` / ``getElmIndex``, and row-level predicates
+  become ``findKeyInElm`` / ``elmEquals`` filters — exactly the query
+  style of the paper's Figures 7 and 8.
+
+Precision rules (enforced, with clear errors, instead of silently
+changing semantics):
+
+* ``//`` steps are expanded at compile time through the DTD's *unique*
+  path to the named element (ambiguous paths are rejected), so both
+  compilers and the ground-truth evaluator agree;
+* ``=`` predicates are allowed where they filter whole rows or scalar
+  columns (exact via ``elmEquals``/column equality); inside fragment
+  steps — where candidates are elements, not rows — only ``contains``
+  is supported (``getElm`` is a containment search, §3.4.2);
+* predicate rel-paths entering fragments match their last element within
+  the candidate subtree; on tree-shaped DTDs (each element one parent)
+  this coincides with the child-chain semantics of the ground truth.
+
+The result is a :class:`CompiledPathQuery` whose SQL runs on a database
+loaded with the corresponding mapping.  ``node_id`` + ``value`` columns
+make results comparable across mappings: one row per selected node
+(Hybrid) or one fragment row per owning relation row (XORator).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+from repro.mapping.base import ColumnKind, MappedColumn, MappedSchema, MappedTable
+from repro.xquery.ast import (
+    ComparePredicate,
+    ExistsPredicate,
+    PathQuery,
+    PositionPredicate,
+    Step,
+)
+
+
+class PathCompileError(ReproError):
+    """Raised when a query cannot be compiled for the given schema."""
+
+
+@dataclass(frozen=True)
+class CompiledPathQuery:
+    """A runnable translation of a path query."""
+
+    sql: str
+    #: 'text' — the value column holds strings; 'fragment' — XADT values
+    shape: str
+    path: str
+
+    def __str__(self) -> str:
+        return self.sql
+
+
+def compile_path(query: PathQuery, schema: MappedSchema) -> CompiledPathQuery:
+    """Compile ``query`` against ``schema`` (either mapping)."""
+    steps = _expand_descendants(query, schema)
+    compiler = _Compiler(schema, query.describe())
+    return compiler.run(steps)
+
+
+# ---------------------------------------------------------------------------
+# '//' expansion through the DTD
+# ---------------------------------------------------------------------------
+
+
+def _expand_descendants(query: PathQuery, schema: MappedSchema) -> list[Step]:
+    sdtd = schema.dtd
+    steps: list[Step] = []
+    for index, step in enumerate(query.steps):
+        if not step.descendant:
+            steps.append(step)
+            continue
+        context = steps[-1].name if steps else sdtd.root
+        chain = _unique_chain(sdtd, context, step.name)
+        for intermediate in chain[:-1]:
+            steps.append(Step(intermediate))
+        steps.append(Step(step.name, step.predicates))
+        del index
+    return steps
+
+
+def _unique_chain(sdtd, context: str, target: str) -> list[str]:
+    """The unique element-name chain from ``context`` down to ``target``."""
+    chains: list[list[str]] = []
+
+    def walk(element: str, trail: list[str]) -> None:
+        if len(chains) > 1:
+            return
+        for child in sdtd.element(element).child_names():
+            if child in trail:
+                continue  # recursion: skip repeated expansion
+            if child == target:
+                chains.append(trail + [child])
+                if len(chains) > 1:
+                    return
+            walk(child, trail + [child])
+
+    walk(context, [])
+    if not chains:
+        raise PathCompileError(
+            f"no path from {context!r} to {target!r} in the DTD"
+        )
+    if len(chains) > 1:
+        raise PathCompileError(
+            f"'//{target}' is ambiguous under {context!r}: "
+            f"{' and '.join('/'.join(c) for c in chains[:2])}"
+        )
+    return chains[0]
+
+
+# ---------------------------------------------------------------------------
+# the compiler
+# ---------------------------------------------------------------------------
+
+
+class _Compiler:
+    def __init__(self, schema: MappedSchema, described: str) -> None:
+        self.schema = schema
+        self.described = described
+        self.from_items: list[str] = []
+        self.where: list[str] = []
+        self._alias_counter = 0
+
+    def run(self, steps: list[Step]) -> CompiledPathQuery:
+        sdtd = self.schema.dtd
+        first = steps[0]
+        if first.name != sdtd.root:
+            raise PathCompileError(
+                f"path must start at the DTD root {sdtd.root!r}, "
+                f"got {first.name!r}"
+            )
+        root_table = self.schema.table_for_element(first.name)
+        if root_table is None:
+            raise PathCompileError("the mapping has no root relation")
+        alias = self._add_table(root_table)
+        self._apply_relation_predicates(root_table, alias, first, is_root=True)
+
+        table, remaining = root_table, steps[1:]
+        index = 0
+        while index < len(remaining):
+            step = remaining[index]
+            child_table = self.schema.table_for_element(step.name)
+            if child_table is not None:
+                alias = self._join_child(table, alias, child_table, step)
+                table = child_table
+                index += 1
+                continue
+            column = _child_column(table, step.name)
+            if column is None:
+                raise PathCompileError(
+                    f"step {step.name!r} is not reachable from "
+                    f"{table.element!r} in the {self.schema.algorithm} schema"
+                )
+            if column.kind is ColumnKind.XADT:
+                return self._finish_in_fragment(
+                    table, alias, column, remaining[index:]
+                )
+            return self._finish_on_scalar_column(
+                table, alias, column, step, remaining[index + 1:]
+            )
+
+        # the path ends on a relation: select its text value
+        value_column = _kind_column(table, ColumnKind.VALUE)
+        if value_column is None:
+            raise PathCompileError(
+                f"element {table.element!r} has no character content to select"
+            )
+        return self._build(
+            node_id=f"{alias}.{_kind_column(table, ColumnKind.ID).name}",
+            value=f"{alias}.{value_column.name}",
+            shape="text",
+        )
+
+    # -- relation-level machinery ------------------------------------------
+
+    def _add_table(self, table: MappedTable) -> str:
+        alias = f"t{self._alias_counter}"
+        self._alias_counter += 1
+        self.from_items.append(f"{table.name} {alias}")
+        return alias
+
+    def _join_child(
+        self,
+        parent_table: MappedTable,
+        parent_alias: str,
+        child_table: MappedTable,
+        step: Step,
+    ) -> str:
+        if parent_table.element not in child_table.parent_elements:
+            raise PathCompileError(
+                f"{child_table.element!r} is not stored under "
+                f"{parent_table.element!r}"
+            )
+        alias = self._add_table(child_table)
+        parent_id = _kind_column(parent_table, ColumnKind.ID).name
+        child_parent = _kind_column(child_table, ColumnKind.PARENT_ID).name
+        self.where.append(f"{alias}.{child_parent} = {parent_alias}.{parent_id}")
+        if child_table.needs_parent_code():
+            code = _kind_column(child_table, ColumnKind.PARENT_CODE).name
+            self.where.append(f"{alias}.{code} = '{parent_table.element}'")
+        self._apply_relation_predicates(child_table, alias, step, is_root=False)
+        return alias
+
+    def _apply_relation_predicates(
+        self, table: MappedTable, alias: str, step: Step, is_root: bool
+    ) -> None:
+        for predicate in step.predicates:
+            if isinstance(predicate, PositionPredicate):
+                if is_root:
+                    if predicate.position != 1:
+                        self.where.append("1 = 0")
+                    continue
+                order = _kind_column(table, ColumnKind.CHILD_ORDER)
+                self.where.append(
+                    f"{alias}.{order.name} = {predicate.position}"
+                )
+            elif isinstance(predicate, (ComparePredicate, ExistsPredicate)):
+                self._apply_rel_predicate(table, alias, predicate)
+            else:  # pragma: no cover
+                raise PathCompileError(f"unknown predicate {predicate!r}")
+
+    def _apply_rel_predicate(
+        self,
+        table: MappedTable,
+        alias: str,
+        predicate: ComparePredicate | ExistsPredicate,
+    ) -> None:
+        rel = predicate.rel
+        if not rel:  # '.' — the element's own text
+            value_column = _kind_column(table, ColumnKind.VALUE)
+            if value_column is None:
+                raise PathCompileError(
+                    f"{table.element!r} has no character content for '.'"
+                )
+            self._compare_column(alias, value_column.name, predicate)
+            return
+
+        # (a) the rel path is an inlined/attribute-free column of the table
+        inlined = _column_by_path(table, rel)
+        if inlined is not None and inlined.kind in (
+            ColumnKind.INLINED_LEAF, ColumnKind.PRESENCE,
+        ):
+            if isinstance(predicate, ExistsPredicate):
+                self.where.append(f"{alias}.{inlined.name} IS NOT NULL")
+            else:
+                self._compare_column(alias, inlined.name, predicate)
+            return
+
+        # (b) the rel path enters an XADT column: row-level fragment filter
+        fragment = _child_column(table, rel[0])
+        if fragment is not None and fragment.kind is ColumnKind.XADT:
+            target = rel[-1]
+            column = f"{alias}.{fragment.name}"
+            if isinstance(predicate, ExistsPredicate):
+                self.where.append(
+                    f"findKeyInElm({column}, '{target}', '') = 1"
+                )
+            elif predicate.op == "contains":
+                self.where.append(
+                    f"findKeyInElm({column}, '{target}', "
+                    f"'{_quote(predicate.value)}') = 1"
+                )
+            else:
+                self.where.append(
+                    f"elmEquals({column}, '{target}', "
+                    f"'{_quote(predicate.value)}') = 1"
+                )
+            return
+
+        # (c) the rel path starts at a child relation: join down to it
+        child_table = self.schema.table_for_element(rel[0])
+        if child_table is not None:
+            child_alias = self._join_child(
+                table, alias, child_table, Step(rel[0])
+            )
+            remainder = (
+                ComparePredicate(rel[1:], predicate.op, predicate.value)
+                if isinstance(predicate, ComparePredicate)
+                else ExistsPredicate(rel[1:])
+            )
+            if rel[1:] or isinstance(predicate, ComparePredicate):
+                if isinstance(predicate, ExistsPredicate) and not rel[1:]:
+                    return  # the join itself asserts existence
+                self._apply_rel_predicate(child_table, child_alias, remainder)
+            return
+
+        raise PathCompileError(
+            f"predicate path {'/'.join(rel)!r} is not reachable from "
+            f"{table.element!r} in the {self.schema.algorithm} schema"
+        )
+
+    def _compare_column(
+        self, alias: str, column: str, predicate: ComparePredicate | ExistsPredicate
+    ) -> None:
+        if isinstance(predicate, ExistsPredicate):
+            self.where.append(f"{alias}.{column} IS NOT NULL")
+        elif predicate.op == "=":
+            self.where.append(f"{alias}.{column} = '{_quote(predicate.value)}'")
+        else:
+            self.where.append(
+                f"{alias}.{column} LIKE '%{_quote(predicate.value)}%'"
+            )
+
+    # -- fragment-level machinery -----------------------------------------
+
+    def _finish_in_fragment(
+        self,
+        table: MappedTable,
+        alias: str,
+        column: MappedColumn,
+        steps: list[Step],
+    ) -> CompiledPathQuery:
+        expr = f"{alias}.{column.name}"
+        context_tag = ""  # the column's instances are the fragment roots
+        for depth, step in enumerate(steps):
+            expr = self._fragment_step(expr, context_tag, step, row_level=depth == 0,
+                                        row_column=f"{alias}.{column.name}")
+            context_tag = step.name
+        return self._build(
+            node_id=f"{alias}.{_kind_column(table, ColumnKind.ID).name}",
+            value=expr,
+            shape="fragment",
+        )
+
+    def _fragment_step(
+        self,
+        expr: str,
+        context_tag: str,
+        step: Step,
+        row_level: bool,
+        row_column: str,
+    ) -> str:
+        name = step.name
+        # position predicates run against unfiltered same-tag siblings
+        positions = [
+            p for p in step.predicates if isinstance(p, PositionPredicate)
+        ]
+        others = [
+            p for p in step.predicates if not isinstance(p, PositionPredicate)
+        ]
+        if positions:
+            (position,) = positions  # one position predicate per step
+            expr = (
+                f"getElmIndex({expr}, '{context_tag}', '{name}', "
+                f"{position.position}, {position.position})"
+            )
+        else:
+            expr = f"getElm({expr}, '{name}', '', '')"
+        for predicate in others:
+            if isinstance(predicate, ExistsPredicate):
+                target = predicate.rel[-1]
+                expr = f"getElm({expr}, '{name}', '{target}', '')"
+            elif predicate.op == "contains":
+                target = predicate.rel[-1] if predicate.rel else name
+                expr = (
+                    f"getElm({expr}, '{name}', '{target}', "
+                    f"'{_quote(predicate.value)}')"
+                )
+            else:
+                raise PathCompileError(
+                    "'=' predicates are not supported inside fragments "
+                    "(candidates are elements, not rows); use contains() "
+                    "or move the predicate to a relation step"
+                )
+        if row_level and others:
+            # also prune rows whose whole column cannot match (the paper's
+            # WHERE findKeyInElm(...) = 1 idiom, Figure 7)
+            for predicate in others:
+                if isinstance(predicate, ComparePredicate):
+                    target = predicate.rel[-1] if predicate.rel else name
+                    self.where.append(
+                        f"findKeyInElm({row_column}, '{target}', "
+                        f"'{_quote(predicate.value)}') = 1"
+                    )
+        return expr
+
+    # -- terminal scalar columns ---------------------------------------------
+
+    def _finish_on_scalar_column(
+        self,
+        table: MappedTable,
+        alias: str,
+        column: MappedColumn,
+        step: Step,
+        trailing: list[Step],
+    ) -> CompiledPathQuery:
+        if trailing:
+            raise PathCompileError(
+                f"{step.name!r} is stored as a scalar column; it has no "
+                f"element children to step into"
+            )
+        for predicate in step.predicates:
+            if isinstance(predicate, PositionPredicate):
+                if predicate.position != 1:
+                    self.where.append("1 = 0")
+            elif isinstance(predicate, (ComparePredicate, ExistsPredicate)):
+                if getattr(predicate, "rel", ()):
+                    raise PathCompileError(
+                        f"{step.name!r} is a leaf; predicate paths below it "
+                        f"cannot exist"
+                    )
+                self._compare_column(alias, column.name, predicate)
+        self.where.append(f"{alias}.{column.name} IS NOT NULL")
+        # an inlined leaf occurs at most once per owning row, so the
+        # owning row's id identifies the node
+        owner_id = _kind_column(table, ColumnKind.ID).name
+        return self._build(
+            node_id=f"{alias}.{owner_id}",
+            value=f"{alias}.{column.name}",
+            shape="text",
+        )
+
+    # -- assembly -----------------------------------------------------------------
+
+    def _build(
+        self, node_id: str, value: str, shape: str
+    ) -> CompiledPathQuery:
+        select = f"SELECT DISTINCT {node_id} AS node_id, {value} AS value"
+        sql = f"{select}\nFROM {', '.join(self.from_items)}"
+        if self.where:
+            sql += "\nWHERE " + "\n  AND ".join(self.where)
+        return CompiledPathQuery(sql=sql, shape=shape, path=self.described)
+
+
+# ---------------------------------------------------------------------------
+# schema lookups
+# ---------------------------------------------------------------------------
+
+
+def _kind_column(table: MappedTable, kind: ColumnKind) -> MappedColumn | None:
+    for column in table.columns:
+        if column.kind is kind:
+            return column
+    return None
+
+
+def _child_column(table: MappedTable, element: str) -> MappedColumn | None:
+    """The column holding direct child ``element`` (inlined or XADT)."""
+    for column in table.columns:
+        if column.path == (element,) and column.kind in (
+            ColumnKind.INLINED_LEAF, ColumnKind.XADT, ColumnKind.PRESENCE,
+        ):
+            return column
+    return None
+
+
+def _column_by_path(table: MappedTable, path: tuple[str, ...]) -> MappedColumn | None:
+    for column in table.columns:
+        if column.path == path and column.kind in (
+            ColumnKind.INLINED_LEAF, ColumnKind.PRESENCE,
+        ):
+            return column
+    return None
+
+
+def _quote(value: str) -> str:
+    return value.replace("'", "''")

@@ -1,0 +1,165 @@
+"""Parser for the path-query language (grammar in repro.xquery.ast)."""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+from repro.xmlkit import chars
+from repro.xquery.ast import (
+    ComparePredicate,
+    ExistsPredicate,
+    PathQuery,
+    PositionPredicate,
+    Predicate,
+    Step,
+)
+
+
+class PathSyntaxError(ReproError):
+    """Raised when a path query cannot be parsed."""
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self._text = text
+        self._pos = 0
+
+    def parse(self) -> PathQuery:
+        steps: list[Step] = []
+        if not self._text.strip():
+            raise PathSyntaxError("empty path query")
+        while self._pos < len(self._text):
+            self._skip_ws()
+            if self._pos >= len(self._text):
+                break
+            descendant = False
+            if self._text.startswith("//", self._pos):
+                descendant = True
+                self._pos += 2
+            elif self._text.startswith("/", self._pos):
+                self._pos += 1
+            else:
+                raise self._error("expected '/' or '//'")
+            if descendant and steps and any(s.descendant for s in steps):
+                raise self._error("only one '//' step is supported")
+            name = self._read_name()
+            predicates: list[Predicate] = []
+            while self._peek() == "[":
+                predicates.append(self._read_predicate())
+            steps.append(Step(name, tuple(predicates), descendant))
+        if not steps:
+            raise PathSyntaxError("path query has no steps")
+        if steps[0].descendant:
+            raise PathSyntaxError(
+                "the first step names the document root; '//' may follow it"
+            )
+        return PathQuery(tuple(steps))
+
+    # -- pieces -----------------------------------------------------------
+
+    def _read_predicate(self) -> Predicate:
+        assert self._peek() == "["
+        self._pos += 1
+        self._skip_ws()
+        predicate = self._read_predicate_body()
+        self._skip_ws()
+        if self._peek() != "]":
+            raise self._error("expected ']'")
+        self._pos += 1
+        return predicate
+
+    def _read_predicate_body(self) -> Predicate:
+        if self._text.startswith("position()", self._pos):
+            self._pos += len("position()")
+            self._skip_ws()
+            if self._peek() != "=":
+                raise self._error("position() requires '= <number>'")
+            self._pos += 1
+            return PositionPredicate(self._read_number())
+        if self._peek().isdigit():
+            return PositionPredicate(self._read_number())
+        if self._text.startswith("contains(", self._pos):
+            self._pos += len("contains(")
+            self._skip_ws()
+            rel = self._read_relpath()
+            self._skip_ws()
+            if self._peek() != ",":
+                raise self._error("contains() requires two arguments")
+            self._pos += 1
+            self._skip_ws()
+            value = self._read_string()
+            self._skip_ws()
+            if self._peek() != ")":
+                raise self._error("expected ')'")
+            self._pos += 1
+            return ComparePredicate(rel, "contains", value)
+        rel = self._read_relpath()
+        self._skip_ws()
+        if self._peek() == "=":
+            self._pos += 1
+            self._skip_ws()
+            return ComparePredicate(rel, "=", self._read_string())
+        if not rel:
+            raise self._error("'.' alone is not a predicate")
+        return ExistsPredicate(rel)
+
+    def _read_relpath(self) -> tuple[str, ...]:
+        self._skip_ws()
+        if self._peek() == ".":
+            self._pos += 1
+            return ()
+        parts = [self._read_name()]
+        while self._peek() == "/":
+            self._pos += 1
+            parts.append(self._read_name())
+        return tuple(parts)
+
+    def _read_name(self) -> str:
+        self._skip_ws()
+        start = self._pos
+        text = self._text
+        while self._pos < len(text) and chars.is_name_char(text[self._pos]):
+            self._pos += 1
+        name = text[start:self._pos]
+        if not chars.is_valid_name(name):
+            raise self._error("expected an element name")
+        return name
+
+    def _read_string(self) -> str:
+        quote = self._peek()
+        if quote not in ("'", '"'):
+            raise self._error("expected a quoted string")
+        end = self._text.find(quote, self._pos + 1)
+        if end == -1:
+            raise self._error("unterminated string")
+        value = self._text[self._pos + 1:end]
+        self._pos = end + 1
+        return value
+
+    def _read_number(self) -> int:
+        self._skip_ws()
+        start = self._pos
+        while self._pos < len(self._text) and self._text[self._pos].isdigit():
+            self._pos += 1
+        if start == self._pos:
+            raise self._error("expected a number")
+        return int(self._text[start:self._pos])
+
+    def _peek(self) -> str:
+        self._skip_ws()
+        if self._pos >= len(self._text):
+            return ""
+        return self._text[self._pos]
+
+    def _skip_ws(self) -> None:
+        while self._pos < len(self._text) and self._text[self._pos] in " \t\r\n":
+            self._pos += 1
+
+    def _error(self, message: str) -> PathSyntaxError:
+        return PathSyntaxError(
+            f"{message} at offset {self._pos} in {self._text!r}"
+        )
+
+
+def parse_path(text: str) -> PathQuery:
+    """Parse a path-query string."""
+    return _Parser(text).parse()

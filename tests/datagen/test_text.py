@@ -1,0 +1,86 @@
+"""Word material and the mapping name helpers."""
+
+import random
+
+import pytest
+
+from repro.datagen import text
+from repro.errors import MappingError
+from repro.mapping import fields
+
+
+class TestCorpus:
+    def test_keywords_available_in_pools(self):
+        assert "Worthy" in text.AUTHOR_LAST
+        assert "Bird" in text.AUTHOR_LAST
+        # "Rising" is injected by the generator's rising_rate, not the pool
+        assert any("Romeo and Juliet" in t for t in text.PLAY_TITLES)
+        assert any("Hamlet" in t for t in text.PLAY_TITLES)
+
+    def test_words_are_xml_safe(self):
+        for word in text.WORDS:
+            assert "<" not in word and "&" not in word
+
+    def test_line_of_verse_plants_keyword(self):
+        rng = random.Random(1)
+        line = text.line_of_verse(rng, "friend")
+        assert "friend" in line
+
+    def test_line_without_keyword(self):
+        rng = random.Random(1)
+        assert text.line_of_verse(rng) != ""
+
+    def test_sentence_capitalized(self):
+        rng = random.Random(2)
+        sentence = text.sentence(rng)
+        assert sentence[0].isupper()
+
+    def test_paper_title_plants_keyword(self):
+        rng = random.Random(3)
+        title = text.paper_title(rng, "Join")
+        assert "Join" in title
+
+    def test_author_name_two_parts(self):
+        rng = random.Random(4)
+        assert len(text.author_name(rng).split()) >= 2
+
+
+class TestFieldNaming:
+    def test_paper_conventions(self):
+        assert fields.id_column("SPEECH") == "speechID"
+        assert fields.parent_id_column("SPEECH") == "speech_parentID"
+        assert fields.parent_code_column("SPEECH") == "speech_parentCODE"
+        assert fields.child_order_column("SPEECH") == "speech_childOrder"
+        assert fields.value_column("LINE") == "line_value"
+        assert fields.child_column("ACT", "TITLE") == "act_title"
+
+    def test_attribute_columns(self):
+        assert fields.attribute_column("author", "AuthorPosition") == (
+            "author_authorposition"
+        )
+        assert fields.attribute_column("atuple", "articleCode", via="title") == (
+            "atuple_title_articlecode"
+        )
+
+    def test_sanitize_xml_punctuation(self):
+        assert fields.sanitize("xml:link") == "xml_link"
+        assert fields.sanitize("a-b.c") == "a_b_c"
+
+    def test_allocator_uniquifies(self):
+        allocator = fields.NameAllocator()
+        assert allocator.claim("r_t") == "r_t"
+        assert allocator.claim("r_t") == "r_t_2"
+        assert allocator.claim("r_t") == "r_t_3"
+
+    def test_allocator_case_insensitive(self):
+        allocator = fields.NameAllocator()
+        allocator.claim("Col")
+        assert allocator.claim("col") == "col_2"
+
+    def test_allocator_exhaustion(self):
+        allocator = fields.NameAllocator()
+        allocator.claim("x")
+        for _ in range(998):
+            allocator.claim("x")
+        with pytest.raises(MappingError):
+            allocator.claim("x")

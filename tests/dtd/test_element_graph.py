@@ -1,0 +1,65 @@
+"""Element graph expansion and recursion markers."""
+
+from repro.dtd.element_graph import ElementGraph
+from repro.dtd.graph import DtdGraph
+from repro.dtd.parser import parse_dtd
+from repro.dtd.samples import plays_simplified
+from repro.dtd.simplify import simplify_dtd
+
+
+def element_graph(dtd_text, root=None):
+    simplified = simplify_dtd(parse_dtd(dtd_text), root=root)
+    return ElementGraph.from_dtd_graph(DtdGraph.from_simplified(simplified))
+
+
+class TestExpansion:
+    def test_shared_elements_expand_per_path(self):
+        graph = ElementGraph.from_dtd_graph(
+            DtdGraph.from_simplified(plays_simplified())
+        )
+        # SUBTITLE appears under INDUCT, ACT, and SCENE; SCENE itself is
+        # expanded under both INDUCT and ACT, so SUBTITLE appears 4 times
+        assert len(graph.find_all("SUBTITLE")) == 4
+
+    def test_paths_from_root(self):
+        graph = ElementGraph.from_dtd_graph(
+            DtdGraph.from_simplified(plays_simplified())
+        )
+        paths = {tuple(node.path()) for node in graph.find_all("SPEECH")}
+        assert ("PLAY", "ACT", "SPEECH") in paths
+        assert ("PLAY", "ACT", "SCENE", "SPEECH") in paths
+
+    def test_non_recursive_dtd_has_no_markers(self):
+        graph = ElementGraph.from_dtd_graph(
+            DtdGraph.from_simplified(plays_simplified())
+        )
+        assert graph.recursive_elements == set()
+
+    def test_recursion_becomes_back_edge(self):
+        graph = element_graph(
+            "<!ELEMENT part (title, part*)><!ELEMENT title (#PCDATA)>",
+            root="part",
+        )
+        assert graph.recursive_elements == {"part"}
+        assert graph.root.back_edges == ["part"]
+
+    def test_mutual_recursion(self):
+        graph = element_graph(
+            "<!ELEMENT a (b?)><!ELEMENT b (a?)>", root="a"
+        )
+        assert "a" in graph.recursive_elements
+
+    def test_size_counts_expansion_nodes(self):
+        graph = element_graph(
+            "<!ELEMENT r (x, y)><!ELEMENT x (z)><!ELEMENT y (z)>"
+            "<!ELEMENT z (#PCDATA)>",
+            root="r",
+        )
+        # r, x, y, and two copies of z
+        assert graph.size() == 5
+
+    def test_dump_renders_indentation(self):
+        graph = element_graph(
+            "<!ELEMENT r (x)><!ELEMENT x (#PCDATA)>", root="r"
+        )
+        assert graph.dump() == "r\n  x"

@@ -1,0 +1,161 @@
+"""DTD parser: element declarations, attlists, parameter entities."""
+
+import pytest
+
+from repro.dtd.ast import AttributeDefault, ContentKind, Occurrence
+from repro.dtd.parser import parse_dtd
+from repro.errors import DtdSyntaxError
+
+
+class TestElementDeclarations:
+    def test_pcdata_element(self):
+        dtd = parse_dtd("<!ELEMENT TITLE (#PCDATA)>")
+        decl = dtd.element("TITLE")
+        assert decl.kind is ContentKind.MIXED
+        assert decl.has_pcdata()
+
+    def test_empty_element(self):
+        dtd = parse_dtd("<!ELEMENT br EMPTY>")
+        assert dtd.element("br").kind is ContentKind.EMPTY
+
+    def test_any_element(self):
+        dtd = parse_dtd("<!ELEMENT x ANY>")
+        decl = dtd.element("x")
+        assert decl.kind is ContentKind.ANY
+        assert decl.has_pcdata()
+
+    def test_sequence_with_occurrences(self):
+        dtd = parse_dtd(
+            "<!ELEMENT PLAY (INDUCT?, ACT+)>"
+            "<!ELEMENT INDUCT (#PCDATA)><!ELEMENT ACT (#PCDATA)>"
+        )
+        content = dtd.element("PLAY").content
+        assert content.items[0].occurrence is Occurrence.OPT
+        assert content.items[1].occurrence is Occurrence.PLUS
+
+    def test_choice_group(self):
+        dtd = parse_dtd(
+            "<!ELEMENT s ((a | b)+)>"
+            "<!ELEMENT a (#PCDATA)><!ELEMENT b (#PCDATA)>"
+        )
+        assert set(dtd.element("s").child_names()) == {"a", "b"}
+
+    def test_nested_groups(self):
+        dtd = parse_dtd(
+            "<!ELEMENT INDUCT (TITLE, SUBTITLE*, (SCENE+ | (SPEECH | SUBHEAD)+))>"
+            "<!ELEMENT TITLE (#PCDATA)><!ELEMENT SUBTITLE (#PCDATA)>"
+            "<!ELEMENT SCENE (#PCDATA)><!ELEMENT SPEECH (#PCDATA)>"
+            "<!ELEMENT SUBHEAD (#PCDATA)>"
+        )
+        assert dtd.element("INDUCT").child_names() == [
+            "TITLE", "SUBTITLE", "SCENE", "SPEECH", "SUBHEAD",
+        ]
+
+    def test_mixed_content_with_children(self):
+        dtd = parse_dtd(
+            "<!ELEMENT LINE (#PCDATA | STAGEDIR)*><!ELEMENT STAGEDIR (#PCDATA)>"
+        )
+        decl = dtd.element("LINE")
+        assert decl.kind is ContentKind.MIXED
+        assert decl.child_names() == ["STAGEDIR"]
+
+    def test_group_with_plus_on_sequence(self):
+        dtd = parse_dtd(
+            "<!ELEMENT SPEECH (SPEAKER, LINE)+>"
+            "<!ELEMENT SPEAKER (#PCDATA)><!ELEMENT LINE (#PCDATA)>"
+        )
+        assert dtd.element("SPEECH").content.occurrence is Occurrence.PLUS
+
+    def test_comments_skipped(self):
+        dtd = parse_dtd("<!-- header --><!ELEMENT a EMPTY><!-- footer -->")
+        assert "a" in dtd.elements
+
+
+class TestAttlists:
+    def test_cdata_implied(self):
+        dtd = parse_dtd(
+            "<!ELEMENT title (#PCDATA)>"
+            "<!ATTLIST title articleCode CDATA #IMPLIED>"
+        )
+        (attr,) = dtd.attributes_of("title")
+        assert attr.attr_type == "CDATA"
+        assert attr.default is AttributeDefault.IMPLIED
+
+    def test_required_attribute(self):
+        dtd = parse_dtd("<!ELEMENT a EMPTY><!ATTLIST a id ID #REQUIRED>")
+        (attr,) = dtd.attributes_of("a")
+        assert attr.default is AttributeDefault.REQUIRED
+
+    def test_default_value(self):
+        dtd = parse_dtd('<!ELEMENT a EMPTY><!ATTLIST a kind CDATA "plain">')
+        (attr,) = dtd.attributes_of("a")
+        assert attr.default is AttributeDefault.VALUE
+        assert attr.default_value == "plain"
+
+    def test_fixed_value(self):
+        dtd = parse_dtd('<!ELEMENT a EMPTY><!ATTLIST a v CDATA #FIXED "1">')
+        (attr,) = dtd.attributes_of("a")
+        assert attr.default is AttributeDefault.FIXED
+        assert attr.default_value == "1"
+
+    def test_enumerated_type(self):
+        dtd = parse_dtd('<!ELEMENT a EMPTY><!ATTLIST a dir (ltr|rtl) "ltr">')
+        (attr,) = dtd.attributes_of("a")
+        assert attr.attr_type == "ENUM"
+        assert attr.enumeration == ("ltr", "rtl")
+
+    def test_multiple_attributes_in_one_attlist(self):
+        dtd = parse_dtd(
+            "<!ELEMENT a EMPTY>"
+            "<!ATTLIST a x CDATA #IMPLIED y CDATA #IMPLIED>"
+        )
+        assert [a.name for a in dtd.attributes_of("a")] == ["x", "y"]
+
+
+class TestParameterEntities:
+    def test_declared_entity_expands(self):
+        dtd = parse_dtd(
+            '<!ENTITY % common "x CDATA #IMPLIED">'
+            "<!ELEMENT a EMPTY><!ATTLIST a %common;>"
+        )
+        assert [a.name for a in dtd.attributes_of("a")] == ["x"]
+
+    def test_builtin_xlink_fallback(self):
+        dtd = parse_dtd("<!ELEMENT a EMPTY><!ATTLIST a %Xlink;>")
+        names = [a.name for a in dtd.attributes_of("a")]
+        assert "href" in names
+
+    def test_unknown_entity_rejected(self):
+        with pytest.raises(DtdSyntaxError):
+            parse_dtd("<!ELEMENT a EMPTY><!ATTLIST a %mystery;>")
+
+
+class TestValidationAndErrors:
+    def test_undeclared_child_rejected(self):
+        with pytest.raises(DtdSyntaxError):
+            parse_dtd("<!ELEMENT a (ghost)>")
+
+    def test_duplicate_element_rejected(self):
+        with pytest.raises(DtdSyntaxError):
+            parse_dtd("<!ELEMENT a EMPTY><!ELEMENT a EMPTY>")
+
+    def test_attlist_for_undeclared_element_rejected(self):
+        with pytest.raises(DtdSyntaxError):
+            parse_dtd("<!ATTLIST ghost x CDATA #IMPLIED>")
+
+    def test_mixed_separators_rejected(self):
+        with pytest.raises(DtdSyntaxError):
+            parse_dtd(
+                "<!ELEMENT s (a, b | c)>"
+                "<!ELEMENT a EMPTY><!ELEMENT b EMPTY><!ELEMENT c EMPTY>"
+            )
+
+    def test_unterminated_declaration_rejected(self):
+        with pytest.raises(DtdSyntaxError):
+            parse_dtd("<!ELEMENT a (b)")
+
+    def test_root_candidates(self):
+        dtd = parse_dtd(
+            "<!ELEMENT root (kid)><!ELEMENT kid (#PCDATA)>"
+        )
+        assert dtd.root_candidates() == ["root"]

@@ -1,0 +1,66 @@
+"""The paper's three DTDs parse to the expected structures."""
+
+from repro.dtd import samples
+from repro.dtd.ast import ContentKind
+
+
+class TestPlaysDtd:
+    def test_eleven_elements(self):
+        assert len(samples.plays_dtd().elements) == 11
+
+    def test_root_is_play(self):
+        assert samples.plays_simplified().root == "PLAY"
+
+
+class TestShakespeareDtd:
+    def test_twenty_one_elements(self):
+        assert len(samples.shakespeare_dtd().elements) == 21
+
+    def test_line_is_mixed(self):
+        dtd = samples.shakespeare_dtd()
+        assert dtd.element("LINE").kind is ContentKind.MIXED
+        assert dtd.element("LINE").child_names() == ["STAGEDIR"]
+
+    def test_stagedir_parents(self):
+        simplified = samples.shakespeare_simplified()
+        assert set(simplified.parents_of("STAGEDIR")) == {
+            "INDUCT", "SCENE", "PROLOGUE", "EPILOGUE", "SPEECH", "LINE",
+        }
+
+    def test_title_has_seven_parents(self):
+        simplified = samples.shakespeare_simplified()
+        assert len(simplified.parents_of("TITLE")) == 7
+
+
+class TestSigmodDtd:
+    def test_twenty_three_elements(self):
+        assert len(samples.sigmod_dtd().elements) == 23
+
+    def test_root_is_pp(self):
+        assert samples.sigmod_simplified().root == "PP"
+
+    def test_depth_is_seven_levels(self):
+        # PP -> sList -> sListTuple -> articles -> aTuple -> authors -> author
+        simplified = samples.sigmod_simplified()
+        path = ["PP", "sList", "sListTuple", "articles", "aTuple",
+                "authors", "author"]
+        for parent, child in zip(path, path[1:]):
+            assert child in simplified.element(parent).child_names()
+        assert len(path) == 7
+
+    def test_xlink_attributes_expanded(self):
+        dtd = samples.sigmod_dtd()
+        index_attrs = {a.name for a in dtd.attributes_of("index")}
+        assert "href" in index_attrs
+
+    def test_author_position_attribute(self):
+        dtd = samples.sigmod_dtd()
+        assert [a.name for a in dtd.attributes_of("author")] == ["AuthorPosition"]
+
+    def test_every_element_single_parent(self):
+        """The SIGMOD DTD is a pure tree — the deep worst case for XORator."""
+        simplified = samples.sigmod_simplified()
+        for name in simplified.element_names():
+            if name == "PP":
+                continue
+            assert len(simplified.parents_of(name)) == 1, name

@@ -1,0 +1,147 @@
+"""DTD simplification (paper §3.1): flattening, simplification, grouping."""
+
+import pytest
+
+from repro.dtd.ast import Occurrence, combine_occurrence
+from repro.dtd.parser import parse_dtd
+from repro.dtd.samples import plays_simplified
+from repro.dtd.simplify import simplify_dtd
+from repro.errors import DtdError
+
+ONE, OPT, STAR, PLUS = (
+    Occurrence.ONE, Occurrence.OPT, Occurrence.STAR, Occurrence.PLUS,
+)
+
+
+def simplified_children(dtd_text, element, root=None):
+    dtd = parse_dtd(dtd_text)
+    simplified = simplify_dtd(dtd, root=root)
+    return [(c.name, c.occurrence) for c in simplified.element(element).children]
+
+
+LEAVES = "<!ELEMENT a (#PCDATA)><!ELEMENT b (#PCDATA)><!ELEMENT c (#PCDATA)>"
+
+
+class TestTransformations:
+    def test_plus_becomes_star(self):
+        children = simplified_children(f"<!ELEMENT r (a+)>{LEAVES}", "r", "r")
+        assert children == [("a", STAR)]
+
+    def test_flattening_distributes_star_over_sequence(self):
+        # (a, b)* -> a*, b*
+        children = simplified_children(f"<!ELEMENT r ((a, b)*)>{LEAVES}", "r", "r")
+        assert children == [("a", STAR), ("b", STAR)]
+
+    def test_choice_members_become_optional(self):
+        # (a | b) -> a?, b?
+        children = simplified_children(f"<!ELEMENT r (a | b)>{LEAVES}", "r", "r")
+        assert children == [("a", OPT), ("b", OPT)]
+
+    def test_repeated_choice_members_become_starred(self):
+        # (a | b)+ -> a*, b*
+        children = simplified_children(f"<!ELEMENT r ((a | b)+)>{LEAVES}", "r", "r")
+        assert children == [("a", STAR), ("b", STAR)]
+
+    def test_grouping_merges_duplicates(self):
+        # a, b, a -> a*, b (duplicate mention means the child repeats)
+        children = simplified_children(f"<!ELEMENT r (a, b, a)>{LEAVES}", "r", "r")
+        assert children == [("a", STAR), ("b", ONE)]
+
+    def test_nested_unary_operators_collapse(self):
+        # (a*)? -> a*
+        children = simplified_children(f"<!ELEMENT r ((a*)?)>{LEAVES}", "r", "r")
+        assert children == [("a", STAR)]
+
+    def test_optional_sequence_distributes(self):
+        # (a, b)? -> a?, b?
+        children = simplified_children(f"<!ELEMENT r ((a, b)?)>{LEAVES}", "r", "r")
+        assert children == [("a", OPT), ("b", OPT)]
+
+    def test_deeply_nested_mixed_groups(self):
+        # (a, (b | c)+)? -> a?, b*, c*
+        children = simplified_children(
+            f"<!ELEMENT r ((a, (b | c)+)?)>{LEAVES}", "r", "r"
+        )
+        assert children == [("a", OPT), ("b", STAR), ("c", STAR)]
+
+    def test_first_mention_order_preserved(self):
+        children = simplified_children(f"<!ELEMENT r (c, a, b)>{LEAVES}", "r", "r")
+        assert [name for name, _ in children] == ["c", "a", "b"]
+
+    def test_mixed_content_tracks_pcdata(self):
+        dtd = parse_dtd(
+            "<!ELEMENT LINE (#PCDATA | STAGEDIR)*><!ELEMENT STAGEDIR (#PCDATA)>"
+        )
+        simplified = simplify_dtd(dtd, root="LINE")
+        line = simplified.element("LINE")
+        assert line.has_pcdata
+        assert [(c.name, c.occurrence) for c in line.children] == [("STAGEDIR", STAR)]
+
+
+class TestCombineOccurrence:
+    @pytest.mark.parametrize(
+        "outer,inner,expected",
+        [
+            (ONE, ONE, ONE), (ONE, OPT, OPT), (ONE, STAR, STAR),
+            (OPT, OPT, OPT), (OPT, STAR, STAR), (STAR, OPT, STAR),
+            (PLUS, PLUS, STAR), (PLUS, OPT, STAR), (STAR, STAR, STAR),
+        ],
+    )
+    def test_table(self, outer, inner, expected):
+        assert combine_occurrence(outer, inner) is expected
+
+
+class TestPaperFigure2:
+    """The simplified Plays DTD must match the paper's Figure 2 exactly."""
+
+    def test_figure2(self):
+        simplified = plays_simplified()
+        expected = {
+            "PLAY": [("INDUCT", OPT), ("ACT", STAR)],
+            "INDUCT": [("TITLE", ONE), ("SUBTITLE", STAR), ("SCENE", STAR)],
+            "ACT": [("SCENE", STAR), ("TITLE", ONE), ("SUBTITLE", STAR),
+                    ("SPEECH", STAR), ("PROLOGUE", OPT)],
+            "SCENE": [("TITLE", ONE), ("SUBTITLE", STAR), ("SPEECH", STAR),
+                      ("SUBHEAD", STAR)],
+            "SPEECH": [("SPEAKER", STAR), ("LINE", STAR)],
+        }
+        for element, children in expected.items():
+            actual = [
+                (c.name, c.occurrence)
+                for c in simplified.element(element).children
+            ]
+            assert actual == children, element
+
+    def test_leaves_have_pcdata(self):
+        simplified = plays_simplified()
+        for leaf in ("PROLOGUE", "TITLE", "SUBTITLE", "SUBHEAD", "SPEAKER", "LINE"):
+            decl = simplified.element(leaf)
+            assert decl.is_leaf()
+            assert decl.has_pcdata
+
+
+class TestRootDetection:
+    def test_explicit_root(self):
+        dtd = parse_dtd("<!ELEMENT a (a?)>")  # recursive: no natural root
+        simplified = simplify_dtd(dtd, root="a")
+        assert simplified.root == "a"
+
+    def test_missing_root_rejected(self):
+        dtd = parse_dtd("<!ELEMENT a (a?)>")
+        with pytest.raises(DtdError):
+            simplify_dtd(dtd)
+
+    def test_ambiguous_root_rejected(self):
+        dtd = parse_dtd("<!ELEMENT a EMPTY><!ELEMENT b EMPTY>")
+        with pytest.raises(DtdError):
+            simplify_dtd(dtd)
+
+    def test_unknown_explicit_root_rejected(self):
+        dtd = parse_dtd("<!ELEMENT a EMPTY>")
+        with pytest.raises(DtdError):
+            simplify_dtd(dtd, root="ghost")
+
+    def test_parents_of(self):
+        simplified = plays_simplified()
+        assert simplified.parents_of("SCENE") == ["INDUCT", "ACT"]
+        assert simplified.parents_of("PLAY") == []

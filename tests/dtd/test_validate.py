@@ -1,0 +1,77 @@
+"""Document validation against simplified DTDs."""
+
+from repro.dtd.parser import parse_dtd
+from repro.dtd.samples import shakespeare_simplified, sigmod_simplified
+from repro.dtd.simplify import simplify_dtd
+from repro.dtd.validate import is_valid, validate
+from repro.xmlkit import parse
+
+SIMPLE = simplify_dtd(
+    parse_dtd(
+        "<!ELEMENT r (must, maybe?, many*)>"
+        "<!ELEMENT must (#PCDATA)><!ELEMENT maybe (#PCDATA)>"
+        "<!ELEMENT many (#PCDATA)>"
+        "<!ATTLIST r id CDATA #REQUIRED note CDATA #IMPLIED>"
+    )
+)
+
+
+class TestValidate:
+    def test_valid_document(self):
+        doc = parse('<r id="1"><must>x</must><many/><many/></r>')
+        assert is_valid(doc, SIMPLE)
+
+    def test_wrong_root(self):
+        doc = parse("<must>x</must>")
+        assert any("root" in str(v) for v in validate(doc, SIMPLE))
+
+    def test_missing_required_child(self):
+        doc = parse('<r id="1"/>')
+        assert any("must" in str(v) for v in validate(doc, SIMPLE))
+
+    def test_repeated_non_repeatable_child(self):
+        doc = parse('<r id="1"><must>a</must><maybe/><maybe/></r>')
+        violations = validate(doc, SIMPLE)
+        assert any("not repeatable" in str(v) for v in violations)
+
+    def test_undeclared_child(self):
+        doc = parse('<r id="1"><must>a</must><ghost/></r>')
+        assert any("undeclared child" in str(v) for v in validate(doc, SIMPLE))
+
+    def test_undeclared_element_deeper(self):
+        doc = parse('<r id="1"><must>a<zzz/></must></r>')
+        violations = validate(doc, SIMPLE)
+        assert violations  # zzz flagged somewhere
+
+    def test_text_in_non_pcdata_element(self):
+        dtd = simplify_dtd(
+            parse_dtd("<!ELEMENT r (x)><!ELEMENT x (#PCDATA)>")
+        )
+        doc = parse("<r>stray<x>ok</x></r>")
+        assert any("character data" in str(v) for v in validate(doc, dtd))
+
+    def test_missing_required_attribute(self):
+        doc = parse("<r><must>a</must></r>")
+        assert any("required attribute" in str(v) for v in validate(doc, SIMPLE))
+
+    def test_undeclared_attribute(self):
+        doc = parse('<r id="1" bogus="x"><must>a</must></r>')
+        assert any("undeclared attribute" in str(v) for v in validate(doc, SIMPLE))
+
+
+class TestGeneratedCorporaConform:
+    """The synthetic generators must produce DTD-conforming documents."""
+
+    def test_shakespeare_corpus_is_valid(self, shakespeare_docs):
+        sdtd = shakespeare_simplified()
+        for doc in shakespeare_docs:
+            assert validate(doc, sdtd) == []
+
+    def test_sigmod_corpus_is_valid(self, sigmod_docs):
+        sdtd = sigmod_simplified()
+        for doc in sigmod_docs:
+            assert validate(doc, sdtd) == []
+
+    def test_plays_corpus_is_valid(self, plays_docs, plays_simplified):
+        for doc in plays_docs:
+            assert validate(doc, plays_simplified) == []

@@ -1,0 +1,68 @@
+"""Index advisor: workload-driven suggestions."""
+
+import pytest
+
+from repro.engine import Database
+
+
+@pytest.fixture()
+def db():
+    database = Database("adv")
+    database.execute(
+        "CREATE TABLE line (lineID INTEGER PRIMARY KEY, line_parentID INTEGER, "
+        "line_childOrder INTEGER, line_value VARCHAR)"
+    )
+    database.execute(
+        "CREATE TABLE speech (speechID INTEGER PRIMARY KEY, code VARCHAR)"
+    )
+    return database
+
+
+class TestSuggestions:
+    def test_join_columns_suggested(self, db):
+        ddl = db.advise_indexes(
+            ["SELECT line_value FROM speech, line WHERE line_parentID = speechID"]
+        )
+        flattened = " ".join(ddl)
+        assert "line(line_parentID)" in flattened
+        assert "speech(speechID)" in flattened
+
+    def test_equality_selection_suggested_as_hash(self, db):
+        ddl = db.advise_indexes(["SELECT speechID FROM speech WHERE code = 'ACT'"])
+        assert any("speech(code)" in s and "hash" in s for s in ddl)
+
+    def test_order_by_suggested_as_btree(self, db):
+        ddl = db.advise_indexes(["SELECT lineID FROM line ORDER BY line_childOrder"])
+        assert any("line(line_childOrder)" in s and "btree" in s for s in ddl)
+
+    def test_range_predicate_suggested_as_btree(self, db):
+        ddl = db.advise_indexes(["SELECT lineID FROM line WHERE line_childOrder > 2"])
+        assert any("btree" in s for s in ddl)
+
+    def test_like_predicates_not_indexable(self, db):
+        ddl = db.advise_indexes(
+            ["SELECT lineID FROM line WHERE line_value LIKE '%x%'"]
+        )
+        assert not any("line_value" in s for s in ddl)
+
+    def test_existing_index_not_resuggested(self, db):
+        db.create_index("already", "speech", "code", "hash")
+        ddl = db.advise_indexes(["SELECT speechID FROM speech WHERE code = 'x'"])
+        assert ddl == []
+
+    def test_udf_predicates_ignored(self, db):
+        ddl = db.advise_indexes(
+            ["SELECT speechID FROM speech WHERE length(code) = 3"]
+        )
+        assert not any("code" in s for s in ddl)
+
+    def test_apply_advice_creates_indexes(self, db):
+        applied = db.apply_index_advice(
+            ["SELECT speechID FROM speech WHERE code = 'ACT'"]
+        )
+        assert len(applied) == 1
+        assert db.live_index("speech", "code") is not None
+
+    def test_hybrid_gets_more_indexes_than_xorator(self, shakespeare_pair):
+        hybrid, xorator = shakespeare_pair
+        assert len(hybrid.index_ddl) > len(xorator.index_ddl)

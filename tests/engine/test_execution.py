@@ -1,0 +1,203 @@
+"""End-to-end query execution: scans, joins, filters, ordering."""
+
+import pytest
+
+from repro.engine import Database
+from repro.errors import CatalogError, ExecutionError, PlanError, SqlSyntaxError
+
+
+@pytest.fixture()
+def db():
+    database = Database("exec")
+    database.execute(
+        "CREATE TABLE act (actID INTEGER PRIMARY KEY, act_title VARCHAR)"
+    )
+    database.execute(
+        "CREATE TABLE speech (speechID INTEGER PRIMARY KEY, "
+        "parentID INTEGER, code VARCHAR, ord INTEGER)"
+    )
+    for i in range(4):
+        database.insert("act", (i, f"ACT {i}"))
+    rows = []
+    for i in range(40):
+        rows.append((i, i % 4, "ACT" if i % 2 == 0 else "SCENE", i % 3 + 1))
+    database.bulk_insert("speech", rows)
+    database.runstats()
+    return database
+
+
+class TestScansAndFilters:
+    def test_full_scan(self, db):
+        assert len(db.execute("SELECT * FROM speech")) == 40
+
+    def test_equality_filter(self, db):
+        result = db.execute("SELECT speechID FROM speech WHERE code = 'ACT'")
+        assert len(result) == 20
+
+    def test_like_filter(self, db):
+        result = db.execute("SELECT actID FROM act WHERE act_title LIKE '%2%'")
+        assert result.column("actID") == [2]
+
+    def test_comparison_filter(self, db):
+        result = db.execute("SELECT speechID FROM speech WHERE speechID < 5")
+        assert len(result) == 5
+
+    def test_in_filter(self, db):
+        result = db.execute("SELECT speechID FROM speech WHERE speechID IN (1, 3)")
+        assert sorted(result.column("speechID")) == [1, 3]
+
+    def test_projection_expression(self, db):
+        result = db.execute("SELECT speechID + 100 AS shifted FROM speech LIMIT 1")
+        assert result.scalar() == 100
+
+    def test_constant_false_predicate(self, db):
+        assert len(db.execute("SELECT actID FROM act WHERE 1 = 2")) == 0
+
+    def test_is_null_filter(self, db):
+        db.insert("speech", (99, None, None, None))
+        result = db.execute("SELECT speechID FROM speech WHERE code IS NULL")
+        assert result.column("speechID") == [99]
+
+
+class TestJoins:
+    def test_two_way_join(self, db):
+        result = db.execute(
+            "SELECT act_title, speechID FROM act, speech "
+            "WHERE parentID = actID AND code = 'ACT'"
+        )
+        assert len(result) == 20
+
+    def test_join_with_index(self, db):
+        db.create_index("idx_parent", "speech", "parentID", "hash")
+        db.runstats()
+        result = db.execute(
+            "SELECT speechID FROM act, speech "
+            "WHERE parentID = actID AND act_title = 'ACT 1'"
+        )
+        assert len(result) == 10
+
+    def test_join_order_does_not_change_result(self, db):
+        a = db.execute(
+            "SELECT speechID FROM act, speech WHERE parentID = actID"
+        )
+        b = db.execute(
+            "SELECT speechID FROM speech, act WHERE actID = parentID"
+        )
+        assert sorted(a.column("speechID")) == sorted(b.column("speechID"))
+
+    def test_cross_join(self, db):
+        result = db.execute("SELECT actID, speechID FROM act, speech")
+        assert len(result) == 4 * 40
+
+    def test_self_join_with_aliases(self, db):
+        result = db.execute(
+            "SELECT a.actID, b.actID FROM act a, act b WHERE a.actID = b.actID"
+        )
+        assert len(result) == 4
+
+    def test_null_join_keys_never_match(self, db):
+        db.insert("speech", (98, None, "X", 1))
+        result = db.execute(
+            "SELECT speechID FROM act, speech WHERE parentID = actID"
+        )
+        assert 98 not in result.column("speechID")
+
+    def test_three_way_join(self, db):
+        db.execute("CREATE TABLE extra (xID INTEGER PRIMARY KEY, ref INTEGER)")
+        for i in range(8):
+            db.insert("extra", (i, i % 4))
+        db.runstats()
+        result = db.execute(
+            "SELECT xID FROM act, speech, extra "
+            "WHERE parentID = actID AND ref = actID AND code = 'ACT'"
+        )
+        assert len(result) == 2 * 20  # 2 extras per act x 5 ACT speeches per act
+
+
+class TestDistinctOrderLimit:
+    def test_distinct(self, db):
+        result = db.execute("SELECT DISTINCT code FROM speech")
+        assert sorted(result.column("code")) == ["ACT", "SCENE"]
+
+    def test_order_by(self, db):
+        result = db.execute(
+            "SELECT speechID FROM speech ORDER BY speechID DESC LIMIT 3"
+        )
+        assert result.column("speechID") == [39, 38, 37]
+
+    def test_order_by_alias(self, db):
+        result = db.execute(
+            "SELECT speechID AS sid FROM speech ORDER BY sid LIMIT 2"
+        )
+        assert result.column("sid") == [0, 1]
+
+    def test_order_by_multiple_keys(self, db):
+        result = db.execute(
+            "SELECT ord, speechID FROM speech ORDER BY ord, speechID LIMIT 3"
+        )
+        assert result.column("ord") == [1, 1, 1]
+        assert result.column("speechID") == [0, 3, 6]
+
+    def test_order_nulls_last(self, db):
+        db.insert("speech", (99, None, "X", None))
+        result = db.execute("SELECT ord FROM speech ORDER BY ord")
+        assert result.rows[-1][0] is None
+
+    def test_limit_zero(self, db):
+        assert len(db.execute("SELECT actID FROM act LIMIT 0")) == 0
+
+
+class TestBuiltinsInQueries:
+    def test_length(self, db):
+        result = db.execute("SELECT length(act_title) FROM act LIMIT 1")
+        assert result.scalar() == 5
+
+    def test_substr(self, db):
+        result = db.execute("SELECT substr(act_title, 5) FROM act WHERE actID = 2")
+        assert result.scalar() == "2"
+
+    def test_upper_lower_concat(self, db):
+        result = db.execute(
+            "SELECT concat(lower(act_title), upper('x')) FROM act WHERE actID = 0"
+        )
+        assert result.scalar() == "act 0X"
+
+
+class TestErrors:
+    def test_unknown_table(self, db):
+        with pytest.raises(CatalogError):
+            db.execute("SELECT x FROM ghost")
+
+    def test_unknown_column(self, db):
+        with pytest.raises(PlanError):
+            db.execute("SELECT ghost FROM act")
+
+    def test_ambiguous_column(self, db):
+        with pytest.raises(PlanError):
+            db.execute("SELECT actID FROM act a, act b")
+
+    def test_duplicate_alias(self, db):
+        with pytest.raises(PlanError):
+            db.execute("SELECT 1 FROM act a, speech a")
+
+    def test_syntax_error(self, db):
+        with pytest.raises(SqlSyntaxError):
+            db.execute("SELEC x FROM act")
+
+    def test_unknown_function(self, db):
+        with pytest.raises(Exception):
+            db.execute("SELECT nosuchfn(actID) FROM act")
+
+
+class TestExplain:
+    def test_explain_mentions_operators(self, db):
+        plan = db.explain(
+            "SELECT act_title FROM act, speech WHERE parentID = actID"
+        )
+        assert "Join" in plan
+        assert "Scan" in plan
+        assert "Project" in plan
+
+    def test_explain_rejects_ddl(self, db):
+        with pytest.raises(ExecutionError):
+            db.explain("CREATE TABLE z (a INTEGER)")

@@ -1,0 +1,97 @@
+"""The simulated-disk model: counters, charging rules, spills."""
+
+import pytest
+
+from repro.engine import Database
+from repro.engine.io import (
+    RANDOM_PAGE_SECONDS,
+    SEQUENTIAL_PAGE_SECONDS,
+    IoCounters,
+)
+
+
+class TestCounters:
+    def test_modeled_seconds_formula(self):
+        counters = IoCounters()
+        counters.charge_sequential(10)
+        counters.charge_random(2)
+        counters.charge_spill(5)
+        expected = 15 * SEQUENTIAL_PAGE_SECONDS + 2 * RANDOM_PAGE_SECONDS
+        assert counters.modeled_seconds() == pytest.approx(expected)
+
+    def test_reset(self):
+        counters = IoCounters()
+        counters.charge_random(3)
+        counters.notes.append("x")
+        counters.reset()
+        assert counters.snapshot() == (0, 0, 0)
+        assert counters.notes == []
+
+    def test_random_costs_more_than_sequential(self):
+        assert RANDOM_PAGE_SECONDS > SEQUENTIAL_PAGE_SECONDS
+
+
+@pytest.fixture()
+def db():
+    database = Database("io", work_mem_bytes=8 * 1024)
+    database.execute(
+        "CREATE TABLE big (id INTEGER PRIMARY KEY, pad VARCHAR)"
+    )
+    database.execute(
+        "CREATE TABLE small (sid INTEGER PRIMARY KEY, ref INTEGER)"
+    )
+    for i in range(2000):
+        database.insert("big", (i, "x" * 60))
+    for i in range(20):
+        database.insert("small", (i, i))
+    database.runstats()
+    return database
+
+
+class TestCharging:
+    def test_seq_scan_charges_table_pages(self, db):
+        db.io.reset()
+        db.execute("SELECT COUNT(*) FROM big")
+        assert db.io.sequential_pages == db.heap("big").data_pages()
+        assert db.io.random_pages == 0
+
+    def test_index_scan_charges_random(self, db):
+        db.create_index("idx_big_id", "big", "id", "hash")
+        db.runstats()
+        db.io.reset()
+        db.execute("SELECT pad FROM big WHERE id = 7")
+        assert db.io.random_pages >= 1
+        assert db.io.sequential_pages == 0
+
+    def test_index_scan_dedupes_pages(self, db):
+        # a full-table index scan touches each page at most once
+        db.create_index("idx_small_sid", "small", "sid", "btree")
+        db.runstats()
+        db.io.reset()
+        for i in range(20):
+            db.execute(f"SELECT ref FROM small WHERE sid = {i}")
+        # 20 queries x (1 leaf + 1 data page) at most; caching is per query
+        assert db.io.random_pages <= 40
+
+    def test_hash_join_spills_when_build_exceeds_work_mem(self, db):
+        db.io.reset()
+        db.execute(
+            "SELECT sid FROM small, big WHERE ref = id"
+        )
+        assert db.io.spill_pages > 0
+        assert any("spilled" in note for note in db.io.notes)
+
+    def test_no_spill_with_big_work_mem(self):
+        roomy = Database("roomy", work_mem_bytes=64 * 1024 * 1024)
+        roomy.execute("CREATE TABLE a (x INTEGER PRIMARY KEY)")
+        roomy.execute("CREATE TABLE b (y INTEGER PRIMARY KEY)")
+        for i in range(500):
+            roomy.insert("a", (i,))
+            roomy.insert("b", (i,))
+        roomy.runstats()
+        roomy.io.reset()
+        roomy.execute("SELECT x FROM a, b WHERE x = y")
+        assert roomy.io.spill_pages == 0
+
+    def test_work_mem_override_respected(self):
+        assert Database(work_mem_bytes=123).io.work_mem_bytes == 123

@@ -1,0 +1,73 @@
+"""runstats and the statistics the optimizer consumes."""
+
+import pytest
+
+from repro.engine import Database
+from repro.engine.statistics import collect_stats
+from repro.xadt import XadtValue, register_xadt_functions
+
+
+@pytest.fixture()
+def db():
+    database = Database("stats")
+    register_xadt_functions(database)
+    database.execute(
+        "CREATE TABLE t (id INTEGER PRIMARY KEY, code VARCHAR, "
+        "n INTEGER, frag XADT)"
+    )
+    for i in range(30):
+        database.insert(
+            "t",
+            (
+                i,
+                "ACT" if i % 3 == 0 else "SCENE",
+                i % 5 if i % 7 else None,
+                XadtValue.from_xml(f"<x>{i}</x>"),
+            ),
+        )
+    return database
+
+
+class TestCollect:
+    def test_row_count(self, db):
+        stats = collect_stats(db.heap("t"))
+        assert stats.row_count == 30
+
+    def test_distinct_counts(self, db):
+        stats = collect_stats(db.heap("t"))
+        assert stats.column("code").n_distinct == 2
+        assert stats.column("id").n_distinct == 30
+
+    def test_null_count(self, db):
+        stats = collect_stats(db.heap("t"))
+        assert stats.column("n").null_count == 5  # multiples of 7 incl. 0
+
+    def test_min_max(self, db):
+        stats = collect_stats(db.heap("t"))
+        assert stats.column("id").min_value == 0
+        assert stats.column("id").max_value == 29
+
+    def test_eq_selectivity(self, db):
+        stats = collect_stats(db.heap("t"))
+        assert stats.column("code").eq_selectivity() == pytest.approx(0.5)
+
+    def test_xadt_columns_tracked_by_width_only(self, db):
+        stats = collect_stats(db.heap("t"))
+        frag = stats.column("frag")
+        assert frag.n_distinct == 0
+        assert frag.min_value is None
+
+    def test_runstats_feeds_planner(self, db):
+        assert db.stats_for("t") is None
+        db.runstats()
+        assert db.stats_for("t").row_count == 30
+
+    def test_runstats_single_table(self, db):
+        db.execute("CREATE TABLE other (x INTEGER PRIMARY KEY)")
+        db.runstats("t")
+        assert db.stats_for("t") is not None
+        assert db.stats_for("other") is None
+
+    def test_column_stats_case_insensitive(self, db):
+        db.runstats()
+        assert db.stats_for("t").column("CODE") is not None

@@ -1,0 +1,134 @@
+"""UDF registry: registration, invocation modes, accounting."""
+
+import pytest
+
+from repro.engine.types import INTEGER
+from repro.engine.udf import FunctionKind, FunctionRegistry
+from repro.errors import UdfError
+from repro.xadt import XadtValue
+
+
+@pytest.fixture()
+def registry():
+    return FunctionRegistry()
+
+
+class TestRegistration:
+    def test_builtins_preinstalled(self, registry):
+        for name in ("length", "substr", "upper", "lower", "concat"):
+            assert registry.has_scalar(name)
+
+    def test_lookup_case_insensitive(self, registry):
+        registry.register_scalar("MyFn", lambda: 1, FunctionKind.BUILTIN)
+        assert registry.has_scalar("myfn")
+        assert registry.scalar("MYFN").name == "MyFn"
+
+    def test_duplicate_scalar_rejected(self, registry):
+        registry.register_scalar("f", lambda: 1)
+        with pytest.raises(UdfError):
+            registry.register_scalar("F", lambda: 2)
+
+    def test_unknown_scalar_rejected(self, registry):
+        with pytest.raises(UdfError):
+            registry.scalar("ghost")
+
+    def test_table_function_registration(self, registry):
+        registry.register_table("gen", lambda n: [(i,) for i in range(n)],
+                                [("i", INTEGER)])
+        rows = list(registry.call_table("gen", [3]))
+        assert rows == [(0,), (1,), (2,)]
+
+    def test_unknown_table_function_rejected(self, registry):
+        with pytest.raises(UdfError):
+            registry.table_function("ghost")
+
+
+class TestInvocation:
+    def test_arity_enforced(self, registry):
+        registry.register_scalar("two", lambda a, b: a + b,
+                                 FunctionKind.BUILTIN, 2, 2)
+        assert registry.call_scalar("two", [1, 2]) == 3
+        with pytest.raises(UdfError):
+            registry.call_scalar("two", [1])
+        with pytest.raises(UdfError):
+            registry.call_scalar("two", [1, 2, 3])
+
+    def test_variadic_max(self, registry):
+        registry.register_scalar("any", lambda *a: len(a),
+                                 FunctionKind.BUILTIN, 1, None)
+        assert registry.call_scalar("any", [1, 2, 3, 4]) == 4
+
+    def test_not_fenced_marshals_strings(self, registry):
+        seen = {}
+
+        def capture(value):
+            seen["value"] = value
+            return value
+
+        registry.register_scalar("cap", capture, FunctionKind.NOT_FENCED, 1, 1)
+        original = "hello world"
+        registry.call_scalar("cap", [original])
+        assert seen["value"] == original
+        assert seen["value"] is not original  # physically copied
+
+    def test_not_fenced_marshals_xadt(self, registry):
+        seen = {}
+
+        def capture(value):
+            seen["value"] = value
+            return value
+
+        registry.register_scalar("cap", capture, FunctionKind.NOT_FENCED, 1, 1)
+        fragment = XadtValue.from_xml("<s>x</s>")
+        registry.call_scalar("cap", [fragment])
+        assert seen["value"] == fragment
+        assert seen["value"] is not fragment
+
+    def test_fenced_round_trips_result(self, registry):
+        registry.register_scalar(
+            "echo", lambda v: v, FunctionKind.FENCED, 1, 1
+        )
+        fragment = XadtValue.from_xml("<s>x</s>")
+        result = registry.call_scalar("echo", [fragment])
+        assert result == fragment
+        assert result is not fragment
+
+    def test_builtin_passes_by_reference(self, registry):
+        seen = {}
+        registry.register_scalar(
+            "cap", lambda v: seen.setdefault("v", v), FunctionKind.BUILTIN, 1, 1
+        )
+        original = "zero copy"
+        registry.call_scalar("cap", [original])
+        assert seen["v"] is original
+
+
+class TestAccounting:
+    def test_scalar_calls_counted(self, registry):
+        registry.register_scalar("f", lambda: 1, FunctionKind.NOT_FENCED, 0, 0)
+        for _ in range(3):
+            registry.call_scalar("f", [])
+        assert registry.stats.scalar_calls["f"] == 3
+
+    def test_table_calls_counted(self, registry):
+        registry.register_table("g", lambda: [(1,)], [("x", INTEGER)])
+        registry.call_table("g", [])
+        assert registry.stats.table_calls["g"] == 1
+
+    def test_reset(self, registry):
+        registry.register_scalar("f", lambda: 1, FunctionKind.NOT_FENCED, 0, 0)
+        registry.call_scalar("f", [])
+        registry.stats.reset()
+        assert registry.stats.total_udf_calls() == 0
+
+
+class TestBuiltins:
+    def test_length_null(self, registry):
+        assert registry.call_scalar("length", [None]) is None
+
+    def test_substr_one_based(self, registry):
+        assert registry.call_scalar("substr", ["HAMLET", 5]) == "ET"
+        assert registry.call_scalar("substr", ["HAMLET", 1, 3]) == "HAM"
+
+    def test_concat_null_propagates(self, registry):
+        assert registry.call_scalar("concat", ["a", None]) is None

@@ -1,0 +1,101 @@
+"""Value semantics: comparisons, LIKE, grouping keys."""
+
+import pytest
+
+from repro.engine import values
+from repro.errors import ExecutionError
+from repro.xadt import XadtValue
+
+
+class TestCompare:
+    def test_equality(self):
+        assert values.compare("=", 1, 1)
+        assert not values.compare("=", 1, 2)
+
+    def test_null_never_compares_true(self):
+        for op in ("=", "<>", "<", "<=", ">", ">="):
+            assert not values.compare(op, None, 1)
+            assert not values.compare(op, 1, None)
+
+    def test_ordering(self):
+        assert values.compare("<", 1, 2)
+        assert values.compare(">=", "b", "a")
+
+    def test_implicit_cast_int_vs_string(self):
+        assert values.compare("=", 5, "5")
+        assert values.compare("=", "5", 5)
+        assert values.compare("<", "4", 10)
+
+    def test_non_numeric_string_vs_int_compares_as_text(self):
+        assert not values.compare("=", 5, "five")
+
+    def test_xadt_equality_by_serialization(self):
+        a = XadtValue.from_xml("<s>x</s>")
+        b = XadtValue.from_xml("<s>x</s>")
+        c = XadtValue.from_xml("<s>y</s>")
+        assert values.compare("=", a, b)
+        assert values.compare("<>", a, c)
+
+    def test_xadt_ordering_rejected(self):
+        a = XadtValue.from_xml("<s>x</s>")
+        with pytest.raises(ExecutionError):
+            values.compare("<", a, a)
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ExecutionError):
+            values.compare("~", 1, 1)
+
+
+class TestLike:
+    @pytest.mark.parametrize(
+        "value,pattern,expected",
+        [
+            ("Romeo and Juliet", "%Juliet%", True),
+            ("Romeo", "Romeo", True),
+            ("Romeo", "R_meo", True),
+            ("Romeo", "r%", False),          # LIKE is case sensitive
+            ("abc", "%", True),
+            ("", "%", True),
+            ("abc", "a%c", True),
+            ("abc", "a_c%d", False),
+            ("50% off", "%50% off%", True),
+        ],
+    )
+    def test_patterns(self, value, pattern, expected):
+        assert values.like(value, pattern) is expected
+
+    def test_null_is_false(self):
+        assert not values.like(None, "%")
+
+    def test_regex_metacharacters_are_literal(self):
+        assert values.like("a.b", "a.b")
+        assert not values.like("axb", "a.b")
+        assert values.like("(x)", "(x)")
+
+    def test_like_on_xadt_matches_serialized_text(self):
+        value = XadtValue.from_xml("<s>needle</s>")
+        assert values.like(value, "%needle%")
+
+
+class TestGroupKey:
+    def test_plain_values_pass_through(self):
+        assert values.group_key(5) == 5
+        assert values.group_key("x") == "x"
+        assert values.group_key(None) is None
+
+    def test_xadt_values_get_stable_keys(self):
+        a = XadtValue.from_xml("<s>x</s>")
+        b = XadtValue.from_xml("<s>x</s>")
+        assert values.group_key(a) == values.group_key(b)
+
+    def test_xadt_key_not_confused_with_string(self):
+        value = XadtValue.from_xml("<s>x</s>")
+        assert values.group_key(value) != values.group_key("<s>x</s>")
+
+
+class TestRender:
+    def test_null_renders_dash(self):
+        assert values.render(None) == "-"
+
+    def test_xadt_renders_xml(self):
+        assert values.render(XadtValue.from_xml("<s>x</s>")) == "<s>x</s>"

@@ -1,0 +1,188 @@
+"""Mapping algorithm behaviour beyond the paper's fixed schemas."""
+
+import pytest
+
+from repro.dtd.parser import parse_dtd
+from repro.dtd.simplify import simplify_dtd
+from repro.errors import MappingError
+from repro.mapping import (
+    map_basic,
+    map_hybrid,
+    map_shared,
+    map_xorator,
+    map_xorator_without_decoupling,
+    monet_summary,
+)
+from repro.mapping.base import ColumnKind
+
+
+def simplified(text, root=None):
+    return simplify_dtd(parse_dtd(text), root=root)
+
+
+class TestHybridRules:
+    def test_root_always_a_relation(self):
+        s = simplified("<!ELEMENT r (#PCDATA)>")
+        assert map_hybrid(s).table_names() == ["r"]
+
+    def test_leaf_below_star_becomes_relation(self):
+        s = simplified("<!ELEMENT r (x*)><!ELEMENT x (#PCDATA)>")
+        assert sorted(map_hybrid(s).table_names()) == ["r", "x"]
+
+    def test_single_leaf_inlined(self):
+        s = simplified("<!ELEMENT r (x)><!ELEMENT x (#PCDATA)>")
+        schema = map_hybrid(s)
+        assert schema.table_names() == ["r"]
+        assert "r_x" in schema.table("r").column_names()
+
+    def test_optional_leaf_inlined(self):
+        s = simplified("<!ELEMENT r (x?)><!ELEMENT x (#PCDATA)>")
+        assert map_hybrid(s).table_names() == ["r"]
+
+    def test_set_container_becomes_relation(self):
+        # y holds a set of z: y cannot be inlined away
+        s = simplified(
+            "<!ELEMENT r (y)><!ELEMENT y (z*)><!ELEMENT z (#PCDATA)>"
+        )
+        assert sorted(map_hybrid(s).table_names()) == ["r", "y", "z"]
+
+    def test_chain_of_single_children_collapses(self):
+        s = simplified(
+            "<!ELEMENT r (a)><!ELEMENT a (b)><!ELEMENT b (#PCDATA)>"
+        )
+        schema = map_hybrid(s)
+        assert schema.table_names() == ["r"]
+        assert "r_b" in schema.table("r").column_names()
+
+    def test_recursive_element_becomes_relation(self):
+        s = simplified(
+            "<!ELEMENT part (title, part?)><!ELEMENT title (#PCDATA)>",
+            root="part",
+        )
+        schema = map_hybrid(s)
+        assert schema.table_names() == ["part"]
+        part = schema.table("part")
+        assert part.parent_elements == ["part"]  # self-referencing FK
+
+    def test_shared_leaf_inlined_into_each_parent(self):
+        s = simplified(
+            "<!ELEMENT r (x, y)><!ELEMENT x (t)><!ELEMENT y (t)>"
+            "<!ELEMENT t (#PCDATA)>"
+        )
+        schema = map_hybrid(s)
+        assert schema.table_names() == ["r"]
+        names = schema.table("r").column_names()
+        assert "r_t" in names and "r_t_2" in names  # uniquified
+
+    def test_empty_leaf_becomes_presence_column(self):
+        s = simplified("<!ELEMENT r (flag?)><!ELEMENT flag EMPTY>")
+        schema = map_hybrid(s)
+        assert schema.table("r").column("r_flag").kind is ColumnKind.PRESENCE
+
+
+class TestXoratorRules:
+    def test_self_contained_subtree_becomes_xadt(self):
+        s = simplified(
+            "<!ELEMENT r (box)><!ELEMENT box (item*)><!ELEMENT item (#PCDATA)>"
+        )
+        schema = map_xorator(s)
+        assert schema.table_names() == ["r"]
+        assert schema.table("r").column("r_box").kind is ColumnKind.XADT
+
+    def test_repeated_leaf_becomes_xadt(self):
+        s = simplified("<!ELEMENT r (x*)><!ELEMENT x (#PCDATA)>")
+        schema = map_xorator(s)
+        assert schema.table("r").column("r_x").kind is ColumnKind.XADT
+
+    def test_single_leaf_stays_string(self):
+        s = simplified("<!ELEMENT r (x)><!ELEMENT x (#PCDATA)>")
+        schema = map_xorator(s)
+        assert schema.table("r").column("r_x").kind is ColumnKind.INLINED_LEAF
+
+    def test_shared_nonleaf_forces_relation_chain(self):
+        # shared is referenced by both a and b -> relation; a, b are its
+        # ancestors -> relations too
+        s = simplified(
+            "<!ELEMENT r (a, b)><!ELEMENT a (shared?)><!ELEMENT b (shared?)>"
+            "<!ELEMENT shared (x*)><!ELEMENT x (#PCDATA)>"
+        )
+        schema = map_xorator(s)
+        assert sorted(schema.table_names()) == ["a", "b", "r", "shared"]
+        assert schema.table("shared").needs_parent_code()
+
+    def test_shared_pcdata_leaf_decoupled_to_xadt(self):
+        # without decoupling t would force a/b relations; with it, each
+        # parent absorbs its own copy
+        s = simplified(
+            "<!ELEMENT r (a, b)><!ELEMENT a (t*)><!ELEMENT b (t*)>"
+            "<!ELEMENT t (#PCDATA)>"
+        )
+        schema = map_xorator(s)
+        assert schema.table_names() == ["r"]
+        r = schema.table("r")
+        assert r.column("r_a").kind is ColumnKind.XADT
+        assert r.column("r_b").kind is ColumnKind.XADT
+
+    def test_recursive_element_stays_relation(self):
+        s = simplified(
+            "<!ELEMENT part (name, part*)><!ELEMENT name (#PCDATA)>",
+            root="part",
+        )
+        schema = map_xorator(s)
+        assert schema.table_names() == ["part"]
+
+    def test_without_decoupling_more_tables(self, shakespeare_simplified):
+        with_schema = map_xorator(shakespeare_simplified)
+        without_schema = map_xorator_without_decoupling(shakespeare_simplified)
+        assert without_schema.table_count() > with_schema.table_count()
+
+
+class TestVariants:
+    def test_basic_creates_table_per_element(self, plays_simplified):
+        assert map_basic(plays_simplified).table_count() == 11
+
+    def test_shared_between_hybrid_and_basic(self, shakespeare_simplified):
+        hybrid = map_hybrid(shakespeare_simplified).table_count()
+        shared = map_shared(shakespeare_simplified).table_count()
+        basic = map_basic(shakespeare_simplified).table_count()
+        assert hybrid <= shared <= basic
+
+    def test_monet_counts_dwarf_xorator(self, shakespeare_simplified):
+        # paper §2: "four tables using XORator ... ninety-five using Monet";
+        # our census of the Figure-10 DTD finds 88 element paths
+        summary = monet_summary(shakespeare_simplified)
+        assert summary.element_paths == 88
+        assert summary.table_count > 10 * map_xorator(
+            shakespeare_simplified
+        ).table_count()
+
+    def test_monet_recursion_bounded(self):
+        s = simplified("<!ELEMENT a (b?, a?)><!ELEMENT b (#PCDATA)>", root="a")
+        summary = monet_summary(s)
+        assert summary.table_count > 0  # terminates
+
+
+class TestSchemaModel:
+    def test_validate_catches_duplicate_tables(self, plays_simplified):
+        schema = map_hybrid(plays_simplified)
+        schema.tables.append(schema.tables[0])
+        with pytest.raises(MappingError):
+            schema.validate()
+
+    def test_ddl_round_trips_through_engine(self, plays_simplified, empty_db):
+        for statement in map_xorator(plays_simplified).ddl():
+            empty_db.execute(statement)
+        assert empty_db.table_count() == 5
+
+    def test_describe_lists_tables(self, plays_simplified):
+        text = map_hybrid(plays_simplified).describe()
+        assert text.count("\n") == 8  # nine tables
+
+    def test_table_for_element(self, plays_simplified):
+        schema = map_hybrid(plays_simplified)
+        assert schema.table_for_element("SPEECH").name == "speech"
+        assert schema.table_for_element("TITLE") is None
+
+    def test_unknown_table_lookup_rejected(self, plays_simplified):
+        with pytest.raises(MappingError):
+            map_hybrid(plays_simplified).table("ghost")

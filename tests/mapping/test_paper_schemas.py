@@ -1,0 +1,178 @@
+"""The mapping algorithms must reproduce the paper's schema artifacts:
+
+* Figure 5 — the Hybrid relational schema of the Plays DTD;
+* Figure 6 — the XORator object-relational schema of the Plays DTD;
+* Table 1 — 17 (Hybrid) vs 7 (XORator) tables for Shakespeare;
+* Table 2 — 7 (Hybrid) vs 1 (XORator) tables for SIGMOD Proceedings.
+"""
+
+from repro.mapping import map_hybrid, map_xorator
+from repro.mapping.base import ColumnKind
+
+
+def columns_of(schema, table):
+    return schema.table(table).column_names()
+
+
+class TestFigure5PlaysHybrid:
+    """Figure 5: the Hybrid schema for the Plays DTD."""
+
+    def test_relation_set(self, plays_simplified):
+        schema = map_hybrid(plays_simplified)
+        assert sorted(schema.table_names()) == sorted(
+            ["play", "act", "scene", "induct", "speech",
+             "subtitle", "subhead", "speaker", "line"]
+        )
+
+    def test_play_columns(self, plays_simplified):
+        schema = map_hybrid(plays_simplified)
+        assert columns_of(schema, "play") == ["playID"]
+
+    def test_act_columns(self, plays_simplified):
+        schema = map_hybrid(plays_simplified)
+        assert columns_of(schema, "act") == [
+            "actID", "act_parentID", "act_childOrder", "act_title",
+            "act_prologue",
+        ]
+
+    def test_speech_columns_have_parent_code(self, plays_simplified):
+        schema = map_hybrid(plays_simplified)
+        assert columns_of(schema, "speech") == [
+            "speechID", "speech_parentID", "speech_parentCODE",
+            "speech_childOrder",
+        ]
+
+    def test_subtitle_columns(self, plays_simplified):
+        schema = map_hybrid(plays_simplified)
+        assert columns_of(schema, "subtitle") == [
+            "subtitleID", "subtitle_parentID", "subtitle_parentCODE",
+            "subtitle_childOrder", "subtitle_value",
+        ]
+
+    def test_line_columns(self, plays_simplified):
+        schema = map_hybrid(plays_simplified)
+        assert columns_of(schema, "line") == [
+            "lineID", "line_parentID", "line_childOrder", "line_value",
+        ]
+
+    def test_scene_has_parent_code(self, plays_simplified):
+        # Scene has two parent relations (INDUCT and ACT).  The paper's
+        # Figure 5 omits scene_parentCODE — an inconsistency with its own
+        # parentCODE rule, which we resolve in favour of the rule.
+        schema = map_hybrid(plays_simplified)
+        assert "scene_parentCODE" in columns_of(schema, "scene")
+
+    def test_primary_keys(self, plays_simplified):
+        schema = map_hybrid(plays_simplified)
+        for table in schema.tables:
+            pk = [c for c in table.columns if c.primary_key]
+            assert len(pk) == 1
+            assert pk[0].name == f"{table.name}ID"
+
+
+class TestFigure6PlaysXorator:
+    """Figure 6: the XORator schema for the Plays DTD."""
+
+    def test_relation_set(self, plays_simplified):
+        schema = map_xorator(plays_simplified)
+        assert sorted(schema.table_names()) == sorted(
+            ["play", "act", "scene", "induct", "speech"]
+        )
+
+    def test_act_columns_match_figure(self, plays_simplified):
+        schema = map_xorator(plays_simplified)
+        assert columns_of(schema, "act") == [
+            "actID", "act_parentID", "act_childOrder", "act_title",
+            "act_subtitle", "act_prologue",
+        ]
+        act = schema.table("act")
+        assert act.column("act_subtitle").kind is ColumnKind.XADT
+        assert act.column("act_prologue").kind is ColumnKind.INLINED_LEAF
+
+    def test_scene_columns_match_figure(self, plays_simplified):
+        schema = map_xorator(plays_simplified)
+        scene = schema.table("scene")
+        assert scene.column("scene_subtitle").type_name == "XADT"
+        assert scene.column("scene_subhead").type_name == "XADT"
+        assert scene.column("scene_title").type_name == "VARCHAR"
+
+    def test_speech_columns_match_figure(self, plays_simplified):
+        schema = map_xorator(plays_simplified)
+        assert columns_of(schema, "speech") == [
+            "speechID", "speech_parentID", "speech_parentCODE",
+            "speech_childOrder", "speech_speaker", "speech_line",
+        ]
+        speech = schema.table("speech")
+        assert speech.column("speech_speaker").kind is ColumnKind.XADT
+        assert speech.column("speech_line").kind is ColumnKind.XADT
+
+    def test_induct_columns_match_figure(self, plays_simplified):
+        schema = map_xorator(plays_simplified)
+        assert columns_of(schema, "induct") == [
+            "inductID", "induct_parentID", "induct_childOrder",
+            "induct_title", "induct_subtitle",
+        ]
+
+
+class TestTable1Shakespeare:
+    def test_hybrid_has_17_tables(self, shakespeare_simplified):
+        assert map_hybrid(shakespeare_simplified).table_count() == 17
+
+    def test_xorator_has_7_tables(self, shakespeare_simplified):
+        assert map_xorator(shakespeare_simplified).table_count() == 7
+
+    def test_xorator_relations(self, shakespeare_simplified):
+        schema = map_xorator(shakespeare_simplified)
+        assert sorted(schema.table_names()) == sorted(
+            ["play", "induct", "act", "scene", "prologue", "epilogue",
+             "speech"]
+        )
+
+    def test_play_absorbs_front_matter_as_xadt(self, shakespeare_simplified):
+        schema = map_xorator(shakespeare_simplified)
+        play = schema.table("play")
+        assert play.column("play_fm").kind is ColumnKind.XADT
+        assert play.column("play_personae").kind is ColumnKind.XADT
+
+    def test_speech_line_is_xadt_despite_mixed_content(self, shakespeare_simplified):
+        # LINE is mixed (text + STAGEDIR) but self-contained after the
+        # revised graph duplicates STAGEDIR per parent: rule 1 applies.
+        schema = map_xorator(shakespeare_simplified)
+        assert schema.table("speech").column("speech_line").kind is ColumnKind.XADT
+
+
+class TestTable2Sigmod:
+    def test_hybrid_has_7_tables(self, sigmod_simplified):
+        schema = map_hybrid(sigmod_simplified)
+        assert schema.table_count() == 7
+        assert sorted(schema.table_names()) == sorted(
+            ["pp", "slist", "slisttuple", "articles", "atuple",
+             "authors", "author"]
+        )
+
+    def test_xorator_is_single_table(self, sigmod_simplified):
+        schema = map_xorator(sigmod_simplified)
+        assert schema.table_names() == ["pp"]
+
+    def test_pp_holds_slist_as_xadt(self, sigmod_simplified):
+        schema = map_xorator(sigmod_simplified)
+        pp = schema.table("pp")
+        assert pp.column("pp_slist").kind is ColumnKind.XADT
+        # the eight scalar leaves inline as strings
+        assert pp.column("pp_volume").kind is ColumnKind.INLINED_LEAF
+        assert pp.column("pp_location").kind is ColumnKind.INLINED_LEAF
+
+    def test_hybrid_inlines_deep_leaves_into_atuple(self, sigmod_simplified):
+        schema = map_hybrid(sigmod_simplified)
+        names = columns_of(schema, "atuple")
+        # title/initPage/endPage direct; index via Toindex; size via fullText
+        for expected in ("atuple_title", "atuple_initpage", "atuple_endpage",
+                         "atuple_index", "atuple_size"):
+            assert expected in names
+
+    def test_hybrid_attribute_columns(self, sigmod_simplified):
+        schema = map_hybrid(sigmod_simplified)
+        author = schema.table("author")
+        assert "author_authorposition" in author.column_names()
+        atuple = schema.table("atuple")
+        assert "atuple_title_articlecode" in atuple.column_names()

@@ -1,0 +1,160 @@
+"""Workload/statistics-aware XORator (the §3.2/§5 future work)."""
+
+import pytest
+
+from repro.datagen.sigmod import SigmodConfig, generate_corpus
+from repro.engine.database import Database
+from repro.mapping import (
+    estimate_fragment_bytes,
+    map_xorator,
+    map_xorator_tuned,
+)
+from repro.shred import load_documents
+from repro.xadt import register_xadt_functions
+from repro.xquery import compile_path, parse_path
+
+
+class TestKeepSharedRule:
+    """§3.2: standalone-queried shared leaves stay shared relations."""
+
+    def test_subtitle_kept_shared(self, shakespeare_simplified):
+        schema, report = map_xorator_tuned(
+            shakespeare_simplified, workload=["/PLAY//SUBTITLE"]
+        )
+        assert report.kept_shared == {"SUBTITLE"}
+        subtitle = schema.table_for_element("SUBTITLE")
+        assert subtitle is not None
+        assert subtitle.needs_parent_code()
+        assert len(subtitle.parent_elements) == 5
+
+    def test_without_workload_matches_plain_xorator(self, shakespeare_simplified):
+        plain = map_xorator(shakespeare_simplified)
+        tuned, report = map_xorator_tuned(shakespeare_simplified)
+        assert tuned.table_count() == plain.table_count()
+        assert not report.kept_shared and not report.promoted
+
+    def test_non_shared_targets_unaffected(self, shakespeare_simplified):
+        # SPEAKER has one parent (SPEECH): nothing to keep shared
+        _, report = map_xorator_tuned(
+            shakespeare_simplified,
+            workload=["/PLAY/ACT/SCENE/SPEECH/SPEAKER"],
+        )
+        assert report.kept_shared == set()
+
+    def test_kept_shared_column_removed_from_parents(self, shakespeare_simplified):
+        schema, _ = map_xorator_tuned(
+            shakespeare_simplified, workload=["/PLAY//SUBTITLE"]
+        )
+        act = schema.table_for_element("ACT")
+        assert "act_subtitle" not in act.column_names()
+
+    def test_standalone_query_compiles_to_single_relation(
+        self, shakespeare_simplified, shakespeare_docs
+    ):
+        """The §3.2 pain point disappears: one table answers //SUBTITLE."""
+        schema, _ = map_xorator_tuned(
+            shakespeare_simplified, workload=["/PLAY/ACT/SUBTITLE"]
+        )
+        db = Database("tuned")
+        register_xadt_functions(db)
+        load_documents(db, schema, shakespeare_docs)
+        result = db.execute(
+            "SELECT subtitle_value FROM subtitle WHERE subtitle_parentCODE = 'ACT'"
+        )
+        # compare with the ground truth
+        from repro.xquery import evaluate_texts
+
+        truth = evaluate_texts(shakespeare_docs, parse_path("/PLAY/ACT/SUBTITLE"))
+        assert sorted(result.column("subtitle_value")) == sorted(truth)
+
+
+class TestPromoteRule:
+    """§5: oversized, navigated-into fragments become relations."""
+
+    @pytest.fixture(scope="class")
+    def sigmod_docs_small(self):
+        return generate_corpus(SigmodConfig(documents=4))
+
+    @pytest.fixture(scope="class")
+    def stats(self, sigmod_docs_small):
+        return estimate_fragment_bytes(sigmod_docs_small)
+
+    def test_fragment_statistics(self, stats):
+        assert stats["sList"] > stats["sListTuple"] > stats["author"]
+
+    def test_slist_promoted_when_large_and_navigated(
+        self, sigmod_simplified, stats
+    ):
+        schema, report = map_xorator_tuned(
+            sigmod_simplified,
+            workload=["/PP/sList/sListTuple/sectionName"],
+            fragment_bytes=stats,
+            max_fragment_bytes=2048,
+        )
+        assert "sList" in report.promoted
+        assert schema.table_count() > 1
+        assert schema.table_for_element("sList") is not None
+
+    def test_not_promoted_without_navigation(self, sigmod_simplified, stats):
+        # the workload never looks inside sList: keep the single table
+        schema, report = map_xorator_tuned(
+            sigmod_simplified,
+            workload=["/PP/volume"],
+            fragment_bytes=stats,
+            max_fragment_bytes=2048,
+        )
+        assert report.promoted == set()
+        assert schema.table_count() == 1
+
+    def test_not_promoted_when_small(self, sigmod_simplified, stats):
+        schema, report = map_xorator_tuned(
+            sigmod_simplified,
+            workload=["/PP/sList/sListTuple/sectionName"],
+            fragment_bytes=stats,
+            max_fragment_bytes=10**9,
+        )
+        assert report.promoted == set()
+        assert schema.table_count() == 1
+
+    def test_promoted_schema_loads_and_answers_queries(
+        self, sigmod_simplified, sigmod_docs_small, stats
+    ):
+        schema, _ = map_xorator_tuned(
+            sigmod_simplified,
+            workload=["/PP/sList/sListTuple/sectionName"],
+            fragment_bytes=stats,
+            max_fragment_bytes=2048,
+        )
+        db = Database("tuned")
+        register_xadt_functions(db)
+        load_documents(db, schema, sigmod_docs_small)
+        compiled = compile_path(
+            parse_path("/PP/sList/sListTuple/sectionName"), schema
+        )
+        from repro.xquery import evaluate_texts
+
+        truth = sorted(
+            evaluate_texts(
+                sigmod_docs_small,
+                parse_path("/PP/sList/sListTuple/sectionName"),
+            )
+        )
+        result = db.execute(compiled.sql)
+        values = []
+        for _, value in result.rows:
+            if compiled.shape == "fragment":
+                values.extend(
+                    e.text_content() for e in value.to_elements()
+                )
+            else:
+                values.append(str(value))
+        assert sorted(values) == truth
+
+    def test_report_notes_explain_decisions(self, sigmod_simplified, stats):
+        _, report = map_xorator_tuned(
+            sigmod_simplified,
+            workload=["/PP/sList/sListTuple/sectionName"],
+            fragment_bytes=stats,
+            max_fragment_bytes=2048,
+        )
+        assert any("promoted" in note for note in report.notes)

@@ -1,0 +1,70 @@
+"""Round trips: shred -> load -> reconstruct == canonicalized original."""
+
+import pytest
+
+from repro.engine.database import Database
+from repro.mapping import map_hybrid, map_xorator
+from repro.shred import (
+    canonicalize,
+    load_documents,
+    reconstruct_documents,
+)
+from repro.xadt import register_xadt_functions
+from repro.xmlkit import serialize
+
+
+def roundtrip(schema, documents):
+    db = Database("rt")
+    register_xadt_functions(db)
+    load_documents(db, schema, documents)
+    return reconstruct_documents(db, schema)
+
+
+@pytest.mark.parametrize("mapper", [map_hybrid, map_xorator],
+                         ids=["hybrid", "xorator"])
+class TestRoundTrips:
+    def test_plays_corpus(self, mapper, plays_docs, plays_simplified):
+        rebuilt = roundtrip(mapper(plays_simplified), plays_docs)
+        assert len(rebuilt) == len(plays_docs)
+        for original, recovered in zip(plays_docs, rebuilt):
+            assert serialize(
+                canonicalize(original, plays_simplified)
+            ) == serialize(recovered)
+
+    def test_shakespeare_corpus(self, mapper, shakespeare_docs,
+                                shakespeare_simplified):
+        rebuilt = roundtrip(mapper(shakespeare_simplified), shakespeare_docs)
+        for original, recovered in zip(shakespeare_docs, rebuilt):
+            assert serialize(
+                canonicalize(original, shakespeare_simplified)
+            ) == serialize(recovered)
+
+    def test_sigmod_corpus(self, mapper, sigmod_docs, sigmod_simplified):
+        rebuilt = roundtrip(mapper(sigmod_simplified), sigmod_docs)
+        for original, recovered in zip(sigmod_docs, rebuilt):
+            assert serialize(
+                canonicalize(original, sigmod_simplified)
+            ) == serialize(recovered)
+
+
+class TestCanonicalize:
+    def test_groups_children_by_tag(self):
+        from repro.xmlkit import parse
+
+        doc = parse("<s><a>1</a><b>x</b><a>2</a></s>")
+        canonical = canonicalize(doc)
+        assert serialize(canonical) == "<s><a>1</a><a>2</a><b>x</b></s>"
+
+    def test_preserves_attributes_and_text(self):
+        from repro.xmlkit import parse
+
+        doc = parse('<s k="v">text<a/></s>')
+        assert serialize(canonicalize(doc)) == '<s k="v">text<a/></s>'
+
+    def test_idempotent(self):
+        from repro.xmlkit import parse
+
+        doc = parse("<s><b>2</b><a>1</a><b>3</b></s>")
+        once = serialize(canonicalize(doc))
+        twice = serialize(canonicalize(canonicalize(doc)))
+        assert once == twice

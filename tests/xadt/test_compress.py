@@ -1,0 +1,102 @@
+"""The dictionary codec: varints, event round trips, malformed payloads."""
+
+import pytest
+
+from repro.errors import XadtCodecError
+from repro.xadt import compress
+
+
+class TestVarint:
+    @pytest.mark.parametrize("value", [0, 1, 127, 128, 300, 2**20, 2**40])
+    def test_roundtrip(self, value):
+        buffer = bytearray()
+        compress.write_varint(value, buffer)
+        decoded, position = compress.read_varint(bytes(buffer), 0)
+        assert decoded == value
+        assert position == len(buffer)
+
+    def test_negative_rejected(self):
+        with pytest.raises(XadtCodecError):
+            compress.write_varint(-1, bytearray())
+
+    def test_truncated_rejected(self):
+        with pytest.raises(XadtCodecError):
+            compress.read_varint(b"\x80", 0)
+
+
+EVENTS = [
+    ("open", "speech", {"kind": "verse"}),
+    ("open", "speaker", {}),
+    ("text", "HAMLET"),
+    ("close", "speaker"),
+    ("open", "line", None),
+    ("text", "words & <symbols>"),
+    ("close", "line"),
+    ("close", "speech"),
+]
+
+
+class TestEventCodec:
+    def test_roundtrip(self):
+        payload = compress.encode_events(EVENTS)
+        decoded = list(compress.decode_events(payload))
+        # attrs normalize to dicts; None becomes {}
+        assert decoded[0] == ("open", "speech", {"kind": "verse"})
+        assert decoded[4] == ("open", "line", {})
+        assert [e[0] for e in decoded] == [e[0] for e in EVENTS]
+        assert decoded[5] == ("text", "words & <symbols>")
+
+    def test_empty_stream(self):
+        assert list(compress.decode_events(compress.encode_events([]))) == []
+
+    def test_dictionary_shared_across_occurrences(self):
+        events = []
+        for i in range(50):
+            events.append(("open", "verylongelementname", {}))
+            events.append(("text", str(i)))
+            events.append(("close", "verylongelementname"))
+        payload = compress.encode_events(events)
+        # the long name is stored once, not 100 times
+        assert payload.count(b"verylongelementname") == 1
+
+    def test_attribute_names_in_dictionary(self):
+        events = [("open", "a", {"longattributename": "v"}), ("close", "a")]
+        payload = compress.encode_events(events)
+        assert b"longattributename" in payload
+
+    def test_unicode_text(self):
+        events = [("open", "a", {}), ("text", "héllo wörld"), ("close", "a")]
+        decoded = list(compress.decode_events(compress.encode_events(events)))
+        assert decoded[1] == ("text", "héllo wörld")
+
+    def test_unbalanced_close_rejected(self):
+        with pytest.raises(XadtCodecError):
+            compress.encode_events([("close", "a")])
+
+    def test_unclosed_open_rejected(self):
+        with pytest.raises(XadtCodecError):
+            compress.encode_events([("open", "a", {})])
+
+    def test_unknown_event_kind_rejected(self):
+        with pytest.raises(XadtCodecError):
+            compress.encode_events([("comment", "x")])
+
+    def test_truncated_payload_rejected(self):
+        payload = compress.encode_events(EVENTS)
+        with pytest.raises(XadtCodecError):
+            list(compress.decode_events(payload[:-3]))
+
+    def test_garbage_opcode_rejected(self):
+        payload = compress.encode_events([])
+        with pytest.raises(XadtCodecError):
+            list(compress.decode_events(payload + b"\x99"))
+
+    def test_dictionary_code_out_of_range_rejected(self):
+        # handcrafted: empty dictionary, then an open with code 5
+        payload = bytearray()
+        compress.write_varint(0, payload)  # ndict = 0
+        payload.append(compress.OPEN)
+        compress.write_varint(5, payload)
+        compress.write_varint(0, payload)
+        with pytest.raises(XadtCodecError):
+            list(compress.decode_events(bytes(payload)))

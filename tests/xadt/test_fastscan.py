@@ -1,0 +1,110 @@
+"""The plain-codec fast scanner: spans, edge cases."""
+
+import pytest
+
+from repro.errors import XadtMethodError
+from repro.xadt import fastscan
+
+
+class TestTextOf:
+    def test_strips_tags(self):
+        assert fastscan.text_of("<a>x<b>y</b>z</a>") == "xyz"
+
+    def test_unescapes_entities(self):
+        assert fastscan.text_of("<a>1 &lt; 2</a>") == "1 < 2"
+
+    def test_plain_text_fast_path(self):
+        assert fastscan.text_of("no tags here") == "no tags here"
+
+
+class TestFindSpans:
+    def test_simple_span(self):
+        payload = "<a>x</a><b>y</b>"
+        (span,) = list(fastscan.find_spans(payload, "b"))
+        assert span.slice(payload) == "<b>y</b>"
+        assert span.content(payload) == "y"
+
+    def test_tag_prefix_not_confused(self):
+        payload = "<LINEAGE>x</LINEAGE><LINE>y</LINE>"
+        spans = list(fastscan.find_spans(payload, "LINE"))
+        assert len(spans) == 1
+        assert spans[0].slice(payload) == "<LINE>y</LINE>"
+
+    def test_nested_same_tag_counted(self):
+        payload = "<d>a<d>b</d>c</d>"
+        (span,) = list(fastscan.find_spans(payload, "d"))
+        assert span.slice(payload) == payload
+
+    def test_self_closing_span(self):
+        payload = '<a/><a k="v"/>'
+        spans = list(fastscan.find_spans(payload, "a"))
+        assert len(spans) == 2
+        assert spans[0].content(payload) == ""
+
+    def test_self_closing_nested_same_tag(self):
+        payload = "<d>x<d/>y</d>"
+        (span,) = list(fastscan.find_spans(payload, "d"))
+        assert span.slice(payload) == payload
+
+    def test_attributes_on_open_tag(self):
+        payload = '<a k="v">x</a>'
+        (span,) = list(fastscan.find_spans(payload, "a"))
+        assert span.content(payload) == "x"
+
+    def test_missing_close_rejected(self):
+        with pytest.raises(XadtMethodError):
+            list(fastscan.find_spans("<a>x", "a"))
+
+    def test_window_restricts_search(self):
+        payload = "<a>1</a><a>2</a>"
+        spans = list(fastscan.find_spans(payload, "a", start=8))
+        assert len(spans) == 1
+        assert spans[0].content(payload) == "2"
+
+    def test_empty_tag_rejected(self):
+        with pytest.raises(XadtMethodError):
+            list(fastscan.find_spans("<a/>", ""))
+
+
+class TestTopLevelSpans:
+    def test_yields_tag_and_span(self):
+        payload = "<a>1</a><bb>2</bb>"
+        result = [(tag, span.content(payload))
+                  for tag, span in fastscan.top_level_spans(payload)]
+        assert result == [("a", "1"), ("bb", "2")]
+
+    def test_skips_inter_element_text(self):
+        payload = "<a/> \n <b/>"
+        tags = [tag for tag, _ in fastscan.top_level_spans(payload)]
+        assert tags == ["a", "b"]
+
+    def test_window_within_parent(self):
+        payload = "<p><x>1</x><y>2</y></p>"
+        (parent,) = list(fastscan.find_spans(payload, "p"))
+        inner = [
+            tag
+            for tag, _ in fastscan.top_level_spans(
+                payload, parent.content_start, parent.content_end
+            )
+        ]
+        assert inner == ["x", "y"]
+
+
+class TestMethodFastPaths:
+    def test_get_elm_plain_empty_root(self):
+        result = fastscan.get_elm_plain("<a>k</a><b>k</b>", "", "", "k")
+        assert result == "<a>k</a><b>k</b>"
+
+    def test_find_key_early_exit_semantics(self):
+        # result identical whether the match is first or last
+        assert fastscan.find_key_in_elm_plain("<a>hit</a><a>x</a>", "a", "hit") == 1
+        assert fastscan.find_key_in_elm_plain("<a>x</a><a>hit</a>", "a", "hit") == 1
+
+    def test_get_elm_index_per_parent_reset(self):
+        payload = "<p><c>1</c></p><p><c>2</c><c>3</c></p>"
+        result = fastscan.get_elm_index_plain(payload, "p", "c", 2, 2)
+        assert result == "<c>3</c>"
+
+    def test_unnest_plain_any_depth(self):
+        payload = "<w><c>1</c></w><c>2</c>"
+        assert list(fastscan.unnest_plain(payload, "c")) == ["<c>1</c>", "<c>2</c>"]

@@ -1,0 +1,107 @@
+"""The XADT's SQL surface: registered methods, QE1/QE2 end to end."""
+
+import pytest
+
+from repro.engine import Database
+from repro.engine.udf import FunctionKind
+from repro.errors import UdfError
+from repro.xadt import XadtValue, register_xadt_functions
+
+
+class TestRegistration:
+    def test_methods_installed(self, empty_db):
+        registry = empty_db.registry
+        for name in ("getElm", "findKeyInElm", "getElmIndex", "elmText",
+                     "xadt", "udf_length", "udf_substr"):
+            assert registry.has_scalar(name)
+        assert registry.has_table_function("unnest")
+
+    def test_methods_are_not_fenced_by_default(self, empty_db):
+        assert empty_db.registry.scalar("getElm").kind is FunctionKind.NOT_FENCED
+
+    def test_fenced_mode(self):
+        db = Database()
+        register_xadt_functions(db, fenced=True)
+        assert db.registry.scalar("getElm").kind is FunctionKind.FENCED
+
+    def test_double_registration_rejected(self, empty_db):
+        with pytest.raises(UdfError):
+            register_xadt_functions(empty_db)
+
+
+class TestSqlSurface:
+    @pytest.fixture()
+    def db(self, empty_db):
+        empty_db.execute(
+            "CREATE TABLE speech (speechID INTEGER PRIMARY KEY, "
+            "speech_speaker XADT, speech_line XADT)"
+        )
+        empty_db.insert("speech", (
+            1,
+            XadtValue.from_xml("<SPEAKER>HAMLET</SPEAKER>"),
+            XadtValue.from_xml(
+                "<LINE>my excellent good friend</LINE><LINE>second line</LINE>"
+            ),
+        ))
+        empty_db.insert("speech", (
+            2,
+            XadtValue.from_xml("<SPEAKER>HORATIO</SPEAKER>"),
+            XadtValue.from_xml("<LINE>hail to your lordship</LINE>"),
+        ))
+        return empty_db
+
+    def test_find_key_in_where(self, db):
+        result = db.execute(
+            "SELECT speechID FROM speech "
+            "WHERE findKeyInElm(speech_speaker, 'SPEAKER', 'HAMLET') = 1"
+        )
+        assert result.column("speechID") == [1]
+
+    def test_get_elm_in_select(self, db):
+        result = db.execute(
+            "SELECT getElm(speech_line, 'LINE', 'LINE', 'friend') FROM speech "
+            "WHERE speechID = 1"
+        )
+        assert result.scalar().to_xml() == "<LINE>my excellent good friend</LINE>"
+
+    def test_get_elm_four_arg_form(self, db):
+        result = db.execute(
+            "SELECT getElm(speech_line, 'LINE', '', '') FROM speech WHERE speechID = 2"
+        )
+        assert "lordship" in result.scalar().to_xml()
+
+    def test_get_elm_five_arg_form_with_level(self, db):
+        result = db.execute(
+            "SELECT getElm(speech_line, 'LINE', 'LINE', 'friend', 0) "
+            "FROM speech WHERE speechID = 1"
+        )
+        assert not result.scalar().is_empty()
+
+    def test_get_elm_index_in_select(self, db):
+        result = db.execute(
+            "SELECT getElmIndex(speech_line, '', 'LINE', 2, 2) FROM speech "
+            "WHERE speechID = 1"
+        )
+        assert result.scalar().to_xml() == "<LINE>second line</LINE>"
+
+    def test_elm_text(self, db):
+        result = db.execute(
+            "SELECT elmText(speech_speaker) FROM speech ORDER BY speechID"
+        )
+        assert result.column("elmtext") == ["HAMLET", "HORATIO"]
+
+    def test_xadt_constructor(self, db):
+        result = db.execute("SELECT xadt('<x>1</x>') FROM speech LIMIT 1")
+        assert result.scalar().to_xml() == "<x>1</x>"
+
+    def test_udf_invocation_counted(self, db):
+        db.reset_function_stats()
+        db.execute(
+            "SELECT speechID FROM speech "
+            "WHERE findKeyInElm(speech_speaker, 'SPEAKER', 'X') = 1"
+        )
+        assert db.registry.stats.scalar_calls["findKeyInElm"] == 2
+
+    def test_wrong_arity_rejected(self, db):
+        with pytest.raises(UdfError):
+            db.execute("SELECT getElm(speech_line) FROM speech")

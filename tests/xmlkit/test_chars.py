@@ -1,0 +1,95 @@
+"""Character-level helpers: names, escaping, entities."""
+
+import pytest
+
+from repro.xmlkit import chars
+
+
+class TestNames:
+    def test_simple_name_is_valid(self):
+        assert chars.is_valid_name("SPEECH")
+
+    def test_name_with_punctuation(self):
+        assert chars.is_valid_name("xml:link")
+        assert chars.is_valid_name("a-b.c_d")
+
+    def test_name_cannot_start_with_digit(self):
+        assert not chars.is_valid_name("1abc")
+
+    def test_name_cannot_start_with_dash(self):
+        assert not chars.is_valid_name("-abc")
+
+    def test_empty_name_invalid(self):
+        assert not chars.is_valid_name("")
+
+    def test_name_cannot_contain_space(self):
+        assert not chars.is_valid_name("a b")
+
+    def test_underscore_start_is_valid(self):
+        assert chars.is_valid_name("_private")
+
+    def test_unicode_letters_allowed(self):
+        assert chars.is_valid_name("élément")
+
+
+class TestEscaping:
+    def test_escape_ampersand(self):
+        assert chars.escape_text("a & b") == "a &amp; b"
+
+    def test_escape_angle_brackets(self):
+        assert chars.escape_text("<tag>") == "&lt;tag&gt;"
+
+    def test_escape_attribute_quotes(self):
+        assert chars.escape_attribute('say "hi"') == "say &quot;hi&quot;"
+
+    def test_escape_leaves_plain_text_alone(self):
+        text = "plain text with no specials"
+        assert chars.escape_text(text) == text
+
+    def test_escape_order_no_double_escaping(self):
+        # the & of &lt; must not be re-escaped
+        assert chars.escape_text("<") == "&lt;"
+        assert chars.escape_text("&lt;") == "&amp;lt;"
+
+
+class TestUnescape:
+    @pytest.mark.parametrize(
+        "entity,expected",
+        [("&amp;", "&"), ("&lt;", "<"), ("&gt;", ">"),
+         ("&quot;", '"'), ("&apos;", "'")],
+    )
+    def test_predefined_entities(self, entity, expected):
+        assert chars.unescape(entity) == expected
+
+    def test_numeric_decimal_reference(self):
+        assert chars.unescape("&#65;") == "A"
+
+    def test_numeric_hex_reference(self):
+        assert chars.unescape("&#x41;") == "A"
+
+    def test_unknown_entity_preserved(self):
+        assert chars.unescape("&unknown;") == "&unknown;"
+
+    def test_bare_ampersand_preserved(self):
+        assert chars.unescape("fish & chips") == "fish & chips"
+
+    def test_escape_unescape_roundtrip(self):
+        text = 'quoth the <raven> "never & more"'
+        assert chars.unescape(chars.escape_attribute(text)) == text
+
+    def test_malformed_numeric_reference_preserved(self):
+        assert chars.unescape("&#xzz;") == "&#xzz;"
+
+
+class TestWhitespace:
+    def test_whitespace_only(self):
+        assert chars.is_whitespace("  \t\n\r ")
+
+    def test_empty_is_not_whitespace(self):
+        assert not chars.is_whitespace("")
+
+    def test_mixed_is_not_whitespace(self):
+        assert not chars.is_whitespace("  a ")
+
+    def test_collapse(self):
+        assert chars.collapse_whitespace("  a \n b\t c ") == "a b c"

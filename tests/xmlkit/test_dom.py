@@ -1,0 +1,94 @@
+"""DOM node model: construction, navigation, text access."""
+
+import pytest
+
+from repro.errors import XmlError
+from repro.xmlkit.dom import Document, Element, Text, element
+
+
+class TestConstruction:
+    def test_element_helper_builds_tree(self):
+        speech = element("SPEECH", element("SPEAKER", "HAMLET"), kind="verse")
+        assert speech.get("kind") == "verse"
+        assert speech.find("SPEAKER").text_content() == "HAMLET"
+
+    def test_string_children_become_text(self):
+        node = Element("a", children=["hello"])
+        assert isinstance(node.children[0], Text)
+
+    def test_invalid_tag_rejected(self):
+        with pytest.raises(XmlError):
+            Element("1bad")
+
+    def test_invalid_attribute_name_rejected(self):
+        node = Element("a")
+        with pytest.raises(XmlError):
+            node.set("bad name", "x")
+
+    def test_append_sets_parent(self):
+        parent = Element("p")
+        child = parent.append(Element("c"))
+        assert child.parent is parent
+
+    def test_cycle_rejected(self):
+        a = Element("a")
+        b = Element("b")
+        a.append(b)
+        with pytest.raises(XmlError):
+            b.append(a)
+
+    def test_self_append_rejected(self):
+        a = Element("a")
+        with pytest.raises(XmlError):
+            a.append(a)
+
+    def test_document_requires_element_root(self):
+        with pytest.raises(XmlError):
+            Document(Text("not an element"))  # type: ignore[arg-type]
+
+
+class TestNavigation:
+    @pytest.fixture()
+    def tree(self):
+        return element(
+            "PLAY",
+            element("ACT", element("SCENE", element("SPEECH"))),
+            element("ACT", element("SCENE")),
+            element("TITLE", "Hamlet"),
+        )
+
+    def test_find_first_child(self, tree):
+        assert tree.find("ACT") is tree.children[0]
+
+    def test_find_missing_returns_none(self, tree):
+        assert tree.find("NOPE") is None
+
+    def test_find_all(self, tree):
+        assert len(tree.find_all("ACT")) == 2
+
+    def test_iter_visits_depth_first(self, tree):
+        tags = [node.tag for node in tree.iter()]
+        assert tags == ["PLAY", "ACT", "SCENE", "SPEECH", "ACT", "SCENE", "TITLE"]
+
+    def test_iter_with_tag_filter(self, tree):
+        assert sum(1 for _ in tree.iter("SCENE")) == 2
+
+    def test_descendants_excludes_self(self, tree):
+        assert all(node is not tree for node in tree.descendants())
+
+    def test_child_elements_skips_text(self):
+        node = element("a", "text", element("b"))
+        assert [c.tag for c in node.child_elements()] == ["b"]
+
+
+class TestText:
+    def test_direct_text_excludes_nested(self):
+        line = element("LINE", "before ", element("STAGEDIR", "Rising"), " after")
+        assert line.direct_text() == "before  after"
+
+    def test_text_content_includes_nested(self):
+        line = element("LINE", "before ", element("STAGEDIR", "Rising"), " after")
+        assert line.text_content() == "before Rising after"
+
+    def test_empty_element_text(self):
+        assert Element("a").text_content() == ""

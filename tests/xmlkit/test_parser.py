@@ -1,0 +1,143 @@
+"""XML parser: well-formedness, structure, error reporting."""
+
+import pytest
+
+from repro.errors import XmlSyntaxError
+from repro.xmlkit import parse, parse_fragment
+from repro.xmlkit.dom import Comment, Element, ProcessingInstruction, Text
+
+
+class TestBasicParsing:
+    def test_single_element(self):
+        doc = parse("<a/>")
+        assert doc.root.tag == "a"
+        assert doc.root.children == []
+
+    def test_nested_elements(self):
+        doc = parse("<a><b><c/></b></a>")
+        assert doc.root.find("b").find("c") is not None
+
+    def test_text_content(self):
+        doc = parse("<a>hello</a>")
+        assert doc.root.text_content() == "hello"
+
+    def test_attributes(self):
+        doc = parse('<a x="1" y="two"/>')
+        assert doc.root.get("x") == "1"
+        assert doc.root.get("y") == "two"
+
+    def test_single_quoted_attributes(self):
+        doc = parse("<a x='1'/>")
+        assert doc.root.get("x") == "1"
+
+    def test_entities_in_text(self):
+        doc = parse("<a>fish &amp; chips &lt;3</a>")
+        assert doc.root.text_content() == "fish & chips <3"
+
+    def test_entities_in_attributes(self):
+        doc = parse('<a x="&quot;q&quot;"/>')
+        assert doc.root.get("x") == '"q"'
+
+    def test_cdata_section(self):
+        doc = parse("<a><![CDATA[<not> & parsed]]></a>")
+        assert doc.root.text_content() == "<not> & parsed"
+
+    def test_cdata_merges_with_adjacent_text(self):
+        doc = parse("<a>x<![CDATA[y]]>z</a>")
+        texts = [c for c in doc.root.children if isinstance(c, Text)]
+        assert len(texts) == 1
+        assert texts[0].data == "xyz"
+
+    def test_mixed_content(self):
+        doc = parse("<LINE>before <STAGEDIR>Rising</STAGEDIR> after</LINE>")
+        assert doc.root.direct_text() == "before  after"
+        assert doc.root.text_content() == "before Rising after"
+
+    def test_xml_declaration_ignored(self):
+        doc = parse('<?xml version="1.0" encoding="utf-8"?><a/>')
+        assert doc.root.tag == "a"
+
+    def test_doctype_captured(self):
+        doc = parse("<!DOCTYPE PLAY SYSTEM 'play.dtd'><PLAY/>")
+        assert "PLAY" in doc.doctype
+
+    def test_doctype_with_internal_subset(self):
+        doc = parse("<!DOCTYPE a [<!ELEMENT a EMPTY>]><a/>")
+        assert "<!ELEMENT a EMPTY>" in doc.doctype
+
+    def test_comment_preserved_inside_element(self):
+        doc = parse("<a><!-- note --></a>")
+        assert isinstance(doc.root.children[0], Comment)
+        assert doc.root.children[0].data == " note "
+
+    def test_prolog_comment(self):
+        doc = parse("<!-- header --><a/>")
+        assert isinstance(doc.prolog[0], Comment)
+
+    def test_processing_instruction(self):
+        doc = parse("<a><?target some data?></a>")
+        pi = doc.root.children[0]
+        assert isinstance(pi, ProcessingInstruction)
+        assert pi.target == "target"
+        assert pi.data == "some data"
+
+
+class TestWhitespaceHandling:
+    def test_inter_element_whitespace_dropped_by_default(self):
+        doc = parse("<a>\n  <b/>\n</a>")
+        assert doc.root.children == doc.root.child_elements()
+
+    def test_whitespace_kept_on_request(self):
+        doc = parse("<a>\n  <b/>\n</a>", keep_whitespace=True)
+        assert any(isinstance(c, Text) for c in doc.root.children)
+
+    def test_significant_whitespace_in_text_kept(self):
+        doc = parse("<a>  padded  </a>")
+        assert doc.root.text_content() == "  padded  "
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "<a>",                      # unclosed
+            "<a></b>",                  # mismatched
+            "</a>",                     # stray end tag
+            "<a/><b/>",                 # two roots
+            "<a x=1/>",                 # unquoted attribute
+            '<a x="1" x="2"/>',         # duplicate attribute
+            "text only",                # no root
+            "<a><!-- -- --></a>",       # double dash in comment
+            "",                         # empty input
+            "<a>text</a>more",          # text after root
+        ],
+    )
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(XmlSyntaxError):
+            parse(bad)
+
+    def test_error_carries_line_and_column(self):
+        try:
+            parse("<a>\n<b></c>\n</a>")
+        except XmlSyntaxError as exc:
+            assert exc.line == 2
+        else:
+            pytest.fail("expected XmlSyntaxError")
+
+
+class TestFragments:
+    def test_multiple_roots(self):
+        roots = parse_fragment("<s>1</s><s>2</s>")
+        assert [r.tag for r in roots] == ["s", "s"]
+        assert [r.text_content() for r in roots] == ["1", "2"]
+
+    def test_empty_fragment(self):
+        assert parse_fragment("") == []
+
+    def test_fragment_roots_have_no_parent(self):
+        roots = parse_fragment("<a/><b/>")
+        assert all(r.parent is None for r in roots)
+
+    def test_fragment_rejects_malformed(self):
+        with pytest.raises(XmlSyntaxError):
+            parse_fragment("<a><b></a>")

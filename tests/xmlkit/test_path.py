@@ -1,0 +1,46 @@
+"""Simple path navigation (the tests' ground-truth evaluator)."""
+
+import pytest
+
+from repro.errors import XmlError
+from repro.xmlkit import parse, select
+from repro.xmlkit.path import texts
+
+DOC = parse(
+    "<PLAY>"
+    "<ACT><SCENE><SPEECH><SPEAKER>A</SPEAKER></SPEECH></SCENE></ACT>"
+    "<ACT><SCENE><SPEECH><SPEAKER>B</SPEAKER></SPEECH>"
+    "<SPEECH><SPEAKER>C</SPEAKER></SPEECH></SCENE></ACT>"
+    "</PLAY>"
+)
+
+
+class TestSelect:
+    def test_rooted_path(self):
+        speakers = select(DOC, "PLAY/ACT/SCENE/SPEECH/SPEAKER")
+        assert texts(speakers) == ["A", "B", "C"]
+
+    def test_anywhere_path(self):
+        assert texts(select(DOC, "//SPEAKER")) == ["A", "B", "C"]
+
+    def test_wildcard_step(self):
+        scenes = select(DOC, "PLAY/*/SCENE")
+        assert len(scenes) == 2
+
+    def test_root_mismatch_yields_empty(self):
+        assert select(DOC, "NOPE/ACT") == []
+
+    def test_document_or_element_accepted(self):
+        assert select(DOC.root, "//SPEECH") == select(DOC, "//SPEECH")
+
+    def test_anywhere_includes_root(self):
+        assert select(DOC, "//PLAY") == [DOC.root]
+
+    def test_empty_path_rejected(self):
+        with pytest.raises(XmlError):
+            select(DOC, "")
+
+    def test_anywhere_non_nested_tags(self):
+        nested = parse("<a><x><x/></x></a>")
+        # descendant search finds both occurrences (outer and inner)
+        assert len(select(nested, "//x")) == 2

@@ -1,0 +1,70 @@
+"""Serializer: compact and indented output, round trips."""
+
+import pytest
+
+from repro.xmlkit import parse, serialize, serialize_children
+from repro.xmlkit.dom import element
+
+
+class TestCompact:
+    def test_empty_element_self_closes(self):
+        assert serialize(element("a")) == "<a/>"
+
+    def test_attributes_rendered_in_order(self):
+        node = element("a", x="1", y="2")
+        assert serialize(node) == '<a x="1" y="2"/>'
+
+    def test_text_escaped(self):
+        assert serialize(element("a", "x < y & z")) == "<a>x &lt; y &amp; z</a>"
+
+    def test_attribute_quotes_escaped(self):
+        node = element("a", v='say "hi"')
+        assert serialize(node) == '<a v="say &quot;hi&quot;"/>'
+
+    def test_mixed_content_preserved(self):
+        text = "<LINE>a <STAGEDIR>Rising</STAGEDIR> b</LINE>"
+        assert serialize(parse(text)) == text
+
+    def test_comment_roundtrip(self):
+        text = "<a><!-- note --></a>"
+        assert serialize(parse(text)) == text
+
+    def test_pi_roundtrip(self):
+        text = "<a><?target data?></a>"
+        assert serialize(parse(text)) == text
+
+
+class TestIndented:
+    def test_indent_inserts_newlines(self):
+        doc = parse("<a><b><c/></b></a>")
+        rendered = serialize(doc, indent=2)
+        assert rendered == "<a>\n  <b>\n    <c/>\n  </b>\n</a>"
+
+    def test_text_bearing_elements_stay_inline(self):
+        doc = parse("<a><b>text</b></a>")
+        rendered = serialize(doc, indent=2)
+        assert "<b>text</b>" in rendered
+
+
+class TestChildren:
+    def test_serialize_children_excludes_wrapper(self):
+        doc = parse("<w><a>1</a><b>2</b></w>")
+        assert serialize_children(doc.root) == "<a>1</a><b>2</b>"
+
+
+@pytest.mark.parametrize(
+    "text",
+    [
+        "<a/>",
+        '<a k="v"/>',
+        "<a><b>x</b><b>y</b></a>",
+        "<a>tail <b/> text</a>",
+        "<a>&amp;&lt;&gt;</a>",
+        '<a attr="&lt;&amp;&quot;"/>',
+    ],
+)
+def test_parse_serialize_fixpoint(text):
+    """Compact serialization of a parse is a fixpoint."""
+    once = serialize(parse(text))
+    twice = serialize(parse(once))
+    assert once == twice == text

@@ -1,0 +1,85 @@
+"""Tokenizer event stream."""
+
+import pytest
+
+from repro.errors import XmlSyntaxError
+from repro.xmlkit.tokens import (
+    CommentEvent,
+    DoctypeEvent,
+    EndTag,
+    PIEvent,
+    StartTag,
+    TextEvent,
+    tokenize,
+)
+
+
+def kinds(text):
+    return [type(e).__name__ for e in tokenize(text)]
+
+
+class TestEvents:
+    def test_basic_sequence(self):
+        assert kinds("<a>x</a>") == ["StartTag", "TextEvent", "EndTag"]
+
+    def test_self_closing_flag(self):
+        (event,) = list(tokenize("<a/>"))
+        assert isinstance(event, StartTag)
+        assert event.self_closing
+
+    def test_attributes_parsed(self):
+        (event,) = list(tokenize('<a x="1"  y = "2"/>'))
+        assert event.attributes == {"x": "1", "y": "2"}
+
+    def test_end_tag_with_whitespace(self):
+        events = list(tokenize("<a></a >"))
+        assert isinstance(events[-1], EndTag)
+
+    def test_text_unescaped(self):
+        events = list(tokenize("a &amp; b"))
+        assert events[0] == TextEvent("a & b", 0)
+
+    def test_comment_event(self):
+        (event,) = list(tokenize("<!--hi-->"))
+        assert isinstance(event, CommentEvent)
+        assert event.data == "hi"
+
+    def test_doctype_event_with_subset(self):
+        (event,) = list(tokenize("<!DOCTYPE a [<!ELEMENT a (b)>]>"))
+        assert isinstance(event, DoctypeEvent)
+        assert "<!ELEMENT a (b)>" in event.raw
+
+    def test_pi_event(self):
+        (event,) = list(tokenize("<?php echo ?>"))
+        assert isinstance(event, PIEvent)
+        assert event.target == "php"
+
+    def test_offsets_point_into_source(self):
+        text = "ab<c/>"
+        events = list(tokenize(text))
+        assert events[0].offset == 0
+        assert events[1].offset == 2
+
+    def test_cdata_becomes_text(self):
+        (event,) = list(tokenize("<![CDATA[<raw>]]>"))
+        assert isinstance(event, TextEvent)
+        assert event.data == "<raw>"
+
+
+class TestTokenErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "<a",             # unterminated start tag
+            "<!-- no end",    # unterminated comment
+            "<![CDATA[ x",    # unterminated cdata
+            "<?pi",           # unterminated PI
+            "<a x=>",         # missing value
+            "<a x='1>",       # unterminated value
+            "<a 1bad='1'/>",  # bad attribute name
+            '<a x="<"/>',     # '<' in attribute value
+        ],
+    )
+    def test_rejects(self, bad):
+        with pytest.raises(XmlSyntaxError):
+            list(tokenize(bad))

@@ -1,0 +1,79 @@
+"""Ground-truth evaluator semantics."""
+
+from repro.xmlkit import parse
+from repro.xquery import evaluate_texts, parse_path
+
+DOC = parse(
+    "<PLAY>"
+    "<TITLE>The Storm</TITLE>"
+    "<ACT>"
+    "  <SCENE><TITLE>one</TITLE>"
+    "    <SPEECH><SPEAKER>A</SPEAKER>"
+    "      <LINE>calm seas</LINE>"
+    "      <LINE>thunder <STAGEDIR>Rising</STAGEDIR> rolls</LINE>"
+    "    </SPEECH>"
+    "  </SCENE>"
+    "  <SCENE><TITLE>two</TITLE>"
+    "    <SPEECH><SPEAKER>B</SPEAKER><LINE>the storm breaks</LINE></SPEECH>"
+    "  </SCENE>"
+    "</ACT>"
+    "</PLAY>"
+)
+
+
+def texts(path, direct=False):
+    return evaluate_texts([DOC], parse_path(path), direct=direct)
+
+
+class TestEvaluation:
+    def test_child_steps(self):
+        assert texts("/PLAY/ACT/SCENE/TITLE") == ["one", "two"]
+
+    def test_root_mismatch(self):
+        assert texts("/GHOST/ACT") == []
+
+    def test_descendant_step(self):
+        assert texts("/PLAY//SPEAKER") == ["A", "B"]
+
+    def test_position_counts_same_tag_siblings(self):
+        assert texts("/PLAY/ACT/SCENE[2]/TITLE") == ["two"]
+        # LINE[2] counts LINEs, skipping the SPEAKER sibling
+        assert texts("/PLAY/ACT/SCENE/SPEECH/LINE[2]") == ["thunder Rising rolls"]
+
+    def test_equality_predicate(self):
+        assert texts("/PLAY/ACT/SCENE/SPEECH[SPEAKER='B']/LINE") == [
+            "the storm breaks"
+        ]
+
+    def test_contains_on_self(self):
+        assert texts("/PLAY/ACT/SCENE/SPEECH/LINE[contains(., 'storm')]") == [
+            "the storm breaks"
+        ]
+
+    def test_contains_crosses_nested_elements(self):
+        # text content concatenates nested STAGEDIR text
+        assert texts("/PLAY/ACT/SCENE/SPEECH/LINE[contains(., 'Rising')]") == [
+            "thunder Rising rolls"
+        ]
+
+    def test_exists_predicate(self):
+        assert texts("/PLAY/ACT/SCENE/SPEECH/LINE[STAGEDIR]") == [
+            "thunder Rising rolls"
+        ]
+
+    def test_exists_with_deeper_path(self):
+        assert texts("/PLAY[ACT/SCENE]/TITLE") == ["The Storm"]
+        assert texts("/PLAY[ACT/GHOST]/TITLE") == []
+
+    def test_direct_text_mode(self):
+        assert texts("/PLAY/ACT/SCENE/SPEECH/LINE[2]", direct=True) == [
+            "thunder  rolls"
+        ]
+
+    def test_predicates_on_root(self):
+        assert texts("/PLAY[contains(TITLE, 'Storm')]/TITLE") == ["The Storm"]
+        assert texts("/PLAY[TITLE='Nope']/TITLE") == []
+
+    def test_multiple_documents(self):
+        both = evaluate_texts([DOC, DOC], parse_path("/PLAY/TITLE"))
+        assert both == ["The Storm", "The Storm"]

@@ -1,0 +1,93 @@
+"""Path-query parser."""
+
+import pytest
+
+from repro.xquery import (
+    ComparePredicate,
+    ExistsPredicate,
+    PathSyntaxError,
+    PositionPredicate,
+    parse_path,
+)
+
+
+class TestSteps:
+    def test_simple_path(self):
+        query = parse_path("/PLAY/ACT/SCENE")
+        assert [s.name for s in query.steps] == ["PLAY", "ACT", "SCENE"]
+        assert not any(s.descendant for s in query.steps)
+
+    def test_descendant_step(self):
+        query = parse_path("/PLAY//SPEAKER")
+        assert query.steps[1].descendant
+
+    def test_whitespace_tolerated(self):
+        query = parse_path(" /PLAY / ACT ")
+        assert [s.name for s in query.steps] == ["PLAY", "ACT"]
+
+    def test_describe_roundtrip(self):
+        text = "/PLAY/ACT[2]/SCENE[contains(., 'storm')]"
+        assert parse_path(parse_path(text).describe()).describe() == (
+            parse_path(text).describe()
+        )
+
+
+class TestPredicates:
+    def test_exists(self):
+        (step,) = parse_path("/LINE[STAGEDIR]").steps
+        assert step.predicates == (ExistsPredicate(("STAGEDIR",)),)
+
+    def test_exists_with_path(self):
+        (step,) = parse_path("/PP[sList/sListTuple]").steps
+        assert step.predicates[0].rel == ("sList", "sListTuple")
+
+    def test_equality(self):
+        (step,) = parse_path("/SPEECH[SPEAKER='ROMEO']").steps
+        assert step.predicates == (
+            ComparePredicate(("SPEAKER",), "=", "ROMEO"),
+        )
+
+    def test_double_quoted_value(self):
+        (step,) = parse_path('/SPEECH[SPEAKER="X"]').steps
+        assert step.predicates[0].value == "X"
+
+    def test_contains_on_self(self):
+        (step,) = parse_path("/LINE[contains(., 'love')]").steps
+        assert step.predicates == (ComparePredicate((), "contains", "love"),)
+
+    def test_contains_on_path(self):
+        (step,) = parse_path("/X[contains(a/b, 'k')]").steps
+        assert step.predicates[0].rel == ("a", "b")
+
+    def test_position_function(self):
+        (step,) = parse_path("/ACT[position() = 3]").steps
+        assert step.predicates == (PositionPredicate(3),)
+
+    def test_position_shorthand(self):
+        (step,) = parse_path("/ACT[3]").steps
+        assert step.predicates == (PositionPredicate(3),)
+
+    def test_stacked_predicates(self):
+        (step,) = parse_path("/S[2][contains(., 'x')][T]").steps
+        assert len(step.predicates) == 3
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",                      # empty
+            "PLAY/ACT",              # missing leading slash
+            "//PLAY",                # '//' on the first step
+            "/PLAY/",                # dangling slash
+            "/PLAY[",                # unterminated predicate
+            "/PLAY[.]",              # '.' alone
+            "/PLAY[contains(.)]",    # contains arity
+            "/PLAY[TITLE=]",         # missing value
+            "/PLAY[position()]",     # missing comparison
+            "/PLAY//ACT//SCENE",     # two '//' steps
+        ],
+    )
+    def test_rejects(self, bad):
+        with pytest.raises(PathSyntaxError):
+            parse_path(bad)
