@@ -6,6 +6,12 @@ combines the measured wall time with the disk model of
 methodology on the simulated 2002 machine (DESIGN.md §2).  Loading time
 is wall time plus the sequential write cost of the data and index pages
 produced.
+
+A *warm run* (:func:`warm_query`) is the complementary repeated-query
+methodology: the statement is prepared once and re-executed through the
+plan cache, so per-execution cost excludes the SQL front end — the
+regime DB2's package cache serves and the one the prepared-statement
+layer exists to speed up.
 """
 
 from __future__ import annotations
@@ -62,6 +68,49 @@ def cold_query(db: Database, sql: str) -> ColdRun:
         random_pages=db.io.random_pages,
         spill_pages=db.io.spill_pages,
         disk_seconds=db.io.modeled_seconds(),
+    )
+
+
+@dataclass(frozen=True)
+class WarmRun:
+    """Repeated warm executions of one statement (prepared path)."""
+
+    rows: int                        #: row count of the last execution
+    executions: int
+    total_wall_seconds: float
+    plan_cache: dict[str, object]    #: plan-cache counters after the run
+
+    @property
+    def per_execution_seconds(self) -> float:
+        return self.total_wall_seconds / max(self.executions, 1)
+
+
+def warm_query(
+    db: Database,
+    sql: str,
+    executions: int = 100,
+    params: tuple = (),
+) -> WarmRun:
+    """Prepare ``sql`` once and execute it ``executions`` times.
+
+    The first execution plans and caches; the rest hit the plan cache,
+    so the reported per-execution time is the steady-state warm cost.
+    Plan-cache counters are reset first so the returned snapshot
+    describes this run alone.
+    """
+    if executions < 1:
+        raise BenchmarkError("warm_query needs at least one execution")
+    prepared = db.prepare(sql)
+    db.plan_cache.stats.reset()
+    started = time.perf_counter()
+    for _ in range(executions):
+        result = prepared.execute(*params)
+    total = time.perf_counter() - started
+    return WarmRun(
+        rows=len(result),
+        executions=executions,
+        total_wall_seconds=total,
+        plan_cache=db.plan_cache.report(),
     )
 
 

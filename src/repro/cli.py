@@ -16,6 +16,7 @@ commands (interactive or piped):
 * ``\\path <pathquery>`` — compile a path query for the loaded schema,
   show the SQL, and run it;
 * ``\\io`` — I/O counters of the last statement (the simulated disk);
+* ``\\cache`` — plan-cache and XADT decode-cache counters;
 * ``\\q`` — quit.
 """
 
@@ -58,9 +59,11 @@ class Shell:
                 self._run_path(line[len("\\path "):].strip())
             elif line == "\\io":
                 self._print_io()
+            elif line == "\\cache":
+                self._print_caches()
             elif line.startswith("\\"):
                 self._print(f"unknown command {line.split()[0]!r}; try \\dt, "
-                            f"\\d, \\explain, \\path, \\io, \\q")
+                            f"\\d, \\explain, \\path, \\io, \\cache, \\q")
             else:
                 self._run_sql(line)
         except ReproError as exc:
@@ -104,6 +107,27 @@ class Shell:
             f"sequential pages: {io.sequential_pages}, random: "
             f"{io.random_pages}, spill: {io.spill_pages}, modeled disk "
             f"time: {io.modeled_seconds() * 1000:.1f} ms"
+        )
+
+    def _print_caches(self) -> None:
+        report = self.db.size_report()
+        plan = report["plan_cache"]
+        decode = report["xadt_decode_cache"]
+        self._print(
+            f"plan cache: {plan['entries']}/{plan['capacity']} entries, "
+            f"{plan['hits']} hits, {plan['misses']} misses, "
+            f"{plan['evictions']} evictions, "
+            f"{plan['invalidations']} invalidations "
+            f"(hit rate {plan['hit_rate']:.0%})"
+        )
+        state = "on" if decode["enabled"] else "off"
+        self._print(
+            f"decode cache ({state}): {decode['entries']} entries, "
+            f"{decode['current_bytes']}/{decode['budget_bytes']} bytes, "
+            f"{decode['hits']} hits, {decode['misses']} misses, "
+            f"{decode['evictions']} evictions, "
+            f"{decode['oversize_rejections']} oversize "
+            f"(hit rate {decode['hit_rate']:.0%})"
         )
 
     def _print(self, text: str) -> None:

@@ -1,19 +1,33 @@
 """The user-facing database facade.
 
 A :class:`Database` owns the catalog, the heap tables, the live index
-structures, per-table statistics, and the function registry.  It executes
-SQL (SELECT / CREATE TABLE / CREATE INDEX / INSERT / DROP TABLE), exposes
-EXPLAIN, ``runstats``, the index advisor, and the size accounting used by
-the paper's Tables 1 and 2.
+structures, per-table statistics, the function registry, and the
+query-plan cache.  It executes SQL (SELECT / CREATE TABLE / CREATE INDEX
+/ INSERT / DROP TABLE), supports prepared statements with ``?``
+parameter markers, and exposes EXPLAIN, ``runstats``, the index advisor,
+and the size accounting used by the paper's Tables 1 and 2.
+
+Repeated SELECTs are served from a bounded LRU plan cache (DB2's package
+cache, in miniature): a hit skips lex/parse/optimize/compile entirely
+and re-runs the cached operator tree, which builds fresh iterator state
+on every ``rows()`` call.  DDL bumps a schema epoch and ``runstats()``
+bumps a stats epoch; cached plans from older epochs are re-optimized
+instead of silently reused.
 """
 
 from __future__ import annotations
 
 from repro.engine.advisor import IndexAdvisor
-from repro.engine.expr import Binding, compile_expr
+from repro.engine.expr import Binding, ParamBox, compile_expr
 from repro.engine.index import Index, build_index
 from repro.engine.io import IoCounters
 from repro.engine.plan.optimizer import plan_select
+from repro.engine.plan_cache import (
+    DEFAULT_CAPACITY,
+    CachedPlan,
+    PlanCache,
+    normalize_sql,
+)
 from repro.engine.result import Result
 from repro.engine.schema import Catalog, Column, IndexDef, TableSchema
 from repro.engine.sql.ast import (
@@ -22,6 +36,8 @@ from repro.engine.sql.ast import (
     DropTableStmt,
     InsertStmt,
     SelectStmt,
+    Statement,
+    count_parameters,
 )
 from repro.engine.sql.parser import parse_sql
 from repro.engine.statistics import TableStats, collect_stats
@@ -31,10 +47,49 @@ from repro.engine.udf import FunctionRegistry
 from repro.errors import CatalogError, ExecutionError
 
 
+class PreparedStatement:
+    """A statement parsed once and re-executable with bind values.
+
+    ``execute(*params)`` binds the given values to the statement's ``?``
+    markers (left to right) and runs it.  SELECT plans come from the
+    owning database's shared plan cache, so every prepared handle for
+    the same normalized SQL reuses one compiled plan.
+    """
+
+    def __init__(self, db: "Database", sql: str) -> None:
+        self._db = db
+        self.sql = sql
+        self._key = normalize_sql(sql)
+        self._statement = parse_sql(sql)
+        #: number of ``?`` markers execute() expects
+        self.parameter_count = count_parameters(self._statement)
+
+    def execute(self, *params: object) -> Result:
+        return self._db._execute_prepared(self._key, self._statement, params)
+
+    def explain(self) -> str:
+        """The physical plan this statement currently executes."""
+        if not isinstance(self._statement, SelectStmt):
+            raise ExecutionError("EXPLAIN supports SELECT statements only")
+        entry = self._db._select_entry(self._key, self._statement)
+        return "\n".join(entry.plan.explain())
+
+    def __repr__(self) -> str:
+        return (
+            f"PreparedStatement({self.sql!r}, "
+            f"{self.parameter_count} parameter(s))"
+        )
+
+
 class Database:
     """An in-process object-relational database."""
 
-    def __init__(self, name: str = "db", work_mem_bytes: int | None = None) -> None:
+    def __init__(
+        self,
+        name: str = "db",
+        work_mem_bytes: int | None = None,
+        plan_cache_capacity: int = DEFAULT_CAPACITY,
+    ) -> None:
         self.name = name
         self.catalog = Catalog()
         self.registry = FunctionRegistry()
@@ -46,6 +101,12 @@ class Database:
         self._heaps: dict[str, HeapTable] = {}
         self._indexes: dict[str, Index] = {}
         self._stats: dict[str, TableStats] = {}
+        #: compiled-plan cache; capacity 0 re-plans every execution
+        self.plan_cache = PlanCache(plan_cache_capacity)
+        #: bumped on DDL; cached plans from older epochs are re-planned
+        self._schema_epoch = 0
+        #: bumped on runstats(); re-planning may pick new access paths
+        self._stats_epoch = 0
 
     # -- PlannerContext protocol -------------------------------------------
 
@@ -71,6 +132,7 @@ class Database:
     def create_table(self, schema: TableSchema) -> None:
         self.catalog.add_table(schema)
         self._heaps[schema.key] = HeapTable(schema)
+        self._schema_epoch += 1
 
     def drop_table(self, name: str) -> None:
         key = name.lower()
@@ -79,6 +141,7 @@ class Database:
         self.catalog.drop_table(name)
         self._heaps.pop(key, None)
         self._stats.pop(key, None)
+        self._schema_epoch += 1
 
     def create_index(
         self,
@@ -102,6 +165,7 @@ class Database:
         index = build_index(definition, heap)
         self._indexes[name.lower()] = index
         heap.attach_index(index)
+        self._schema_epoch += 1
 
     # -- DML ---------------------------------------------------------------------
 
@@ -113,12 +177,58 @@ class Database:
 
     # -- queries ------------------------------------------------------------------
 
-    def execute(self, sql: str) -> Result:
-        statement = parse_sql(sql)
+    def execute(self, sql: str, params: tuple | list = ()) -> Result:
+        """Execute one statement; ``params`` bind any ``?`` markers.
+
+        SELECTs are served through the plan cache: a repeat of the same
+        normalized SQL reuses the compiled plan and only re-runs the
+        operator tree.
+        """
+        key = normalize_sql(sql)
+        if key[:6].lower() == "select":
+            entry = self.plan_cache.lookup(
+                key, self._schema_epoch, self._stats_epoch
+            )
+            if entry is None:
+                entry = self._build_entry(parse_sql(sql), key)
+            return self._run_select(entry, params)
+        return self._execute_prepared(key, parse_sql(sql), params, lookup=False)
+
+    def prepare(self, sql: str) -> PreparedStatement:
+        """Parse ``sql`` once; execute it repeatedly with bind values."""
+        return PreparedStatement(self, sql)
+
+    def execute_many(
+        self, sql: str, param_rows: list[tuple] | list[list]
+    ) -> list[Result]:
+        """Prepare ``sql`` once and execute it per bind-value row."""
+        prepared = self.prepare(sql)
+        return [prepared.execute(*row) for row in param_rows]
+
+    def _execute_prepared(
+        self,
+        key: str,
+        statement: Statement,
+        params: tuple | list,
+        lookup: bool = True,
+    ) -> Result:
         if isinstance(statement, SelectStmt):
-            plan = plan_select(statement, self)
-            columns = [slot.name for slot in plan.binding.slots]
-            return Result(columns, list(plan.rows()))
+            entry = (
+                self.plan_cache.lookup(key, self._schema_epoch, self._stats_epoch)
+                if lookup
+                else None
+            )
+            if entry is None:
+                entry = self._build_entry(statement, key)
+            return self._run_select(entry, params)
+        if isinstance(statement, InsertStmt):
+            box = ParamBox(count_parameters(statement))
+            box.bind(tuple(params))
+            return self._execute_insert(statement, box)
+        if params:
+            raise ExecutionError(
+                f"{type(statement).__name__} takes no parameters"
+            )
         if isinstance(statement, CreateTableStmt):
             columns = [
                 Column(c.name, type_from_name(c.type_name), c.primary_key)
@@ -135,21 +245,56 @@ class Database:
                 statement.unique,
             )
             return Result(["status"], [("index created",)])
-        if isinstance(statement, InsertStmt):
-            return self._execute_insert(statement)
         if isinstance(statement, DropTableStmt):
             self.drop_table(statement.table)
             return Result(["status"], [("table dropped",)])
         raise ExecutionError(f"unsupported statement {type(statement).__name__}")
 
-    def _execute_insert(self, statement: InsertStmt) -> Result:
+    def _build_entry(self, statement: Statement, key: str) -> CachedPlan:
+        """Plan a SELECT and cache it under the current epochs."""
+        if not isinstance(statement, SelectStmt):
+            raise ExecutionError(
+                "statement normalizes like a SELECT but is "
+                f"{type(statement).__name__}"
+            )
+        box = ParamBox(count_parameters(statement))
+        plan = plan_select(statement, self, box)
+        entry = CachedPlan(
+            plan=plan,
+            params=box,
+            statement=statement,
+            schema_epoch=self._schema_epoch,
+            stats_epoch=self._stats_epoch,
+        )
+        self.plan_cache.store(key, entry)
+        return entry
+
+    def _select_entry(
+        self, key: str, statement: SelectStmt
+    ) -> CachedPlan:
+        entry = self.plan_cache.lookup(
+            key, self._schema_epoch, self._stats_epoch
+        )
+        if entry is None:
+            entry = self._build_entry(statement, key)
+        return entry
+
+    def _run_select(self, entry: CachedPlan, params: tuple | list) -> Result:
+        entry.params.bind(tuple(params))
+        columns = [slot.name for slot in entry.plan.binding.slots]
+        return Result(columns, list(entry.plan.rows()))
+
+    def _execute_insert(
+        self, statement: InsertStmt, params: ParamBox | None = None
+    ) -> Result:
         heap = self.heap(statement.table)
         schema = heap.schema
         empty = Binding([])
         inserted = 0
         for value_row in statement.rows:
             values = [
-                compile_expr(expr, empty, self.registry)(()) for expr in value_row
+                compile_expr(expr, empty, self.registry, params)(())
+                for expr in value_row
             ]
             if statement.columns:
                 if len(values) != len(statement.columns):
@@ -167,13 +312,18 @@ class Database:
         statement = parse_sql(sql)
         if not isinstance(statement, SelectStmt):
             raise ExecutionError("EXPLAIN supports SELECT statements only")
-        plan = plan_select(statement, self)
+        plan = plan_select(statement, self, ParamBox(count_parameters(statement)))
         return "\n".join(plan.explain())
 
     # -- statistics & advice ------------------------------------------------------
 
     def runstats(self, table: str | None = None) -> None:
-        """Collect statistics for one table or every table."""
+        """Collect statistics for one table or every table.
+
+        Bumps the stats epoch: cached plans are re-optimized on next use
+        so fresh statistics can change the chosen access paths.
+        """
+        self._stats_epoch += 1
         if table is not None:
             self._stats[table.lower()] = collect_stats(self.heap(table))
             return
@@ -214,12 +364,18 @@ class Database:
         return sum(heap.row_count() for heap in self._heaps.values())
 
     def size_report(self) -> dict[str, object]:
-        """The three quantities of the paper's Tables 1 and 2."""
+        """The three quantities of the paper's Tables 1 and 2, plus the
+        hit/miss/eviction counters of the plan cache and the process-wide
+        XADT decode cache."""
+        from repro.xadt.decode_cache import DECODE_CACHE
+
         return {
             "tables": self.table_count(),
             "database_bytes": self.data_size_bytes(),
             "index_bytes": self.index_size_bytes(),
             "rows": self.row_count(),
+            "plan_cache": self.plan_cache.report(),
+            "xadt_decode_cache": DECODE_CACHE.report(),
         }
 
     def reset_function_stats(self) -> None:

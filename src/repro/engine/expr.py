@@ -69,6 +69,76 @@ class Star(Expr):
 
 
 @dataclass(frozen=True)
+class Parameter(Expr):
+    """A ``?`` marker of a prepared statement.
+
+    Markers are numbered left-to-right by the parser; compilation turns
+    each into a slot lookup in the plan's shared :class:`ParamBox`, so a
+    cached plan re-runs against fresh bind values without recompiling.
+    """
+
+    index: int
+
+    def sql(self) -> str:
+        return "?"
+
+
+#: value kinds a parameter may bind to (mirrors the engine's SQL types;
+#: XADT fragments qualify structurally via the ``__xadt__`` marker)
+_BINDABLE = (bool, int, float, str, bytes)
+
+
+class ParamBox:
+    """The mutable bind-value array shared by a plan's Parameter closures.
+
+    One box is created per cached plan; ``bind()`` swaps in a new tuple
+    of values before each execution, and the compiled closures read the
+    current tuple by index at evaluation time.
+    """
+
+    __slots__ = ("count", "values")
+
+    def __init__(self, count: int) -> None:
+        self.count = count
+        self.values: tuple = ()
+
+    def bind(self, values: tuple | list) -> None:
+        """Validate and install bind values for the next execution."""
+        if len(values) != self.count:
+            raise ExecutionError(
+                f"statement takes {self.count} parameter(s), got {len(values)}"
+            )
+        for position, value in enumerate(values):
+            if value is None or isinstance(value, _BINDABLE):
+                continue
+            if getattr(type(value), "__xadt__", False):
+                continue
+            raise ExecutionError(
+                f"parameter {position + 1} has unsupported type "
+                f"{type(value).__name__}; bind NULL, a number, a string, "
+                f"or an XADT fragment"
+            )
+        self.values = tuple(values)
+
+
+def walk_exprs(expr: Expr) -> Iterator[Expr]:
+    """Every node of an expression tree (pre-order)."""
+    yield expr
+    if isinstance(expr, FuncCall):
+        for arg in expr.args:
+            yield from walk_exprs(arg)
+        return
+    if isinstance(expr, (And, Or)):
+        for item in expr.items:
+            yield from walk_exprs(item)
+        return
+    for attribute in ("left", "right", "operand"):
+        child = getattr(expr, attribute, None)
+        if isinstance(child, Expr):
+            yield from walk_exprs(child)
+
+
+@dataclass(frozen=True)
 class FuncCall(Expr):
     name: str
     args: tuple[Expr, ...]
@@ -277,8 +347,16 @@ class Binding:
 Compiled = Callable[[tuple], object]
 
 
-def compile_expr(expr: Expr, binding: Binding, registry: FunctionRegistry) -> Compiled:
+def compile_expr(
+    expr: Expr,
+    binding: Binding,
+    registry: FunctionRegistry,
+    params: ParamBox | None = None,
+) -> Compiled:
     """Compile ``expr`` to a closure over row tuples.
+
+    ``params`` is the bind-value box Parameter markers read from; plans
+    compiled without one reject markers at plan time.
 
     Aggregates must have been rewritten away by the planner before
     compilation; finding one here is a planning bug surfaced as PlanError.
@@ -286,6 +364,14 @@ def compile_expr(expr: Expr, binding: Binding, registry: FunctionRegistry) -> Co
     if isinstance(expr, Literal):
         constant = expr.value
         return lambda row: constant
+    if isinstance(expr, Parameter):
+        if params is None:
+            raise PlanError(
+                "parameter marker '?' outside a prepared statement"
+            )
+        slot_index = expr.index
+        box = params
+        return lambda row: box.values[slot_index]
     if isinstance(expr, ColumnRef):
         index = binding.resolve(expr)
         return lambda row: row[index]
@@ -296,19 +382,21 @@ def compile_expr(expr: Expr, binding: Binding, registry: FunctionRegistry) -> Co
             raise PlanError(
                 f"aggregate {expr.name}() in a non-aggregate context"
             )
-        compiled_args = [compile_expr(a, binding, registry) for a in expr.args]
+        compiled_args = [
+            compile_expr(a, binding, registry, params) for a in expr.args
+        ]
 
         def call(row: tuple) -> object:
             return registry.call_scalar(expr.name, [arg(row) for arg in compiled_args])
 
         return call
     if isinstance(expr, Comparison):
-        left = compile_expr(expr.left, binding, registry)
-        right = compile_expr(expr.right, binding, registry)
+        left = compile_expr(expr.left, binding, registry, params)
+        right = compile_expr(expr.right, binding, registry, params)
         op = expr.op
         return lambda row: value_ops.compare(op, left(row), right(row))
     if isinstance(expr, Like):
-        operand = compile_expr(expr.operand, binding, registry)
+        operand = compile_expr(expr.operand, binding, registry, params)
         pattern = expr.pattern
         if expr.negated:
             return lambda row: (
@@ -316,22 +404,26 @@ def compile_expr(expr: Expr, binding: Binding, registry: FunctionRegistry) -> Co
             )
         return lambda row: value_ops.like(operand(row), pattern)
     if isinstance(expr, IsNull):
-        operand = compile_expr(expr.operand, binding, registry)
+        operand = compile_expr(expr.operand, binding, registry, params)
         if expr.negated:
             return lambda row: operand(row) is not None
         return lambda row: operand(row) is None
     if isinstance(expr, And):
-        compiled = [compile_expr(item, binding, registry) for item in expr.items]
+        compiled = [
+            compile_expr(item, binding, registry, params) for item in expr.items
+        ]
         return lambda row: all(item(row) for item in compiled)
     if isinstance(expr, Or):
-        compiled = [compile_expr(item, binding, registry) for item in expr.items]
+        compiled = [
+            compile_expr(item, binding, registry, params) for item in expr.items
+        ]
         return lambda row: any(item(row) for item in compiled)
     if isinstance(expr, Not):
-        operand = compile_expr(expr.operand, binding, registry)
+        operand = compile_expr(expr.operand, binding, registry, params)
         return lambda row: not operand(row)
     if isinstance(expr, Arithmetic):
-        left = compile_expr(expr.left, binding, registry)
-        right = compile_expr(expr.right, binding, registry)
+        left = compile_expr(expr.left, binding, registry, params)
+        right = compile_expr(expr.right, binding, registry, params)
         op = expr.op
 
         def arith(row: tuple) -> object:
@@ -353,7 +445,7 @@ def compile_expr(expr: Expr, binding: Binding, registry: FunctionRegistry) -> Co
 
         return arith
     if isinstance(expr, Negate):
-        operand = compile_expr(expr.operand, binding, registry)
+        operand = compile_expr(expr.operand, binding, registry, params)
 
         def negate(row: tuple) -> object:
             value = operand(row)

@@ -34,6 +34,8 @@ from repro.engine.expr import (
     Literal,
     Not,
     Or,
+    ParamBox,
+    Parameter,
     Slot,
     Star,
     and_together,
@@ -179,7 +181,9 @@ def _as_join_edge(expr: Expr, global_binding: Binding) -> _JoinEdge | None:
 # ---------------------------------------------------------------------------
 
 
-def plan_select(stmt: SelectStmt, ctx: PlannerContext) -> Operator:
+def plan_select(
+    stmt: SelectStmt, ctx: PlannerContext, params: ParamBox | None = None
+) -> Operator:
     base_refs = [item for item in stmt.from_items if isinstance(item, TableRef)]
     lateral_refs = [
         item for item in stmt.from_items if isinstance(item, TableFunctionRef)
@@ -196,9 +200,11 @@ def plan_select(stmt: SelectStmt, ctx: PlannerContext) -> Operator:
         conjuncts_of(stmt.where), global_binding, set(heaps)
     )
 
-    plan = _plan_joins(base_refs, heaps, stats, classified, ctx)
-    plan = _plan_laterals(plan, lateral_refs, classified.residual, ctx.registry)
-    plan = _plan_output(plan, stmt, ctx.registry)
+    plan = _plan_joins(base_refs, heaps, stats, classified, ctx, params)
+    plan = _plan_laterals(
+        plan, lateral_refs, classified.residual, ctx.registry, params
+    )
+    plan = _plan_output(plan, stmt, ctx.registry, params)
     return plan
 
 
@@ -237,6 +243,7 @@ def _plan_access(
     table_stats: TableStats | None,
     pushed: list[Expr],
     ctx: PlannerContext,
+    params: ParamBox | None = None,
 ) -> tuple[Operator, float]:
     """Access path for one base table; returns (operator, estimated rows)."""
     binding = table_binding(heap, ref.alias)
@@ -248,7 +255,7 @@ def _plan_access(
 
     index_choice = _find_eq_index(ref, pushed, ctx)
     if index_choice is not None:
-        eq_conjunct, key_value, index = index_choice
+        eq_conjunct, key_expr, index = index_choice
         column, _ = _split_eq(eq_conjunct)  # type: ignore[arg-type]
         matches = cost_model.eq_match_estimate(
             table_stats, column.name if column else "", heap.row_count()
@@ -258,16 +265,26 @@ def _plan_access(
         if index_cost >= scan_cost:
             index_choice = None
     if index_choice is not None:
-        eq_conjunct, key_value, index = index_choice
+        eq_conjunct, key_expr, index = index_choice
         rest = [c for c in pushed if c is not eq_conjunct]
         residual = and_together(rest)
+        # literal keys probe directly; parameter keys resolve per execution
+        key_value = key_expr.value if isinstance(key_expr, Literal) else None
+        key_fn = (
+            compile_expr(key_expr, Binding([]), registry, params)
+            if isinstance(key_expr, Parameter)
+            else None
+        )
         operator: Operator = IndexScan(
             heap,
             ref.alias,
             index,
             key=key_value,
+            key_fn=key_fn,
             residual=(
-                compile_expr(residual, binding, registry) if residual else None
+                compile_expr(residual, binding, registry, params)
+                if residual
+                else None
             ),
             residual_sql=residual.sql() if residual else "",
             io=getattr(ctx, "io", None),
@@ -279,7 +296,11 @@ def _plan_access(
     operator = SeqScan(
         heap,
         ref.alias,
-        predicate=compile_expr(predicate, binding, registry) if predicate else None,
+        predicate=(
+            compile_expr(predicate, binding, registry, params)
+            if predicate
+            else None
+        ),
         predicate_sql=predicate.sql() if predicate else "",
         io=getattr(ctx, "io", None),
     )
@@ -289,23 +310,33 @@ def _plan_access(
 
 def _find_eq_index(
     ref: TableRef, pushed: list[Expr], ctx: PlannerContext
-) -> tuple[Expr, object, Index] | None:
+) -> tuple[Expr, Expr, Index] | None:
     for conjunct in pushed:
         if not (isinstance(conjunct, Comparison) and conjunct.op == "="):
             continue
-        column, literal = _split_eq(conjunct)
+        column, key_expr = _split_eq(conjunct)
         if column is None:
             continue
         found = ctx.live_index(ref.table, column.name)
         if found is not None:
-            return conjunct, literal.value, found[1]
+            return conjunct, key_expr, found[1]
     return None
 
 
-def _split_eq(comparison: Comparison) -> tuple[ColumnRef | None, Literal | None]:
-    if isinstance(comparison.left, ColumnRef) and isinstance(comparison.right, Literal):
+def _split_eq(comparison: Comparison) -> tuple[ColumnRef | None, Expr | None]:
+    """The (column, key) sides of a col-vs-constant equality.
+
+    The key side may be a Literal or a prepared-statement Parameter —
+    both yield an index-probe key that is constant for one execution.
+    """
+    constant = (Literal, Parameter)
+    if isinstance(comparison.left, ColumnRef) and isinstance(
+        comparison.right, constant
+    ):
         return comparison.left, comparison.right
-    if isinstance(comparison.right, ColumnRef) and isinstance(comparison.left, Literal):
+    if isinstance(comparison.right, ColumnRef) and isinstance(
+        comparison.left, constant
+    ):
         return comparison.right, comparison.left
     return None, None
 
@@ -316,6 +347,7 @@ def _plan_joins(
     stats: dict[str, TableStats | None],
     classified: _Classified,
     ctx: PlannerContext,
+    params: ParamBox | None = None,
 ) -> Operator:
     if not base_refs:
         raise PlanError("at least one base table is required in FROM")
@@ -345,7 +377,8 @@ def _plan_joins(
     start_ref = remaining.pop(start_qualifier)
     start_pushed = pushed.get(start_qualifier, []) + first_extra
     plan, current_rows = _plan_access(
-        start_ref, heaps[start_qualifier], stats[start_qualifier], start_pushed, ctx
+        start_ref, heaps[start_qualifier], stats[start_qualifier], start_pushed,
+        ctx, params,
     )
     joined = {start_qualifier}
 
@@ -370,11 +403,13 @@ def _plan_joins(
                 table_pushed,
                 connecting,
                 ctx,
+                params,
             )
             applied_edges.update(i for i, _ in connecting)
         else:
             right, right_rows = _plan_access(
-                ref, heaps[ref.qualifier], stats[ref.qualifier], table_pushed, ctx
+                ref, heaps[ref.qualifier], stats[ref.qualifier], table_pushed,
+                ctx, params,
             )
             plan = NestedLoopJoin(plan, right)
             current_rows = max(current_rows * right_rows, 0.1)
@@ -393,7 +428,7 @@ def _plan_joins(
     if predicate is not None:
         plan = Filter(
             plan,
-            compile_expr(predicate, plan.binding, registry),
+            compile_expr(predicate, plan.binding, registry, params),
             predicate.sql(),
         )
         plan.estimated_rows = current_rows * 0.5
@@ -430,6 +465,7 @@ def _join_one(
     table_pushed: list[Expr],
     connecting: list[tuple[int, _JoinEdge]],
     ctx: PlannerContext,
+    params: ParamBox | None = None,
 ) -> tuple[Operator, float]:
     registry = ctx.registry
     qualifier = ref.qualifier
@@ -491,6 +527,7 @@ def _join_one(
                     residual,
                     plan.binding.extend(table_binding(heap, ref.alias)),
                     registry,
+                    params,
                 )
                 if residual
                 else None
@@ -501,7 +538,7 @@ def _join_one(
         join.estimated_rows = output_rows
         return join, output_rows
 
-    right, _ = _plan_access(ref, heap, table_stats, table_pushed, ctx)
+    right, _ = _plan_access(ref, heap, table_stats, table_pushed, ctx, params)
     left_keys: list[int] = []
     right_keys: list[int] = []
     for _, edge in connecting:
@@ -526,12 +563,14 @@ def _plan_laterals(
     lateral_refs: list[TableFunctionRef],
     residual: list[Expr],
     registry: FunctionRegistry,
+    params: ParamBox | None = None,
 ) -> Operator:
     pending = list(residual)
     for item in lateral_refs:
         function = registry.table_function(item.call.name)
         args = [
-            compile_expr(arg, plan.binding, registry) for arg in item.call.args
+            compile_expr(arg, plan.binding, registry, params)
+            for arg in item.call.args
         ]
         plan = LateralFunctionScan(
             plan,
@@ -549,7 +588,7 @@ def _plan_laterals(
         if predicate is not None:
             plan = Filter(
                 plan,
-                compile_expr(predicate, plan.binding, registry),
+                compile_expr(predicate, plan.binding, registry, params),
                 predicate.sql(),
             )
             plan.estimated_rows = plan.input.estimated_rows * 0.5
@@ -650,19 +689,26 @@ class _SlotRef(Expr):
 
 
 def _plan_output(
-    plan: Operator, stmt: SelectStmt, registry: FunctionRegistry
+    plan: Operator,
+    stmt: SelectStmt,
+    registry: FunctionRegistry,
+    params: ParamBox | None = None,
 ) -> Operator:
     aggregates = _collect_aggregates(stmt)
     needs_aggregate = bool(aggregates) or bool(stmt.group_by)
     substitutions: dict[Expr, int] = {}
 
     if needs_aggregate:
-        plan, substitutions = _plan_aggregate(plan, stmt, aggregates, registry)
+        plan, substitutions = _plan_aggregate(
+            plan, stmt, aggregates, registry, params
+        )
 
     if stmt.having is not None:
         if not needs_aggregate:
             raise PlanError("HAVING requires GROUP BY or aggregates")
-        having = _compile_substituted(stmt.having, substitutions, plan.binding, registry)
+        having = _compile_substituted(
+            stmt.having, substitutions, plan.binding, registry, params=params
+        )
         plan = Filter(plan, having, stmt.having.sql())
 
     # SELECT list
@@ -684,6 +730,7 @@ def _plan_output(
             compiled = _compile_substituted(
                 item.expr, substitutions, plan.binding, registry,
                 allow_free_columns=not needs_aggregate,
+                params=params,
             )
             exprs.append(compiled)
             projected_slots.append(
@@ -700,6 +747,7 @@ def _plan_output(
                 _compile_substituted(
                     order.expr, substitutions, plan.binding, registry,
                     allow_free_columns=not needs_aggregate,
+                    params=params,
                 )
                 for order in stmt.order_by
             ]
@@ -743,9 +791,10 @@ def _compile_substituted(
     binding: Binding,
     registry: FunctionRegistry,
     allow_free_columns: bool = False,
+    params: ParamBox | None = None,
 ) -> Compiled:
     if not substitutions:
-        return compile_expr(expr, binding, registry)
+        return compile_expr(expr, binding, registry, params)
     rebuilt = _rebuild_with_slots(expr, substitutions)
     if rebuilt is None:
         raise PlanError(f"cannot plan expression {expr.sql()!r}")
@@ -754,35 +803,46 @@ def _compile_substituted(
             raise PlanError(
                 f"column {ref.sql()!r} must appear in GROUP BY or inside an aggregate"
             )
-    return _compile_tree(rebuilt, binding, registry)
+    return _compile_tree(rebuilt, binding, registry, params)
 
 
-def _compile_tree(expr: Expr, binding: Binding, registry: FunctionRegistry) -> Compiled:
+def _compile_tree(
+    expr: Expr,
+    binding: Binding,
+    registry: FunctionRegistry,
+    params: ParamBox | None = None,
+) -> Compiled:
     """compile_expr extended with _SlotRef support, applied recursively."""
     if isinstance(expr, _SlotRef):
         index = expr.index
         return lambda row: row[index]
     if isinstance(expr, FuncCall) and not expr.is_aggregate():
-        parts = [_compile_tree(arg, binding, registry) for arg in expr.args]
+        parts = [_compile_tree(arg, binding, registry, params) for arg in expr.args]
         name = expr.name
         return lambda row: registry.call_scalar(name, [part(row) for part in parts])
     if _contains_slot_ref(expr):
         # decompose one level and recurse
         if isinstance(expr, Comparison):
-            left = _compile_tree(expr.left, binding, registry)
-            right = _compile_tree(expr.right, binding, registry)
+            left = _compile_tree(expr.left, binding, registry, params)
+            right = _compile_tree(expr.right, binding, registry, params)
             op = expr.op
             from repro.engine import values as value_ops
 
             return lambda row: value_ops.compare(op, left(row), right(row))
         if isinstance(expr, And):
-            parts = [_compile_tree(item, binding, registry) for item in expr.items]
+            parts = [
+                _compile_tree(item, binding, registry, params)
+                for item in expr.items
+            ]
             return lambda row: all(part(row) for part in parts)
         if isinstance(expr, Or):
-            parts = [_compile_tree(item, binding, registry) for item in expr.items]
+            parts = [
+                _compile_tree(item, binding, registry, params)
+                for item in expr.items
+            ]
             return lambda row: any(part(row) for part in parts)
         if isinstance(expr, Like):
-            operand = _compile_tree(expr.operand, binding, registry)
+            operand = _compile_tree(expr.operand, binding, registry, params)
             from repro.engine import values as value_ops
 
             pattern = expr.pattern
@@ -794,11 +854,11 @@ def _compile_tree(expr: Expr, binding: Binding, registry: FunctionRegistry) -> C
                 )
             return lambda row: value_ops.like(operand(row), pattern)
         if isinstance(expr, Not):
-            operand = _compile_tree(expr.operand, binding, registry)
+            operand = _compile_tree(expr.operand, binding, registry, params)
             return lambda row: not operand(row)
         if isinstance(expr, Arithmetic):
-            left = _compile_tree(expr.left, binding, registry)
-            right = _compile_tree(expr.right, binding, registry)
+            left = _compile_tree(expr.left, binding, registry, params)
+            right = _compile_tree(expr.right, binding, registry, params)
             op = expr.op
 
             def arith(row: tuple) -> object:
@@ -815,7 +875,7 @@ def _compile_tree(expr: Expr, binding: Binding, registry: FunctionRegistry) -> C
 
             return arith
         raise PlanError(f"cannot compile substituted expression {expr.sql()!r}")
-    return compile_expr(expr, binding, registry)
+    return compile_expr(expr, binding, registry, params)
 
 
 def _contains_slot_ref(expr: Expr) -> bool:
@@ -829,10 +889,12 @@ def _plan_aggregate(
     stmt: SelectStmt,
     aggregates: list[FuncCall],
     registry: FunctionRegistry,
+    params: ParamBox | None = None,
 ) -> tuple[Operator, dict[Expr, int]]:
     group_exprs_ast = list(stmt.group_by)
     group_compiled = [
-        compile_expr(expr, plan.binding, registry) for expr in group_exprs_ast
+        compile_expr(expr, plan.binding, registry, params)
+        for expr in group_exprs_ast
     ]
     group_slots = []
     for position, expr in enumerate(group_exprs_ast):
@@ -853,7 +915,7 @@ def _plan_aggregate(
         else:
             if len(call.args) != 1:
                 raise PlanError(f"{call.name}() takes exactly one argument")
-            arg = compile_expr(call.args[0], plan.binding, registry)
+            arg = compile_expr(call.args[0], plan.binding, registry, params)
         agg_specs.append(AggSpec(kind, arg, call.distinct))
         result_type: SqlType = INTEGER if kind in ("count", "sum") else VARCHAR
         if kind in ("min", "max", "avg") and call.args and isinstance(call.args[0], ColumnRef):

@@ -90,11 +90,15 @@ class IndexScan(Operator):
         residual: Compiled | None = None,
         residual_sql: str = "",
         io: IoCounters | None = None,
+        key_fn: Compiled | None = None,
     ) -> None:
         self.table = table
         self.alias = alias.lower()
         self.index = index
         self.key = key
+        #: lazy probe key (a closure over the empty row) — used when the
+        #: key is a prepared-statement parameter resolved per execution
+        self.key_fn = key_fn
         self.key_range = key_range
         self.residual = residual
         self.residual_sql = residual_sql
@@ -110,7 +114,8 @@ class IndexScan(Operator):
             low, high = self.key_range
             row_ids: Iterator[int] = self.index.range(low, high)
         else:
-            row_ids = iter(self.index.lookup(self.key))
+            key = self.key_fn(()) if self.key_fn is not None else self.key
+            row_ids = iter(self.index.lookup(key))
         fetch = self.table.fetch
         residual = self.residual
         io = self.io
@@ -129,6 +134,8 @@ class IndexScan(Operator):
     def explain(self, depth: int = 0) -> list[str]:
         if self.key_range is not None:
             probe = f"range {self.key_range!r}"
+        elif self.key_fn is not None and self.key is None:
+            probe = "key = ?"
         else:
             probe = f"key = {self.key!r}"
         suffix = f" residual[{self.residual_sql}]" if self.residual else ""

@@ -1,0 +1,190 @@
+"""Bounded LRU cache of compiled query plans.
+
+The pure-Python engine pays a lex -> parse -> optimize -> compile tax on
+every ``Database.execute()`` call; DB2 V7.2 amortized the equivalent
+cost through its package cache.  This module provides that amortization:
+plans are cached under their *normalized* SQL text and re-executed with
+fresh iterator state (physical operators build their per-run state
+inside ``rows()``), so a hit skips the whole front end.
+
+Invalidation is epoch-based rather than dependency-tracked: the database
+bumps a *schema epoch* on any DDL (CREATE/DROP TABLE, CREATE INDEX) and
+a *stats epoch* on ``runstats()``.  A cached entry records the epochs it
+was planned under; a lookup under different epochs discards the entry so
+the statement is re-optimized — stale plans are never silently reused
+(a post-runstats plan may pick a different access path).
+
+Normalization collapses whitespace and strips ``--`` comments *outside*
+string literals and quoted identifiers, so formatting differences share
+one plan while ``'a b'`` and ``'a  b'`` stay distinct statements.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.expr import ParamBox
+    from repro.engine.plan.physical import Operator
+    from repro.engine.sql.ast import SelectStmt
+
+DEFAULT_CAPACITY = 64
+
+
+def normalize_sql(sql: str) -> str:
+    """The cache key for ``sql``: whitespace/comment-insensitive text.
+
+    Quote-aware: the bodies of single-quoted strings and double-quoted
+    identifiers are preserved byte for byte (collapsing their whitespace
+    would alias distinct statements to one cache entry).
+    """
+    parts: list[str] = []
+    pending_space = False
+    i = 0
+    n = len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch in " \t\r\n":
+            pending_space = True
+            i += 1
+            continue
+        if sql.startswith("--", i):
+            end = sql.find("\n", i)
+            i = n if end == -1 else end + 1
+            pending_space = True
+            continue
+        if pending_space and parts:
+            parts.append(" ")
+        pending_space = False
+        if ch == "'":
+            j = i + 1
+            while j < n:
+                if sql[j] == "'":
+                    if j + 1 < n and sql[j + 1] == "'":
+                        j += 2
+                        continue
+                    break
+                j += 1
+            end = min(j + 1, n)
+            parts.append(sql[i:end])
+            i = end
+            continue
+        if ch == '"':
+            j = sql.find('"', i + 1)
+            end = n if j == -1 else j + 1
+            parts.append(sql[i:end])
+            i = end
+            continue
+        parts.append(ch)
+        i += 1
+    text = "".join(parts)
+    while text.endswith(";") or text.endswith(" "):
+        text = text[:-1]
+    return text
+
+
+@dataclass
+class CachedPlan:
+    """One cached SELECT: the operator tree plus its bind-value box."""
+
+    plan: "Operator"
+    params: "ParamBox"
+    statement: "SelectStmt"
+    schema_epoch: int
+    stats_epoch: int
+
+
+@dataclass
+class PlanCacheStats:
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0      #: capacity-driven removals
+    invalidations: int = 0  #: epoch-driven removals (DDL / runstats)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+
+class PlanCache:
+    """LRU map from normalized SQL text to :class:`CachedPlan`.
+
+    ``capacity`` 0 disables caching entirely (every lookup misses and
+    ``store`` is a no-op) — the benchmark harness uses that to measure
+    the uncached baseline.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 0:
+            raise ValueError("plan cache capacity cannot be negative")
+        self.capacity = capacity
+        self.stats = PlanCacheStats()
+        self._entries: "OrderedDict[str, CachedPlan]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(
+        self, key: str, schema_epoch: int, stats_epoch: int
+    ) -> CachedPlan | None:
+        """The valid entry for ``key``, or None (counted as a miss)."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        if (
+            entry.schema_epoch != schema_epoch
+            or entry.stats_epoch != stats_epoch
+        ):
+            del self._entries[key]
+            self.stats.invalidations += 1
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return entry
+
+    def store(self, key: str, entry: CachedPlan) -> None:
+        if self.capacity == 0:
+            return
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def report(self) -> dict[str, object]:
+        out = self.stats.as_dict()
+        out["entries"] = len(self._entries)
+        out["capacity"] = self.capacity
+        return out
+
+
+__all__ = [
+    "CachedPlan",
+    "DEFAULT_CAPACITY",
+    "PlanCache",
+    "PlanCacheStats",
+    "normalize_sql",
+]

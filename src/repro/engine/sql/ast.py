@@ -3,8 +3,9 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterator
 
-from repro.engine.expr import Expr, FuncCall
+from repro.engine.expr import Expr, FuncCall, Parameter, walk_exprs
 
 
 @dataclass(frozen=True)
@@ -97,3 +98,33 @@ class DropTableStmt:
 
 
 Statement = SelectStmt | CreateTableStmt | CreateIndexStmt | InsertStmt | DropTableStmt
+
+
+def statement_exprs(statement: Statement) -> Iterator[Expr]:
+    """Every expression tree appearing in ``statement``."""
+    if isinstance(statement, SelectStmt):
+        for item in statement.items:
+            yield item.expr
+        for from_item in statement.from_items:
+            if isinstance(from_item, TableFunctionRef):
+                yield from_item.call
+        if statement.where is not None:
+            yield statement.where
+        yield from statement.group_by
+        if statement.having is not None:
+            yield statement.having
+        for order in statement.order_by:
+            yield order.expr
+    elif isinstance(statement, InsertStmt):
+        for row in statement.rows:
+            yield from row
+
+
+def count_parameters(statement: Statement) -> int:
+    """Number of ``?`` markers in ``statement`` (0 for DDL)."""
+    count = 0
+    for root in statement_exprs(statement):
+        for node in walk_exprs(root):
+            if isinstance(node, Parameter):
+                count += 1
+    return count

@@ -22,7 +22,7 @@ KEYWORDS = {
 
 SYMBOLS = (
     "<>", "!=", "<=", ">=", "=", "<", ">", "(", ")", ",", ".", "*",
-    "+", "-", "/", ";",
+    "+", "-", "/", ";", "?",
 )
 
 

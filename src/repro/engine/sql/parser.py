@@ -30,6 +30,7 @@ from repro.engine.expr import (
     Negate,
     Not,
     Or,
+    Parameter,
     Star,
 )
 from repro.engine.sql.ast import (
@@ -71,6 +72,8 @@ class _Parser:
         self._tokens = tokens
         self._pos = 0
         self._sql = sql
+        #: '?' markers seen so far; markers are numbered left to right
+        self._parameters = 0
 
     # -- token plumbing -----------------------------------------------------
 
@@ -410,6 +413,10 @@ class _Parser:
             return Literal(token.text)
         if token.is_keyword("null"):
             return Literal(None)
+        if token.is_symbol("?"):
+            marker = Parameter(self._parameters)
+            self._parameters += 1
+            return marker
         if token.is_symbol("("):
             expr = self.parse_expr()
             self._expect_symbol(")")

@@ -1,0 +1,160 @@
+"""Byte-bounded LRU memoization of decoded XADT fragments.
+
+The XADT methods (``getElm``/``findKeyInElm``/``getElmIndex``) scan a
+fragment's event stream; for the ``dict`` codec that means running the
+XMill-style decompressor on every call, and for the ``indexed`` codec it
+means rebuilding the element-span directory whenever a value is
+reconstructed (e.g. across the FENCED UDF marshal boundary).  QS/QG
+workloads touch the same fragments query after query, so this module
+keeps recently decoded artifacts in a process-wide LRU keyed on
+*fragment identity* — the payload content itself, which is stable no
+matter how many :class:`~repro.xadt.fragment.XadtValue` instances wrap
+it.
+
+The cache is bounded by an approximate byte budget (the in-memory size
+of the cached artifact, not the encoded payload), evicts least recently
+used entries when over budget, and refuses oversized single entries
+outright.  Correctness is cache-independent: entries are immutable by
+convention (event tuples are never mutated by consumers) and the budget
+only affects how much decoding is repeated, never the result.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+#: default budget: enough for the benchmark corpora's hot fragments
+DEFAULT_BUDGET_BYTES = 8 * 1024 * 1024
+
+#: per-entry bookkeeping overhead charged on top of the payload estimate
+_ENTRY_OVERHEAD = 64
+
+
+@dataclass
+class DecodeCacheStats:
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    oversize_rejections: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.oversize_rejections = 0
+
+
+class DecodeCache:
+    """LRU map from fragment identity to a decoded artifact.
+
+    Keys are ``(kind, payload)`` tuples — ``kind`` separates the decoded
+    event lists of dict payloads from the span directories of indexed
+    payloads, so the two artifact families never alias.
+    """
+
+    def __init__(self, budget_bytes: int = DEFAULT_BUDGET_BYTES) -> None:
+        if budget_bytes < 0:
+            raise ValueError("decode cache budget cannot be negative")
+        self.budget_bytes = budget_bytes
+        self.enabled = True
+        self.stats = DecodeCacheStats()
+        self.current_bytes = 0
+        self._entries: "OrderedDict[tuple, tuple[object, int]]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: tuple) -> object | None:
+        if not self.enabled:
+            return None
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return entry[0]
+
+    def put(self, key: tuple, value: object, cost_bytes: int) -> None:
+        if not self.enabled:
+            return
+        cost = cost_bytes + _ENTRY_OVERHEAD
+        if cost > self.budget_bytes:
+            self.stats.oversize_rejections += 1
+            return
+        old = self._entries.pop(key, None)
+        if old is not None:
+            self.current_bytes -= old[1]
+        self._entries[key] = (value, cost)
+        self.current_bytes += cost
+        while self.current_bytes > self.budget_bytes and self._entries:
+            _, (_, evicted_cost) = self._entries.popitem(last=False)
+            self.current_bytes -= evicted_cost
+            self.stats.evictions += 1
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.current_bytes = 0
+
+    def configure(
+        self,
+        budget_bytes: int | None = None,
+        enabled: bool | None = None,
+    ) -> None:
+        """Resize and/or toggle the cache; shrinking evicts immediately."""
+        if enabled is not None:
+            self.enabled = enabled
+            if not enabled:
+                self.clear()
+        if budget_bytes is not None:
+            if budget_bytes < 0:
+                raise ValueError("decode cache budget cannot be negative")
+            self.budget_bytes = budget_bytes
+            while self.current_bytes > self.budget_bytes and self._entries:
+                _, (_, evicted_cost) = self._entries.popitem(last=False)
+                self.current_bytes -= evicted_cost
+                self.stats.evictions += 1
+
+    def report(self) -> dict[str, object]:
+        return {
+            "hits": self.stats.hits,
+            "misses": self.stats.misses,
+            "evictions": self.stats.evictions,
+            "oversize_rejections": self.stats.oversize_rejections,
+            "hit_rate": round(self.stats.hit_rate, 4),
+            "entries": len(self._entries),
+            "current_bytes": self.current_bytes,
+            "budget_bytes": self.budget_bytes,
+            "enabled": self.enabled,
+        }
+
+
+def event_list_cost(events: list) -> int:
+    """Approximate in-memory bytes of a decoded event list."""
+    cost = 0
+    for event in events:
+        cost += 48  # tuple + kind string
+        cost += len(event[1])
+        if event[0] == "open" and len(event) > 2 and event[2]:
+            for name, value in event[2].items():
+                cost += len(name) + len(value) + 16
+    return cost
+
+
+#: the process-wide cache instance all XADT decoding goes through
+DECODE_CACHE = DecodeCache()
+
+
+__all__ = [
+    "DECODE_CACHE",
+    "DEFAULT_BUDGET_BYTES",
+    "DecodeCache",
+    "DecodeCacheStats",
+    "event_list_cost",
+]

@@ -116,12 +116,23 @@ class XadtValue:
         return size
 
     def directory(self):
-        """The element-span directory (indexed codec; built once)."""
+        """The element-span directory (indexed codec).
+
+        Built once per payload, not per instance: directories are
+        memoized process-wide (:mod:`repro.xadt.decode_cache`) keyed on
+        the payload text, so values reconstructed from the same payload
+        — e.g. across the FENCED UDF pickle boundary — skip the rebuild.
+        """
+        from repro.xadt.decode_cache import DECODE_CACHE
         from repro.xadt.metadata import SpanDirectory
 
         cached = self._directory
         if cached is None:
-            cached = SpanDirectory.build(self.to_xml())
+            key = ("span-directory", self.payload)
+            cached = DECODE_CACHE.get(key)
+            if cached is None:
+                cached = SpanDirectory.build(self.to_xml())
+                DECODE_CACHE.put(key, cached, cached.byte_size())
             object.__setattr__(self, "_directory", cached)
         return cached
 

@@ -27,6 +27,12 @@ Semantics follow the paper's definitions:
 ``elm_text`` is a convenience addition ("more specialized methods can be
 implemented", §3.4.2) returning the concatenated character content; the
 SIGMOD workload uses it to group unnested fragments by their text.
+
+Decoding cost is amortized underneath these methods, not inside them:
+``XadtValue.events()`` replays memoized event lists for dict payloads
+and ``XadtValue.directory()`` reuses memoized span directories (see
+:mod:`repro.xadt.decode_cache`), so repeated method calls over the same
+hot fragments skip the decompressor / directory rebuild entirely.
 """
 
 from __future__ import annotations

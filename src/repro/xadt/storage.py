@@ -16,6 +16,7 @@ from typing import Iterable, Iterator
 
 from repro.errors import XadtCodecError
 from repro.xadt import compress
+from repro.xadt.decode_cache import DECODE_CACHE, event_list_cost
 from repro.xmlkit.chars import escape_attribute, escape_text
 from repro.xmlkit.tokens import EndTag, StartTag, TextEvent, Tokenizer
 
@@ -100,7 +101,14 @@ def encode(xml_text: str, codec: str) -> str | bytes:
 
 
 def payload_events(payload: str | bytes, codec: str) -> Iterator[Event]:
-    """The event stream of a stored payload."""
+    """The event stream of a stored payload.
+
+    Dict payloads are decompressed through the process-wide decode cache
+    (:mod:`repro.xadt.decode_cache`): the first scan of a fragment
+    materializes and memoizes its event list, repeat scans of the same
+    payload bytes replay it without re-running the decompressor.  With
+    the cache disabled the decompressor streams lazily as before.
+    """
     if codec in (PLAIN, INDEXED):
         if not isinstance(payload, str):
             raise XadtCodecError("plain payloads are text")
@@ -108,8 +116,25 @@ def payload_events(payload: str | bytes, codec: str) -> Iterator[Event]:
     if codec == DICT:
         if not isinstance(payload, bytes):
             raise XadtCodecError("dict payloads are bytes")
-        return compress.decode_events(payload)
+        return dict_payload_events(payload)
     raise XadtCodecError(f"unknown codec {codec!r}")
+
+
+def dict_payload_events(payload: bytes) -> Iterator[Event]:
+    """Decode a dict payload, memoizing the event list by payload bytes."""
+    if not DECODE_CACHE.enabled:
+        return compress.decode_events(payload)
+    return iter(dict_payload_event_list(payload))
+
+
+def dict_payload_event_list(payload: bytes) -> list[Event]:
+    """The fully materialized (and cached) event list of a dict payload."""
+    key = ("dict-events", payload)
+    events = DECODE_CACHE.get(key)
+    if events is None:
+        events = list(compress.decode_events(payload))
+        DECODE_CACHE.put(key, events, event_list_cost(events))
+    return events  # type: ignore[return-value]
 
 
 def payload_size(payload: str | bytes, codec: str) -> int:

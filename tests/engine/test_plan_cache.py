@@ -1,0 +1,173 @@
+"""The LRU plan cache: normalization, counters, eviction, invalidation."""
+
+import pytest
+
+from repro.engine import Database
+from repro.engine.plan_cache import PlanCache, normalize_sql
+from repro.errors import CatalogError
+
+
+class TestNormalization:
+    def test_whitespace_insensitive(self):
+        assert normalize_sql("SELECT  a\nFROM t") == normalize_sql(
+            "SELECT a FROM t"
+        )
+
+    def test_comments_stripped(self):
+        assert normalize_sql(
+            "SELECT a -- pick a\nFROM t"
+        ) == normalize_sql("SELECT a FROM t")
+
+    def test_trailing_semicolon_stripped(self):
+        assert normalize_sql("SELECT a FROM t;") == normalize_sql(
+            "SELECT a FROM t"
+        )
+
+    def test_string_literals_preserved(self):
+        # whitespace inside quotes is data, not formatting
+        a = normalize_sql("SELECT a FROM t WHERE b = 'x  y'")
+        b = normalize_sql("SELECT a FROM t WHERE b = 'x y'")
+        assert a != b
+
+    def test_escaped_quote_in_literal(self):
+        text = normalize_sql("SELECT a FROM t WHERE b = 'it''s  here'")
+        assert "it''s  here" in text
+
+    def test_quoted_identifier_preserved(self):
+        a = normalize_sql('SELECT "a  b" FROM t')
+        assert '"a  b"' in a
+
+    def test_case_differences_stay_distinct(self):
+        # normalization is textual only; resolution handles case rules
+        assert normalize_sql("select a from t") != normalize_sql(
+            "SELECT a FROM t"
+        )
+
+
+def _entry(schema_epoch=0, stats_epoch=0):
+    from types import SimpleNamespace
+
+    return SimpleNamespace(schema_epoch=schema_epoch, stats_epoch=stats_epoch)
+
+
+class TestCacheMechanics:
+    def test_capacity_zero_never_stores(self):
+        cache = PlanCache(0)
+        cache.store("k", _entry())
+        assert len(cache) == 0
+        assert cache.lookup("k", 0, 0) is None
+        assert cache.stats.misses == 1
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            PlanCache(-1)
+
+    def test_lru_eviction_order(self):
+        cache = PlanCache(2)
+        for key in ("a", "b"):
+            cache.store(key, _entry())
+        cache.lookup("a", 0, 0)  # a becomes most recent
+        cache.store("c", _entry())  # evicts b
+        assert cache.stats.evictions == 1
+        assert cache.lookup("b", 0, 0) is None
+        assert cache.lookup("a", 0, 0) is not None
+        assert cache.lookup("c", 0, 0) is not None
+
+    def test_epoch_mismatch_discards(self):
+        cache = PlanCache(4)
+        cache.store("k", _entry(schema_epoch=1, stats_epoch=1))
+        assert cache.lookup("k", 2, 1) is None
+        assert cache.stats.invalidations == 1
+        assert len(cache) == 0
+
+
+@pytest.fixture()
+def db():
+    database = Database("cache")
+    database.execute(
+        "CREATE TABLE words (wordID INTEGER PRIMARY KEY, word VARCHAR)"
+    )
+    database.bulk_insert("words", [(i, f"word-{i}") for i in range(2000)])
+    database.runstats()
+    database.plan_cache.stats.reset()
+    return database
+
+
+class TestDatabaseIntegration:
+    def test_repeat_executions_hit(self, db):
+        for _ in range(100):
+            db.execute("SELECT word FROM words WHERE wordID = 7")
+        report = db.plan_cache.report()
+        assert report["misses"] == 1
+        assert report["hits"] == 99
+
+    def test_formatting_variants_share_one_plan(self, db):
+        db.execute("SELECT word FROM words WHERE wordID = 7")
+        db.execute("SELECT   word\nFROM words -- comment\nWHERE wordID = 7;")
+        report = db.plan_cache.report()
+        assert report["hits"] == 1
+        assert report["misses"] == 1
+        assert report["entries"] == 1
+
+    def test_distinct_literals_are_distinct_plans(self, db):
+        db.execute("SELECT word FROM words WHERE word = 'a  b'")
+        db.execute("SELECT word FROM words WHERE word = 'a b'")
+        assert db.plan_cache.report()["entries"] == 2
+
+    def test_non_select_statements_bypass_cache(self, db):
+        db.execute("CREATE TABLE other (a INTEGER PRIMARY KEY)")
+        db.execute("INSERT INTO other VALUES (1)")
+        report = db.plan_cache.report()
+        assert report["hits"] == 0 and report["misses"] == 0
+
+    def test_ddl_invalidates(self, db):
+        sql = "SELECT word FROM words WHERE wordID = 7"
+        db.execute(sql)
+        db.execute("CREATE TABLE other (a INTEGER PRIMARY KEY)")
+        db.execute(sql)  # schema epoch moved: replan
+        report = db.plan_cache.report()
+        assert report["invalidations"] == 1
+        assert report["misses"] == 2
+
+    def test_runstats_invalidates_and_replans_to_index(self, db):
+        prepared = db.prepare("SELECT word FROM words WHERE wordID = ?")
+        prepared.execute(7)
+        assert "SeqScan" in prepared.explain()
+        db.create_index("idx_word_id", "words", "wordID", "btree")
+        db.runstats()
+        assert prepared.execute(7).column("word") == ["word-7"]
+        assert "IndexScan" in prepared.explain()
+        assert db.plan_cache.report()["invalidations"] >= 1
+
+    def test_dropped_table_not_served_from_cache(self, db):
+        sql = "SELECT word FROM words WHERE wordID = 7"
+        db.execute(sql)
+        db.execute("DROP TABLE words")
+        with pytest.raises(CatalogError):
+            db.execute(sql)
+
+    def test_capacity_bound_enforced(self):
+        database = Database("tiny", plan_cache_capacity=2)
+        database.execute("CREATE TABLE t (a INTEGER PRIMARY KEY)")
+        database.insert("t", (1,))
+        database.plan_cache.stats.reset()
+        for i in range(5):
+            database.execute(f"SELECT a FROM t WHERE a = {i}")
+        report = database.plan_cache.report()
+        assert report["entries"] == 2
+        assert report["evictions"] == 3
+
+    def test_disabled_cache_still_correct(self):
+        database = Database("nocache", plan_cache_capacity=0)
+        database.execute("CREATE TABLE t (a INTEGER PRIMARY KEY)")
+        database.insert("t", (3,))
+        for _ in range(3):
+            assert database.execute("SELECT a FROM t").column("a") == [3]
+        assert database.plan_cache.report()["hits"] == 0
+
+    def test_size_report_includes_cache_counters(self, db):
+        db.execute("SELECT word FROM words WHERE wordID = 7")
+        report = db.size_report()
+        assert report["plan_cache"]["misses"] == 1
+        assert "hit_rate" in report["plan_cache"]
+        assert "budget_bytes" in report["xadt_decode_cache"]
