@@ -10,7 +10,7 @@ from conftest import print_report
 
 from repro.bench.experiments import run_fig11
 from repro.bench.harness import cold_query
-from repro.bench.report import render_ratio_sweep
+from repro.bench.report import render_ratio_sweep, sweep_to_json
 from repro.workloads import SHAKESPEARE_QUERIES
 
 
@@ -34,6 +34,14 @@ def test_figure11_sweep(benchmark):
         "see EXPERIMENTS.md for the QS4/QS6 deviations)",
         render_ratio_sweep(sweep, "Figure 11"),
     )
+    artifact = sweep_to_json(sweep)
+    print_report("Figure 11 — JSON artifact (with phase breakdowns)", artifact)
+    # every cold run in the artifact carries its parse/plan/execute split
+    import json
+
+    payload = json.loads(artifact)
+    for cell in payload["queries"]["QS1"].values():
+        assert "execute" in cell["xorator"]["phase_seconds"]
     # shape assertions: XORator wins the bulk of the workload at scale
     for key in ("QS1", "QS2", "QS3", "QS5"):
         assert sweep.ratio(key, 4) > 1.0, key

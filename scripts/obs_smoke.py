@@ -1,0 +1,137 @@
+"""CI smoke test for the observability stack.
+
+Builds a small Shakespeare XORator database, runs one Figure 11 query
+under EXPLAIN ANALYZE with tracing on, dumps the trace in Chrome
+trace-event JSON, and validates the dump against the checked-in schema
+(``schemas/trace.schema.json``) with a dependency-free mini validator —
+CI must not install jsonschema.
+
+Usage::
+
+    PYTHONPATH=src python scripts/obs_smoke.py [output-trace.json]
+
+Exits nonzero (via assertion) if any stage misbehaves.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.bench.harness import build_database  # noqa: E402
+from repro.datagen.shakespeare import (  # noqa: E402
+    ShakespeareConfig,
+    generate_corpus,
+)
+from repro.dtd import samples  # noqa: E402
+from repro.mapping import map_xorator  # noqa: E402
+from repro.obs import METRICS, TRACER  # noqa: E402
+from repro.workloads import SHAKESPEARE_QUERIES  # noqa: E402
+from repro.workloads.shakespeare_queries import workload_sql  # noqa: E402
+
+
+def validate(instance, schema, path="$"):
+    """Minimal JSON Schema check: type/enum/required/properties/items/minItems."""
+    expected = schema.get("type")
+    if expected:
+        matched = {
+            "object": lambda v: isinstance(v, dict),
+            "array": lambda v: isinstance(v, list),
+            "string": lambda v: isinstance(v, str),
+            "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
+            "number": lambda v: isinstance(v, (int, float))
+            and not isinstance(v, bool),
+            "boolean": lambda v: isinstance(v, bool),
+        }[expected](instance)
+        assert matched, f"{path}: expected {expected}, got {type(instance).__name__}"
+    if "enum" in schema:
+        assert instance in schema["enum"], (
+            f"{path}: {instance!r} not in {schema['enum']}"
+        )
+    if isinstance(instance, dict):
+        for name in schema.get("required", ()):
+            assert name in instance, f"{path}: missing required key {name!r}"
+        for name, subschema in schema.get("properties", {}).items():
+            if name in instance:
+                validate(instance[name], subschema, f"{path}.{name}")
+    if isinstance(instance, list):
+        if "minItems" in schema:
+            assert len(instance) >= schema["minItems"], (
+                f"{path}: fewer than {schema['minItems']} items"
+            )
+        items = schema.get("items")
+        if items:
+            for index, element in enumerate(instance):
+                validate(element, items, f"{path}[{index}]")
+
+
+def main() -> int:
+    output = Path(sys.argv[1]) if len(sys.argv) > 1 else REPO_ROOT / "trace-smoke.json"
+
+    print("building Shakespeare XORator database (3 plays) ...")
+    documents = generate_corpus(ShakespeareConfig(plays=3))
+    loaded = build_database(
+        "xorator",
+        map_xorator(samples.shakespeare_simplified()),
+        documents,
+        workload_sql("xorator"),
+    )
+    db = loaded.db
+
+    query = SHAKESPEARE_QUERIES[0]
+    TRACER.enabled = True
+    try:
+        report = db.explain_analyze(query.xorator_sql)
+        # warm the plan cache so the metrics snapshot shows hits too
+        db.execute(query.xorator_sql)
+        db.execute(query.xorator_sql)
+    finally:
+        TRACER.enabled = False
+
+    print(f"\nEXPLAIN ANALYZE {query.key}:")
+    print(report.text())
+    assert report.operators, "analyze report has no operators"
+    assert report.root.actual_rows == len(report.result), (
+        "root actual rows disagree with the result"
+    )
+    assert report.phases["execute"] > 0.0, "execute phase not recorded"
+
+    snapshot = METRICS.snapshot()
+    assert snapshot["counters"]["plan_cache.hits"] > 0, "no plan-cache hits"
+    udf_calls = sum(
+        value
+        for name, value in snapshot["counters"].items()
+        if name.startswith("udf.calls.")
+    )
+    assert udf_calls > 0, "no UDF invocations counted"
+    print(
+        f"\nmetrics: plan_cache.hits={snapshot['counters']['plan_cache.hits']} "
+        f"udf calls={udf_calls} entries={METRICS.entry_count()}"
+    )
+
+    text = TRACER.to_json(indent=2)
+    output.write_text(text, encoding="utf-8")
+    payload = json.loads(text)
+    schema = json.loads(
+        (REPO_ROOT / "schemas" / "trace.schema.json").read_text(encoding="utf-8")
+    )
+    validate(payload, schema)
+    names = {event["name"] for event in payload["traceEvents"]}
+    assert "execute" in names, f"no execute span in trace: {sorted(names)}"
+    operator_events = [
+        event for event in payload["traceEvents"] if event["cat"] == "operator"
+    ]
+    assert operator_events, "no per-operator spans in trace"
+    print(
+        f"trace: {len(payload['traceEvents'])} events "
+        f"({len(operator_events)} operator spans) -> {output}; schema OK"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

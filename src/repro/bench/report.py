@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 from repro.bench.experiments import (
     CompressionChoice,
     DecoupleAblation,
@@ -54,6 +56,34 @@ def render_ratio_sweep(sweep: RatioSweep, title: str) -> str:
     lines.append(f"{'LOAD':8}{load_cells}")
     lines.append("(Hybrid/XORator modeled cold time; >1 means XORator wins)")
     return "\n".join(lines)
+
+
+def sweep_to_json(sweep: RatioSweep, indent: int | None = 2) -> str:
+    """The Figure 11/13 sweep as a JSON artifact.
+
+    Each cell embeds both ColdRuns in full, including the tracer's
+    parse/plan/execute ``phase_seconds`` breakdown — the machine-readable
+    companion of the printed ratio table.
+    """
+    queries: dict[str, dict[str, object]] = {}
+    for key in sorted(sweep.ratios):
+        queries[key] = {
+            str(scale): {
+                "ratio": sweep.ratio(key, scale),
+                "hybrid": sweep.ratios[key][scale].hybrid.to_dict(),
+                "xorator": sweep.ratios[key][scale].xorator.to_dict(),
+            }
+            for scale in sweep.scales
+        }
+    payload = {
+        "dataset": sweep.dataset,
+        "scales": list(sweep.scales),
+        "queries": queries,
+        "load_ratios": {
+            str(scale): ratio for scale, ratio in sweep.load_ratios.items()
+        },
+    }
+    return json.dumps(payload, indent=indent)
 
 
 def render_fig14(results: list[MicroResult]) -> str:

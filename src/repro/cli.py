@@ -13,10 +13,14 @@ commands (interactive or piped):
 * ``\\dt`` — list tables with row counts and sizes;
 * ``\\d <table>`` — describe a table;
 * ``\\explain <sql>`` — show the physical plan;
+* ``\\analyze <sql>`` — EXPLAIN ANALYZE: run the query and show actual
+  vs. estimated rows and per-operator timings;
 * ``\\path <pathquery>`` — compile a path query for the loaded schema,
   show the SQL, and run it;
 * ``\\io`` — I/O counters of the last statement (the simulated disk);
 * ``\\cache`` — plan-cache and XADT decode-cache counters;
+* ``\\metrics [json|reset]`` — the process metrics registry;
+* ``\\trace on|off|dump [file]`` — query tracing (Chrome trace format);
 * ``\\q`` — quit.
 """
 
@@ -30,6 +34,7 @@ from repro.bench.harness import build_pair
 from repro.engine.database import Database
 from repro.errors import ReproError
 from repro.mapping.base import MappedSchema
+from repro.obs import METRICS, TRACER
 from repro.xquery import compile_path, parse_path
 
 
@@ -55,15 +60,22 @@ class Shell:
                 self._describe(line[3:].strip())
             elif line.startswith("\\explain "):
                 self._print(self.db.explain(line[len("\\explain "):]))
+            elif line.startswith("\\analyze "):
+                self._run_analyze(line[len("\\analyze "):])
             elif line.startswith("\\path "):
                 self._run_path(line[len("\\path "):].strip())
             elif line == "\\io":
                 self._print_io()
             elif line == "\\cache":
                 self._print_caches()
+            elif line == "\\metrics" or line.startswith("\\metrics "):
+                self._run_metrics(line[len("\\metrics"):].strip())
+            elif line.startswith("\\trace"):
+                self._run_trace(line[len("\\trace"):].strip())
             elif line.startswith("\\"):
                 self._print(f"unknown command {line.split()[0]!r}; try \\dt, "
-                            f"\\d, \\explain, \\path, \\io, \\cache, \\q")
+                            f"\\d, \\explain, \\analyze, \\path, \\io, "
+                            f"\\cache, \\metrics, \\trace, \\q")
             else:
                 self._run_sql(line)
         except ReproError as exc:
@@ -129,6 +141,59 @@ class Shell:
             f"{decode['oversize_rejections']} oversize "
             f"(hit rate {decode['hit_rate']:.0%})"
         )
+
+    def _run_analyze(self, sql: str) -> None:
+        self.db.io.reset()
+        report = self.db.explain_analyze(sql)
+        self._print(report.text())
+        self._print(f"{len(report.result)} record(s) selected.")
+
+    def _run_metrics(self, argument: str) -> None:
+        if argument == "json":
+            self._print(METRICS.to_json(indent=2))
+            return
+        if argument == "reset":
+            METRICS.reset()
+            self._print("metrics reset.")
+            return
+        if argument:
+            self._print("usage: \\metrics [json|reset]")
+            return
+        snapshot = METRICS.snapshot()
+        state = "on" if snapshot["enabled"] else "off"
+        self._print(f"metrics ({state}):")
+        for name, value in snapshot["counters"].items():
+            self._print(f"  {name:40}{value:>14}")
+        for name, value in snapshot["gauges"].items():
+            self._print(f"  {name:40}{value:>14}")
+        for name, data in snapshot["histograms"].items():
+            mean = data["sum"] / data["count"] if data["count"] else 0.0
+            self._print(
+                f"  {name:40}{data['count']:>14}  "
+                f"(mean {mean * 1000:.3f} ms)"
+            )
+
+    def _run_trace(self, argument: str) -> None:
+        parts = argument.split(None, 1)
+        verb = parts[0] if parts else ""
+        if verb == "on":
+            TRACER.enabled = True
+            self._print("tracing on.")
+        elif verb == "off":
+            TRACER.enabled = False
+            self._print("tracing off.")
+        elif verb == "dump":
+            text = TRACER.to_json(indent=2)
+            if len(parts) == 2:
+                with open(parts[1], "w", encoding="utf-8") as handle:
+                    handle.write(text)
+                self._print(
+                    f"{len(TRACER.events)} event(s) written to {parts[1]}"
+                )
+            else:
+                self._print(text)
+        else:
+            self._print("usage: \\trace on|off|dump [file]")
 
     def _print(self, text: str) -> None:
         print(text, file=self.out)

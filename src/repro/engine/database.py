@@ -17,6 +17,8 @@ instead of silently reused.
 
 from __future__ import annotations
 
+import time
+
 from repro.engine.advisor import IndexAdvisor
 from repro.engine.expr import Binding, ParamBox, compile_expr
 from repro.engine.index import Index, build_index
@@ -45,6 +47,29 @@ from repro.engine.storage import HeapTable
 from repro.engine.types import type_from_name
 from repro.engine.udf import FunctionRegistry
 from repro.errors import CatalogError, ExecutionError
+from repro.obs.explain import (
+    AnalyzeReport,
+    attach_stats,
+    build_report,
+    detach_stats,
+)
+from repro.obs.metrics import METRICS
+from repro.obs.trace import TRACER
+
+#: per-statement-kind latency histograms (wall seconds, whole statement)
+_QUERY_HISTOGRAMS = {
+    kind: METRICS.histogram(f"query.seconds.{kind}")
+    for kind in ("select", "insert", "ddl")
+}
+
+
+def _statement_kind(key: str) -> str:
+    head = key[:6].lower()
+    if head == "select":
+        return "select"
+    if head == "insert":
+        return "insert"
+    return "ddl"
 
 
 class PreparedStatement:
@@ -65,7 +90,14 @@ class PreparedStatement:
         self.parameter_count = count_parameters(self._statement)
 
     def execute(self, *params: object) -> Result:
-        return self._db._execute_prepared(self._key, self._statement, params)
+        kind = _statement_kind(self._key)
+        started = time.perf_counter()
+        with TRACER.span("query", args={"sql": self._key[:200], "kind": kind}):
+            result = self._db._execute_prepared(
+                self._key, self._statement, params
+            )
+        _QUERY_HISTOGRAMS[kind].observe(time.perf_counter() - started)
+        return result
 
     def explain(self) -> str:
         """The physical plan this statement currently executes."""
@@ -73,6 +105,19 @@ class PreparedStatement:
             raise ExecutionError("EXPLAIN supports SELECT statements only")
         entry = self._db._select_entry(self._key, self._statement)
         return "\n".join(entry.plan.explain())
+
+    def explain_analyze(self, *params: object) -> AnalyzeReport:
+        """Execute with per-operator instrumentation; see Database.explain_analyze."""
+        if not isinstance(self._statement, SelectStmt):
+            raise ExecutionError(
+                "EXPLAIN ANALYZE supports SELECT statements only"
+            )
+        phases = {"parse": 0.0}  # parsed at prepare() time
+        box = ParamBox(count_parameters(self._statement))
+        started = time.perf_counter()
+        plan = plan_select(self._statement, self._db, box)
+        phases["plan"] = time.perf_counter() - started
+        return self._db._analyze(plan, box, params, phases)
 
     def __repr__(self) -> str:
         return (
@@ -185,14 +230,26 @@ class Database:
         operator tree.
         """
         key = normalize_sql(sql)
-        if key[:6].lower() == "select":
-            entry = self.plan_cache.lookup(
-                key, self._schema_epoch, self._stats_epoch
-            )
-            if entry is None:
-                entry = self._build_entry(parse_sql(sql), key)
-            return self._run_select(entry, params)
-        return self._execute_prepared(key, parse_sql(sql), params, lookup=False)
+        kind = _statement_kind(key)
+        started = time.perf_counter()
+        with TRACER.span("query", args={"sql": key[:200], "kind": kind}):
+            if kind == "select":
+                entry = self.plan_cache.lookup(
+                    key, self._schema_epoch, self._stats_epoch
+                )
+                if entry is None:
+                    with TRACER.span("parse"):
+                        statement = parse_sql(sql)
+                    entry = self._build_entry(statement, key)
+                result = self._run_select(entry, params)
+            else:
+                with TRACER.span("parse"):
+                    statement = parse_sql(sql)
+                result = self._execute_prepared(
+                    key, statement, params, lookup=False
+                )
+        _QUERY_HISTOGRAMS[kind].observe(time.perf_counter() - started)
+        return result
 
     def prepare(self, sql: str) -> PreparedStatement:
         """Parse ``sql`` once; execute it repeatedly with bind values."""
@@ -258,7 +315,8 @@ class Database:
                 f"{type(statement).__name__}"
             )
         box = ParamBox(count_parameters(statement))
-        plan = plan_select(statement, self, box)
+        with TRACER.span("plan", args={"sql": key[:200]}):
+            plan = plan_select(statement, self, box)
         entry = CachedPlan(
             plan=plan,
             params=box,
@@ -282,7 +340,10 @@ class Database:
     def _run_select(self, entry: CachedPlan, params: tuple | list) -> Result:
         entry.params.bind(tuple(params))
         columns = [slot.name for slot in entry.plan.binding.slots]
-        return Result(columns, list(entry.plan.rows()))
+        with TRACER.span("execute") as span:
+            rows = list(entry.plan.rows())
+            span.args["rows"] = len(rows)
+        return Result(columns, rows)
 
     def _execute_insert(
         self, statement: InsertStmt, params: ParamBox | None = None
@@ -314,6 +375,67 @@ class Database:
             raise ExecutionError("EXPLAIN supports SELECT statements only")
         plan = plan_select(statement, self, ParamBox(count_parameters(statement)))
         return "\n".join(plan.explain())
+
+    def explain_analyze(
+        self, sql: str, params: tuple | list = ()
+    ) -> AnalyzeReport:
+        """Execute ``sql`` with per-operator instrumentation.
+
+        Plans the statement fresh (cached plans are shared and stay
+        uninstrumented), attaches rows/timing counters to every physical
+        operator, runs the query to completion, and returns an
+        :class:`~repro.obs.explain.AnalyzeReport`: actual vs. estimated
+        cardinality per operator, inclusive/self wall time, >10x
+        estimate-miss flags, and the parse/plan/execute phase breakdown.
+        The executed :class:`Result` rides along as ``report.result``.
+        """
+        phases: dict[str, float] = {}
+        started = time.perf_counter()
+        statement = parse_sql(sql)
+        phases["parse"] = time.perf_counter() - started
+        if not isinstance(statement, SelectStmt):
+            raise ExecutionError(
+                "EXPLAIN ANALYZE supports SELECT statements only"
+            )
+        box = ParamBox(count_parameters(statement))
+        started = time.perf_counter()
+        plan = plan_select(statement, self, box)
+        phases["plan"] = time.perf_counter() - started
+        return self._analyze(plan, box, params, phases)
+
+    def _analyze(
+        self,
+        plan,
+        box: ParamBox,
+        params: tuple | list,
+        phases: dict[str, float],
+    ) -> AnalyzeReport:
+        """Instrument ``plan``, drain it, and fold stats into a report."""
+        box.bind(tuple(params))
+        columns = [slot.name for slot in plan.binding.slots]
+        nodes = attach_stats(plan)
+        try:
+            started = time.perf_counter()
+            rows = list(plan.rows())
+            phases["execute"] = time.perf_counter() - started
+            result = Result(columns, rows)
+            report = build_report(nodes, phases, result)
+            if TRACER.enabled:
+                for node, _depth in nodes:
+                    stats = node.stats
+                    if stats.started_at is None:
+                        continue
+                    finished = stats.finished_at or stats.started_at
+                    TRACER.add_complete(
+                        type(node).__name__,
+                        "operator",
+                        stats.started_at,
+                        finished - stats.started_at,
+                        {"rows": stats.rows_out, "loops": stats.loops},
+                    )
+        finally:
+            detach_stats(nodes)
+        return report
 
     # -- statistics & advice ------------------------------------------------------
 
@@ -365,8 +487,8 @@ class Database:
 
     def size_report(self) -> dict[str, object]:
         """The three quantities of the paper's Tables 1 and 2, plus the
-        hit/miss/eviction counters of the plan cache and the process-wide
-        XADT decode cache."""
+        hit/miss/eviction counters of the plan cache, the process-wide
+        XADT decode cache, and the observability layer's own footprint."""
         from repro.xadt.decode_cache import DECODE_CACHE
 
         return {
@@ -376,10 +498,22 @@ class Database:
             "rows": self.row_count(),
             "plan_cache": self.plan_cache.report(),
             "xadt_decode_cache": DECODE_CACHE.report(),
+            "observability": {
+                "metrics_enabled": METRICS.enabled,
+                "metrics_entries": METRICS.entry_count(),
+                "trace_enabled": TRACER.enabled,
+                "trace_events": len(TRACER.events),
+                "trace_dropped_events": TRACER.dropped_events,
+                "trace_buffer_bytes": TRACER.buffer_bytes(),
+            },
         }
 
     def reset_function_stats(self) -> None:
+        """Zero the per-name invocation counts *and* the registry's UDF
+        counters/latency histograms, so Figure 14 measures each fencing
+        variant from zero."""
         self.registry.stats.reset()
+        METRICS.reset(prefix="udf.")
 
     def __repr__(self) -> str:
         return (

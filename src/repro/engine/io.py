@@ -34,6 +34,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.engine.pages import PAGE_SIZE, pages_for
+from repro.obs.metrics import METRICS
+
+#: process-wide page-read mirrors (lifetime totals across all databases,
+#: unlike the per-query IoCounters the harness resets)
+_SEQ_PAGES = METRICS.counter("io.sequential_pages")
+_RANDOM_PAGES = METRICS.counter("io.random_pages")
+_SPILL_PAGES = METRICS.counter("io.spill_pages")
 
 #: seconds to read one 8 KB page sequentially (~20 MB/s, year-2002 disk)
 SEQUENTIAL_PAGE_SECONDS = PAGE_SIZE / (20 * 1024 * 1024)
@@ -67,12 +74,15 @@ class IoCounters:
 
     def charge_sequential(self, pages: int) -> None:
         self.sequential_pages += pages
+        _SEQ_PAGES.inc(pages)
 
     def charge_random(self, pages: int = 1) -> None:
         self.random_pages += pages
+        _RANDOM_PAGES.inc(pages)
 
     def charge_spill(self, pages: int) -> None:
         self.spill_pages += pages
+        _SPILL_PAGES.inc(pages)
 
     def modeled_seconds(self) -> float:
         """Disk seconds implied by the counters."""

@@ -11,6 +11,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.obs.metrics import METRICS
+
+#: process-wide write-side accounting (every page allocation feeds it)
+_PAGES_WRITTEN = METRICS.counter("storage.pages_written")
+
 #: bytes per page (the paper configures an 8 KB page size)
 PAGE_SIZE = 8192
 #: page header + slot directory baseline
@@ -38,10 +43,12 @@ class PageAccounting:
             span = (need + PAGE_CAPACITY - 1) // PAGE_CAPACITY
             self.pages += span
             self._free_in_current = 0
+            _PAGES_WRITTEN.inc(span)
         else:
             if need > self._free_in_current:
                 self.pages += 1
                 self._free_in_current = PAGE_CAPACITY
+                _PAGES_WRITTEN.inc()
             self._free_in_current -= need
         self.rows += 1
         self.used_bytes += need

@@ -2,6 +2,10 @@
 
 Every operator exposes its output :class:`~repro.engine.expr.Binding`
 (flat slot layout), a ``rows()`` iterator, and an ``explain()`` listing.
+``rows()`` is a template method over the subclass's ``_execute()``: when
+EXPLAIN ANALYZE attaches per-operator runtime stats it wraps the
+iterator with rows-out counting and monotonic timing, and otherwise it
+returns the raw iterator (one branch of overhead).
 Predicates and expressions arrive pre-compiled as closures, so operators
 stay free of name-resolution concerns.  The optimizer is responsible for
 wiring compiled closures against the correct child bindings.
@@ -9,6 +13,7 @@ wiring compiled closures against the correct child bindings.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Iterator
 
@@ -20,17 +25,68 @@ from repro.engine.types import SqlType
 from repro.engine.udf import FunctionRegistry
 from repro.engine.values import group_key
 from repro.errors import ExecutionError
+from repro.obs.explain import OperatorStats
+
+
+def _instrumented(impl: Iterator[tuple], stats: OperatorStats) -> Iterator[tuple]:
+    """Wrap an operator's iterator with row counting and inclusive timing.
+
+    The time charged to ``stats.seconds`` is everything spent inside
+    ``next()`` — this operator plus its children; EXPLAIN ANALYZE derives
+    self time by subtracting the children's inclusive totals.
+    """
+    perf = time.perf_counter
+    if stats.started_at is None:
+        stats.started_at = perf()
+    while True:
+        begin = perf()
+        try:
+            row = next(impl)
+        except StopIteration:
+            now = perf()
+            stats.seconds += now - begin
+            stats.finished_at = now
+            return
+        stats.seconds += perf() - begin
+        stats.rows_out += 1
+        yield row
 
 
 class Operator:
-    """Base class of physical operators."""
+    """Base class of physical operators.
+
+    Subclasses implement :meth:`_execute`; the public :meth:`rows` is a
+    template method that returns the raw iterator when no
+    :class:`~repro.obs.explain.OperatorStats` is attached (the normal
+    execution path — the only added cost is this one branch) and an
+    instrumented wrapper when EXPLAIN ANALYZE or tracing attached one.
+    """
 
     binding: Binding
     #: optimizer's cardinality estimate, for EXPLAIN output
     estimated_rows: float = 0.0
+    #: runtime counters; attached by EXPLAIN ANALYZE, None otherwise
+    stats: OperatorStats | None = None
 
     def rows(self) -> Iterator[tuple]:
+        impl = self._execute()
+        stats = self.stats
+        if stats is None:
+            return impl
+        stats.loops += 1
+        return _instrumented(impl, stats)
+
+    def _execute(self) -> Iterator[tuple]:
         raise NotImplementedError
+
+    def children(self) -> list["Operator"]:
+        """Direct inputs in explain order (left before right)."""
+        out: list["Operator"] = []
+        for attribute in ("left", "right", "input"):
+            child = getattr(self, attribute, None)
+            if isinstance(child, Operator):
+                out.append(child)
+        return out
 
     def explain(self, depth: int = 0) -> list[str]:
         raise NotImplementedError
@@ -57,7 +113,7 @@ class SeqScan(Operator):
         self.io = io
         self.binding = table_binding(table, alias)
 
-    def rows(self) -> Iterator[tuple]:
+    def _execute(self) -> Iterator[tuple]:
         if self.io is not None:
             self.io.charge_sequential(self.table.data_pages())
         predicate = self.predicate
@@ -105,7 +161,7 @@ class IndexScan(Operator):
         self.io = io
         self.binding = table_binding(table, alias)
 
-    def rows(self) -> Iterator[tuple]:
+    def _execute(self) -> Iterator[tuple]:
         if self.io is not None:
             self.io.charge_random(1)  # leaf descent; interior pages cached
         if self.key_range is not None:
@@ -172,7 +228,7 @@ class HashJoin(Operator):
         self.io = io
         self.binding = left.binding.extend(right.binding)
 
-    def rows(self) -> Iterator[tuple]:
+    def _execute(self) -> Iterator[tuple]:
         table: dict[tuple, list[tuple]] = {}
         right_keys = self.right_keys
         build_bytes = 0
@@ -239,7 +295,7 @@ class NestedLoopJoin(Operator):
         self.predicate_sql = predicate_sql
         self.binding = left.binding.extend(right.binding)
 
-    def rows(self) -> Iterator[tuple]:
+    def _execute(self) -> Iterator[tuple]:
         right_rows = list(self.right.rows())
         predicate = self.predicate
         for left_row in self.left.rows():
@@ -284,7 +340,7 @@ class IndexNestedLoopJoin(Operator):
         self.io = io
         self.binding = left.binding.extend(table_binding(table, alias))
 
-    def rows(self) -> Iterator[tuple]:
+    def _execute(self) -> Iterator[tuple]:
         fetch = self.table.fetch
         lookup = self.index.lookup
         key_slot = self.left_key_slot
@@ -353,7 +409,7 @@ class LateralFunctionScan(Operator):
         self.binding = input_op.binding.extend(Binding(slots))
         self._arity = len(output_columns)
 
-    def rows(self) -> Iterator[tuple]:
+    def _execute(self) -> Iterator[tuple]:
         call = self.registry.call_table
         name = self.function_name
         args = self.args
@@ -387,7 +443,7 @@ class Filter(Operator):
         self.predicate_sql = predicate_sql
         self.binding = input_op.binding
 
-    def rows(self) -> Iterator[tuple]:
+    def _execute(self) -> Iterator[tuple]:
         predicate = self.predicate
         for row in self.input.rows():
             if predicate(row):
@@ -414,7 +470,7 @@ class Project(Operator):
         self.exprs = exprs
         self.binding = Binding(out_slots)
 
-    def rows(self) -> Iterator[tuple]:
+    def _execute(self) -> Iterator[tuple]:
         exprs = self.exprs
         for row in self.input.rows():
             yield tuple(expr(row) for expr in exprs)
@@ -433,7 +489,7 @@ class HashDistinct(Operator):
         self.input = input_op
         self.binding = input_op.binding
 
-    def rows(self) -> Iterator[tuple]:
+    def _execute(self) -> Iterator[tuple]:
         seen: set[tuple] = set()
         for row in self.input.rows():
             key = tuple(group_key(value) for value in row)
@@ -516,7 +572,7 @@ class HashAggregate(Operator):
         self.binding = Binding(group_slots + agg_slots)
         self._grand_total = not group_exprs
 
-    def rows(self) -> Iterator[tuple]:
+    def _execute(self) -> Iterator[tuple]:
         groups: dict[tuple, tuple[tuple, list[_Accumulator]]] = {}
         for row in self.input.rows():
             raw_key = tuple(expr(row) for expr in self.group_exprs)
@@ -591,7 +647,7 @@ class Sort(Operator):
         self.descending = descending
         self.binding = input_op.binding
 
-    def rows(self) -> Iterator[tuple]:
+    def _execute(self) -> Iterator[tuple]:
         rows = list(self.input.rows())
         # stable multi-key sort: apply keys right-to-left
         for key, desc in reversed(list(zip(self.keys, self.descending))):
@@ -610,7 +666,7 @@ class Limit(Operator):
         self.limit = limit
         self.binding = input_op.binding
 
-    def rows(self) -> Iterator[tuple]:
+    def _execute(self) -> Iterator[tuple]:
         remaining = self.limit
         if remaining <= 0:
             return

@@ -25,12 +25,20 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
+from repro.obs.metrics import METRICS
+
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.engine.expr import ParamBox
     from repro.engine.plan.physical import Operator
     from repro.engine.sql.ast import SelectStmt
 
 DEFAULT_CAPACITY = 64
+
+#: process-wide mirrors of the per-cache counters (all Database instances)
+_HITS = METRICS.counter("plan_cache.hits")
+_MISSES = METRICS.counter("plan_cache.misses")
+_EVICTIONS = METRICS.counter("plan_cache.evictions")
+_INVALIDATIONS = METRICS.counter("plan_cache.invalidations")
 
 
 def normalize_sql(sql: str) -> str:
@@ -149,6 +157,7 @@ class PlanCache:
         entry = self._entries.get(key)
         if entry is None:
             self.stats.misses += 1
+            _MISSES.inc()
             return None
         if (
             entry.schema_epoch != schema_epoch
@@ -157,9 +166,12 @@ class PlanCache:
             del self._entries[key]
             self.stats.invalidations += 1
             self.stats.misses += 1
+            _INVALIDATIONS.inc()
+            _MISSES.inc()
             return None
         self._entries.move_to_end(key)
         self.stats.hits += 1
+        _HITS.inc()
         return entry
 
     def store(self, key: str, entry: CachedPlan) -> None:
@@ -170,6 +182,7 @@ class PlanCache:
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
             self.stats.evictions += 1
+            _EVICTIONS.inc()
 
     def clear(self) -> None:
         self._entries.clear()

@@ -14,6 +14,11 @@ from repro.engine.pages import PageAccounting
 from repro.engine.schema import TableSchema
 from repro.engine.types import COLUMN_OVERHEAD, ROW_OVERHEAD
 from repro.errors import ExecutionError
+from repro.obs.metrics import METRICS
+
+#: process-wide load-side accounting across every HeapTable
+_ROWS_INSERTED = METRICS.counter("storage.rows_inserted")
+_BYTES_WRITTEN = METRICS.counter("storage.bytes_written")
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.engine.index import Index
@@ -60,7 +65,10 @@ class HeapTable:
             self._pk_seen.add(key)
         row_id = len(self.rows)
         self.rows.append(coerced)
-        self.accounting.add_row(self._row_bytes(coerced))
+        row_bytes = self._row_bytes(coerced)
+        self.accounting.add_row(row_bytes)
+        _ROWS_INSERTED.inc()
+        _BYTES_WRITTEN.inc(row_bytes)
         for index in self.indexes:
             index.insert(coerced, row_id)
         return row_id

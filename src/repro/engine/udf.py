@@ -23,17 +23,38 @@ from __future__ import annotations
 
 import enum
 import pickle
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Sequence
 
 from repro.engine.types import SqlType, is_xadt_value
 from repro.errors import ReproError, UdfError
+from repro.obs.metrics import METRICS
 
 
 class FunctionKind(enum.Enum):
     BUILTIN = "builtin"
     NOT_FENCED = "not fenced"
     FENCED = "fenced"
+
+
+#: fine sub-millisecond boundaries — single UDF calls are microseconds
+_UDF_LATENCY_BUCKETS = (
+    0.000001, 0.0000025, 0.000005, 0.00001, 0.000025, 0.00005,
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.05, 0.1,
+)
+
+#: per-fencing-mode invocation counters and latency histograms
+_CALL_COUNTERS = {
+    kind: METRICS.counter(f"udf.calls.{kind.value.replace(' ', '_')}")
+    for kind in FunctionKind
+}
+_CALL_HISTOGRAMS = {
+    kind: METRICS.histogram(
+        f"udf.seconds.{kind.value.replace(' ', '_')}", _UDF_LATENCY_BUCKETS
+    )
+    for kind in FunctionKind
+}
 
 
 def _marshal(value: object) -> object:
@@ -187,13 +208,25 @@ class FunctionRegistry:
         function = self.scalar(name)
         key = function.name
         self.stats.scalar_calls[key] = self.stats.scalar_calls.get(key, 0) + 1
-        return function.invoke(args)
+        if not METRICS.enabled:
+            return function.invoke(args)
+        _CALL_COUNTERS[function.kind].inc()
+        started = time.perf_counter()
+        result = function.invoke(args)
+        _CALL_HISTOGRAMS[function.kind].observe(time.perf_counter() - started)
+        return result
 
     def call_table(self, name: str, args: Sequence[object]) -> Iterable[tuple]:
         function = self.table_function(name)
         key = function.name
         self.stats.table_calls[key] = self.stats.table_calls.get(key, 0) + 1
-        return function.invoke(args)
+        if not METRICS.enabled:
+            return function.invoke(args)
+        _CALL_COUNTERS[function.kind].inc()
+        started = time.perf_counter()
+        result = function.invoke(args)
+        _CALL_HISTOGRAMS[function.kind].observe(time.perf_counter() - started)
+        return result
 
     # -- built-ins ---------------------------------------------------------------
 

@@ -1,0 +1,57 @@
+"""Engine-wide observability: metrics, query tracing, EXPLAIN ANALYZE.
+
+Three cooperating pieces (see DESIGN.md "Observability"):
+
+* :mod:`repro.obs.metrics` — a process-wide registry of counters,
+  gauges, and fixed-bucket histograms that the plan cache, UDF
+  dispatcher, storage layer, I/O model, and XADT decode cache report
+  into; snapshot/JSON export via ``METRICS.snapshot()``.
+* :mod:`repro.obs.trace` — span recording in the Chrome trace-event
+  format (``TRACER``), covering parse/plan/execute phases and, under
+  EXPLAIN ANALYZE, per-operator spans.
+* :mod:`repro.obs.explain` — the runtime operator statistics and the
+  report behind ``Database.explain_analyze()``.
+
+Importing this package pulls in no engine modules, so every engine
+subsystem can depend on it without cycles.
+"""
+
+from repro.obs.explain import (
+    AnalyzeReport,
+    MISS_FACTOR,
+    OperatorReport,
+    OperatorStats,
+    attach_stats,
+    build_report,
+    detach_stats,
+    walk,
+)
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.trace import DEFAULT_MAX_EVENTS, TRACER, Tracer
+
+__all__ = [
+    "AnalyzeReport",
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_MAX_EVENTS",
+    "Gauge",
+    "Histogram",
+    "METRICS",
+    "MISS_FACTOR",
+    "MetricsRegistry",
+    "OperatorReport",
+    "OperatorStats",
+    "TRACER",
+    "Tracer",
+    "attach_stats",
+    "build_report",
+    "detach_stats",
+    "walk",
+]

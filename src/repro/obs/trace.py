@@ -1,0 +1,235 @@
+"""Query tracing: lightweight spans in the Chrome trace-event format.
+
+The tracer records *complete* events (``"ph": "X"``) — a name, a
+category, a start timestamp, and a duration — for the phases of every
+traced statement (``parse`` -> ``plan`` -> ``execute``) and, under
+EXPLAIN ANALYZE, one nested span per physical operator.  A dump loads
+directly in ``chrome://tracing`` / Perfetto and round-trips through
+``json.loads`` (the format is the JSON object flavour:
+``{"traceEvents": [...], "displayTimeUnit": "ms"}``).
+
+Tracing is off by default.  The disabled cost on the query path is one
+attribute check per would-be span (``span()`` returns a shared null
+context manager), which keeps untraced runs within noise — the same
+guarantee the metrics registry makes (see ``repro.obs.metrics``).
+
+The event buffer is bounded: past ``max_events`` the tracer drops new
+events and counts them in ``dropped_events``, so a long traced session
+cannot grow without bound.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Iterator
+
+#: default event-buffer bound (one query traces ~5-50 events)
+DEFAULT_MAX_EVENTS = 100_000
+
+#: rough per-event in-memory bytes, for size accounting
+_EVENT_OVERHEAD = 160
+
+
+class _NullSpan:
+    """Shared no-op span returned while tracing is disabled."""
+
+    __slots__ = ()
+    #: throwaway args sink so callers can annotate unconditionally
+    args: dict = {}
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """An open span; closing it appends one complete event."""
+
+    __slots__ = ("tracer", "name", "cat", "args", "_start")
+
+    def __init__(self, tracer: "Tracer", name: str, cat: str,
+                 args: dict | None) -> None:
+        self.tracer = tracer
+        self.name = name
+        self.cat = cat
+        self.args = dict(args) if args else {}
+        self._start = time.perf_counter()
+
+    def __enter__(self) -> "_Span":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        end = time.perf_counter()
+        self.tracer.add_complete(
+            self.name, self.cat, self._start, end - self._start, self.args
+        )
+
+
+class Tracer:
+    """Span recorder with Chrome trace-event export."""
+
+    def __init__(self, max_events: int = DEFAULT_MAX_EVENTS) -> None:
+        self.enabled = False
+        self.max_events = max_events
+        self.dropped_events = 0
+        self.events: list[dict] = []
+        #: perf_counter origin; timestamps are microseconds since this
+        self._origin = time.perf_counter()
+
+    # -- recording --------------------------------------------------------
+
+    def span(self, name: str, cat: str = "engine",
+             args: dict | None = None) -> "_Span | _NullSpan":
+        """Context manager timing one phase; no-op while disabled."""
+        if not self.enabled:
+            return _NULL_SPAN
+        return _Span(self, name, cat, args)
+
+    def add_complete(
+        self,
+        name: str,
+        cat: str,
+        start_perf: float,
+        duration_seconds: float,
+        args: dict | None = None,
+    ) -> None:
+        """Record one complete ("X") event from perf_counter readings."""
+        if not self.enabled:
+            return
+        if len(self.events) >= self.max_events:
+            self.dropped_events += 1
+            return
+        event = {
+            "name": name,
+            "cat": cat,
+            "ph": "X",
+            "ts": (start_perf - self._origin) * 1e6,
+            "dur": duration_seconds * 1e6,
+            "pid": 1,
+            "tid": 1,
+        }
+        if args:
+            event["args"] = args
+        self.events.append(event)
+
+    def instant(self, name: str, cat: str = "engine",
+                args: dict | None = None) -> None:
+        """Record one instant ("i") event at the current time."""
+        if not self.enabled:
+            return
+        if len(self.events) >= self.max_events:
+            self.dropped_events += 1
+            return
+        event = {
+            "name": name,
+            "cat": cat,
+            "ph": "i",
+            "ts": (time.perf_counter() - self._origin) * 1e6,
+            "s": "t",
+            "pid": 1,
+            "tid": 1,
+        }
+        if args:
+            event["args"] = args
+        self.events.append(event)
+
+    # -- reading ----------------------------------------------------------
+
+    def mark(self) -> int:
+        """Current buffer position, for slicing events recorded after it."""
+        return len(self.events)
+
+    def events_since(self, mark: int) -> list[dict]:
+        return self.events[mark:]
+
+    def phase_seconds(self, mark: int = 0) -> dict[str, float]:
+        """Summed duration per span name for events recorded since ``mark``.
+
+        The benchmark harness uses this to attach parse/plan/execute
+        breakdowns to its artifacts.
+        """
+        phases: dict[str, float] = {}
+        for event in self.events[mark:]:
+            if event.get("ph") != "X":
+                continue
+            name = event["name"]
+            phases[name] = phases.get(name, 0.0) + event["dur"] / 1e6
+        return phases
+
+    def to_chrome(self) -> dict[str, object]:
+        """The Chrome trace-event JSON object for the whole buffer."""
+        return {
+            "traceEvents": list(self.events),
+            "displayTimeUnit": "ms",
+        }
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_chrome(), indent=indent)
+
+    def buffer_bytes(self) -> int:
+        """Approximate in-memory size of the event buffer."""
+        total = 0
+        for event in self.events:
+            total += _EVENT_OVERHEAD
+            for value in event.get("args", {}).values():
+                if isinstance(value, str):
+                    total += len(value)
+        return total
+
+    # -- maintenance ------------------------------------------------------
+
+    def clear(self) -> None:
+        self.events.clear()
+        self.dropped_events = 0
+
+    def capture(self) -> "_Capture":
+        """Enable tracing for a scope and expose what it recorded.
+
+        ``with TRACER.capture() as cap: ...`` then ``cap.phase_seconds()``
+        — restores the previous enabled state on exit.
+        """
+        return _Capture(self)
+
+    def __iter__(self) -> Iterator[dict]:
+        return iter(self.events)
+
+
+class _Capture:
+    __slots__ = ("tracer", "_mark", "_prior")
+
+    def __init__(self, tracer: Tracer) -> None:
+        self.tracer = tracer
+        self._mark = 0
+        self._prior = False
+
+    def __enter__(self) -> "_Capture":
+        self._prior = self.tracer.enabled
+        self.tracer.enabled = True
+        self._mark = self.tracer.mark()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.tracer.enabled = self._prior
+
+    def events(self) -> list[dict]:
+        return self.tracer.events_since(self._mark)
+
+    def phase_seconds(self) -> dict[str, float]:
+        return self.tracer.phase_seconds(self._mark)
+
+
+#: the process-wide tracer the engine and the CLI share
+TRACER = Tracer()
+
+
+__all__ = [
+    "DEFAULT_MAX_EVENTS",
+    "TRACER",
+    "Tracer",
+]

@@ -24,6 +24,8 @@ from __future__ import annotations
 from collections import OrderedDict
 from dataclasses import dataclass
 
+from repro.obs.metrics import METRICS
+
 #: default budget: enough for the benchmark corpora's hot fragments
 DEFAULT_BUDGET_BYTES = 8 * 1024 * 1024
 
@@ -149,6 +151,26 @@ def event_list_cost(events: list) -> int:
 
 #: the process-wide cache instance all XADT decoding goes through
 DECODE_CACHE = DecodeCache()
+
+
+def _collect_metrics() -> dict[str, float]:
+    """Snapshot-time contribution to the process metrics registry.
+
+    Pull-based (a collector, not per-event counters) so cache traffic
+    pays no instrumentation cost beyond its own stats bookkeeping.
+    """
+    stats = DECODE_CACHE.stats
+    return {
+        "xadt.decode_cache.hits": stats.hits,
+        "xadt.decode_cache.misses": stats.misses,
+        "xadt.decode_cache.evictions": stats.evictions,
+        "xadt.decode_cache.oversize_rejections": stats.oversize_rejections,
+        "xadt.decode_cache.entries": len(DECODE_CACHE),
+        "xadt.decode_cache.current_bytes": DECODE_CACHE.current_bytes,
+    }
+
+
+METRICS.register_collector("xadt.decode_cache", _collect_metrics)
 
 
 __all__ = [

@@ -1,0 +1,139 @@
+"""The metrics registry: instruments, gating, snapshots, collectors."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+@pytest.fixture()
+def registry():
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_inc_accumulates(self, registry):
+        counter = registry.counter("c")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_disabled_registry_makes_inc_a_noop(self, registry):
+        counter = registry.counter("c")
+        registry.enabled = False
+        counter.inc(10)
+        assert counter.value == 0
+        registry.enabled = True
+        counter.inc()
+        assert counter.value == 1
+
+    def test_creation_is_idempotent_by_name(self, registry):
+        assert registry.counter("same") is registry.counter("same")
+
+
+class TestGauge:
+    def test_set_overwrites(self, registry):
+        gauge = registry.gauge("g")
+        gauge.set(3.5)
+        gauge.set(1.0)
+        assert gauge.value == 1.0
+
+    def test_disabled_registry_makes_set_a_noop(self, registry):
+        gauge = registry.gauge("g")
+        registry.enabled = False
+        gauge.set(9.0)
+        assert gauge.value == 0.0
+
+
+class TestHistogramBuckets:
+    """Prometheus ``le`` semantics: boundary values land in their bucket."""
+
+    def test_bucket_boundaries(self, registry):
+        histogram = registry.histogram("h", buckets=(1.0, 2.0, 5.0))
+        # (value, expected bucket index)
+        for value, bucket in (
+            (0.5, 0),   # below the first bound
+            (1.0, 0),   # exactly on a bound -> that bucket (le semantics)
+            (1.5, 1),
+            (2.0, 1),
+            (4.9, 2),
+            (5.0, 2),   # the last bound still lands inside
+            (7.0, 3),   # past every bound -> overflow
+        ):
+            before = list(histogram.counts)
+            histogram.observe(value)
+            assert histogram.counts[bucket] == before[bucket] + 1, value
+        assert histogram.count == 7
+        assert histogram.sum == pytest.approx(0.5 + 1.0 + 1.5 + 2.0 + 4.9 + 5.0 + 7.0)
+
+    def test_counts_has_one_overflow_cell(self, registry):
+        histogram = registry.histogram("h", buckets=(0.1, 0.2))
+        assert len(histogram.counts) == 3
+
+    def test_unsorted_buckets_rejected(self, registry):
+        with pytest.raises(ValueError):
+            Histogram("bad", registry, buckets=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("empty", registry, buckets=())
+
+    def test_default_latency_buckets_are_sorted(self):
+        assert list(DEFAULT_LATENCY_BUCKETS) == sorted(DEFAULT_LATENCY_BUCKETS)
+
+    def test_disabled_registry_makes_observe_a_noop(self, registry):
+        histogram = registry.histogram("h", buckets=(1.0,))
+        registry.enabled = False
+        histogram.observe(0.5)
+        assert histogram.count == 0 and histogram.sum == 0.0
+
+
+class TestSnapshot:
+    def test_snapshot_is_json_serializable(self, registry):
+        registry.counter("a.hits").inc(3)
+        registry.gauge("a.entries").set(7)
+        registry.histogram("a.seconds", buckets=(0.1,)).observe(0.05)
+        payload = json.loads(registry.to_json())
+        assert payload["enabled"] is True
+        assert payload["counters"]["a.hits"] == 3
+        assert payload["gauges"]["a.entries"] == 7
+        assert payload["histograms"]["a.seconds"]["count"] == 1
+        assert payload["histograms"]["a.seconds"]["counts"] == [1, 0]
+
+    def test_collector_contributes_gauges_at_snapshot_time(self, registry):
+        state = {"cache.hits": 2}
+        registry.register_collector("cache", lambda: dict(state))
+        assert registry.snapshot()["gauges"]["cache.hits"] == 2
+        state["cache.hits"] = 9  # pulled fresh, not copied at registration
+        assert registry.snapshot()["gauges"]["cache.hits"] == 9
+
+    def test_entry_count_counts_instruments_and_collectors(self, registry):
+        registry.counter("c")
+        registry.gauge("g")
+        registry.histogram("h")
+        registry.register_collector("coll", dict)
+        assert registry.entry_count() == 4
+
+
+class TestReset:
+    def test_reset_zeroes_but_keeps_registration(self, registry):
+        counter = registry.counter("x.hits")
+        counter.inc(5)
+        registry.reset()
+        assert counter.value == 0
+        assert registry.counter("x.hits") is counter
+
+    def test_prefix_reset_is_selective(self, registry):
+        udf = registry.counter("udf.calls")
+        plan = registry.counter("plan_cache.hits")
+        histogram = registry.histogram("udf.seconds", buckets=(1.0,))
+        udf.inc(3)
+        plan.inc(2)
+        histogram.observe(0.5)
+        registry.reset(prefix="udf.")
+        assert udf.value == 0
+        assert histogram.count == 0
+        assert plan.value == 2

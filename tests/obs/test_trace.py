@@ -1,0 +1,129 @@
+"""The query tracer: span recording, Chrome export, bounded buffer."""
+
+import json
+
+import pytest
+
+from repro.engine.database import Database
+from repro.obs.trace import TRACER, Tracer, _NULL_SPAN
+
+
+@pytest.fixture()
+def tracer():
+    instance = Tracer()
+    instance.enabled = True
+    return instance
+
+
+class TestDisabledPath:
+    def test_off_by_default_and_span_is_shared_null(self):
+        tracer = Tracer()
+        assert tracer.enabled is False
+        span = tracer.span("parse")
+        assert span is _NULL_SPAN
+        assert span is tracer.span("execute")
+        with span:
+            span.args["ignored"] = 1  # annotation sink must not explode
+        assert tracer.events == []
+
+    def test_add_complete_noops_while_disabled(self):
+        tracer = Tracer()
+        tracer.add_complete("x", "engine", 0.0, 1.0)
+        tracer.instant("y")
+        assert tracer.events == []
+
+
+class TestRecording:
+    def test_span_records_chrome_complete_event(self, tracer):
+        with tracer.span("parse", args={"sql": "SELECT 1"}):
+            pass
+        (event,) = tracer.events
+        for key in ("name", "cat", "ph", "ts", "dur", "pid", "tid"):
+            assert key in event
+        assert event["name"] == "parse"
+        assert event["ph"] == "X"
+        assert event["args"]["sql"] == "SELECT 1"
+        assert event["dur"] >= 0.0
+
+    def test_nested_spans_both_recorded(self, tracer):
+        with tracer.span("query"):
+            with tracer.span("execute"):
+                pass
+        names = [event["name"] for event in tracer.events]
+        # inner span closes first, so it lands first in the buffer
+        assert names == ["execute", "query"]
+
+    def test_buffer_bound_counts_drops(self):
+        tracer = Tracer(max_events=2)
+        tracer.enabled = True
+        for index in range(5):
+            with tracer.span(f"s{index}"):
+                pass
+        assert len(tracer.events) == 2
+        assert tracer.dropped_events == 3
+        tracer.clear()
+        assert tracer.events == [] and tracer.dropped_events == 0
+
+    def test_phase_seconds_sums_by_name(self, tracer):
+        tracer.add_complete("execute", "engine", 0.0, 0.25)
+        tracer.add_complete("execute", "engine", 0.5, 0.25)
+        tracer.add_complete("parse", "engine", 0.0, 0.125)
+        tracer.instant("note")  # non-X events are excluded
+        phases = tracer.phase_seconds()
+        assert phases["execute"] == pytest.approx(0.5)
+        assert phases["parse"] == pytest.approx(0.125)
+        assert "note" not in phases
+
+    def test_buffer_bytes_grows_with_events(self, tracer):
+        assert tracer.buffer_bytes() == 0
+        with tracer.span("query", args={"sql": "x" * 100}):
+            pass
+        assert tracer.buffer_bytes() >= 100
+
+
+class TestChromeExport:
+    def test_to_json_round_trips(self, tracer):
+        with tracer.span("plan"):
+            pass
+        payload = json.loads(tracer.to_json(indent=2))
+        assert payload["displayTimeUnit"] == "ms"
+        assert isinstance(payload["traceEvents"], list)
+        assert payload["traceEvents"][0]["name"] == "plan"
+
+    def test_timestamps_are_microseconds(self, tracer):
+        tracer.add_complete("execute", "engine", tracer._origin + 1.0, 0.002)
+        event = tracer.events[0]
+        assert event["ts"] == pytest.approx(1e6)
+        assert event["dur"] == pytest.approx(2000.0)
+
+
+class TestCapture:
+    def test_capture_scopes_enablement_and_events(self):
+        tracer = Tracer()
+        with tracer.capture() as capture:
+            assert tracer.enabled is True
+            with tracer.span("execute"):
+                pass
+            assert len(capture.events()) == 1
+        assert tracer.enabled is False
+        assert "execute" in capture.phase_seconds()
+
+    def test_capture_restores_prior_enabled_state(self):
+        tracer = Tracer()
+        tracer.enabled = True
+        with tracer.capture():
+            pass
+        assert tracer.enabled is True
+        tracer.enabled = False
+
+
+class TestDatabaseIntegration:
+    def test_query_emits_parse_plan_execute_spans(self):
+        db = Database("traced")
+        db.execute("CREATE TABLE t (a INTEGER PRIMARY KEY)")
+        db.insert("t", (1,))
+        with TRACER.capture() as capture:
+            db.execute("SELECT a FROM t")
+        names = {event["name"] for event in capture.events()}
+        assert {"query", "parse", "plan", "execute"} <= names
+        assert TRACER.enabled is False

@@ -65,6 +65,41 @@ class TestShellCommands:
         assert sh.handle("\\path /GHOST/X")
         assert sh.handle("\\bogus")
 
+    def test_analyze(self, shell):
+        sh, out = shell
+        sh.handle("\\analyze SELECT speechID FROM speech")
+        text = out.getvalue()
+        assert "actual" in text and "phases:" in text
+        assert "record(s) selected" in text
+
+    def test_metrics(self, shell):
+        sh, out = shell
+        sh.handle("SELECT COUNT(*) FROM speech")
+        sh.handle("\\metrics")
+        assert "plan_cache.misses" in out.getvalue()
+
+    def test_metrics_json(self, shell):
+        import json
+
+        sh, out = shell
+        sh.handle("\\metrics json")
+        payload = json.loads(out.getvalue())
+        assert "counters" in payload and "histograms" in payload
+
+    def test_trace_on_dump_off(self, shell, tmp_path):
+        import json
+
+        sh, out = shell
+        sh.handle("\\trace on")
+        sh.handle("SELECT COUNT(*) FROM speech")
+        target = tmp_path / "trace.json"
+        sh.handle(f"\\trace dump {target}")
+        sh.handle("\\trace off")
+        payload = json.loads(target.read_text(encoding="utf-8"))
+        names = {event["name"] for event in payload["traceEvents"]}
+        assert "query" in names
+        assert "written to" in out.getvalue()
+
     def test_quit(self, shell):
         sh, _ = shell
         assert sh.handle("\\q") is False
