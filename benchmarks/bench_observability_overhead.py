@@ -2,14 +2,15 @@
 
 The instrumentation contract (DESIGN.md): with metrics disabled and
 tracing off, the only cost the observability layer adds to the execution
-hot path is one attribute check per operator (``Operator.rows`` looks at
-``self.stats``) and one branch per would-be counter update.  This
-benchmark enforces the contract on the Figure 11 query set: it drains
-each XORator plan twice per round —
+hot path is one attribute check *per batch pull* (``Operator.batches``
+looks at ``self.stats``) and one branch per would-be counter update —
+under vectorized execution that check amortizes over up to
+``batch_size`` rows.  This benchmark enforces the contract on the
+Figure 11 query set: it drains each XORator plan twice per round —
 
-* *raw*: every operator's ``rows`` is shadowed with its ``_execute``
-  implementation, recreating the pre-instrumentation iterator path with
-  zero added work;
+* *raw*: every operator's ``batches`` is shadowed with its ``_execute``
+  implementation, recreating the pre-instrumentation batch-iterator
+  path with zero added work;
 * *off*: the shipped template-method path with ``METRICS.enabled=False``
   and the tracer disabled.
 
@@ -50,20 +51,20 @@ def _plans(pair):
 def _drain_seconds(plan) -> float:
     started = time.perf_counter()
     consumed = 0
-    for _ in plan.rows():
-        consumed += 1
+    for batch in plan.batches():
+        consumed += len(batch)
     return time.perf_counter() - started
 
 
 def _shadow_raw(nodes) -> None:
-    """Bypass the template method: ``rows`` becomes ``_execute`` itself."""
+    """Bypass the template method: ``batches`` becomes ``_execute``."""
     for node, _ in nodes:
-        node.rows = node._execute
+        node.batches = node._execute
 
 
 def _unshadow(nodes) -> None:
     for node, _ in nodes:
-        del node.__dict__["rows"]
+        del node.__dict__["batches"]
 
 
 def test_disabled_instrumentation_within_bound(shakespeare_pair_x1, benchmark):

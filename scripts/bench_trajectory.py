@@ -1,0 +1,105 @@
+"""Regenerate the committed benchmark trajectory artifacts.
+
+Runs the Figure 11 (Shakespeare) and Figure 13 (SIGMOD) query sweeps
+across corpus scales on the shipped (vectorized) engine and writes one
+JSON artifact per figure — ``BENCH_fig11.json`` and ``BENCH_fig13.json``
+— so the repository records how the paper's Hybrid-vs-XORator trajectory
+looks under the current engine, along with the exact execution
+configuration that produced it.
+
+Per query and scale the artifact stores the median *modeled cold*
+seconds (wall CPU + the simulated 2002 disk model, the paper's reported
+metric) for both schemas and their ratio (XORator / Hybrid; < 1 means
+XORator wins, as the paper reports for all but QS6/QG6-style queries).
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_trajectory.py [--quick]
+        [--scales 1,2,4] [--rounds 5] [--out-dir .]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+from pathlib import Path
+
+from repro.bench.harness import build_pair, cold_query
+from repro.engine.config import ExecutionConfig
+from repro.workloads import SHAKESPEARE_QUERIES, SIGMOD_QUERIES
+
+FIGURES = {
+    "fig11": ("shakespeare", SHAKESPEARE_QUERIES),
+    "fig13": ("sigmod", SIGMOD_QUERIES),
+}
+
+
+def _median_cold(db, sql: str, rounds: int) -> float:
+    return statistics.median(
+        cold_query(db, sql).modeled_seconds for _ in range(rounds)
+    )
+
+
+def sweep(figure: str, scales: list[int], rounds: int) -> dict:
+    dataset, queries = FIGURES[figure]
+    results: dict[str, dict] = {query.key: {} for query in queries}
+    for scale in scales:
+        pair = build_pair(dataset, scale)
+        for query in queries:
+            hybrid = _median_cold(
+                pair.hybrid.db, query.hybrid_sql, rounds
+            )
+            xorator = _median_cold(
+                pair.xorator.db, query.xorator_sql, rounds
+            )
+            results[query.key][str(scale)] = {
+                "hybrid_median_seconds": round(hybrid, 6),
+                "xorator_median_seconds": round(xorator, 6),
+                "ratio": round(xorator / hybrid, 4) if hybrid else None,
+            }
+        print(f"{figure}: scale x{scale} done ({len(queries)} queries)")
+    return {
+        "figure": figure,
+        "dataset": dataset,
+        "scales": scales,
+        "rounds": rounds,
+        "metric": "median modeled cold seconds (wall + simulated disk)",
+        "engine_config": ExecutionConfig().as_dict(),
+        "queries": results,
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="scale x1 only, 3 rounds (CI smoke)",
+    )
+    parser.add_argument(
+        "--scales", default="1,2,4",
+        help="comma-separated corpus scale multipliers (default 1,2,4)",
+    )
+    parser.add_argument(
+        "--rounds", type=int, default=5,
+        help="cold executions per query; the median is reported",
+    )
+    parser.add_argument(
+        "--out-dir", type=Path, default=Path(__file__).resolve().parent.parent,
+        help="directory for the BENCH_*.json artifacts (default: repo root)",
+    )
+    args = parser.parse_args()
+    scales = [1] if args.quick else [
+        int(s) for s in args.scales.split(",") if s.strip()
+    ]
+    rounds = 3 if args.quick else args.rounds
+
+    for figure in FIGURES:
+        artifact = sweep(figure, scales, rounds)
+        path = args.out_dir / f"BENCH_{figure}.json"
+        path.write_text(json.dumps(artifact, indent=2) + "\n")
+        print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -20,6 +20,7 @@ from __future__ import annotations
 import time
 
 from repro.engine.advisor import IndexAdvisor
+from repro.engine.config import ExecutionConfig
 from repro.engine.expr import Binding, ParamBox, compile_expr
 from repro.engine.index import Index, build_index
 from repro.engine.io import IoCounters
@@ -134,6 +135,7 @@ class Database:
         name: str = "db",
         work_mem_bytes: int | None = None,
         plan_cache_capacity: int = DEFAULT_CAPACITY,
+        exec_config: ExecutionConfig | None = None,
     ) -> None:
         self.name = name
         self.catalog = Catalog()
@@ -152,6 +154,20 @@ class Database:
         self._schema_epoch = 0
         #: bumped on runstats(); re-planning may pick new access paths
         self._stats_epoch = 0
+        #: execution-layer knobs the planner bakes into physical plans
+        self.exec_config = exec_config or ExecutionConfig()
+        #: bumped by set_exec_config(); invalidates cached plans
+        self._config_epoch = 0
+
+    def set_exec_config(self, config: ExecutionConfig) -> None:
+        """Swap the execution config; cached plans are invalidated.
+
+        Plans bake in batch sizes, compiled expression closures, and
+        pruned scan layouts, so the config epoch bump forces the next
+        lookup of every cached statement to re-plan.
+        """
+        self.exec_config = config
+        self._config_epoch += 1
 
     # -- PlannerContext protocol -------------------------------------------
 
@@ -235,7 +251,8 @@ class Database:
         with TRACER.span("query", args={"sql": key[:200], "kind": kind}):
             if kind == "select":
                 entry = self.plan_cache.lookup(
-                    key, self._schema_epoch, self._stats_epoch
+                    key, self._schema_epoch, self._stats_epoch,
+                    self._config_epoch,
                 )
                 if entry is None:
                     with TRACER.span("parse"):
@@ -271,7 +288,10 @@ class Database:
     ) -> Result:
         if isinstance(statement, SelectStmt):
             entry = (
-                self.plan_cache.lookup(key, self._schema_epoch, self._stats_epoch)
+                self.plan_cache.lookup(
+                    key, self._schema_epoch, self._stats_epoch,
+                    self._config_epoch,
+                )
                 if lookup
                 else None
             )
@@ -323,6 +343,7 @@ class Database:
             statement=statement,
             schema_epoch=self._schema_epoch,
             stats_epoch=self._stats_epoch,
+            config_epoch=self._config_epoch,
         )
         self.plan_cache.store(key, entry)
         return entry
@@ -331,7 +352,7 @@ class Database:
         self, key: str, statement: SelectStmt
     ) -> CachedPlan:
         entry = self.plan_cache.lookup(
-            key, self._schema_epoch, self._stats_epoch
+            key, self._schema_epoch, self._stats_epoch, self._config_epoch
         )
         if entry is None:
             entry = self._build_entry(statement, key)
@@ -341,7 +362,9 @@ class Database:
         entry.params.bind(tuple(params))
         columns = [slot.name for slot in entry.plan.binding.slots]
         with TRACER.span("execute") as span:
-            rows = list(entry.plan.rows())
+            rows: list[tuple] = []
+            for batch in entry.plan.batches():
+                rows.extend(batch)
             span.args["rows"] = len(rows)
         return Result(columns, rows)
 
@@ -416,7 +439,9 @@ class Database:
         nodes = attach_stats(plan)
         try:
             started = time.perf_counter()
-            rows = list(plan.rows())
+            rows = []
+            for batch in plan.batches():
+                rows.extend(batch)
             phases["execute"] = time.perf_counter() - started
             result = Result(columns, rows)
             report = build_report(nodes, phases, result)

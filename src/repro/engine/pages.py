@@ -53,6 +53,38 @@ class PageAccounting:
         self.rows += 1
         self.used_bytes += need
 
+    def add_rows(self, row_widths: list[int]) -> None:
+        """Account for a batch of rows in one pass.
+
+        Packing is identical to calling :meth:`add_row` per width (same
+        page splits, same byte totals), but the page counter and the
+        process-wide metric are updated once for the whole batch instead
+        of per row — this is the accounting half of ``bulk_insert``.
+        """
+        pages = self.pages
+        free = self._free_in_current
+        used = 0
+        new_pages = 0
+        for row_bytes in row_widths:
+            need = row_bytes + SLOT_ENTRY
+            if need > PAGE_CAPACITY:
+                # oversized rows span dedicated pages
+                span = (need + PAGE_CAPACITY - 1) // PAGE_CAPACITY
+                new_pages += span
+                free = 0
+            else:
+                if need > free:
+                    new_pages += 1
+                    free = PAGE_CAPACITY
+                free -= need
+            used += need
+        self.pages = pages + new_pages
+        self._free_in_current = free
+        self.rows += len(row_widths)
+        self.used_bytes += used
+        if new_pages:
+            _PAGES_WRITTEN.inc(new_pages)
+
     def total_bytes(self) -> int:
         """Allocated size in bytes (whole pages)."""
         return self.pages * PAGE_SIZE

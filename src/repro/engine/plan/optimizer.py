@@ -42,6 +42,8 @@ from repro.engine.expr import (
     compile_expr,
     conjuncts_of,
 )
+from repro.engine.config import DEFAULT_BATCH_SIZE, ExecutionConfig, VECTORIZED
+from repro.engine.expr_compile import compile_projection, compile_row_expr
 from repro.engine.index import Index
 from repro.engine.plan import cost as cost_model
 from repro.engine.plan.physical import (
@@ -83,6 +85,18 @@ class PlannerContext(Protocol):
     def live_index(
         self, table_name: str, column_name: str
     ) -> tuple[IndexDef, Index] | None: ...
+
+
+def _exec_config(ctx: PlannerContext) -> ExecutionConfig:
+    """The context's execution config; contexts without one get defaults."""
+    return getattr(ctx, "exec_config", None) or VECTORIZED
+
+
+def _compiler(ctx: PlannerContext):
+    """The expression compiler this plan uses (generated vs tree-walking)."""
+    if _exec_config(ctx).compiled_expressions:
+        return compile_row_expr
+    return compile_expr
 
 
 # ---------------------------------------------------------------------------
@@ -200,12 +214,83 @@ def plan_select(
         conjuncts_of(stmt.where), global_binding, set(heaps)
     )
 
-    plan = _plan_joins(base_refs, heaps, stats, classified, ctx, params)
-    plan = _plan_laterals(
-        plan, lateral_refs, classified.residual, ctx.registry, params
+    config = _exec_config(ctx)
+    compile_fn = _compiler(ctx)
+    needed = (
+        _needed_columns(stmt, global_binding) if config.scan_pushdown else None
     )
-    plan = _plan_output(plan, stmt, ctx.registry, params)
+
+    plan = _plan_joins(
+        base_refs, heaps, stats, classified, ctx, params, compile_fn, needed
+    )
+    plan = _plan_laterals(
+        plan, lateral_refs, classified.residual, ctx.registry, params, compile_fn
+    )
+    plan = _plan_output(plan, stmt, ctx.registry, params, compile_fn)
+
+    if config.batch_size != DEFAULT_BATCH_SIZE:
+        pending = [plan]
+        while pending:
+            node = pending.pop()
+            node.batch_size = config.batch_size
+            pending.extend(node.children())
     return plan
+
+
+def _needed_columns(
+    stmt: SelectStmt, global_binding: Binding
+) -> dict[str, set[str]] | None:
+    """Columns each base table must materialize, keyed by qualifier.
+
+    Walks every expression position of the statement (select list,
+    WHERE, GROUP BY, HAVING, ORDER BY, lateral call arguments) so scans
+    can drop all other columns at the source.  Returns None — pushdown
+    disabled — when the select list contains a bare ``*``.  References
+    that don't resolve against the FROM binding (e.g. ORDER BY on an
+    output alias) are skipped; they never name a scan column.
+    """
+    if any(isinstance(item.expr, Star) for item in stmt.items):
+        return None
+    needed: dict[str, set[str]] = {}
+
+    def visit(expr: Expr) -> None:
+        for ref in expr.column_refs():
+            try:
+                slot = global_binding.slot_of(ref)
+            except PlanError:
+                continue
+            needed.setdefault(slot.qualifier, set()).add(slot.name.lower())
+
+    for item in stmt.items:
+        visit(item.expr)
+    if stmt.where is not None:
+        visit(stmt.where)
+    for expr in stmt.group_by:
+        visit(expr)
+    if stmt.having is not None:
+        visit(stmt.having)
+    for order in stmt.order_by:
+        visit(order.expr)
+    for item in stmt.from_items:
+        if isinstance(item, TableFunctionRef):
+            for arg in item.call.args:
+                visit(arg)
+    return needed
+
+
+def _projection_of(
+    heap: HeapTable, qualifier: str, needed: dict[str, set[str]] | None
+) -> list[int] | None:
+    """The pushed-down column index list for one scan (schema order)."""
+    if needed is None:
+        return None
+    names = needed.get(qualifier, set())
+    columns = heap.schema.columns
+    if len(names) == len(columns):
+        return None  # nothing to drop
+    return [
+        i for i, column in enumerate(columns) if column.name.lower() in names
+    ]
 
 
 def _check_alias_uniqueness(stmt: SelectStmt) -> None:
@@ -244,9 +329,19 @@ def _plan_access(
     pushed: list[Expr],
     ctx: PlannerContext,
     params: ParamBox | None = None,
+    compile_fn=None,
+    needed: dict[str, set[str]] | None = None,
 ) -> tuple[Operator, float]:
-    """Access path for one base table; returns (operator, estimated rows)."""
+    """Access path for one base table; returns (operator, estimated rows).
+
+    Pushed predicates compile against the *full* table binding (they run
+    before the scan's projection drops columns); the projection itself
+    comes from ``needed`` and prunes the operator's output binding.
+    """
+    if compile_fn is None:
+        compile_fn = _compiler(ctx)
     binding = table_binding(heap, ref.alias)
+    projection = _projection_of(heap, ref.qualifier.lower(), needed)
     registry = ctx.registry
     selectivity = 1.0
     for conjunct in pushed:
@@ -271,7 +366,7 @@ def _plan_access(
         # literal keys probe directly; parameter keys resolve per execution
         key_value = key_expr.value if isinstance(key_expr, Literal) else None
         key_fn = (
-            compile_expr(key_expr, Binding([]), registry, params)
+            compile_fn(key_expr, Binding([]), registry, params)
             if isinstance(key_expr, Parameter)
             else None
         )
@@ -282,12 +377,13 @@ def _plan_access(
             key=key_value,
             key_fn=key_fn,
             residual=(
-                compile_expr(residual, binding, registry, params)
+                compile_fn(residual, binding, registry, params)
                 if residual
                 else None
             ),
             residual_sql=residual.sql() if residual else "",
             io=getattr(ctx, "io", None),
+            projection=projection,
         )
         operator.estimated_rows = estimate
         return operator, estimate
@@ -297,12 +393,13 @@ def _plan_access(
         heap,
         ref.alias,
         predicate=(
-            compile_expr(predicate, binding, registry, params)
+            compile_fn(predicate, binding, registry, params)
             if predicate
             else None
         ),
         predicate_sql=predicate.sql() if predicate else "",
         io=getattr(ctx, "io", None),
+        projection=projection,
     )
     operator.estimated_rows = estimate
     return operator, estimate
@@ -348,9 +445,13 @@ def _plan_joins(
     classified: _Classified,
     ctx: PlannerContext,
     params: ParamBox | None = None,
+    compile_fn=None,
+    needed: dict[str, set[str]] | None = None,
 ) -> Operator:
     if not base_refs:
         raise PlanError("at least one base table is required in FROM")
+    if compile_fn is None:
+        compile_fn = _compiler(ctx)
     registry = ctx.registry
     pushed = dict(classified.per_table)
     # constant conjuncts ride along with the first planned table
@@ -378,7 +479,7 @@ def _plan_joins(
     start_pushed = pushed.get(start_qualifier, []) + first_extra
     plan, current_rows = _plan_access(
         start_ref, heaps[start_qualifier], stats[start_qualifier], start_pushed,
-        ctx, params,
+        ctx, params, compile_fn, needed,
     )
     joined = {start_qualifier}
 
@@ -404,12 +505,14 @@ def _plan_joins(
                 connecting,
                 ctx,
                 params,
+                compile_fn,
+                needed,
             )
             applied_edges.update(i for i, _ in connecting)
         else:
             right, right_rows = _plan_access(
                 ref, heaps[ref.qualifier], stats[ref.qualifier], table_pushed,
-                ctx, params,
+                ctx, params, compile_fn, needed,
             )
             plan = NestedLoopJoin(plan, right)
             current_rows = max(current_rows * right_rows, 0.1)
@@ -428,7 +531,7 @@ def _plan_joins(
     if predicate is not None:
         plan = Filter(
             plan,
-            compile_expr(predicate, plan.binding, registry, params),
+            compile_fn(predicate, plan.binding, registry, params),
             predicate.sql(),
         )
         plan.estimated_rows = current_rows * 0.5
@@ -466,7 +569,11 @@ def _join_one(
     connecting: list[tuple[int, _JoinEdge]],
     ctx: PlannerContext,
     params: ParamBox | None = None,
+    compile_fn=None,
+    needed: dict[str, set[str]] | None = None,
 ) -> tuple[Operator, float]:
+    if compile_fn is None:
+        compile_fn = _compiler(ctx)
     registry = ctx.registry
     qualifier = ref.qualifier
 
@@ -523,7 +630,7 @@ def _join_one(
             index,
             left_key_slot,
             residual=(
-                compile_expr(
+                compile_fn(
                     residual,
                     plan.binding.extend(table_binding(heap, ref.alias)),
                     registry,
@@ -538,7 +645,9 @@ def _join_one(
         join.estimated_rows = output_rows
         return join, output_rows
 
-    right, _ = _plan_access(ref, heap, table_stats, table_pushed, ctx, params)
+    right, _ = _plan_access(
+        ref, heap, table_stats, table_pushed, ctx, params, compile_fn, needed
+    )
     left_keys: list[int] = []
     right_keys: list[int] = []
     for _, edge in connecting:
@@ -564,12 +673,15 @@ def _plan_laterals(
     residual: list[Expr],
     registry: FunctionRegistry,
     params: ParamBox | None = None,
+    compile_fn=None,
 ) -> Operator:
+    if compile_fn is None:
+        compile_fn = compile_expr
     pending = list(residual)
     for item in lateral_refs:
         function = registry.table_function(item.call.name)
         args = [
-            compile_expr(arg, plan.binding, registry, params)
+            compile_fn(arg, plan.binding, registry, params)
             for arg in item.call.args
         ]
         plan = LateralFunctionScan(
@@ -588,7 +700,7 @@ def _plan_laterals(
         if predicate is not None:
             plan = Filter(
                 plan,
-                compile_expr(predicate, plan.binding, registry, params),
+                compile_fn(predicate, plan.binding, registry, params),
                 predicate.sql(),
             )
             plan.estimated_rows = plan.input.estimated_rows * 0.5
@@ -693,26 +805,32 @@ def _plan_output(
     stmt: SelectStmt,
     registry: FunctionRegistry,
     params: ParamBox | None = None,
+    compile_fn=None,
 ) -> Operator:
+    if compile_fn is None:
+        compile_fn = compile_expr
     aggregates = _collect_aggregates(stmt)
     needs_aggregate = bool(aggregates) or bool(stmt.group_by)
     substitutions: dict[Expr, int] = {}
 
     if needs_aggregate:
         plan, substitutions = _plan_aggregate(
-            plan, stmt, aggregates, registry, params
+            plan, stmt, aggregates, registry, params, compile_fn
         )
 
     if stmt.having is not None:
         if not needs_aggregate:
             raise PlanError("HAVING requires GROUP BY or aggregates")
         having = _compile_substituted(
-            stmt.having, substitutions, plan.binding, registry, params=params
+            stmt.having, substitutions, plan.binding, registry, params=params,
+            compile_fn=compile_fn,
         )
         plan = Filter(plan, having, stmt.having.sql())
 
     # SELECT list
     select_items = stmt.items
+    identity = False
+    tuple_fn: Compiled | None = None
     if len(select_items) == 1 and isinstance(select_items[0].expr, Star):
         if needs_aggregate:
             raise PlanError("SELECT * cannot be combined with aggregation")
@@ -723,6 +841,7 @@ def _plan_output(
         projected_slots = [
             Slot("", slot.name, slot.sql_type) for slot in out_slots
         ]
+        identity = True  # rows already have exactly this layout
     else:
         exprs = []
         projected_slots = []
@@ -731,12 +850,24 @@ def _plan_output(
                 item.expr, substitutions, plan.binding, registry,
                 allow_free_columns=not needs_aggregate,
                 params=params,
+                compile_fn=compile_fn,
             )
             exprs.append(compiled)
             projected_slots.append(
                 Slot("", _output_name(item.expr, item.alias, position),
                      _infer_type(item.expr, plan.binding, registry))
             )
+        if compile_fn is compile_row_expr and not substitutions:
+            # whole SELECT list as one generated closure (batch-evaluated)
+            try:
+                tuple_fn = compile_projection(
+                    [item.expr for item in select_items],
+                    plan.binding,
+                    registry,
+                    params,
+                )
+            except PlanError:  # pragma: no cover - per-item compile succeeded
+                tuple_fn = None
 
     # ORDER BY: try before projection (can see all columns + aggregates)
     pre_sort: Sort | None = None
@@ -748,6 +879,7 @@ def _plan_output(
                     order.expr, substitutions, plan.binding, registry,
                     allow_free_columns=not needs_aggregate,
                     params=params,
+                    compile_fn=compile_fn,
                 )
                 for order in stmt.order_by
             ]
@@ -766,7 +898,9 @@ def _plan_output(
         pre_sort.estimated_rows = plan.estimated_rows
         plan = pre_sort
 
-    projected = Project(plan, exprs, projected_slots)
+    projected = Project(
+        plan, exprs, projected_slots, tuple_fn=tuple_fn, identity=identity
+    )
     projected.estimated_rows = plan.estimated_rows
     plan = projected
 
@@ -792,9 +926,12 @@ def _compile_substituted(
     registry: FunctionRegistry,
     allow_free_columns: bool = False,
     params: ParamBox | None = None,
+    compile_fn=None,
 ) -> Compiled:
+    if compile_fn is None:
+        compile_fn = compile_expr
     if not substitutions:
-        return compile_expr(expr, binding, registry, params)
+        return compile_fn(expr, binding, registry, params)
     rebuilt = _rebuild_with_slots(expr, substitutions)
     if rebuilt is None:
         raise PlanError(f"cannot plan expression {expr.sql()!r}")
@@ -890,10 +1027,13 @@ def _plan_aggregate(
     aggregates: list[FuncCall],
     registry: FunctionRegistry,
     params: ParamBox | None = None,
+    compile_fn=None,
 ) -> tuple[Operator, dict[Expr, int]]:
+    if compile_fn is None:
+        compile_fn = compile_expr
     group_exprs_ast = list(stmt.group_by)
     group_compiled = [
-        compile_expr(expr, plan.binding, registry, params)
+        compile_fn(expr, plan.binding, registry, params)
         for expr in group_exprs_ast
     ]
     group_slots = []
@@ -915,7 +1055,7 @@ def _plan_aggregate(
         else:
             if len(call.args) != 1:
                 raise PlanError(f"{call.name}() takes exactly one argument")
-            arg = compile_expr(call.args[0], plan.binding, registry, params)
+            arg = compile_fn(call.args[0], plan.binding, registry, params)
         agg_specs.append(AggSpec(kind, arg, call.distinct))
         result_type: SqlType = INTEGER if kind in ("count", "sum") else VARCHAR
         if kind in ("min", "max", "avg") and call.args and isinstance(call.args[0], ColumnRef):

@@ -1,22 +1,38 @@
-"""Physical operators (iterator model).
+"""Physical operators (vectorized batch-at-a-time model).
 
 Every operator exposes its output :class:`~repro.engine.expr.Binding`
-(flat slot layout), a ``rows()`` iterator, and an ``explain()`` listing.
-``rows()`` is a template method over the subclass's ``_execute()``: when
-EXPLAIN ANALYZE attaches per-operator runtime stats it wraps the
-iterator with rows-out counting and monotonic timing, and otherwise it
-returns the raw iterator (one branch of overhead).
+(flat slot layout), a ``batches()`` iterator yielding **lists of row
+tuples** (target :data:`~repro.engine.config.DEFAULT_BATCH_SIZE` rows,
+configurable per plan via ``batch_size``), a row-flattening ``rows()``
+convenience view, and an ``explain()`` listing.
+
+``batches()`` is a template method over the subclass's ``_execute()``:
+when EXPLAIN ANALYZE attaches per-operator runtime stats it wraps the
+iterator with rows-out counting (rows *inside* batches, not batch
+count) and monotonic timing, and otherwise it returns the raw iterator
+(one branch of overhead per operator per execution).  Batching moves the
+per-tuple interpreter tax (iterator resumption, instrumentation branch,
+operator dispatch) to a per-batch cost: the inner loops below run over
+plain local lists, mostly as list comprehensions.
+
 Predicates and expressions arrive pre-compiled as closures, so operators
-stay free of name-resolution concerns.  The optimizer is responsible for
-wiring compiled closures against the correct child bindings.
+stay free of name-resolution concerns.  Closures produced by
+:mod:`repro.engine.expr_compile` additionally carry ``batch_filter`` /
+``batch_eval`` companions which Filter/Project use to process a whole
+batch in one generated comprehension.  The optimizer is responsible for
+wiring compiled closures against the correct child bindings, including
+the scan-level projection pushdown (``SeqScan``/``IndexScan`` accept a
+``projection`` column list and then bind only the surviving slots).
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Iterator
+from operator import itemgetter
+from typing import Iterable, Iterator
 
+from repro.engine.config import DEFAULT_BATCH_SIZE
 from repro.engine.expr import Binding, Compiled, Slot
 from repro.engine.index import BTreeIndex, Index
 from repro.engine.io import IoCounters, estimate_row_bytes, pages_of_bytes
@@ -27,13 +43,34 @@ from repro.engine.values import group_key
 from repro.errors import ExecutionError
 from repro.obs.explain import OperatorStats
 
+#: a batch is a plain list of row tuples — cheap to slice, comprehend, extend
+Batch = list
 
-def _instrumented(impl: Iterator[tuple], stats: OperatorStats) -> Iterator[tuple]:
-    """Wrap an operator's iterator with row counting and inclusive timing.
 
-    The time charged to ``stats.seconds`` is everything spent inside
-    ``next()`` — this operator plus its children; EXPLAIN ANALYZE derives
-    self time by subtracting the children's inclusive totals.
+def _batched(rows: Iterable[tuple], size: int) -> Iterator[Batch]:
+    """Re-chunk a row iterable into batches of at most ``size`` rows."""
+    if isinstance(rows, list):
+        for start in range(0, len(rows), size):
+            yield rows[start : start + size]
+        return
+    batch: Batch = []
+    for row in rows:
+        batch.append(row)
+        if len(batch) >= size:
+            yield batch
+            batch = []
+    if batch:
+        yield batch
+
+
+def _instrumented(impl: Iterator[Batch], stats: OperatorStats) -> Iterator[Batch]:
+    """Wrap an operator's batch iterator with row counting and timing.
+
+    ``stats.rows_out`` counts the rows *inside* each batch, so EXPLAIN
+    ANALYZE actuals stay per-row under batching.  The time charged to
+    ``stats.seconds`` is everything spent inside ``next()`` — this
+    operator plus its children; EXPLAIN ANALYZE derives self time by
+    subtracting the children's inclusive totals.
     """
     perf = time.perf_counter
     if stats.started_at is None:
@@ -41,25 +78,27 @@ def _instrumented(impl: Iterator[tuple], stats: OperatorStats) -> Iterator[tuple
     while True:
         begin = perf()
         try:
-            row = next(impl)
+            batch = next(impl)
         except StopIteration:
             now = perf()
             stats.seconds += now - begin
             stats.finished_at = now
             return
         stats.seconds += perf() - begin
-        stats.rows_out += 1
-        yield row
+        stats.rows_out += len(batch)
+        yield batch
 
 
 class Operator:
     """Base class of physical operators.
 
-    Subclasses implement :meth:`_execute`; the public :meth:`rows` is a
-    template method that returns the raw iterator when no
-    :class:`~repro.obs.explain.OperatorStats` is attached (the normal
-    execution path — the only added cost is this one branch) and an
-    instrumented wrapper when EXPLAIN ANALYZE or tracing attached one.
+    Subclasses implement :meth:`_execute` (yielding batches); the public
+    :meth:`batches` is a template method that returns the raw iterator
+    when no :class:`~repro.obs.explain.OperatorStats` is attached (the
+    normal execution path — the only added cost is this one branch) and
+    an instrumented wrapper when EXPLAIN ANALYZE or tracing attached
+    one.  :meth:`rows` flattens batches for consumers that want a plain
+    row stream (Limit's early-exit pull, result assembly, tests).
     """
 
     binding: Binding
@@ -67,8 +106,10 @@ class Operator:
     estimated_rows: float = 0.0
     #: runtime counters; attached by EXPLAIN ANALYZE, None otherwise
     stats: OperatorStats | None = None
+    #: rows per emitted batch; the optimizer overrides this per plan
+    batch_size: int = DEFAULT_BATCH_SIZE
 
-    def rows(self) -> Iterator[tuple]:
+    def batches(self) -> Iterator[Batch]:
         impl = self._execute()
         stats = self.stats
         if stats is None:
@@ -76,7 +117,16 @@ class Operator:
         stats.loops += 1
         return _instrumented(impl, stats)
 
-    def _execute(self) -> Iterator[tuple]:
+    def rows(self) -> Iterator[tuple]:
+        for batch in self.batches():
+            yield from batch
+
+    def _execute(self) -> Iterator[Batch]:
+        # compatibility shim: ad-hoc operators (tests, harnesses) may
+        # override rows() instead of the batch protocol — chunk them
+        if type(self).rows is not Operator.rows or "rows" in self.__dict__:
+            yield from _batched(self.rows(), self.batch_size)
+            return
         raise NotImplementedError
 
     def children(self) -> list["Operator"]:
@@ -95,8 +145,32 @@ class Operator:
         return "  " * depth + text + f"  [est {self.estimated_rows:.0f} rows]"
 
 
+def _picker(projection: list[int] | None):
+    """A row → pruned-tuple function for a pushed-down column list."""
+    if projection is None:
+        return None
+    if not projection:
+        return lambda row: ()
+    if len(projection) == 1:
+        index = projection[0]
+        return lambda row: (row[index],)
+    return itemgetter(*projection)
+
+
+def _pruned_binding(table: HeapTable, alias: str, projection: list[int] | None) -> Binding:
+    full = table_binding(table, alias)
+    if projection is None:
+        return full
+    return Binding([full.slots[i] for i in projection])
+
+
 class SeqScan(Operator):
-    """Full scan of a heap table, with an optional pushed-down filter."""
+    """Full scan of a heap table, with pushed-down filter and projection.
+
+    The predicate runs against the *full* storage row; the projection
+    then drops unused columns before the batch leaves the scan, so
+    downstream operators never materialize dropped columns.
+    """
 
     def __init__(
         self,
@@ -105,27 +179,41 @@ class SeqScan(Operator):
         predicate: Compiled | None = None,
         predicate_sql: str = "",
         io: IoCounters | None = None,
+        projection: list[int] | None = None,
     ) -> None:
         self.table = table
         self.alias = alias.lower()
         self.predicate = predicate
         self.predicate_sql = predicate_sql
         self.io = io
-        self.binding = table_binding(table, alias)
+        self.projection = projection
+        self.binding = _pruned_binding(table, alias, projection)
 
-    def _execute(self) -> Iterator[tuple]:
+    def _execute(self) -> Iterator[Batch]:
         if self.io is not None:
             self.io.charge_sequential(self.table.data_pages())
         predicate = self.predicate
-        if predicate is None:
-            yield from self.table.scan()
-            return
-        for row in self.table.scan():
-            if predicate(row):
-                yield row
+        batch_filter = (
+            getattr(predicate, "batch_filter", None) if predicate is not None else None
+        )
+        pick = _picker(self.projection)
+        for chunk in self.table.scan_batches(self.batch_size):
+            if predicate is not None:
+                if batch_filter is not None:
+                    chunk = batch_filter(chunk)
+                else:
+                    chunk = [row for row in chunk if predicate(row)]
+                if not chunk:
+                    continue
+            if pick is not None:
+                chunk = [pick(row) for row in chunk]
+            yield chunk
 
     def explain(self, depth: int = 0) -> list[str]:
         suffix = f" filter[{self.predicate_sql}]" if self.predicate else ""
+        if self.projection is not None:
+            names = ",".join(slot.name for slot in self.binding.slots)
+            suffix += f" cols[{names}]"
         return [
             self._line(
                 depth, f"SeqScan {self.table.schema.name} as {self.alias}{suffix}"
@@ -134,7 +222,7 @@ class SeqScan(Operator):
 
 
 class IndexScan(Operator):
-    """Equality or range probe of an index, with an optional residual filter."""
+    """Equality or range probe of an index, with residual filter/projection."""
 
     def __init__(
         self,
@@ -147,6 +235,7 @@ class IndexScan(Operator):
         residual_sql: str = "",
         io: IoCounters | None = None,
         key_fn: Compiled | None = None,
+        projection: list[int] | None = None,
     ) -> None:
         self.table = table
         self.alias = alias.lower()
@@ -159,9 +248,10 @@ class IndexScan(Operator):
         self.residual = residual
         self.residual_sql = residual_sql
         self.io = io
-        self.binding = table_binding(table, alias)
+        self.projection = projection
+        self.binding = _pruned_binding(table, alias, projection)
 
-    def _execute(self) -> Iterator[tuple]:
+    def _execute(self) -> Iterator[Batch]:
         if self.io is not None:
             self.io.charge_random(1)  # leaf descent; interior pages cached
         if self.key_range is not None:
@@ -174,9 +264,12 @@ class IndexScan(Operator):
             row_ids = iter(self.index.lookup(key))
         fetch = self.table.fetch
         residual = self.residual
+        pick = _picker(self.projection)
         io = self.io
         rows_per_page = _rows_per_page(self.table)
         touched: set[int] = set()
+        size = self.batch_size
+        batch: Batch = []
         for row_id in row_ids:
             if io is not None:
                 page = row_id // rows_per_page
@@ -185,7 +278,12 @@ class IndexScan(Operator):
                     io.charge_random(1)
             row = fetch(row_id)
             if residual is None or residual(row):
-                yield row
+                batch.append(pick(row) if pick is not None else row)
+                if len(batch) >= size:
+                    yield batch
+                    batch = []
+        if batch:
+            yield batch
 
     def explain(self, depth: int = 0) -> list[str]:
         if self.key_range is not None:
@@ -195,6 +293,9 @@ class IndexScan(Operator):
         else:
             probe = f"key = {self.key!r}"
         suffix = f" residual[{self.residual_sql}]" if self.residual else ""
+        if self.projection is not None:
+            names = ",".join(slot.name for slot in self.binding.slots)
+            suffix += f" cols[{names}]"
         return [
             self._line(
                 depth,
@@ -228,33 +329,59 @@ class HashJoin(Operator):
         self.io = io
         self.binding = left.binding.extend(right.binding)
 
-    def _execute(self) -> Iterator[tuple]:
-        table: dict[tuple, list[tuple]] = {}
+    def _execute(self) -> Iterator[Batch]:
+        table: dict[object, list[tuple]] = {}
         right_keys = self.right_keys
+        single = len(right_keys) == 1
         build_bytes = 0
-        for row in self.right.rows():
-            build_bytes += estimate_row_bytes(row)
-            key = tuple(group_key(row[i]) for i in right_keys)
-            if any(part is None for part in key):
-                continue  # NULL keys never join
-            table.setdefault(key, []).append(row)
+        setdefault = table.setdefault
+        if single:
+            right_key = right_keys[0]
+            for batch in self.right.batches():
+                for row in batch:
+                    build_bytes += estimate_row_bytes(row)
+                    key = group_key(row[right_key])
+                    if key is None:
+                        continue  # NULL keys never join
+                    setdefault(key, []).append(row)
+        else:
+            for batch in self.right.batches():
+                for row in batch:
+                    build_bytes += estimate_row_bytes(row)
+                    key = tuple(group_key(row[i]) for i in right_keys)
+                    if any(part is None for part in key):
+                        continue  # NULL keys never join
+                    setdefault(key, []).append(row)
         spilled = (
             self.io is not None and build_bytes > self.io.work_mem_bytes
         )
         left_keys = self.left_keys
+        left_key = left_keys[0] if single else -1
         residual = self.residual
+        get = table.get
         probe_bytes = 0
-        for left_row in self.left.rows():
-            if spilled:
-                probe_bytes += estimate_row_bytes(left_row)
-            key = tuple(group_key(left_row[i]) for i in left_keys)
-            bucket = table.get(key)
-            if bucket is None:
-                continue
-            for right_row in bucket:
-                combined = left_row + right_row
-                if residual is None or residual(combined):
-                    yield combined
+        for left_batch in self.left.batches():
+            out: Batch = []
+            append = out.append
+            for left_row in left_batch:
+                if spilled:
+                    probe_bytes += estimate_row_bytes(left_row)
+                if single:
+                    bucket = get(group_key(left_row[left_key]))
+                else:
+                    bucket = get(tuple(group_key(left_row[i]) for i in left_keys))
+                if bucket is None:
+                    continue
+                if residual is None:
+                    for right_row in bucket:
+                        append(left_row + right_row)
+                else:
+                    for right_row in bucket:
+                        combined = left_row + right_row
+                        if residual(combined):
+                            append(combined)
+            if out:
+                yield out
         if spilled:
             # GRACE partitioning: both inputs are written out sequentially
             # and read back during the merge phase, where partition files
@@ -295,14 +422,22 @@ class NestedLoopJoin(Operator):
         self.predicate_sql = predicate_sql
         self.binding = left.binding.extend(right.binding)
 
-    def _execute(self) -> Iterator[tuple]:
-        right_rows = list(self.right.rows())
+    def _execute(self) -> Iterator[Batch]:
+        right_rows = [row for batch in self.right.batches() for row in batch]
         predicate = self.predicate
-        for left_row in self.left.rows():
-            for right_row in right_rows:
-                combined = left_row + right_row
-                if predicate is None or predicate(combined):
-                    yield combined
+        for left_batch in self.left.batches():
+            out: Batch = []
+            if predicate is None:
+                for left_row in left_batch:
+                    out.extend(left_row + right_row for right_row in right_rows)
+            else:
+                for left_row in left_batch:
+                    for right_row in right_rows:
+                        combined = left_row + right_row
+                        if predicate(combined):
+                            out.append(combined)
+            if out:
+                yield out
 
     def explain(self, depth: int = 0) -> list[str]:
         suffix = f" on [{self.predicate_sql}]" if self.predicate else " (cross)"
@@ -340,7 +475,7 @@ class IndexNestedLoopJoin(Operator):
         self.io = io
         self.binding = left.binding.extend(table_binding(table, alias))
 
-    def _execute(self) -> Iterator[tuple]:
+    def _execute(self) -> Iterator[Batch]:
         fetch = self.table.fetch
         lookup = self.index.lookup
         key_slot = self.left_key_slot
@@ -349,22 +484,27 @@ class IndexNestedLoopJoin(Operator):
         rows_per_page = _rows_per_page(self.table)
         probed_keys: set[object] = set()
         touched_pages: set[int] = set()
-        for left_row in self.left.rows():
-            key = left_row[key_slot]
-            if key is None:
-                continue
-            if io is not None and key not in probed_keys:
-                probed_keys.add(key)
-                io.charge_random(1)  # index leaf, cached per key
-            for row_id in lookup(key):
-                if io is not None:
-                    page = row_id // rows_per_page
-                    if page not in touched_pages:
-                        touched_pages.add(page)
-                        io.charge_random(1)
-                combined = left_row + fetch(row_id)
-                if residual is None or residual(combined):
-                    yield combined
+        for left_batch in self.left.batches():
+            out: Batch = []
+            append = out.append
+            for left_row in left_batch:
+                key = left_row[key_slot]
+                if key is None:
+                    continue
+                if io is not None and key not in probed_keys:
+                    probed_keys.add(key)
+                    io.charge_random(1)  # index leaf, cached per key
+                for row_id in lookup(key):
+                    if io is not None:
+                        page = row_id // rows_per_page
+                        if page not in touched_pages:
+                            touched_pages.add(page)
+                            io.charge_random(1)
+                    combined = left_row + fetch(row_id)
+                    if residual is None or residual(combined):
+                        append(combined)
+            if out:
+                yield out
 
     def explain(self, depth: int = 0) -> list[str]:
         key_slot = self.left.binding.slots[self.left_key_slot]
@@ -409,20 +549,25 @@ class LateralFunctionScan(Operator):
         self.binding = input_op.binding.extend(Binding(slots))
         self._arity = len(output_columns)
 
-    def _execute(self) -> Iterator[tuple]:
+    def _execute(self) -> Iterator[Batch]:
         call = self.registry.call_table
         name = self.function_name
         args = self.args
         arity = self._arity
-        for input_row in self.input.rows():
-            evaluated = [arg(input_row) for arg in args]
-            for produced in call(name, evaluated):
-                if len(produced) != arity:
-                    raise ExecutionError(
-                        f"table function {name!r} produced {len(produced)} columns, "
-                        f"declared {arity}"
-                    )
-                yield input_row + tuple(produced)
+        for input_batch in self.input.batches():
+            out: Batch = []
+            append = out.append
+            for input_row in input_batch:
+                evaluated = [arg(input_row) for arg in args]
+                for produced in call(name, evaluated):
+                    if len(produced) != arity:
+                        raise ExecutionError(
+                            f"table function {name!r} produced "
+                            f"{len(produced)} columns, declared {arity}"
+                        )
+                    append(input_row + tuple(produced))
+            if out:
+                yield out
 
     def explain(self, depth: int = 0) -> list[str]:
         lines = [
@@ -443,11 +588,19 @@ class Filter(Operator):
         self.predicate_sql = predicate_sql
         self.binding = input_op.binding
 
-    def _execute(self) -> Iterator[tuple]:
+    def _execute(self) -> Iterator[Batch]:
         predicate = self.predicate
-        for row in self.input.rows():
-            if predicate(row):
-                yield row
+        batch_filter = getattr(predicate, "batch_filter", None)
+        if batch_filter is not None:
+            for batch in self.input.batches():
+                kept = batch_filter(batch)
+                if kept:
+                    yield kept
+            return
+        for batch in self.input.batches():
+            kept = [row for row in batch if predicate(row)]
+            if kept:
+                yield kept
 
     def explain(self, depth: int = 0) -> list[str]:
         lines = [self._line(depth, f"Filter [{self.predicate_sql}]")]
@@ -456,24 +609,48 @@ class Filter(Operator):
 
 
 class Project(Operator):
-    """Compute the SELECT list."""
+    """Compute the SELECT list.
+
+    Three regimes, fastest first: ``identity`` passes batches through
+    untouched (SELECT * over an aligned input), ``tuple_fn`` evaluates
+    the whole output tuple in one compiled closure (batch-evaluated when
+    the closure carries ``batch_eval``), and the generic path walks the
+    per-item closures row by row.
+    """
 
     def __init__(
         self,
         input_op: Operator,
         exprs: list[Compiled],
         out_slots: list[Slot],
+        tuple_fn: Compiled | None = None,
+        identity: bool = False,
     ) -> None:
         if len(exprs) != len(out_slots):
             raise ExecutionError("projection arity mismatch")
         self.input = input_op
         self.exprs = exprs
+        self.tuple_fn = tuple_fn
+        self.identity = identity
         self.binding = Binding(out_slots)
 
-    def _execute(self) -> Iterator[tuple]:
+    def _execute(self) -> Iterator[Batch]:
+        if self.identity:
+            yield from self.input.batches()
+            return
+        tuple_fn = self.tuple_fn
+        if tuple_fn is not None:
+            batch_eval = getattr(tuple_fn, "batch_eval", None)
+            if batch_eval is not None:
+                for batch in self.input.batches():
+                    yield batch_eval(batch)
+            else:
+                for batch in self.input.batches():
+                    yield [tuple_fn(row) for row in batch]
+            return
         exprs = self.exprs
-        for row in self.input.rows():
-            yield tuple(expr(row) for expr in exprs)
+        for batch in self.input.batches():
+            yield [tuple(expr(row) for expr in exprs) for row in batch]
 
     def explain(self, depth: int = 0) -> list[str]:
         names = ", ".join(slot.name for slot in self.binding.slots)
@@ -483,20 +660,29 @@ class Project(Operator):
 
 
 class HashDistinct(Operator):
-    """Duplicate elimination over full rows."""
+    """Duplicate elimination over full rows (first occurrence wins)."""
 
     def __init__(self, input_op: Operator) -> None:
         self.input = input_op
         self.binding = input_op.binding
 
-    def _execute(self) -> Iterator[tuple]:
+    def _execute(self) -> Iterator[Batch]:
         seen: set[tuple] = set()
-        for row in self.input.rows():
-            key = tuple(group_key(value) for value in row)
-            if key in seen:
-                continue
-            seen.add(key)
-            yield row
+        seen_add = seen.add
+        size = self.batch_size
+        out: Batch = []
+        for batch in self.input.batches():
+            for row in batch:
+                key = tuple(group_key(value) for value in row)
+                if key in seen:
+                    continue
+                seen_add(key)
+                out.append(row)
+                if len(out) >= size:
+                    yield out
+                    out = []
+        if out:
+            yield out
 
     def explain(self, depth: int = 0) -> list[str]:
         lines = [self._line(depth, "HashDistinct")]
@@ -572,30 +758,37 @@ class HashAggregate(Operator):
         self.binding = Binding(group_slots + agg_slots)
         self._grand_total = not group_exprs
 
-    def _execute(self) -> Iterator[tuple]:
+    def _execute(self) -> Iterator[Batch]:
         groups: dict[tuple, tuple[tuple, list[_Accumulator]]] = {}
-        for row in self.input.rows():
-            raw_key = tuple(expr(row) for expr in self.group_exprs)
-            key = tuple(group_key(value) for value in raw_key)
-            entry = groups.get(key)
-            if entry is None:
-                entry = (
-                    raw_key,
-                    [_Accumulator(a.kind, a.distinct) for a in self.aggregates],
-                )
-                groups[key] = entry
-            accumulators = entry[1]
-            for spec, accumulator in zip(self.aggregates, accumulators):
-                if spec.arg is None:  # COUNT(*)
-                    accumulator.count += 1
-                else:
-                    accumulator.add(spec.arg(row))
+        group_exprs = self.group_exprs
+        aggregates = self.aggregates
+        groups_get = groups.get
+        for batch in self.input.batches():
+            for row in batch:
+                raw_key = tuple(expr(row) for expr in group_exprs)
+                key = tuple(group_key(value) for value in raw_key)
+                entry = groups_get(key)
+                if entry is None:
+                    entry = (
+                        raw_key,
+                        [_Accumulator(a.kind, a.distinct) for a in aggregates],
+                    )
+                    groups[key] = entry
+                accumulators = entry[1]
+                for spec, accumulator in zip(aggregates, accumulators):
+                    if spec.arg is None:  # COUNT(*)
+                        accumulator.count += 1
+                    else:
+                        accumulator.add(spec.arg(row))
         if not groups and self._grand_total:
-            empty = [_Accumulator(a.kind, a.distinct) for a in self.aggregates]
-            yield tuple(acc.result() for acc in empty)
+            empty = [_Accumulator(a.kind, a.distinct) for a in aggregates]
+            yield [tuple(acc.result() for acc in empty)]
             return
-        for raw_key, accumulators in groups.values():
-            yield raw_key + tuple(acc.result() for acc in accumulators)
+        result_rows = [
+            raw_key + tuple(acc.result() for acc in accumulators)
+            for raw_key, accumulators in groups.values()
+        ]
+        yield from _batched(result_rows, self.batch_size)
 
     def explain(self, depth: int = 0) -> list[str]:
         described = ", ".join(
@@ -647,12 +840,12 @@ class Sort(Operator):
         self.descending = descending
         self.binding = input_op.binding
 
-    def _execute(self) -> Iterator[tuple]:
-        rows = list(self.input.rows())
+    def _execute(self) -> Iterator[Batch]:
+        rows = [row for batch in self.input.batches() for row in batch]
         # stable multi-key sort: apply keys right-to-left
         for key, desc in reversed(list(zip(self.keys, self.descending))):
             rows.sort(key=lambda row: _SortKey(key(row)), reverse=desc)
-        return iter(rows)
+        yield from _batched(rows, self.batch_size)
 
     def explain(self, depth: int = 0) -> list[str]:
         lines = [self._line(depth, f"Sort keys={len(self.keys)}")]
@@ -666,15 +859,23 @@ class Limit(Operator):
         self.limit = limit
         self.binding = input_op.binding
 
-    def _execute(self) -> Iterator[tuple]:
+    def _execute(self) -> Iterator[Batch]:
         remaining = self.limit
         if remaining <= 0:
             return
+        size = self.batch_size
+        out: Batch = []
+        # pull row-at-a-time so the child stops producing at the cutoff
         for row in self.input.rows():
-            yield row
+            out.append(row)
             remaining -= 1
             if remaining == 0:
-                return
+                break
+            if len(out) >= size:
+                yield out
+                out = []
+        if out:
+            yield out
 
     def explain(self, depth: int = 0) -> list[str]:
         lines = [self._line(depth, f"Limit {self.limit}")]
@@ -701,6 +902,7 @@ def table_binding(table: HeapTable, alias: str) -> Binding:
 
 __all__ = [
     "AggSpec",
+    "Batch",
     "Filter",
     "HashAggregate",
     "HashDistinct",

@@ -102,6 +102,9 @@ class CachedPlan:
     statement: "SelectStmt"
     schema_epoch: int
     stats_epoch: int
+    #: execution-config epoch — plans bake in batch sizes, compiled
+    #: closures, and pruned scan layouts, so a config change invalidates
+    config_epoch: int = 0
 
 
 @dataclass
@@ -151,7 +154,11 @@ class PlanCache:
         return len(self._entries)
 
     def lookup(
-        self, key: str, schema_epoch: int, stats_epoch: int
+        self,
+        key: str,
+        schema_epoch: int,
+        stats_epoch: int,
+        config_epoch: int = 0,
     ) -> CachedPlan | None:
         """The valid entry for ``key``, or None (counted as a miss)."""
         entry = self._entries.get(key)
@@ -162,6 +169,7 @@ class PlanCache:
         if (
             entry.schema_epoch != schema_epoch
             or entry.stats_epoch != stats_epoch
+            or getattr(entry, "config_epoch", 0) != config_epoch
         ):
             del self._entries[key]
             self.stats.invalidations += 1

@@ -71,6 +71,82 @@ def _align(left: object, right: object) -> tuple[object, object]:
     return left, right
 
 
+# -- specialized comparison entry points ------------------------------------
+#
+# The generic compare() re-dispatches on the operator string per call;
+# the expression compiler binds one of these once per plan instead.
+# Semantics are identical to compare(op, ...) for the matching op.
+
+
+def compare_eq(left: object, right: object) -> bool:
+    if left is None or right is None:
+        return False
+    if is_xadt_value(left) or is_xadt_value(right):
+        return _xadt_text(left) == _xadt_text(right)
+    left, right = _align(left, right)
+    return left == right
+
+
+def compare_ne(left: object, right: object) -> bool:
+    if left is None or right is None:
+        return False
+    if is_xadt_value(left) or is_xadt_value(right):
+        return _xadt_text(left) != _xadt_text(right)
+    left, right = _align(left, right)
+    return left != right
+
+
+def _ordered(op: str, left: object, right: object) -> bool:
+    if is_xadt_value(left) or is_xadt_value(right):
+        raise ExecutionError(f"operator {op!r} is not defined for XADT values")
+    left, right = _align(left, right)
+    try:
+        if op == "<":
+            return left < right  # type: ignore[operator]
+        if op == "<=":
+            return left <= right  # type: ignore[operator]
+        if op == ">":
+            return left > right  # type: ignore[operator]
+        return left >= right  # type: ignore[operator]
+    except TypeError as exc:
+        raise ExecutionError(f"cannot compare {left!r} {op} {right!r}") from exc
+
+
+def compare_lt(left: object, right: object) -> bool:
+    if left is None or right is None:
+        return False
+    return _ordered("<", left, right)
+
+
+def compare_le(left: object, right: object) -> bool:
+    if left is None or right is None:
+        return False
+    return _ordered("<=", left, right)
+
+
+def compare_gt(left: object, right: object) -> bool:
+    if left is None or right is None:
+        return False
+    return _ordered(">", left, right)
+
+
+def compare_ge(left: object, right: object) -> bool:
+    if left is None or right is None:
+        return False
+    return _ordered(">=", left, right)
+
+
+#: operator string -> specialized comparison function
+COMPARE_FNS = {
+    "=": compare_eq,
+    "<>": compare_ne,
+    "<": compare_lt,
+    "<=": compare_le,
+    ">": compare_gt,
+    ">=": compare_ge,
+}
+
+
 @lru_cache(maxsize=512)
 def _like_regex(pattern: str) -> re.Pattern[str]:
     """Translate a SQL LIKE pattern to a compiled regex.
@@ -95,6 +171,33 @@ def like(value: object, pattern: str) -> bool:
         return False
     text = _xadt_text(value) if is_xadt_value(value) else str(value)
     return _like_regex(pattern).fullmatch(text) is not None
+
+
+def like_matcher(pattern: str, negated: bool = False):
+    """A prebound LIKE predicate for ``pattern``.
+
+    Semantically identical to ``like(value, pattern)`` (respectively
+    ``value is not None and not like(value, pattern)`` when negated),
+    but the regex is resolved once at compile time instead of through
+    the lru_cache on every row.
+    """
+    match = _like_regex(pattern).fullmatch
+    if negated:
+        def negative(value: object) -> bool:
+            if value is None:
+                return False
+            text = _xadt_text(value) if is_xadt_value(value) else str(value)
+            return match(text) is None
+
+        return negative
+
+    def positive(value: object) -> bool:
+        if value is None:
+            return False
+        text = _xadt_text(value) if is_xadt_value(value) else str(value)
+        return match(text) is not None
+
+    return positive
 
 
 def group_key(value: object) -> object:

@@ -152,6 +152,28 @@ def event_list_cost(events: list) -> int:
 #: the process-wide cache instance all XADT decoding goes through
 DECODE_CACHE = DecodeCache()
 
+#: flat cost charged for a memoized predicate verdict (small int + key)
+PREDICATE_ENTRY_BYTES = 48
+
+
+def memoize_predicate(kind: str, payload: object, args: tuple, compute):
+    """Memoize a per-fragment predicate verdict (e.g. findKeyInElm).
+
+    Keys on fragment identity (the payload content) plus the predicate's
+    arguments, so repeated scans of the same document with the same
+    search terms — the shape of every Fig11/Fig13 XADT filter — skip the
+    event walk entirely.  Verdicts are tiny, so the byte budget charges a
+    flat :data:`PREDICATE_ENTRY_BYTES` per entry.  ``compute`` runs only
+    on a miss; its result must never be None (the miss sentinel).
+    """
+    key = (kind, payload) + tuple(args)
+    cached = DECODE_CACHE.get(key)
+    if cached is not None:
+        return cached
+    result = compute()
+    DECODE_CACHE.put(key, result, PREDICATE_ENTRY_BYTES)
+    return result
+
 
 def _collect_metrics() -> dict[str, float]:
     """Snapshot-time contribution to the process metrics registry.
@@ -178,5 +200,7 @@ __all__ = [
     "DEFAULT_BUDGET_BYTES",
     "DecodeCache",
     "DecodeCacheStats",
+    "PREDICATE_ENTRY_BYTES",
     "event_list_cost",
+    "memoize_predicate",
 ]

@@ -96,6 +96,14 @@ class SpanDirectory:
 
     # -- queries -----------------------------------------------------------
 
+    def has_tag(self, tag: str) -> bool:
+        """O(1): does any element with this tag occur in the fragment?
+
+        The scan-level pushdown of ``findKeyInElm`` predicates uses this
+        to reject non-matching documents without touching the payload.
+        """
+        return tag in self._by_tag
+
     def spans_of(self, tag: str) -> list[SpanEntry]:
         """All occurrences of ``tag``, in document order."""
         return [self.entries[i] for i in self._by_tag.get(tag, [])]

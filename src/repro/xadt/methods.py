@@ -41,6 +41,7 @@ from typing import Iterator
 
 from repro.errors import XadtMethodError
 from repro.xadt import fastscan
+from repro.xadt.decode_cache import memoize_predicate
 from repro.xadt.fragment import XadtValue, coerce_fragment
 from repro.xadt.storage import Event, events_to_text
 
@@ -74,7 +75,15 @@ def get_elm(
 
 
 def find_key_in_elm(fragment: object, search_elm: str, search_key: str) -> int:
-    """1 if any ``search_elm`` element's content contains ``search_key``."""
+    """1 if any ``search_elm`` element's content contains ``search_key``.
+
+    The per-codec verdicts are memoized in the process-wide decode cache
+    (keyed on payload identity + search terms), and the indexed codec
+    consults the span directory's tag index first: a document that never
+    contains ``search_elm`` is rejected in O(1) without decoding any
+    payload text — the predicate-pushdown half of the vectorized scan
+    path.
+    """
     if not search_elm and not search_key:
         raise XadtMethodError(
             "findKeyInElm: searchElm and searchKey cannot both be empty"
@@ -83,11 +92,36 @@ def find_key_in_elm(fragment: object, search_elm: str, search_key: str) -> int:
     if value.codec == "indexed":
         from repro.xadt import metadata
 
-        return metadata.find_key_in_elm_indexed(
-            value.payload, value.directory(), search_elm, search_key
+        directory = value.directory()
+        if search_elm and not directory.has_tag(search_elm):
+            return 0  # tag index proves absence; skip the payload entirely
+        return memoize_predicate(
+            "findkey-indexed",
+            value.payload,
+            (search_elm, search_key),
+            lambda: metadata.find_key_in_elm_indexed(
+                value.payload, directory, search_elm, search_key
+            ),
         )
     if value.codec == "plain":
-        return fastscan.find_key_in_elm_plain(value.payload, search_elm, search_key)
+        return memoize_predicate(
+            "findkey-plain",
+            value.payload,
+            (search_elm, search_key),
+            lambda: fastscan.find_key_in_elm_plain(
+                value.payload, search_elm, search_key
+            ),
+        )
+    return memoize_predicate(
+        "findkey-dict",
+        value.payload,
+        (search_elm, search_key),
+        lambda: _find_key_in_events(value, search_elm, search_key),
+    )
+
+
+def _find_key_in_events(value: XadtValue, search_elm: str, search_key: str) -> int:
+    """Event-stream findKeyInElm for dict-codec payloads."""
     if not search_elm:
         # any element content: the fragment's whole character stream
         accumulated: list[str] = []

@@ -141,7 +141,9 @@ class _Static(physical.Operator):
         self.estimated_rows = float(estimated)
 
     def _execute(self):
-        return iter(self._rows)
+        # batch contract: yield lists of rows (32-row chunks here)
+        for start in range(0, len(self._rows), 32):
+            yield self._rows[start:start + 32]
 
     def explain(self, depth=0):
         return [self._line(depth, "Static")]
