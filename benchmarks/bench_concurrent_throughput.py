@@ -1,0 +1,106 @@
+"""Concurrent reader throughput scaling on scan-heavy Fig11 queries.
+
+The layered engine runs read-only queries on per-session snapshots, so
+R readers can overlap their (simulated) disk waits the way a multi-user
+DBMS overlaps real ones.  This benchmark measures that scaling with the
+:class:`~repro.engine.executor.ConcurrentExecutor` in ``io_stalls``
+mode: each reader sleeps the modeled 2002-disk seconds its private I/O
+counters accumulated, so wall time is disk-bound exactly where the
+paper's cold numbers are.
+
+The workload is the *hybrid* side of the scan-heavy Fig11 flattening
+queries (QS1-QS3): multi-hundred-page sequential scans whose modeled
+disk time dwarfs the Python CPU time, the regime where concurrency
+pays.  Acceptance: 4 readers deliver >= 2.5x the throughput of one
+reader on the same workload, with every reader returning the
+single-threaded results bit-for-bit.
+
+Set ``REPRO_CONC_QUICK=1`` for a single-round smoke run (CI).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+from conftest import print_report
+
+from repro.engine import ConcurrentExecutor
+from repro.workloads import SHAKESPEARE_QUERIES
+
+SCAN_HEAVY = ("QS1", "QS2", "QS3")
+READERS = 4
+TARGET_SPEEDUP = 2.5
+
+
+def _rounds() -> int:
+    return 1 if os.environ.get("REPRO_CONC_QUICK") else 3
+
+
+def _workload() -> list[str]:
+    return [
+        query.hybrid_sql
+        for query in SHAKESPEARE_QUERIES
+        if query.key in SCAN_HEAVY
+    ]
+
+
+@pytest.fixture(scope="module")
+def scan_db(shakespeare_pair_x1):
+    db = shakespeare_pair_x1.hybrid.db
+    for sql in _workload():  # plan once so every reader runs warm
+        db.execute(sql)
+    return db
+
+
+def test_four_readers_scale_throughput(scan_db, benchmark):
+    """The acceptance gate: 4 readers >= 2.5x one reader's throughput."""
+    workload = _workload()
+    rounds = _rounds()
+    baseline = [scan_db.execute(sql).rows for sql in workload]
+
+    single = ConcurrentExecutor(scan_db, readers=1, io_stalls=True).run(
+        workload, rounds=rounds
+    )
+    single.raise_errors()
+    multi = ConcurrentExecutor(scan_db, readers=READERS, io_stalls=True).run(
+        workload, rounds=rounds
+    )
+    multi.raise_errors()
+
+    # identical answers on every concurrent reader
+    for reader in multi.per_reader:
+        assert [result.rows for result in reader.results] == baseline
+
+    # R readers do R times the work of one; throughput scaling is
+    # (R * wall_1) / wall_R
+    speedup = READERS * single.wall_seconds / multi.wall_seconds
+    stalled = sum(r.stall_seconds for r in multi.per_reader)
+    print_report(
+        f"Concurrent throughput, {len(workload)} scan-heavy Fig11 "
+        f"queries x {rounds} round(s)",
+        f"1 reader : {single.wall_seconds:.3f} s wall "
+        f"({single.queries_per_second:.1f} q/s)\n"
+        f"{READERS} readers: {multi.wall_seconds:.3f} s wall "
+        f"({multi.queries_per_second:.1f} q/s)\n"
+        f"simulated disk overlapped: {stalled:.3f} reader-seconds\n"
+        f"throughput scaling: {speedup:.2f}x (target >= "
+        f"{TARGET_SPEEDUP:.1f}x)",
+    )
+    assert speedup >= TARGET_SPEEDUP, (
+        f"expected >= {TARGET_SPEEDUP}x, measured {speedup:.2f}x"
+    )
+    benchmark(lambda: None)
+
+
+def test_contended_readers_stay_correct(scan_db, benchmark):
+    """CPU-bound mode (no stalls): contention must not corrupt results."""
+    workload = _workload()
+    baseline = [scan_db.execute(sql).rows for sql in workload]
+    report = ConcurrentExecutor(scan_db, readers=READERS).run(
+        workload, rounds=_rounds()
+    )
+    report.raise_errors()
+    for reader in report.per_reader:
+        assert [result.rows for result in reader.results] == baseline
+    benchmark(lambda: None)

@@ -12,6 +12,12 @@ seconds (wall CPU + the simulated 2002 disk model, the paper's reported
 metric) for both schemas and their ratio (XORator / Hybrid; < 1 means
 XORator wins, as the paper reports for all but QS6/QG6-style queries).
 
+A third artifact, ``BENCH_concurrency.json``, records the reader-scaling
+sweep of the session layer: the scan-heavy Fig11 flattening queries run
+on 1/2/4 concurrent reader sessions (``ConcurrentExecutor`` in
+``io_stalls`` mode, overlapping the simulated disk waits) with wall
+time, throughput, and speedup per reader count.
+
 Usage::
 
     PYTHONPATH=src python scripts/bench_trajectory.py [--quick]
@@ -26,6 +32,7 @@ import statistics
 from pathlib import Path
 
 from repro.bench.harness import build_pair, cold_query
+from repro.engine import ConcurrentExecutor
 from repro.engine.config import ExecutionConfig
 from repro.workloads import SHAKESPEARE_QUERIES, SIGMOD_QUERIES
 
@@ -33,6 +40,11 @@ FIGURES = {
     "fig11": ("shakespeare", SHAKESPEARE_QUERIES),
     "fig13": ("sigmod", SIGMOD_QUERIES),
 }
+
+#: scan-heavy Fig11 flattening queries: modeled disk dominates CPU on
+#: the hybrid schema, the regime where concurrent readers overlap
+CONCURRENCY_KEYS = ("QS1", "QS2", "QS3")
+READER_COUNTS = (1, 2, 4)
 
 
 def _median_cold(db, sql: str, rounds: int) -> float:
@@ -70,6 +82,50 @@ def sweep(figure: str, scales: list[int], rounds: int) -> dict:
     }
 
 
+def concurrency_sweep(scale: int, rounds: int) -> dict:
+    pair = build_pair("shakespeare", scale)
+    db = pair.hybrid.db
+    workload = [
+        query.hybrid_sql
+        for query in SHAKESPEARE_QUERIES
+        if query.key in CONCURRENCY_KEYS
+    ]
+    for sql in workload:  # plan once; every reader then runs warm
+        db.execute(sql)
+    results: dict[str, dict] = {}
+    single_wall = None
+    for readers in READER_COUNTS:
+        report = ConcurrentExecutor(db, readers=readers, io_stalls=True).run(
+            workload, rounds=rounds
+        )
+        report.raise_errors()
+        if single_wall is None:
+            single_wall = report.wall_seconds
+        speedup = (
+            readers * single_wall / report.wall_seconds
+            if report.wall_seconds
+            else None
+        )
+        results[str(readers)] = {
+            "wall_seconds": round(report.wall_seconds, 6),
+            "queries": report.total_queries,
+            "queries_per_second": round(report.queries_per_second, 2),
+            "speedup_vs_single": round(speedup, 3) if speedup else None,
+        }
+        print(f"concurrency: {readers} reader(s) done")
+    return {
+        "figure": "concurrency",
+        "dataset": "shakespeare",
+        "scale": scale,
+        "rounds": rounds,
+        "queries": list(CONCURRENCY_KEYS),
+        "metric": "wall seconds with io_stalls (simulated-disk sleeps "
+                  "overlap across reader sessions)",
+        "engine_config": ExecutionConfig().as_dict(),
+        "readers": results,
+    }
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -99,6 +155,11 @@ def main() -> None:
         path = args.out_dir / f"BENCH_{figure}.json"
         path.write_text(json.dumps(artifact, indent=2) + "\n")
         print(f"wrote {path}")
+
+    artifact = concurrency_sweep(scales[0], rounds)
+    path = args.out_dir / "BENCH_concurrency.json"
+    path.write_text(json.dumps(artifact, indent=2) + "\n")
+    print(f"wrote {path}")
 
 
 if __name__ == "__main__":

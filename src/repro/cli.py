@@ -19,6 +19,8 @@ commands (interactive or piped):
   show the SQL, and run it;
 * ``\\io`` — I/O counters of the last statement (the simulated disk);
 * ``\\cache`` — plan-cache and XADT decode-cache counters;
+* ``\\sessions`` — open sessions with pinned snapshot epoch and per-kind
+  query counts;
 * ``\\metrics [json|reset]`` — the process metrics registry;
 * ``\\trace on|off|dump [file]`` — query tracing (Chrome trace format);
 * ``\\q`` — quit.
@@ -68,6 +70,8 @@ class Shell:
                 self._print_io()
             elif line == "\\cache":
                 self._print_caches()
+            elif line == "\\sessions":
+                self._print_sessions()
             elif line == "\\metrics" or line.startswith("\\metrics "):
                 self._run_metrics(line[len("\\metrics"):].strip())
             elif line.startswith("\\trace"):
@@ -75,7 +79,7 @@ class Shell:
             elif line.startswith("\\"):
                 self._print(f"unknown command {line.split()[0]!r}; try \\dt, "
                             f"\\d, \\explain, \\analyze, \\path, \\io, "
-                            f"\\cache, \\metrics, \\trace, \\q")
+                            f"\\cache, \\sessions, \\metrics, \\trace, \\q")
             else:
                 self._run_sql(line)
         except ReproError as exc:
@@ -140,6 +144,28 @@ class Shell:
             f"{decode['evictions']} evictions, "
             f"{decode['oversize_rejections']} oversize "
             f"(hit rate {decode['hit_rate']:.0%})"
+        )
+
+    def _print_sessions(self) -> None:
+        total = METRICS.counter("session.queries").value
+        self._print(
+            f"{'id':>4}  {'name':20}{'snapshot':>10}"
+            f"{'selects':>9}{'inserts':>9}{'ddl':>6}"
+        )
+        for session in self.db.sessions():
+            pin = session.snapshot_version
+            epoch = "live" if pin is None else str(pin)
+            counts = session.query_counts
+            self._print(
+                f"{session.session_id:>4}  {session.name:20}{epoch:>10}"
+                f"{counts.get('select', 0):>9}"
+                f"{counts.get('insert', 0):>9}"
+                f"{counts.get('ddl', 0):>6}"
+            )
+        self._print(
+            f"{len(self.db.sessions())} session(s); engine epoch "
+            f"{self.db.version}, catalog version {self.db.catalog_version}; "
+            f"{total} session statement(s) this process"
         )
 
     def _run_analyze(self, sql: str) -> None:

@@ -8,9 +8,14 @@ overhead.  See DESIGN.md §2 for the substitution argument.
 """
 
 from repro.engine.advisor import IndexAdvisor, IndexSuggestion
+from repro.engine.catalog import CatalogManager, CatalogState
 from repro.engine.database import Database
+from repro.engine.executor import ConcurrentExecutor, ConcurrentReport
 from repro.engine.result import Result
 from repro.engine.schema import Catalog, Column, IndexDef, TableSchema
+from repro.engine.session import PreparedStatement, Session
+from repro.engine.snapshot import EngineSnapshot, TableVersion
+from repro.engine.storage_engine import StorageEngine
 from repro.engine.types import (
     INTEGER,
     VARCHAR,
@@ -25,8 +30,13 @@ from repro.engine.udf import FunctionKind, FunctionRegistry
 
 __all__ = [
     "Catalog",
+    "CatalogManager",
+    "CatalogState",
     "Column",
+    "ConcurrentExecutor",
+    "ConcurrentReport",
     "Database",
+    "EngineSnapshot",
     "FunctionKind",
     "FunctionRegistry",
     "INTEGER",
@@ -34,9 +44,13 @@ __all__ = [
     "IndexDef",
     "IndexSuggestion",
     "IntegerType",
+    "PreparedStatement",
     "Result",
+    "Session",
     "SqlType",
+    "StorageEngine",
     "TableSchema",
+    "TableVersion",
     "VARCHAR",
     "VarcharType",
     "XADT",

@@ -1,29 +1,45 @@
-"""The user-facing database facade.
+"""The user-facing database facade over the catalog / storage / session layers.
 
-A :class:`Database` owns the catalog, the heap tables, the live index
-structures, per-table statistics, the function registry, and the
-query-plan cache.  It executes SQL (SELECT / CREATE TABLE / CREATE INDEX
-/ INSERT / DROP TABLE), supports prepared statements with ``?``
-parameter markers, and exposes EXPLAIN, ``runstats``, the index advisor,
-and the size accounting used by the paper's Tables 1 and 2.
+A :class:`Database` composes three layers (DESIGN.md §8):
+
+* the **catalog** (:class:`~repro.engine.catalog.CatalogManager`):
+  versioned, copy-on-write schema state — table schemas, index
+  definitions, statistics, and the execution config, all stamped with
+  one monotonically increasing version;
+* the **storage engine**
+  (:class:`~repro.engine.storage_engine.StorageEngine`): the live
+  heaps and index structures behind a single writer lock that publishes
+  immutable :class:`~repro.engine.snapshot.EngineSnapshot` versions;
+* the **session layer** (:meth:`Database.connect` ->
+  :class:`~repro.engine.session.Session`): each session reads a pinned
+  snapshot (snapshot isolation) with its own I/O counters and query
+  counts.
+
+``Database.execute`` and friends remain the single-threaded public API:
+they delegate to a built-in *default session* that reads live storage
+through the shared base I/O counters, preserving the pre-layering
+behaviour byte for byte.
 
 Repeated SELECTs are served from a bounded LRU plan cache (DB2's package
 cache, in miniature): a hit skips lex/parse/optimize/compile entirely
 and re-runs the cached operator tree, which builds fresh iterator state
-on every ``rows()`` call.  DDL bumps a schema epoch and ``runstats()``
-bumps a stats epoch; cached plans from older epochs are re-optimized
-instead of silently reused.
+on every ``rows()`` call.  Any plan-relevant change — DDL, ``runstats``,
+an exec-config swap — advances the catalog version; plans from older
+versions are purged at publish time instead of silently reused.
 """
 
 from __future__ import annotations
 
+import itertools
+import threading
 import time
 
 from repro.engine.advisor import IndexAdvisor
+from repro.engine.catalog import CatalogManager, CatalogState
 from repro.engine.config import ExecutionConfig
 from repro.engine.expr import Binding, ParamBox, compile_expr
-from repro.engine.index import Index, build_index
-from repro.engine.io import IoCounters
+from repro.engine.index import Index
+from repro.engine.io import IoRouter
 from repro.engine.plan.optimizer import plan_select
 from repro.engine.plan_cache import (
     DEFAULT_CAPACITY,
@@ -32,7 +48,9 @@ from repro.engine.plan_cache import (
     normalize_sql,
 )
 from repro.engine.result import Result
-from repro.engine.schema import Catalog, Column, IndexDef, TableSchema
+from repro.engine.schema import Column, IndexDef, TableSchema
+from repro.engine.session import PreparedStatement, Session, _PlannerView
+from repro.engine.snapshot import EngineSnapshot
 from repro.engine.sql.ast import (
     CreateIndexStmt,
     CreateTableStmt,
@@ -45,6 +63,7 @@ from repro.engine.sql.ast import (
 from repro.engine.sql.parser import parse_sql
 from repro.engine.statistics import TableStats, collect_stats
 from repro.engine.storage import HeapTable
+from repro.engine.storage_engine import StorageEngine
 from repro.engine.types import type_from_name
 from repro.engine.udf import FunctionRegistry
 from repro.errors import CatalogError, ExecutionError
@@ -56,75 +75,6 @@ from repro.obs.explain import (
 )
 from repro.obs.metrics import METRICS
 from repro.obs.trace import TRACER
-
-#: per-statement-kind latency histograms (wall seconds, whole statement)
-_QUERY_HISTOGRAMS = {
-    kind: METRICS.histogram(f"query.seconds.{kind}")
-    for kind in ("select", "insert", "ddl")
-}
-
-
-def _statement_kind(key: str) -> str:
-    head = key[:6].lower()
-    if head == "select":
-        return "select"
-    if head == "insert":
-        return "insert"
-    return "ddl"
-
-
-class PreparedStatement:
-    """A statement parsed once and re-executable with bind values.
-
-    ``execute(*params)`` binds the given values to the statement's ``?``
-    markers (left to right) and runs it.  SELECT plans come from the
-    owning database's shared plan cache, so every prepared handle for
-    the same normalized SQL reuses one compiled plan.
-    """
-
-    def __init__(self, db: "Database", sql: str) -> None:
-        self._db = db
-        self.sql = sql
-        self._key = normalize_sql(sql)
-        self._statement = parse_sql(sql)
-        #: number of ``?`` markers execute() expects
-        self.parameter_count = count_parameters(self._statement)
-
-    def execute(self, *params: object) -> Result:
-        kind = _statement_kind(self._key)
-        started = time.perf_counter()
-        with TRACER.span("query", args={"sql": self._key[:200], "kind": kind}):
-            result = self._db._execute_prepared(
-                self._key, self._statement, params
-            )
-        _QUERY_HISTOGRAMS[kind].observe(time.perf_counter() - started)
-        return result
-
-    def explain(self) -> str:
-        """The physical plan this statement currently executes."""
-        if not isinstance(self._statement, SelectStmt):
-            raise ExecutionError("EXPLAIN supports SELECT statements only")
-        entry = self._db._select_entry(self._key, self._statement)
-        return "\n".join(entry.plan.explain())
-
-    def explain_analyze(self, *params: object) -> AnalyzeReport:
-        """Execute with per-operator instrumentation; see Database.explain_analyze."""
-        if not isinstance(self._statement, SelectStmt):
-            raise ExecutionError(
-                "EXPLAIN ANALYZE supports SELECT statements only"
-            )
-        phases = {"parse": 0.0}  # parsed at prepare() time
-        box = ParamBox(count_parameters(self._statement))
-        started = time.perf_counter()
-        plan = plan_select(self._statement, self._db, box)
-        phases["plan"] = time.perf_counter() - started
-        return self._db._analyze(plan, box, params, phases)
-
-    def __repr__(self) -> str:
-        return (
-            f"PreparedStatement({self.sql!r}, "
-            f"{self.parameter_count} parameter(s))"
-        )
 
 
 class Database:
@@ -138,71 +88,118 @@ class Database:
         exec_config: ExecutionConfig | None = None,
     ) -> None:
         self.name = name
-        self.catalog = Catalog()
         self.registry = FunctionRegistry()
-        #: logical-I/O counters charged by the physical operators; the
-        #: benchmark harness resets this before each cold query run
-        self.io = IoCounters()
+        #: context-dispatching logical-I/O facade baked into every plan;
+        #: the benchmark harness resets this before each cold query run
+        self.io = IoRouter()
         if work_mem_bytes is not None:
             self.io.work_mem_bytes = work_mem_bytes
-        self._heaps: dict[str, HeapTable] = {}
-        self._indexes: dict[str, Index] = {}
-        self._stats: dict[str, TableStats] = {}
+        self._catalog_mgr = CatalogManager(exec_config or ExecutionConfig())
+        #: the storage layer: live heaps/indexes + writer lock + snapshots
+        self.engine = StorageEngine(self._catalog_mgr)
         #: compiled-plan cache; capacity 0 re-plans every execution
         self.plan_cache = PlanCache(plan_cache_capacity)
-        #: bumped on DDL; cached plans from older epochs are re-planned
-        self._schema_epoch = 0
-        #: bumped on runstats(); re-planning may pick new access paths
-        self._stats_epoch = 0
-        #: execution-layer knobs the planner bakes into physical plans
-        self.exec_config = exec_config or ExecutionConfig()
-        #: bumped by set_exec_config(); invalidates cached plans
-        self._config_epoch = 0
+        self.engine.attach_plan_cache(self.plan_cache)
+        #: open sessions by id (the default session is id 0)
+        self._sessions: dict[int, Session] = {}
+        self._session_ids = itertools.count(1)
+        self._sessions_lock = threading.Lock()
+        self._default = Session(
+            self, 0, name="default", snapshot_reads=False
+        )
+        self._sessions[0] = self._default
+
+    # -- layer views -------------------------------------------------------
+
+    @property
+    def catalog(self) -> CatalogState:
+        """The current immutable catalog state (read API)."""
+        return self._catalog_mgr.state
+
+    @property
+    def catalog_version(self) -> int:
+        """Version of the last plan-relevant change (what plans key on)."""
+        return self._catalog_mgr.state.version
+
+    @property
+    def version(self) -> int:
+        """The engine epoch of the currently published snapshot."""
+        return self.engine.version
+
+    @property
+    def exec_config(self) -> ExecutionConfig:
+        """Execution-layer knobs the planner bakes into physical plans."""
+        return self._catalog_mgr.state.exec_config
 
     def set_exec_config(self, config: ExecutionConfig) -> None:
         """Swap the execution config; cached plans are invalidated.
 
         Plans bake in batch sizes, compiled expression closures, and
-        pruned scan layouts, so the config epoch bump forces the next
-        lookup of every cached statement to re-plan.
+        pruned scan layouts, so the catalog-version bump purges every
+        cached statement at publish time.
         """
-        self.exec_config = config
-        self._config_epoch += 1
+        with self.engine.write() as version:
+            self._catalog_mgr.set_exec_config(config, version)
 
-    # -- PlannerContext protocol -------------------------------------------
+    # -- sessions ----------------------------------------------------------
+
+    def connect(
+        self, name: str | None = None, auto_refresh: bool = True
+    ) -> Session:
+        """Open a new session with its own pinned snapshot.
+
+        ``auto_refresh=True`` (the default) re-pins to the latest
+        published snapshot before each statement — read-committed-style
+        freshness with per-statement snapshot isolation.  With
+        ``auto_refresh=False`` the session keeps reading the snapshot it
+        pinned at connect time until :meth:`Session.refresh`.
+        """
+        with self._sessions_lock:
+            session_id = next(self._session_ids)
+            session = Session(
+                self, session_id, name=name, auto_refresh=auto_refresh
+            )
+            self._sessions[session_id] = session
+        return session
+
+    def sessions(self) -> list[Session]:
+        """Open sessions, default session first."""
+        with self._sessions_lock:
+            return [self._sessions[k] for k in sorted(self._sessions)]
+
+    def _forget_session(self, session: Session) -> None:
+        with self._sessions_lock:
+            self._sessions.pop(session.session_id, None)
+
+    # -- PlannerContext protocol (live view, for explain/advisor paths) ----
 
     def heap(self, table_name: str) -> HeapTable:
-        try:
-            return self._heaps[table_name.lower()]
-        except KeyError:
-            raise CatalogError(f"unknown table {table_name!r}") from None
+        return self.engine.heap(table_name)
 
     def stats_for(self, table_name: str) -> TableStats | None:
-        return self._stats.get(table_name.lower())
+        return self._catalog_mgr.state.stats_for(table_name)
 
     def live_index(
         self, table_name: str, column_name: str
     ) -> tuple[IndexDef, Index] | None:
-        definition = self.catalog.find_index(table_name, column_name)
+        definition = self._catalog_mgr.state.find_index(
+            table_name, column_name
+        )
         if definition is None:
             return None
-        return definition, self._indexes[definition.name.lower()]
+        return definition, self.engine.index(definition.name)
 
     # -- DDL -------------------------------------------------------------------
 
     def create_table(self, schema: TableSchema) -> None:
-        self.catalog.add_table(schema)
-        self._heaps[schema.key] = HeapTable(schema)
-        self._schema_epoch += 1
+        with self.engine.write() as version:
+            self._catalog_mgr.add_table(schema, version)
+            self.engine.add_heap(schema)
 
     def drop_table(self, name: str) -> None:
-        key = name.lower()
-        for definition in self.catalog.indexes_on(name):
-            self._indexes.pop(definition.name.lower(), None)
-        self.catalog.drop_table(name)
-        self._heaps.pop(key, None)
-        self._stats.pop(key, None)
-        self._schema_epoch += 1
+        with self.engine.write() as version:
+            self._catalog_mgr.drop_table(name, version)
+            self.engine.drop_heap(name)
 
     def create_index(
         self,
@@ -221,83 +218,77 @@ class Database:
                 f"indexes apply (XML fragments compare for equality only)"
             )
         definition = IndexDef(name, table, column, kind, unique)
-        self.catalog.add_index(definition)
-        heap = self.heap(table)
-        index = build_index(definition, heap)
-        self._indexes[name.lower()] = index
-        heap.attach_index(index)
-        self._schema_epoch += 1
+        with self.engine.write() as version:
+            self._catalog_mgr.add_index(definition, version)
+            self.engine.add_index(definition)
 
     # -- DML ---------------------------------------------------------------------
 
     def insert(self, table: str, row: tuple | list) -> int:
-        return self.heap(table).insert(tuple(row))
+        with self.engine.write():
+            return self.heap(table).insert(tuple(row))
 
     def bulk_insert(self, table: str, rows) -> int:
-        return self.heap(table).bulk_insert(rows)
+        with self.engine.write():
+            return self.heap(table).bulk_insert(rows)
 
     # -- queries ------------------------------------------------------------------
 
     def execute(self, sql: str, params: tuple | list = ()) -> Result:
         """Execute one statement; ``params`` bind any ``?`` markers.
 
+        Runs on the default session (live reads, shared I/O counters).
         SELECTs are served through the plan cache: a repeat of the same
         normalized SQL reuses the compiled plan and only re-runs the
         operator tree.
         """
-        key = normalize_sql(sql)
-        kind = _statement_kind(key)
-        started = time.perf_counter()
-        with TRACER.span("query", args={"sql": key[:200], "kind": kind}):
-            if kind == "select":
-                entry = self.plan_cache.lookup(
-                    key, self._schema_epoch, self._stats_epoch,
-                    self._config_epoch,
-                )
-                if entry is None:
-                    with TRACER.span("parse"):
-                        statement = parse_sql(sql)
-                    entry = self._build_entry(statement, key)
-                result = self._run_select(entry, params)
-            else:
-                with TRACER.span("parse"):
-                    statement = parse_sql(sql)
-                result = self._execute_prepared(
-                    key, statement, params, lookup=False
-                )
-        _QUERY_HISTOGRAMS[kind].observe(time.perf_counter() - started)
-        return result
+        return self._default.execute(sql, params)
 
     def prepare(self, sql: str) -> PreparedStatement:
         """Parse ``sql`` once; execute it repeatedly with bind values."""
-        return PreparedStatement(self, sql)
+        return self._default.prepare(sql)
 
     def execute_many(
         self, sql: str, param_rows: list[tuple] | list[list]
     ) -> list[Result]:
         """Prepare ``sql`` once and execute it per bind-value row."""
-        prepared = self.prepare(sql)
-        return [prepared.execute(*row) for row in param_rows]
+        return self._default.execute_many(sql, param_rows)
 
-    def _execute_prepared(
+    def _build_entry(
         self,
-        key: str,
         statement: Statement,
-        params: tuple | list,
-        lookup: bool = True,
-    ) -> Result:
-        if isinstance(statement, SelectStmt):
-            entry = (
-                self.plan_cache.lookup(
-                    key, self._schema_epoch, self._stats_epoch,
-                    self._config_epoch,
-                )
-                if lookup
-                else None
+        key: str,
+        catalog: CatalogState | None = None,
+        snapshot: EngineSnapshot | None = None,
+    ) -> CachedPlan:
+        """Plan a SELECT against ``catalog`` and cache it under its version."""
+        if not isinstance(statement, SelectStmt):
+            raise ExecutionError(
+                "statement normalizes like a SELECT but is "
+                f"{type(statement).__name__}"
             )
-            if entry is None:
-                entry = self._build_entry(statement, key)
-            return self._run_select(entry, params)
+        if catalog is None:
+            catalog = self._catalog_mgr.state
+        box = ParamBox(count_parameters(statement))
+        view = _PlannerView(self, catalog, snapshot)
+        with TRACER.span("plan", args={"sql": key[:200]}):
+            plan = plan_select(statement, view, box)
+        entry = CachedPlan(
+            plan=plan,
+            params=box,
+            statement=statement,
+            version=catalog.version,
+        )
+        self.plan_cache.store(key, entry)
+        return entry
+
+    def _select_entry(self, key: str, statement: SelectStmt) -> CachedPlan:
+        return self._default._select_entry(key, statement)
+
+    def _execute_statement(
+        self, statement: Statement, params: tuple | list
+    ) -> Result:
+        """Non-SELECT dispatch (the single-writer path sessions call)."""
         if isinstance(statement, InsertStmt):
             box = ParamBox(count_parameters(statement))
             box.bind(tuple(params))
@@ -327,47 +318,6 @@ class Database:
             return Result(["status"], [("table dropped",)])
         raise ExecutionError(f"unsupported statement {type(statement).__name__}")
 
-    def _build_entry(self, statement: Statement, key: str) -> CachedPlan:
-        """Plan a SELECT and cache it under the current epochs."""
-        if not isinstance(statement, SelectStmt):
-            raise ExecutionError(
-                "statement normalizes like a SELECT but is "
-                f"{type(statement).__name__}"
-            )
-        box = ParamBox(count_parameters(statement))
-        with TRACER.span("plan", args={"sql": key[:200]}):
-            plan = plan_select(statement, self, box)
-        entry = CachedPlan(
-            plan=plan,
-            params=box,
-            statement=statement,
-            schema_epoch=self._schema_epoch,
-            stats_epoch=self._stats_epoch,
-            config_epoch=self._config_epoch,
-        )
-        self.plan_cache.store(key, entry)
-        return entry
-
-    def _select_entry(
-        self, key: str, statement: SelectStmt
-    ) -> CachedPlan:
-        entry = self.plan_cache.lookup(
-            key, self._schema_epoch, self._stats_epoch, self._config_epoch
-        )
-        if entry is None:
-            entry = self._build_entry(statement, key)
-        return entry
-
-    def _run_select(self, entry: CachedPlan, params: tuple | list) -> Result:
-        entry.params.bind(tuple(params))
-        columns = [slot.name for slot in entry.plan.binding.slots]
-        with TRACER.span("execute") as span:
-            rows: list[tuple] = []
-            for batch in entry.plan.batches():
-                rows.extend(batch)
-            span.args["rows"] = len(rows)
-        return Result(columns, rows)
-
     def _execute_insert(
         self, statement: InsertStmt, params: ParamBox | None = None
     ) -> Result:
@@ -375,21 +325,22 @@ class Database:
         schema = heap.schema
         empty = Binding([])
         inserted = 0
-        for value_row in statement.rows:
-            values = [
-                compile_expr(expr, empty, self.registry, params)(())
-                for expr in value_row
-            ]
-            if statement.columns:
-                if len(values) != len(statement.columns):
-                    raise ExecutionError("INSERT arity mismatch")
-                full: list[object] = [None] * schema.arity()
-                for column_name, value in zip(statement.columns, values):
-                    full[schema.position(column_name)] = value
-                heap.insert(tuple(full))
-            else:
-                heap.insert(tuple(values))
-            inserted += 1
+        with self.engine.write():
+            for value_row in statement.rows:
+                values = [
+                    compile_expr(expr, empty, self.registry, params)(())
+                    for expr in value_row
+                ]
+                if statement.columns:
+                    if len(values) != len(statement.columns):
+                        raise ExecutionError("INSERT arity mismatch")
+                    full: list[object] = [None] * schema.arity()
+                    for column_name, value in zip(statement.columns, values):
+                        full[schema.position(column_name)] = value
+                    heap.insert(tuple(full))
+                else:
+                    heap.insert(tuple(values))
+                inserted += 1
         return Result(["rows_inserted"], [(inserted,)])
 
     def explain(self, sql: str) -> str:
@@ -467,15 +418,18 @@ class Database:
     def runstats(self, table: str | None = None) -> None:
         """Collect statistics for one table or every table.
 
-        Bumps the stats epoch: cached plans are re-optimized on next use
-        so fresh statistics can change the chosen access paths.
+        Advances the catalog version: cached plans are purged at publish
+        time so fresh statistics can change the chosen access paths.
         """
-        self._stats_epoch += 1
-        if table is not None:
-            self._stats[table.lower()] = collect_stats(self.heap(table))
-            return
-        for key, heap in self._heaps.items():
-            self._stats[key] = collect_stats(heap)
+        with self.engine.write() as version:
+            if table is not None:
+                fresh = {table.lower(): collect_stats(self.heap(table))}
+            else:
+                fresh = {
+                    key: collect_stats(heap)
+                    for key, heap in self.engine.heaps().items()
+                }
+            self._catalog_mgr.set_stats(fresh, version)
 
     def advise_indexes(self, workload: list[str]) -> list[str]:
         """DDL suggestions from the index advisor for ``workload``."""
@@ -494,21 +448,23 @@ class Database:
     # -- sizing -------------------------------------------------------------------
 
     def table_count(self) -> int:
-        return len(self._heaps)
+        return len(self.engine.heaps())
 
     def index_count(self) -> int:
-        return len(self._indexes)
+        return len(self.engine.indexes())
 
     def data_size_bytes(self) -> int:
-        return sum(heap.data_bytes() for heap in self._heaps.values())
+        return sum(heap.data_bytes() for heap in self.engine.heaps().values())
 
     def index_size_bytes(self) -> int:
-        return sum(index.byte_size() for index in self._indexes.values())
+        return sum(
+            index.byte_size() for index in self.engine.indexes().values()
+        )
 
     def row_count(self, table: str | None = None) -> int:
         if table is not None:
             return self.heap(table).row_count()
-        return sum(heap.row_count() for heap in self._heaps.values())
+        return sum(heap.row_count() for heap in self.engine.heaps().values())
 
     def size_report(self) -> dict[str, object]:
         """The three quantities of the paper's Tables 1 and 2, plus the
@@ -523,6 +479,9 @@ class Database:
             "rows": self.row_count(),
             "plan_cache": self.plan_cache.report(),
             "xadt_decode_cache": DECODE_CACHE.report(),
+            "sessions": len(self.sessions()),
+            "engine_version": self.version,
+            "catalog_version": self.catalog_version,
             "observability": {
                 "metrics_enabled": METRICS.enabled,
                 "metrics_entries": METRICS.entry_count(),
@@ -545,3 +504,6 @@ class Database:
             f"Database({self.name!r}, {self.table_count()} tables, "
             f"{self.row_count()} rows)"
         )
+
+
+__all__ = ["Database", "PreparedStatement"]

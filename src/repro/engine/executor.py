@@ -1,0 +1,176 @@
+"""Concurrent read-only query execution over per-reader sessions.
+
+The :class:`ConcurrentExecutor` runs one workload on ``readers`` threads,
+each with its own :class:`~repro.engine.session.Session` (own pinned
+snapshot, own I/O counters).  Every reader executes the full workload
+``rounds`` times, so scaling is measured apples-to-apples: R readers do
+R times the work of one, and throughput scaling is
+
+    speedup(R) = (R * wall_seconds(1 reader)) / wall_seconds(R readers)
+
+Two timing modes:
+
+* ``io_stalls=False`` (default): queries run at CPU speed.  Under the
+  GIL, pure-Python CPU work cannot overlap, so this mode measures
+  correctness and contention overhead, not scaling.
+* ``io_stalls=True``: after each query, the reader *sleeps* the modelled
+  disk seconds its private I/O counters accumulated (the same
+  year-2002 disk model the cold-run harness uses, see
+  :mod:`repro.engine.io`).  ``time.sleep`` releases the GIL, so readers
+  genuinely overlap their simulated I/O waits the way a multi-user DBMS
+  overlaps real ones — the paper's scan-heavy Fig11 queries are
+  disk-dominated, which is exactly the regime where concurrency pays.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.database import Database
+    from repro.engine.result import Result
+
+#: a workload item: SQL text, or (SQL text, bind-params tuple)
+WorkItem = "str | tuple[str, tuple]"
+
+
+def _normalize_workload(
+    workload: Sequence[object],
+) -> list[tuple[str, tuple]]:
+    items: list[tuple[str, tuple]] = []
+    for item in workload:
+        if isinstance(item, str):
+            items.append((item, ()))
+        else:
+            sql, params = item
+            items.append((sql, tuple(params)))
+    return items
+
+
+@dataclass
+class ReaderReport:
+    """One reader thread's outcome."""
+
+    name: str
+    queries: int = 0
+    wall_seconds: float = 0.0
+    stall_seconds: float = 0.0        #: simulated-I/O sleep total
+    modeled_io_seconds: float = 0.0   #: disk seconds implied by charges
+    #: results of the reader's final round, in workload order
+    results: "list[Result]" = field(default_factory=list)
+    error: BaseException | None = None
+
+
+@dataclass
+class ConcurrentReport:
+    """The whole run: per-reader outcomes + aggregate throughput."""
+
+    readers: int
+    rounds: int
+    workload_size: int
+    wall_seconds: float
+    io_stalls: bool
+    per_reader: list[ReaderReport] = field(default_factory=list)
+
+    @property
+    def total_queries(self) -> int:
+        return sum(r.queries for r in self.per_reader)
+
+    @property
+    def queries_per_second(self) -> float:
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.total_queries / self.wall_seconds
+
+    def raise_errors(self) -> None:
+        for reader in self.per_reader:
+            if reader.error is not None:
+                raise reader.error
+
+
+class ConcurrentExecutor:
+    """Fan a read-only workload across per-session reader threads."""
+
+    def __init__(
+        self,
+        db: "Database",
+        readers: int = 4,
+        io_stalls: bool = False,
+    ) -> None:
+        if readers < 1:
+            raise ValueError("need at least one reader")
+        self.db = db
+        self.readers = readers
+        self.io_stalls = io_stalls
+
+    def run(
+        self, workload: Sequence[object], rounds: int = 1
+    ) -> ConcurrentReport:
+        """Execute ``workload`` ``rounds`` times on every reader thread.
+
+        Each item is SQL text or a ``(sql, params)`` pair.  Readers open
+        their own sessions (auto-refresh pinning) and collect the final
+        round's :class:`Result` objects, so callers can check that every
+        reader saw a consistent snapshot.  Reader exceptions are caught
+        and reported per reader; call
+        :meth:`ConcurrentReport.raise_errors` to re-raise the first.
+        """
+        items = _normalize_workload(workload)
+        reports = [
+            ReaderReport(name=f"reader-{i}") for i in range(self.readers)
+        ]
+        barrier = threading.Barrier(self.readers + 1)
+
+        def _reader(report: ReaderReport) -> None:
+            session = self.db.connect(name=report.name)
+            try:
+                barrier.wait()
+                started = time.perf_counter()
+                for round_index in range(rounds):
+                    final_round = round_index == rounds - 1
+                    if final_round:
+                        report.results = []
+                    for sql, params in items:
+                        session.io.reset()
+                        result = session.execute(sql, params)
+                        report.queries += 1
+                        disk = session.io.modeled_seconds()
+                        report.modeled_io_seconds += disk
+                        if self.io_stalls and disk > 0:
+                            report.stall_seconds += disk
+                            time.sleep(disk)
+                        if final_round:
+                            report.results.append(result)
+                report.wall_seconds = time.perf_counter() - started
+            except BaseException as exc:  # noqa: BLE001 - reported per reader
+                report.error = exc
+            finally:
+                session.close()
+
+        threads = [
+            threading.Thread(
+                target=_reader, args=(report,), name=report.name, daemon=True
+            )
+            for report in reports
+        ]
+        for thread in threads:
+            thread.start()
+        barrier.wait()
+        started = time.perf_counter()
+        for thread in threads:
+            thread.join()
+        wall = time.perf_counter() - started
+        return ConcurrentReport(
+            readers=self.readers,
+            rounds=rounds,
+            workload_size=len(items),
+            wall_seconds=wall,
+            io_stalls=self.io_stalls,
+            per_reader=reports,
+        )
+
+
+__all__ = ["ConcurrentExecutor", "ConcurrentReport", "ReaderReport"]

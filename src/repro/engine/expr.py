@@ -9,6 +9,7 @@ runs plain closures over row tuples.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Callable, Iterator
 
@@ -94,13 +95,27 @@ class ParamBox:
     One box is created per cached plan; ``bind()`` swaps in a new tuple
     of values before each execution, and the compiled closures read the
     current tuple by index at evaluation time.
+
+    The installed tuple is *thread-local*: cached plans are shared by
+    every session of a database, and two sessions replaying the same
+    plan from different threads must not clobber each other's bind
+    values mid-execution.  Each thread binds and reads its own tuple;
+    the compiled closures go through the ``values`` property unchanged.
     """
 
-    __slots__ = ("count", "values")
+    __slots__ = ("count", "_local")
 
     def __init__(self, count: int) -> None:
         self.count = count
-        self.values: tuple = ()
+        self._local = threading.local()
+
+    @property
+    def values(self) -> tuple:
+        return getattr(self._local, "values", ())
+
+    @values.setter
+    def values(self, values: tuple) -> None:
+        self._local.values = values
 
     def bind(self, values: tuple | list) -> None:
         """Validate and install bind values for the next execution."""

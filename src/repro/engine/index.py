@@ -5,6 +5,20 @@ asymptotics (O(log n) point lookups, ordered range scans) match a real
 B-tree, which is what the query-time comparisons need.  Both index kinds
 report a modelled byte size used for the index-size columns of the
 paper's Tables 1 and 2.
+
+Concurrency contract (DESIGN.md §8): all mutation happens on the single
+writer thread, under the engine's writer lock.  Readers may call
+``lookup``/``range``/``contains`` at any time, from any thread:
+
+* the B-tree's sorted arrays live in one ``_data`` tuple that is never
+  mutated — the writer stages inserts in a pending list and
+  :meth:`finalize` (called at publish time) swaps in freshly built
+  arrays with a single reference assignment, so a concurrent reader sees
+  either the old arrays or the new ones, never a mix;
+* the hash index appends row ids to bucket lists in place, which is safe
+  because readers clamp results to their snapshot's row horizon (the
+  ``bound`` argument): a row id at or beyond the horizon is invisible no
+  matter when the writer filed it.
 """
 
 from __future__ import annotations
@@ -31,6 +45,13 @@ def _key_bytes(key: object) -> int:
     return 8
 
 
+def _clamp(row_ids: list[int], bound: int | None) -> list[int]:
+    """Drop row ids at or beyond the snapshot horizon."""
+    if bound is None:
+        return row_ids
+    return [rid for rid in row_ids if rid < bound]
+
+
 class Index:
     """Base class of secondary indexes on a single column."""
 
@@ -44,6 +65,7 @@ class Index:
         self._entries = 0
         for row_id, row in enumerate(table.rows):
             self.insert(row, row_id)
+        self.finalize()
 
     def insert(self, row: tuple, row_id: int) -> None:
         key = row[self.position]
@@ -54,8 +76,15 @@ class Index:
     def _insert_key(self, key: object, row_id: int) -> None:
         raise NotImplementedError
 
-    def lookup(self, key: object) -> list[int]:
-        """Row ids whose indexed column equals ``key``."""
+    def finalize(self) -> None:
+        """Publish staged inserts (writer-only; no-op when none staged)."""
+
+    def lookup(self, key: object, bound: int | None = None) -> list[int]:
+        """Row ids whose indexed column equals ``key``, below ``bound``."""
+        raise NotImplementedError
+
+    def contains(self, key: object) -> bool:
+        """Whether any entry (published or staged) carries ``key``."""
         raise NotImplementedError
 
     def byte_size(self) -> int:
@@ -94,45 +123,80 @@ class HashIndex(Index):
             )
         self._buckets.setdefault(key, []).append(row_id)
 
-    def lookup(self, key: object) -> list[int]:
+    def lookup(self, key: object, bound: int | None = None) -> list[int]:
         if key is None:
             return []
-        return self._buckets.get(key, [])
+        return _clamp(self._buckets.get(key, []), bound)
+
+    def contains(self, key: object) -> bool:
+        return key is not None and key in self._buckets
 
 
 class BTreeIndex(Index):
-    """Ordered index supporting point and range lookups."""
+    """Ordered index supporting point and range lookups.
+
+    The published structure is ``_data = (keys, rids)``: parallel lists
+    sorted by key that are treated as immutable once assigned.  Writer
+    inserts accumulate in ``_pending`` and :meth:`finalize` merges them
+    into *new* arrays, swapping ``_data`` atomically (one reference
+    store), so readers racing a write transaction still binary-search a
+    consistent sorted pair.  Pending entries are merged into results on
+    read so single-threaded callers that never publish (direct heap
+    manipulation in tests) observe their inserts immediately; under a
+    snapshot, staged row ids always sit beyond the reader's horizon and
+    the clamp removes them.
+    """
 
     kind = "btree"
 
     def __init__(self, definition: IndexDef, table: HeapTable) -> None:
-        self._keys: list[object] = []
-        self._rids: list[int] = []
-        self._sorted = True
+        self._data: tuple[list[object], list[int]] = ([], [])
+        self._pending: list[tuple[object, int]] = []
         super().__init__(definition, table)
 
     def _insert_key(self, key: object, row_id: int) -> None:
         if key is None:
             return
-        self._keys.append(key)
-        self._rids.append(row_id)
-        self._sorted = False
+        self._pending.append((key, row_id))
 
-    def _ensure_sorted(self) -> None:
-        if self._sorted:
+    def finalize(self) -> None:
+        if not self._pending:
             return
-        order = sorted(range(len(self._keys)), key=lambda i: self._keys[i])
-        self._keys = [self._keys[i] for i in order]
-        self._rids = [self._rids[i] for i in order]
-        self._sorted = True
+        keys, rids = self._data
+        pairs = list(zip(keys, rids))
+        pairs.extend(self._pending)
+        pairs.sort(key=lambda pair: pair[0])
+        # clear pending *before* publishing so a racing reader never
+        # counts an entry from both the staged list and the new arrays
+        self._pending = []
+        self._data = ([pair[0] for pair in pairs], [pair[1] for pair in pairs])
 
-    def lookup(self, key: object) -> list[int]:
+    def _pending_matches(self, key: object) -> list[int]:
+        pending = self._pending
+        if not pending:
+            return []
+        return [rid for pending_key, rid in pending if pending_key == key]
+
+    def lookup(self, key: object, bound: int | None = None) -> list[int]:
         if key is None:
             return []
-        self._ensure_sorted()
-        lo = bisect.bisect_left(self._keys, key)
-        hi = bisect.bisect_right(self._keys, key)
-        return self._rids[lo:hi]
+        keys, rids = self._data
+        lo = bisect.bisect_left(keys, key)
+        hi = bisect.bisect_right(keys, key)
+        out = rids[lo:hi]
+        staged = self._pending_matches(key)
+        if staged:
+            out = out + staged
+        return _clamp(out, bound)
+
+    def contains(self, key: object) -> bool:
+        if key is None:
+            return False
+        keys, _ = self._data
+        lo = bisect.bisect_left(keys, key)
+        if lo < len(keys) and keys[lo] == key:
+            return True
+        return any(pending_key == key for pending_key, _ in self._pending)
 
     def range(
         self,
@@ -140,22 +204,33 @@ class BTreeIndex(Index):
         high: object = None,
         low_inclusive: bool = True,
         high_inclusive: bool = True,
+        bound: int | None = None,
     ) -> Iterator[int]:
         """Row ids with keys in the given (possibly open) range, in order."""
-        self._ensure_sorted()
+        keys, rids = self._data
+        pending = self._pending
+        if pending:
+            # merge staged entries so unpublished single-threaded callers
+            # see them; key order is preserved by re-sorting the union
+            pairs = sorted(
+                list(zip(keys, rids)) + list(pending),
+                key=lambda pair: pair[0],
+            )
+            keys = [pair[0] for pair in pairs]
+            rids = [pair[1] for pair in pairs]
         if low is None:
             lo = 0
         elif low_inclusive:
-            lo = bisect.bisect_left(self._keys, low)
+            lo = bisect.bisect_left(keys, low)
         else:
-            lo = bisect.bisect_right(self._keys, low)
+            lo = bisect.bisect_right(keys, low)
         if high is None:
-            hi = len(self._keys)
+            hi = len(keys)
         elif high_inclusive:
-            hi = bisect.bisect_right(self._keys, high)
+            hi = bisect.bisect_right(keys, high)
         else:
-            hi = bisect.bisect_left(self._keys, high)
-        return iter(self._rids[lo:hi])
+            hi = bisect.bisect_left(keys, high)
+        return iter(_clamp(rids[lo:hi], bound))
 
 
 def build_index(definition: IndexDef, table: HeapTable) -> Index:

@@ -95,6 +95,76 @@ class IoCounters:
         return (self.sequential_pages, self.random_pages, self.spill_pages)
 
 
+class IoRouter:
+    """Context-dispatching facade over :class:`IoCounters`.
+
+    ``Database.io`` is one of these.  Every charge or read resolves the
+    *target* counters first: the execution context's per-session counters
+    when a session statement is running on this thread (see
+    :func:`repro.engine.snapshot.active_io`), falling back to the shared
+    base counters otherwise — so plans compiled once with ``self.io``
+    baked into their operators charge the right session no matter which
+    thread replays them.  ``work_mem_bytes`` is engine configuration,
+    not per-query state, and always lives on the base.
+    """
+
+    __slots__ = ("base",)
+
+    def __init__(self, base: IoCounters | None = None) -> None:
+        self.base = base if base is not None else IoCounters()
+
+    def _target(self) -> IoCounters:
+        from repro.engine.snapshot import active_io
+
+        return active_io() or self.base
+
+    # -- charges ----------------------------------------------------------
+
+    def charge_sequential(self, pages: int) -> None:
+        self._target().charge_sequential(pages)
+
+    def charge_random(self, pages: int = 1) -> None:
+        self._target().charge_random(pages)
+
+    def charge_spill(self, pages: int) -> None:
+        self._target().charge_spill(pages)
+
+    # -- reads ------------------------------------------------------------
+
+    @property
+    def sequential_pages(self) -> int:
+        return self._target().sequential_pages
+
+    @property
+    def random_pages(self) -> int:
+        return self._target().random_pages
+
+    @property
+    def spill_pages(self) -> int:
+        return self._target().spill_pages
+
+    @property
+    def notes(self) -> list[str]:
+        return self._target().notes
+
+    @property
+    def work_mem_bytes(self) -> int:
+        return self.base.work_mem_bytes
+
+    @work_mem_bytes.setter
+    def work_mem_bytes(self, value: int) -> None:
+        self.base.work_mem_bytes = value
+
+    def reset(self) -> None:
+        self._target().reset()
+
+    def modeled_seconds(self) -> float:
+        return self._target().modeled_seconds()
+
+    def snapshot(self) -> tuple[int, int, int]:
+        return self._target().snapshot()
+
+
 def estimate_row_bytes(row: tuple) -> int:
     """Cheap in-flight width estimate for spill decisions."""
     width = 24 + 8 * len(row)

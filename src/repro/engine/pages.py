@@ -89,6 +89,16 @@ class PageAccounting:
         """Allocated size in bytes (whole pages)."""
         return self.pages * PAGE_SIZE
 
+    def capture(self) -> tuple[int, int, int]:
+        """``(pages, rows, used_bytes)`` as one publish-time reading.
+
+        Accounting is mutable and writer-owned: it changes only under
+        the storage engine's writer lock.  At publish, these totals are
+        copied into an immutable ``TableVersion`` so snapshot readers
+        never consult this object while a writer is packing rows.
+        """
+        return (self.pages, self.rows, self.used_bytes)
+
     def reset(self) -> None:
         self.pages = 0
         self.rows = 0

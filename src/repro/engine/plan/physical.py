@@ -36,6 +36,7 @@ from repro.engine.config import DEFAULT_BATCH_SIZE
 from repro.engine.expr import Binding, Compiled, Slot
 from repro.engine.index import BTreeIndex, Index
 from repro.engine.io import IoCounters, estimate_row_bytes, pages_of_bytes
+from repro.engine.snapshot import read_bound, table_version
 from repro.engine.storage import HeapTable
 from repro.engine.types import SqlType
 from repro.engine.udf import FunctionRegistry
@@ -190,14 +191,21 @@ class SeqScan(Operator):
         self.binding = _pruned_binding(table, alias, projection)
 
     def _execute(self) -> Iterator[Batch]:
+        # resolve the snapshot horizon once per execution: the pinned
+        # extent bounds both the rows yielded and the pages charged
+        version = table_version(self.table)
+        bound = None if version is None else version.row_count
         if self.io is not None:
-            self.io.charge_sequential(self.table.data_pages())
+            pages = (
+                self.table.data_pages() if version is None else version.pages
+            )
+            self.io.charge_sequential(pages)
         predicate = self.predicate
         batch_filter = (
             getattr(predicate, "batch_filter", None) if predicate is not None else None
         )
         pick = _picker(self.projection)
-        for chunk in self.table.scan_batches(self.batch_size):
+        for chunk in self.table.scan_batches(self.batch_size, limit=bound):
             if predicate is not None:
                 if batch_filter is not None:
                     chunk = batch_filter(chunk)
@@ -252,16 +260,17 @@ class IndexScan(Operator):
         self.binding = _pruned_binding(table, alias, projection)
 
     def _execute(self) -> Iterator[Batch]:
+        bound = read_bound(self.table)  # snapshot horizon, once per run
         if self.io is not None:
             self.io.charge_random(1)  # leaf descent; interior pages cached
         if self.key_range is not None:
             if not isinstance(self.index, BTreeIndex):
                 raise ExecutionError("range scans require a btree index")
             low, high = self.key_range
-            row_ids: Iterator[int] = self.index.range(low, high)
+            row_ids: Iterator[int] = self.index.range(low, high, bound=bound)
         else:
             key = self.key_fn(()) if self.key_fn is not None else self.key
-            row_ids = iter(self.index.lookup(key))
+            row_ids = iter(self.index.lookup(key, bound=bound))
         fetch = self.table.fetch
         residual = self.residual
         pick = _picker(self.projection)
@@ -476,6 +485,7 @@ class IndexNestedLoopJoin(Operator):
         self.binding = left.binding.extend(table_binding(table, alias))
 
     def _execute(self) -> Iterator[Batch]:
+        bound = read_bound(self.table)  # snapshot horizon, once per run
         fetch = self.table.fetch
         lookup = self.index.lookup
         key_slot = self.left_key_slot
@@ -494,7 +504,7 @@ class IndexNestedLoopJoin(Operator):
                 if io is not None and key not in probed_keys:
                     probed_keys.add(key)
                     io.charge_random(1)  # index leaf, cached per key
-                for row_id in lookup(key):
+                for row_id in lookup(key, bound=bound):
                     if io is not None:
                         page = row_id // rows_per_page
                         if page not in touched_pages:

@@ -7,12 +7,21 @@ plans are cached under their *normalized* SQL text and re-executed with
 fresh iterator state (physical operators build their per-run state
 inside ``rows()``), so a hit skips the whole front end.
 
-Invalidation is epoch-based rather than dependency-tracked: the database
-bumps a *schema epoch* on any DDL (CREATE/DROP TABLE, CREATE INDEX) and
-a *stats epoch* on ``runstats()``.  A cached entry records the epochs it
-was planned under; a lookup under different epochs discards the entry so
-the statement is re-optimized — stale plans are never silently reused
-(a post-runstats plan may pick a different access path).
+Invalidation is version-based: every plan-relevant change — DDL,
+``runstats()``, an execution-config swap — advances the catalog's single
+monotonic version (see :mod:`repro.engine.catalog`), and a cached entry
+records the version it was compiled under.  Entries are keyed by
+``(normalized_sql, catalog_version)``, so a session pinned to an older
+catalog snapshot and a session on the current one each hit their own
+plan; when the writer publishes a catalog change it calls
+:meth:`PlanCache.purge_stale`, which removes every entry compiled under
+a superseded version and counts them as invalidations — stale plans are
+never silently reused.  This replaces the old schema/stats/config epoch
+trio, whose separate reads could race a concurrent config change.
+
+All cache operations take an internal lock: the cache is shared by every
+session of a :class:`~repro.engine.database.Database` and is hit from
+the concurrent executor's reader threads.
 
 Normalization collapses whitespace and strips ``--`` comments *outside*
 string literals and quoted identifiers, so formatting differences share
@@ -21,8 +30,9 @@ one plan while ``'a b'`` and ``'a  b'`` stay distinct statements.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from repro.obs.metrics import METRICS
@@ -100,11 +110,10 @@ class CachedPlan:
     plan: "Operator"
     params: "ParamBox"
     statement: "SelectStmt"
-    schema_epoch: int
-    stats_epoch: int
-    #: execution-config epoch — plans bake in batch sizes, compiled
-    #: closures, and pruned scan layouts, so a config change invalidates
-    config_epoch: int = 0
+    #: catalog version the plan was compiled under — plans bake in access
+    #: paths, batch sizes, compiled closures, and pruned scan layouts, so
+    #: any DDL / runstats / config change makes the plan stale
+    version: int = 0
 
 
 @dataclass
@@ -112,7 +121,7 @@ class PlanCacheStats:
     hits: int = 0
     misses: int = 0
     evictions: int = 0      #: capacity-driven removals
-    invalidations: int = 0  #: epoch-driven removals (DDL / runstats)
+    invalidations: int = 0  #: version-driven removals (DDL / runstats / config)
 
     @property
     def hit_rate(self) -> float:
@@ -136,7 +145,7 @@ class PlanCacheStats:
 
 
 class PlanCache:
-    """LRU map from normalized SQL text to :class:`CachedPlan`.
+    """LRU map from ``(normalized SQL, catalog version)`` to :class:`CachedPlan`.
 
     ``capacity`` 0 disables caching entirely (every lookup misses and
     ``store`` is a no-op) — the benchmark harness uses that to measure
@@ -148,58 +157,68 @@ class PlanCache:
             raise ValueError("plan cache capacity cannot be negative")
         self.capacity = capacity
         self.stats = PlanCacheStats()
-        self._entries: "OrderedDict[str, CachedPlan]" = OrderedDict()
+        self._entries: "OrderedDict[tuple[str, int], CachedPlan]" = OrderedDict()
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
-    def lookup(
-        self,
-        key: str,
-        schema_epoch: int,
-        stats_epoch: int,
-        config_epoch: int = 0,
-    ) -> CachedPlan | None:
-        """The valid entry for ``key``, or None (counted as a miss)."""
-        entry = self._entries.get(key)
-        if entry is None:
-            self.stats.misses += 1
-            _MISSES.inc()
-            return None
-        if (
-            entry.schema_epoch != schema_epoch
-            or entry.stats_epoch != stats_epoch
-            or getattr(entry, "config_epoch", 0) != config_epoch
-        ):
-            del self._entries[key]
-            self.stats.invalidations += 1
-            self.stats.misses += 1
-            _INVALIDATIONS.inc()
-            _MISSES.inc()
-            return None
-        self._entries.move_to_end(key)
-        self.stats.hits += 1
-        _HITS.inc()
-        return entry
+    def lookup(self, key: str, version: int) -> CachedPlan | None:
+        """The entry compiled under ``version``, or None (counted as a miss)."""
+        with self._lock:
+            entry = self._entries.get((key, version))
+            if entry is None:
+                self.stats.misses += 1
+                _MISSES.inc()
+                return None
+            self._entries.move_to_end((key, version))
+            self.stats.hits += 1
+            _HITS.inc()
+            return entry
 
     def store(self, key: str, entry: CachedPlan) -> None:
-        if self.capacity == 0:
-            return
-        self._entries[key] = entry
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self.stats.evictions += 1
-            _EVICTIONS.inc()
+        with self._lock:
+            if self.capacity == 0:
+                return
+            cache_key = (key, entry.version)
+            self._entries[cache_key] = entry
+            self._entries.move_to_end(cache_key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+                _EVICTIONS.inc()
+
+    def purge_stale(self, current_version: int) -> int:
+        """Drop entries compiled under a superseded catalog version.
+
+        Called by the writer after publishing a plan-relevant change;
+        each removal counts as an invalidation.  Returns the number of
+        entries dropped.
+        """
+        with self._lock:
+            stale = [
+                cache_key
+                for cache_key in self._entries
+                if cache_key[1] < current_version
+            ]
+            for cache_key in stale:
+                del self._entries[cache_key]
+            if stale:
+                self.stats.invalidations += len(stale)
+                _INVALIDATIONS.inc(len(stale))
+            return len(stale)
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def report(self) -> dict[str, object]:
-        out = self.stats.as_dict()
-        out["entries"] = len(self._entries)
-        out["capacity"] = self.capacity
-        return out
+        with self._lock:
+            out = self.stats.as_dict()
+            out["entries"] = len(self._entries)
+            out["capacity"] = self.capacity
+            return out
 
 
 __all__ = [

@@ -1,0 +1,359 @@
+"""The session layer: pinned snapshots and per-session execution state.
+
+``Database.connect()`` returns a :class:`Session`.  Each session owns
+
+* a *pinned* :class:`~repro.engine.snapshot.EngineSnapshot` — the
+  catalog + data version all its reads see (refreshed before each
+  statement when ``auto_refresh`` is on, frozen until
+  :meth:`Session.refresh` when off);
+* private :class:`~repro.engine.io.IoCounters`, so concurrent queries
+  don't interleave their modelled I/O charges;
+* per-kind query counts (surfaced by the CLI's ``\\sessions`` command
+  and the ``session.*`` metrics).
+
+While a statement runs, the session installs its snapshot and counters
+into the execution context (:func:`repro.engine.snapshot.activate`); the
+storage read paths clamp everything to the pinned horizon, which is what
+makes reads snapshot-isolated.  Writes are *not* snapshotted — they go
+straight through the database's single-writer transaction path, and the
+writing session re-pins afterwards so it reads its own writes.
+
+The database's built-in *default session* skips pinning entirely
+(``snapshot_reads=False``): it executes against live storage with the
+shared base I/O counters, byte-for-byte the pre-layering behaviour that
+the single-threaded tests and benchmarks measure.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING
+
+from repro.engine.expr import ParamBox
+from repro.engine.io import IoCounters
+from repro.engine.plan.optimizer import plan_select
+from repro.engine.plan_cache import CachedPlan, normalize_sql
+from repro.engine.result import Result
+from repro.engine.snapshot import EngineSnapshot, activate, deactivate
+from repro.engine.sql.ast import SelectStmt, Statement, count_parameters
+from repro.engine.sql.parser import parse_sql
+from repro.errors import CatalogError, ExecutionError
+from repro.obs.explain import AnalyzeReport
+from repro.obs.metrics import METRICS
+from repro.obs.trace import TRACER
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.catalog import CatalogState
+    from repro.engine.database import Database
+    from repro.engine.index import Index
+    from repro.engine.schema import IndexDef
+    from repro.engine.statistics import TableStats
+    from repro.engine.storage import HeapTable
+
+#: per-statement-kind latency histograms (wall seconds, whole statement)
+_QUERY_HISTOGRAMS = {
+    kind: METRICS.histogram(f"query.seconds.{kind}")
+    for kind in ("select", "insert", "ddl")
+}
+
+#: statements executed through any session (all databases)
+_SESSION_QUERIES = METRICS.counter("session.queries")
+
+
+def _statement_kind(key: str) -> str:
+    head = key[:6].lower()
+    if head == "select":
+        return "select"
+    if head == "insert":
+        return "insert"
+    return "ddl"
+
+
+class _PlannerView:
+    """PlannerContext over one catalog state (pinned or live).
+
+    The planner resolves heaps, statistics, and index structures through
+    this view, so a pinned session plans against exactly the schema
+    version its reads will see.  ``io`` is the database's
+    :class:`~repro.engine.io.IoRouter` — it gets baked into the physical
+    operators, and routes each charge to whichever session is executing
+    when the plan is replayed.
+    """
+
+    __slots__ = ("_db", "_catalog", "_snapshot", "registry", "io")
+
+    def __init__(
+        self,
+        db: "Database",
+        catalog: "CatalogState",
+        snapshot: EngineSnapshot | None,
+    ) -> None:
+        self._db = db
+        self._catalog = catalog
+        self._snapshot = snapshot
+        self.registry = db.registry
+        self.io = db.io
+
+    @property
+    def exec_config(self):
+        return self._catalog.exec_config
+
+    def heap(self, table_name: str) -> "HeapTable":
+        if self._snapshot is not None:
+            heap = self._snapshot.heaps.get(table_name.lower())
+            if heap is None:
+                raise CatalogError(f"unknown table {table_name!r}")
+            return heap
+        return self._db.engine.heap(table_name)
+
+    def stats_for(self, table_name: str) -> "TableStats | None":
+        return self._catalog.stats_for(table_name)
+
+    def live_index(
+        self, table_name: str, column_name: str
+    ) -> "tuple[IndexDef, Index] | None":
+        definition = self._catalog.find_index(table_name, column_name)
+        if definition is None:
+            return None
+        key = definition.name.lower()
+        if self._snapshot is not None:
+            return definition, self._snapshot.indexes[key]
+        return definition, self._db.engine.index(key)
+
+
+class Session:
+    """One connection's execution state over a pinned snapshot."""
+
+    def __init__(
+        self,
+        db: "Database",
+        session_id: int,
+        name: str | None = None,
+        snapshot_reads: bool = True,
+        auto_refresh: bool = True,
+    ) -> None:
+        self._db = db
+        self.session_id = session_id
+        self.name = name or f"session-{session_id}"
+        #: False = the default session: live reads, shared base counters
+        self.snapshot_reads = snapshot_reads
+        #: re-pin to the latest published snapshot before each statement
+        self.auto_refresh = auto_refresh
+        #: private modelled-I/O counters (the shared router dispatches
+        #: here while this session's statements execute)
+        self.io = IoCounters(work_mem_bytes=db.io.work_mem_bytes)
+        self._snapshot: EngineSnapshot | None = (
+            db.engine.snapshot if snapshot_reads else None
+        )
+        self.query_counts: dict[str, int] = {
+            "select": 0, "insert": 0, "ddl": 0,
+        }
+        self.closed = False
+
+    # -- snapshot management ----------------------------------------------
+
+    @property
+    def snapshot_version(self) -> int | None:
+        """The pinned engine epoch (None for the live default session)."""
+        return None if self._snapshot is None else self._snapshot.version
+
+    def refresh(self) -> None:
+        """Re-pin to the latest published snapshot."""
+        if self.snapshot_reads:
+            self._snapshot = self._db.engine.snapshot
+
+    def _pin(self) -> EngineSnapshot | None:
+        if not self.snapshot_reads:
+            return None
+        if self.auto_refresh:
+            self._snapshot = self._db.engine.snapshot
+        return self._snapshot
+
+    # -- execution ---------------------------------------------------------
+
+    def execute(self, sql: str, params: tuple | list = ()) -> Result:
+        """Execute one statement against this session's snapshot."""
+        self._check_open()
+        key = normalize_sql(sql)
+        kind = _statement_kind(key)
+        started = time.perf_counter()
+        with TRACER.span("query", args={"sql": key[:200], "kind": kind}):
+            if kind == "select":
+                result = self._execute_select(key, None, sql, params)
+            else:
+                with TRACER.span("parse"):
+                    statement = parse_sql(sql)
+                result = self._execute_write(statement, params)
+        self._count(kind)
+        _QUERY_HISTOGRAMS[kind].observe(time.perf_counter() - started)
+        return result
+
+    def prepare(self, sql: str) -> "PreparedStatement":
+        """Parse ``sql`` once; execute it repeatedly with bind values."""
+        self._check_open()
+        return PreparedStatement(self, sql)
+
+    def execute_many(
+        self, sql: str, param_rows: list[tuple] | list[list]
+    ) -> list[Result]:
+        """Prepare ``sql`` once and execute it per bind-value row."""
+        prepared = self.prepare(sql)
+        return [prepared.execute(*row) for row in param_rows]
+
+    def close(self) -> None:
+        """Release the pinned snapshot and deregister from the database."""
+        if not self.closed:
+            self.closed = True
+            self._snapshot = None
+            self._db._forget_session(self)
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- internals ---------------------------------------------------------
+
+    def _check_open(self) -> None:
+        if self.closed:
+            raise ExecutionError(f"session {self.name!r} is closed")
+
+    def _count(self, kind: str) -> None:
+        self.query_counts[kind] = self.query_counts.get(kind, 0) + 1
+        _SESSION_QUERIES.inc()
+
+    def _execute_prepared(
+        self, key: str, statement: Statement, params: tuple | list
+    ) -> Result:
+        """Prepared-statement entry point (statement already parsed)."""
+        self._check_open()
+        kind = _statement_kind(key)
+        if isinstance(statement, SelectStmt):
+            result = self._execute_select(key, statement, None, params)
+        else:
+            result = self._execute_write(statement, params)
+        self._count(kind)
+        return result
+
+    def _execute_select(
+        self,
+        key: str,
+        statement: SelectStmt | None,
+        sql: str | None,
+        params: tuple | list,
+    ) -> Result:
+        pin = self._pin()
+        # one consistent catalog state for lookup, planning, and store —
+        # the version cannot move between the cache probe and the compile
+        catalog = pin.catalog if pin is not None else self._db.catalog
+        entry = self._db.plan_cache.lookup(key, catalog.version)
+        if entry is None:
+            if statement is None:
+                with TRACER.span("parse"):
+                    statement = parse_sql(sql)
+            entry = self._db._build_entry(statement, key, catalog, pin)
+        return self._run_select(entry, params, pin)
+
+    def _run_select(
+        self,
+        entry: CachedPlan,
+        params: tuple | list,
+        pin: EngineSnapshot | None,
+    ) -> Result:
+        entry.params.bind(tuple(params))
+        columns = [slot.name for slot in entry.plan.binding.slots]
+        token = activate(pin, self.io) if pin is not None else None
+        try:
+            with TRACER.span("execute") as span:
+                rows: list[tuple] = []
+                for batch in entry.plan.batches():
+                    rows.extend(batch)
+                span.args["rows"] = len(rows)
+        finally:
+            if token is not None:
+                deactivate(token)
+        return Result(columns, rows)
+
+    def _select_entry(self, key: str, statement: SelectStmt) -> CachedPlan:
+        """The cached (or freshly planned) entry for a SELECT."""
+        pin = self._pin()
+        catalog = pin.catalog if pin is not None else self._db.catalog
+        entry = self._db.plan_cache.lookup(key, catalog.version)
+        if entry is None:
+            entry = self._db._build_entry(statement, key, catalog, pin)
+        return entry
+
+    def _execute_write(
+        self, statement: Statement, params: tuple | list
+    ) -> Result:
+        """Writes bypass the pin: they run on the live writer path."""
+        result = self._db._execute_statement(statement, params)
+        # read-your-writes: re-pin so this session's next read sees the
+        # version its own write published
+        if self.snapshot_reads:
+            self._snapshot = self._db.engine.snapshot
+        return result
+
+    def __repr__(self) -> str:
+        pin = self.snapshot_version
+        at = "live" if pin is None else f"epoch {pin}"
+        return f"Session({self.name!r}, {at}, closed={self.closed})"
+
+
+class PreparedStatement:
+    """A statement parsed once and re-executable with bind values.
+
+    ``execute(*params)`` binds the given values to the statement's ``?``
+    markers (left to right) and runs it on the owning session.  SELECT
+    plans come from the database's shared plan cache, so every prepared
+    handle for the same normalized SQL reuses one compiled plan.
+    """
+
+    def __init__(self, session: Session, sql: str) -> None:
+        self._session = session
+        self._db = session._db
+        self.sql = sql
+        self._key = normalize_sql(sql)
+        self._statement = parse_sql(sql)
+        #: number of ``?`` markers execute() expects
+        self.parameter_count = count_parameters(self._statement)
+
+    def execute(self, *params: object) -> Result:
+        kind = _statement_kind(self._key)
+        started = time.perf_counter()
+        with TRACER.span("query", args={"sql": self._key[:200], "kind": kind}):
+            result = self._session._execute_prepared(
+                self._key, self._statement, params
+            )
+        _QUERY_HISTOGRAMS[kind].observe(time.perf_counter() - started)
+        return result
+
+    def explain(self) -> str:
+        """The physical plan this statement currently executes."""
+        if not isinstance(self._statement, SelectStmt):
+            raise ExecutionError("EXPLAIN supports SELECT statements only")
+        entry = self._session._select_entry(self._key, self._statement)
+        return "\n".join(entry.plan.explain())
+
+    def explain_analyze(self, *params: object) -> AnalyzeReport:
+        """Execute with per-operator instrumentation; see Database.explain_analyze."""
+        if not isinstance(self._statement, SelectStmt):
+            raise ExecutionError(
+                "EXPLAIN ANALYZE supports SELECT statements only"
+            )
+        phases = {"parse": 0.0}  # parsed at prepare() time
+        box = ParamBox(count_parameters(self._statement))
+        started = time.perf_counter()
+        plan = plan_select(self._statement, self._db, box)
+        phases["plan"] = time.perf_counter() - started
+        return self._db._analyze(plan, box, params, phases)
+
+    def __repr__(self) -> str:
+        return (
+            f"PreparedStatement({self.sql!r}, "
+            f"{self.parameter_count} parameter(s))"
+        )
+
+
+__all__ = ["PreparedStatement", "Session"]

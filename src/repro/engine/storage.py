@@ -4,6 +4,14 @@ Rows live as Python tuples in insertion order (their position is the row
 id).  Every insert validates and coerces values against the schema and
 feeds the page accountant, so a table always knows its modelled on-disk
 size.  Indexes attached to the table are kept consistent on insert.
+
+Concurrency contract (DESIGN.md §8): the row list is append-only and all
+appends happen on the single writer thread.  Any prefix ``rows[:n]``
+that has been published in an :class:`~repro.engine.snapshot.EngineSnapshot`
+is therefore physically immutable — that prefix is the row-version array
+a pinned reader sees.  Read paths accept an optional ``limit`` (the
+snapshot horizon) and never look past it; with no limit they read the
+live tail exactly as before the layering.
 """
 
 from __future__ import annotations
@@ -12,6 +20,7 @@ from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
 
 from repro.engine.pages import PageAccounting
 from repro.engine.schema import TableSchema
+from repro.engine.snapshot import TableVersion
 from repro.engine.types import COLUMN_OVERHEAD, ROW_OVERHEAD
 from repro.errors import ExecutionError
 from repro.obs.metrics import METRICS
@@ -75,6 +84,13 @@ class HeapTable:
     def _store_row(self, row: Sequence[object]) -> int:
         """Validate, append, and index one row; returns its byte width.
 
+        All-or-nothing per row: every check that can reject the row —
+        arity, type coercion, primary-key nullability/uniqueness, unique
+        secondary indexes — runs *before* the first mutation, so a
+        failure anywhere leaves ``rows``, ``_pk_seen``, and every index
+        exactly as they were (a mid-batch ``bulk_insert`` failure keeps
+        the stored prefix fully consistent).
+
         Accounting is the caller's responsibility (per row for
         :meth:`insert`, per batch for :meth:`bulk_insert`).
         """
@@ -87,19 +103,30 @@ class HeapTable:
             column.sql_type.validate(value)
             for column, value in zip(self.schema.columns, row)
         )
+        pk_key = None
         if self._pk_position is not None:
-            key = coerced[self._pk_position]
-            if key is None:
+            pk_key = coerced[self._pk_position]
+            if pk_key is None:
                 raise ExecutionError(
                     f"primary key {self.schema.primary_key.name!r} cannot be NULL"
                 )
-            if key in self._pk_seen:
+            if pk_key in self._pk_seen:
                 raise ExecutionError(
-                    f"duplicate primary key {key!r} in table {self.schema.name!r}"
+                    f"duplicate primary key {pk_key!r} in table {self.schema.name!r}"
                 )
-            self._pk_seen.add(key)
+        for index in self.indexes:
+            if index.definition.unique:
+                key = coerced[index.position]
+                if key is not None and index.contains(key):
+                    raise ExecutionError(
+                        f"unique index {index.definition.name!r} rejects "
+                        f"duplicate {key!r}"
+                    )
+        # -- point of no return: all checks passed, now mutate ------------
         row_id = len(self.rows)
         self.rows.append(coerced)
+        if self._pk_position is not None:
+            self._pk_seen.add(pk_key)
         for index in self.indexes:
             index.insert(coerced, row_id)
         return self._row_bytes(coerced)
@@ -112,19 +139,28 @@ class HeapTable:
 
     # -- reads ---------------------------------------------------------------
 
-    def scan(self) -> Iterator[tuple]:
-        return iter(self.rows)
+    def scan(self, limit: int | None = None) -> Iterator[tuple]:
+        rows = self.rows
+        if limit is not None:
+            return iter(rows[:limit])
+        return iter(rows)
 
-    def scan_batches(self, size: int) -> Iterator[list[tuple]]:
+    def scan_batches(
+        self, size: int, limit: int | None = None
+    ) -> Iterator[list[tuple]]:
         """Scan as list batches of at most ``size`` rows.
 
         Batches are produced by list slicing, so the per-row cost of a
         full scan is one pointer copy — this is what SeqScan feeds the
-        vectorized executor.
+        vectorized executor.  ``limit`` is the snapshot horizon: rows at
+        or beyond it are never yielded (slicing an append-only list is
+        atomic under the GIL, so a concurrent writer appending past the
+        horizon cannot tear a batch).
         """
         rows = self.rows
-        for start in range(0, len(rows), size):
-            yield rows[start : start + size]
+        end = len(rows) if limit is None else min(limit, len(rows))
+        for start in range(0, end, size):
+            yield rows[start : min(start + size, end)]
 
     def fetch(self, row_id: int) -> tuple:
         return self.rows[row_id]
@@ -133,6 +169,13 @@ class HeapTable:
         return len(self.rows)
 
     # -- size accounting -------------------------------------------------------
+
+    def capture_version(self) -> TableVersion:
+        """Freeze the current extent for publication in a snapshot."""
+        pages, _, used_bytes = self.accounting.capture()
+        return TableVersion(
+            row_count=len(self.rows), pages=pages, used_bytes=used_bytes
+        )
 
     def data_pages(self) -> int:
         return self.accounting.pages

@@ -29,6 +29,7 @@ and bounded in size.
 from __future__ import annotations
 
 import json
+import threading
 from bisect import bisect_left
 from typing import Callable
 
@@ -40,18 +41,25 @@ DEFAULT_LATENCY_BUCKETS = (
 
 
 class Counter:
-    """A monotonically increasing count."""
+    """A monotonically increasing count.
 
-    __slots__ = ("name", "value", "_registry")
+    ``inc`` locks only when metrics are enabled — ``+=`` on an attribute
+    is read-modify-write and loses updates under concurrent readers; the
+    disabled path stays one attribute load and one branch.
+    """
+
+    __slots__ = ("name", "value", "_registry", "_lock")
 
     def __init__(self, name: str, registry: "MetricsRegistry") -> None:
         self.name = name
         self.value = 0
         self._registry = registry
+        self._lock = threading.Lock()
 
     def inc(self, amount: int = 1) -> None:
         if self._registry.enabled:
-            self.value += amount
+            with self._lock:
+                self.value += amount
 
     def reset(self) -> None:
         self.value = 0
@@ -82,7 +90,9 @@ class Histogram:
     bucket for observations above every boundary.
     """
 
-    __slots__ = ("name", "buckets", "counts", "sum", "count", "_registry")
+    __slots__ = (
+        "name", "buckets", "counts", "sum", "count", "_registry", "_lock",
+    )
 
     def __init__(
         self,
@@ -98,13 +108,15 @@ class Histogram:
         self.sum = 0.0
         self.count = 0
         self._registry = registry
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
         if not self._registry.enabled:
             return
-        self.counts[bisect_left(self.buckets, value)] += 1
-        self.sum += value
-        self.count += 1
+        with self._lock:
+            self.counts[bisect_left(self.buckets, value)] += 1
+            self.sum += value
+            self.count += 1
 
     def reset(self) -> None:
         self.counts = [0] * (len(self.buckets) + 1)
@@ -130,19 +142,28 @@ class MetricsRegistry:
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
         self._collectors: dict[str, Callable[[], dict[str, float]]] = {}
+        #: guards get-or-create races on the instrument dicts (two threads
+        #: registering the same name must resolve to one instrument)
+        self._create_lock = threading.Lock()
 
     # -- instrument creation (idempotent by name) -------------------------
 
     def counter(self, name: str) -> Counter:
         instrument = self._counters.get(name)
         if instrument is None:
-            instrument = self._counters[name] = Counter(name, self)
+            with self._create_lock:
+                instrument = self._counters.get(name)
+                if instrument is None:
+                    instrument = self._counters[name] = Counter(name, self)
         return instrument
 
     def gauge(self, name: str) -> Gauge:
         instrument = self._gauges.get(name)
         if instrument is None:
-            instrument = self._gauges[name] = Gauge(name, self)
+            with self._create_lock:
+                instrument = self._gauges.get(name)
+                if instrument is None:
+                    instrument = self._gauges[name] = Gauge(name, self)
         return instrument
 
     def histogram(
@@ -152,7 +173,12 @@ class MetricsRegistry:
     ) -> Histogram:
         instrument = self._histograms.get(name)
         if instrument is None:
-            instrument = self._histograms[name] = Histogram(name, self, buckets)
+            with self._create_lock:
+                instrument = self._histograms.get(name)
+                if instrument is None:
+                    instrument = self._histograms[name] = Histogram(
+                        name, self, buckets
+                    )
         return instrument
 
     def register_collector(

@@ -21,6 +21,7 @@ only affects how much decoding is repeated, never the result.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 
@@ -68,6 +69,9 @@ class DecodeCache:
         self.stats = DecodeCacheStats()
         self.current_bytes = 0
         self._entries: "OrderedDict[tuple, tuple[object, int]]" = OrderedDict()
+        #: the cache is process-wide and hit from every reader thread;
+        #: LRU reordering + byte accounting must be atomic per operation
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -75,34 +79,37 @@ class DecodeCache:
     def get(self, key: tuple) -> object | None:
         if not self.enabled:
             return None
-        entry = self._entries.get(key)
-        if entry is None:
-            self.stats.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.stats.hits += 1
-        return entry[0]
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return entry[0]
 
     def put(self, key: tuple, value: object, cost_bytes: int) -> None:
         if not self.enabled:
             return
         cost = cost_bytes + _ENTRY_OVERHEAD
-        if cost > self.budget_bytes:
-            self.stats.oversize_rejections += 1
-            return
-        old = self._entries.pop(key, None)
-        if old is not None:
-            self.current_bytes -= old[1]
-        self._entries[key] = (value, cost)
-        self.current_bytes += cost
-        while self.current_bytes > self.budget_bytes and self._entries:
-            _, (_, evicted_cost) = self._entries.popitem(last=False)
-            self.current_bytes -= evicted_cost
-            self.stats.evictions += 1
+        with self._lock:
+            if cost > self.budget_bytes:
+                self.stats.oversize_rejections += 1
+                return
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self.current_bytes -= old[1]
+            self._entries[key] = (value, cost)
+            self.current_bytes += cost
+            while self.current_bytes > self.budget_bytes and self._entries:
+                _, (_, evicted_cost) = self._entries.popitem(last=False)
+                self.current_bytes -= evicted_cost
+                self.stats.evictions += 1
 
     def clear(self) -> None:
-        self._entries.clear()
-        self.current_bytes = 0
+        with self._lock:
+            self._entries.clear()
+            self.current_bytes = 0
 
     def configure(
         self,
@@ -117,11 +124,12 @@ class DecodeCache:
         if budget_bytes is not None:
             if budget_bytes < 0:
                 raise ValueError("decode cache budget cannot be negative")
-            self.budget_bytes = budget_bytes
-            while self.current_bytes > self.budget_bytes and self._entries:
-                _, (_, evicted_cost) = self._entries.popitem(last=False)
-                self.current_bytes -= evicted_cost
-                self.stats.evictions += 1
+            with self._lock:
+                self.budget_bytes = budget_bytes
+                while self.current_bytes > self.budget_bytes and self._entries:
+                    _, (_, evicted_cost) = self._entries.popitem(last=False)
+                    self.current_bytes -= evicted_cost
+                    self.stats.evictions += 1
 
     def report(self) -> dict[str, object]:
         return {

@@ -194,9 +194,7 @@ class TestEntryPoints:
         sql = "SELECT oID FROM orders WHERE v = 3"
         db.execute(sql)
         db.explain_analyze(sql)
-        entry = db.plan_cache.lookup(
-            normalize_sql(sql), db._schema_epoch, db._stats_epoch
-        )
+        entry = db.plan_cache.lookup(normalize_sql(sql), db.catalog_version)
         assert entry is not None
         for node, _ in walk(entry.plan):
             assert node.stats is None

@@ -44,10 +44,10 @@ class TestNormalization:
         )
 
 
-def _entry(schema_epoch=0, stats_epoch=0):
+def _entry(version=0):
     from types import SimpleNamespace
 
-    return SimpleNamespace(schema_epoch=schema_epoch, stats_epoch=stats_epoch)
+    return SimpleNamespace(version=version)
 
 
 class TestCacheMechanics:
@@ -55,7 +55,7 @@ class TestCacheMechanics:
         cache = PlanCache(0)
         cache.store("k", _entry())
         assert len(cache) == 0
-        assert cache.lookup("k", 0, 0) is None
+        assert cache.lookup("k", 0) is None
         assert cache.stats.misses == 1
 
     def test_negative_capacity_rejected(self):
@@ -66,19 +66,28 @@ class TestCacheMechanics:
         cache = PlanCache(2)
         for key in ("a", "b"):
             cache.store(key, _entry())
-        cache.lookup("a", 0, 0)  # a becomes most recent
+        cache.lookup("a", 0)  # a becomes most recent
         cache.store("c", _entry())  # evicts b
         assert cache.stats.evictions == 1
-        assert cache.lookup("b", 0, 0) is None
-        assert cache.lookup("a", 0, 0) is not None
-        assert cache.lookup("c", 0, 0) is not None
+        assert cache.lookup("b", 0) is None
+        assert cache.lookup("a", 0) is not None
+        assert cache.lookup("c", 0) is not None
 
-    def test_epoch_mismatch_discards(self):
+    def test_version_mismatch_misses(self):
         cache = PlanCache(4)
-        cache.store("k", _entry(schema_epoch=1, stats_epoch=1))
-        assert cache.lookup("k", 2, 1) is None
+        cache.store("k", _entry(version=1))
+        assert cache.lookup("k", 2) is None
+        assert cache.stats.misses == 1
+
+    def test_purge_stale_invalidates_old_versions(self):
+        cache = PlanCache(4)
+        cache.store("k", _entry(version=1))
+        cache.store("fresh", _entry(version=2))
+        assert cache.purge_stale(2) == 1
         assert cache.stats.invalidations == 1
-        assert len(cache) == 0
+        assert len(cache) == 1
+        assert cache.lookup("k", 1) is None
+        assert cache.lookup("fresh", 2) is not None
 
 
 @pytest.fixture()

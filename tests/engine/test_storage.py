@@ -81,6 +81,63 @@ class TestHeap:
         assert table.bulk_insert([(i, 0, "x") for i in range(5)]) == 5
 
 
+class TestStoreRowAtomicity:
+    """Regression: a rejected row must leave no partial state behind.
+
+    The old ``_store_row`` added the primary key to ``_pk_seen`` (and
+    appended the row) before index maintenance could still raise, so a
+    mid-batch ``bulk_insert`` failure left the pk-set/indexes/rows
+    mutually inconsistent and retrying the same key reported a spurious
+    duplicate.
+    """
+
+    def test_failed_row_leaves_pk_set_clean(self):
+        table = make_table()
+        index = build_index(
+            IndexDef("u", "t", "parent", "hash", unique=True), table
+        )
+        table.attach_index(index)
+        table.insert((1, 7, "a"))
+        with pytest.raises(ExecutionError):
+            table.insert((2, 7, "b"))  # unique index rejects parent=7
+        # pk 2 was never stored, so retrying it with a fresh parent works
+        assert table.insert((2, 8, "b")) == 1
+        assert table.row_count() == 2
+        assert index.lookup(8) == [1]
+
+    def test_mid_batch_failure_keeps_prefix_consistent(self):
+        table = make_table()
+        index = build_index(
+            IndexDef("u", "t", "parent", "hash", unique=True), table
+        )
+        table.attach_index(index)
+        rows = [(1, 10, "a"), (2, 11, "b"), (3, 10, "dup"), (4, 12, "d")]
+        with pytest.raises(ExecutionError):
+            table.bulk_insert(rows)
+        # the stored prefix is exactly the rows before the bad one
+        assert table.row_count() == 2
+        assert [row[0] for row in table.scan()] == [1, 2]
+        # the rejected row polluted neither the pk set nor the index
+        assert table.insert((3, 13, "retry")) == 2
+        assert index.lookup(10) == [0]
+        assert index.lookup(13) == [2]
+
+    def test_failed_row_not_in_any_index(self):
+        table = make_table()
+        by_parent = build_index(IndexDef("p", "t", "parent", "hash"), table)
+        unique_name = build_index(
+            IndexDef("n", "t", "name", "hash", unique=True), table
+        )
+        table.attach_index(by_parent)
+        table.attach_index(unique_name)
+        table.insert((1, 5, "taken"))
+        with pytest.raises(ExecutionError):
+            table.insert((2, 6, "taken"))  # second index rejects the name
+        # the first index must not have kept an entry for the dead row
+        assert by_parent.lookup(6) == []
+        assert table.row_count() == 1
+
+
 class TestPageAccounting:
     def test_rows_pack_into_pages(self):
         accounting = PageAccounting()

@@ -100,6 +100,18 @@ class TestShellCommands:
         assert "query" in names
         assert "written to" in out.getvalue()
 
+    def test_sessions_listing(self, shell):
+        sh, out = shell
+        sh.handle("SELECT COUNT(*) FROM speech")
+        session = sh.db.connect(name="reporting")
+        session.execute("SELECT COUNT(*) FROM speech")
+        sh.handle("\\sessions")
+        text = out.getvalue()
+        assert "default" in text and "reporting" in text
+        assert "live" in text  # the default session reads live
+        assert "engine epoch" in text
+        session.close()
+
     def test_quit(self, shell):
         sh, _ = shell
         assert sh.handle("\\q") is False
