@@ -23,6 +23,10 @@ commands (interactive or piped):
   query counts;
 * ``\\metrics [json|reset]`` — the process metrics registry;
 * ``\\trace on|off|dump [file]`` — query tracing (Chrome trace format);
+* ``\\governor [set <limit> <value>|off]`` — show or change the resource
+  governor's database-wide limits (``timeout`` seconds, ``rows``,
+  ``bytes``, ``memory``) and its abort counts;
+* ``\\wal`` — write-ahead-log status (or "disabled" in volatile mode);
 * ``\\q`` — quit.
 """
 
@@ -76,10 +80,15 @@ class Shell:
                 self._run_metrics(line[len("\\metrics"):].strip())
             elif line.startswith("\\trace"):
                 self._run_trace(line[len("\\trace"):].strip())
+            elif line == "\\governor" or line.startswith("\\governor "):
+                self._run_governor(line[len("\\governor"):].strip())
+            elif line == "\\wal":
+                self._print_wal()
             elif line.startswith("\\"):
                 self._print(f"unknown command {line.split()[0]!r}; try \\dt, "
                             f"\\d, \\explain, \\analyze, \\path, \\io, "
-                            f"\\cache, \\sessions, \\metrics, \\trace, \\q")
+                            f"\\cache, \\sessions, \\metrics, \\trace, "
+                            f"\\governor, \\wal, \\q")
             else:
                 self._run_sql(line)
         except ReproError as exc:
@@ -220,6 +229,67 @@ class Shell:
                 self._print(text)
         else:
             self._print("usage: \\trace on|off|dump [file]")
+
+    #: \governor set <name> maps to a GovernorLimits field
+    _GOVERNOR_LIMITS = {
+        "timeout": "statement_timeout_seconds",
+        "rows": "max_result_rows",
+        "bytes": "max_result_bytes",
+        "memory": "memory_budget_bytes",
+    }
+
+    def _run_governor(self, argument: str) -> None:
+        parts = argument.split()
+        if parts:
+            governor = self.db.governor
+            if parts[0] == "off" and len(parts) == 1:
+                for field in self._GOVERNOR_LIMITS.values():
+                    governor.configure(**{field: None})
+                self._print("governor limits cleared.")
+            elif (parts[0] == "set" and len(parts) == 3
+                  and parts[1] in self._GOVERNOR_LIMITS):
+                field = self._GOVERNOR_LIMITS[parts[1]]
+                try:
+                    value = (float(parts[2]) if parts[1] == "timeout"
+                             else int(parts[2]))
+                except ValueError:
+                    self._print(f"not a number: {parts[2]!r}")
+                    return
+                governor.configure(**{field: value})
+                self._print(f"governor {parts[1]} set to {parts[2]}.")
+            else:
+                self._print(
+                    "usage: \\governor [set timeout|rows|bytes|memory "
+                    "<value> | off]"
+                )
+                return
+        report = self.db.governor.report()
+        limits = report["limits"]
+        rendered = ", ".join(
+            f"{short}={limits[field] if limits[field] is not None else 'off'}"
+            for short, field in self._GOVERNOR_LIMITS.items()
+        )
+        self._print(f"limits: {rendered}")
+        self._print(
+            f"governed statements: {report['statements_governed']}; aborts: "
+            f"{report['timeouts']} timeout, {report['row_cap_aborts']} row "
+            f"cap, {report['byte_cap_aborts']} byte cap, "
+            f"{report['memory_cap_aborts']} memory cap"
+        )
+
+    def _print_wal(self) -> None:
+        wal = self.db.wal
+        if wal is None:
+            self._print("wal: disabled (volatile database)")
+            return
+        report = wal.report()
+        state = "closed" if report["closed"] else report["sync_mode"]
+        self._print(
+            f"wal ({state}): {report['path']}, next lsn {report['next_lsn']}, "
+            f"{report['records']} records, {report['commits']} commits, "
+            f"{report['fsyncs']} fsyncs, {report['buffered_bytes']} bytes "
+            f"buffered"
+        )
 
     def _print(self, text: str) -> None:
         print(text, file=self.out)

@@ -11,7 +11,11 @@ from repro.engine.advisor import IndexAdvisor, IndexSuggestion
 from repro.engine.catalog import CatalogManager, CatalogState
 from repro.engine.database import Database
 from repro.engine.executor import ConcurrentExecutor, ConcurrentReport
+from repro.engine.faults import FAULTS, FaultInjector, FaultPlan
+from repro.engine.governor import GovernorLimits, ResourceGovernor
+from repro.engine.recovery import RecoveryReport, recover_database
 from repro.engine.result import Result
+from repro.engine.wal import WriteAheadLog
 from repro.engine.schema import Catalog, Column, IndexDef, TableSchema
 from repro.engine.session import PreparedStatement, Session
 from repro.engine.snapshot import EngineSnapshot, TableVersion
@@ -37,14 +41,20 @@ __all__ = [
     "ConcurrentReport",
     "Database",
     "EngineSnapshot",
+    "FAULTS",
+    "FaultInjector",
+    "FaultPlan",
     "FunctionKind",
     "FunctionRegistry",
+    "GovernorLimits",
     "INTEGER",
     "IndexAdvisor",
     "IndexDef",
     "IndexSuggestion",
     "IntegerType",
     "PreparedStatement",
+    "RecoveryReport",
+    "ResourceGovernor",
     "Result",
     "Session",
     "SqlType",
@@ -53,7 +63,9 @@ __all__ = [
     "TableVersion",
     "VARCHAR",
     "VarcharType",
+    "WriteAheadLog",
     "XADT",
     "XadtType",
+    "recover_database",
     "type_from_name",
 ]

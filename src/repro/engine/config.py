@@ -28,6 +28,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.errors import ConfigError
+
 #: target rows per batch (see the module docstring for the rationale)
 DEFAULT_BATCH_SIZE = 1024
 
@@ -42,7 +44,7 @@ class ExecutionConfig:
 
     def __post_init__(self) -> None:
         if self.batch_size < 1:
-            raise ValueError("batch_size must be at least 1")
+            raise ConfigError("batch_size must be at least 1")
 
     def as_dict(self) -> dict[str, object]:
         return {

@@ -33,11 +33,14 @@ from __future__ import annotations
 import itertools
 import threading
 import time
+from contextlib import contextmanager
+from typing import Iterator
 
 from repro.engine.advisor import IndexAdvisor
 from repro.engine.catalog import CatalogManager, CatalogState
 from repro.engine.config import ExecutionConfig
 from repro.engine.expr import Binding, ParamBox, compile_expr
+from repro.engine.governor import ResourceGovernor
 from repro.engine.index import Index
 from repro.engine.io import IoRouter
 from repro.engine.plan.optimizer import plan_select
@@ -66,7 +69,8 @@ from repro.engine.storage import HeapTable
 from repro.engine.storage_engine import StorageEngine
 from repro.engine.types import type_from_name
 from repro.engine.udf import FunctionRegistry
-from repro.errors import CatalogError, ExecutionError
+from repro.engine.wal import WriteAheadLog
+from repro.errors import CatalogError, CrashPoint, ExecutionError
 from repro.obs.explain import (
     AnalyzeReport,
     attach_stats,
@@ -108,6 +112,102 @@ class Database:
             self, 0, name="default", snapshot_reads=False
         )
         self._sessions[0] = self._default
+        #: write-ahead log; None runs the engine in volatile mode
+        self._wal: WriteAheadLog | None = None
+        #: database-wide resource limits (sessions may override)
+        self.governor = ResourceGovernor()
+        #: set by :func:`repro.engine.recovery.recover_database`
+        self.recovery_report = None
+
+    # -- durability --------------------------------------------------------
+
+    @classmethod
+    def open(
+        cls,
+        path: str,
+        name: str = "db",
+        recover: bool = False,
+        sync_mode: str = "group",
+        group_window_seconds: float | None = None,
+        **database_kwargs,
+    ) -> "Database":
+        """A database whose writes are logged to the WAL at ``path``.
+
+        ``recover=False`` starts a fresh database with a fresh log.
+        ``recover=True`` replays the existing log first (see
+        :mod:`repro.engine.recovery`), rebuilding the state of the last
+        durable commit, then re-attaches the log in append mode; the
+        replay summary rides along as ``db.recovery_report``.
+        """
+        if recover:
+            from repro.engine.recovery import recover_database
+
+            return recover_database(
+                path,
+                name=name,
+                sync_mode=sync_mode,
+                group_window_seconds=group_window_seconds,
+                **database_kwargs,
+            )
+        db = cls(name, **database_kwargs)
+        wal_kwargs: dict[str, object] = {"sync_mode": sync_mode}
+        if group_window_seconds is not None:
+            wal_kwargs["group_window_seconds"] = group_window_seconds
+        db.attach_wal(WriteAheadLog(path, create=True, **wal_kwargs))
+        return db
+
+    def attach_wal(self, wal: WriteAheadLog) -> None:
+        """Route every subsequent write transaction through ``wal``."""
+        self._wal = wal
+
+    @property
+    def wal(self) -> WriteAheadLog | None:
+        return self._wal
+
+    def close(self) -> None:
+        """Durably flush and detach the WAL (no-op in volatile mode)."""
+        if self._wal is not None and not self._wal.closed:
+            self._wal.close()
+
+    @contextmanager
+    def _write(self, marker: str | None = None) -> Iterator[int]:
+        """A logged write transaction: writer lock + one WAL txn scope.
+
+        With no WAL attached this is exactly ``engine.write()``.  With
+        one, records logged inside the scope share a transaction id and
+        the outermost exit appends the commit record (write-ahead: the
+        log describes the change before the commit makes it durable).
+        On error an ``abort`` record is appended instead — except for
+        :class:`~repro.errors.CrashPoint`, which models process death:
+        the transaction is simply left open and recovery discards it.
+        """
+        with self.engine.write() as version:
+            wal = self._wal
+            if wal is None or wal.closed:
+                yield version
+                return
+            wal.begin(marker)
+            try:
+                yield version
+            except CrashPoint:
+                raise
+            except BaseException:
+                if not wal.closed:
+                    wal.abort()
+                raise
+            else:
+                wal.end()
+
+    @contextmanager
+    def transaction(self, marker: str | None = None) -> Iterator[int]:
+        """Group several writes into one atomic, durable unit.
+
+        ``marker`` names the commit record; the document loader stamps
+        one per document so an interrupted bulk load can resume from the
+        markers recovery reports (``RecoveryReport.markers``).
+        """
+        with self._write(marker) as version:
+            yield version
 
     # -- layer views -------------------------------------------------------
 
@@ -138,7 +238,9 @@ class Database:
         pruned scan layouts, so the catalog-version bump purges every
         cached statement at publish time.
         """
-        with self.engine.write() as version:
+        with self._write() as version:
+            if self._wal is not None:
+                self._wal.log_exec_config(config)
             self._catalog_mgr.set_exec_config(config, version)
 
     # -- sessions ----------------------------------------------------------
@@ -192,12 +294,16 @@ class Database:
     # -- DDL -------------------------------------------------------------------
 
     def create_table(self, schema: TableSchema) -> None:
-        with self.engine.write() as version:
+        with self._write() as version:
+            if self._wal is not None:
+                self._wal.log_create_table(schema)
             self._catalog_mgr.add_table(schema, version)
             self.engine.add_heap(schema)
 
     def drop_table(self, name: str) -> None:
-        with self.engine.write() as version:
+        with self._write() as version:
+            if self._wal is not None:
+                self._wal.log_drop_table(name)
             self._catalog_mgr.drop_table(name, version)
             self.engine.drop_heap(name)
 
@@ -218,19 +324,49 @@ class Database:
                 f"indexes apply (XML fragments compare for equality only)"
             )
         definition = IndexDef(name, table, column, kind, unique)
-        with self.engine.write() as version:
+        with self._write() as version:
+            if self._wal is not None:
+                self._wal.log_create_index(definition)
             self._catalog_mgr.add_index(definition, version)
             self.engine.add_index(definition)
 
     # -- DML ---------------------------------------------------------------------
 
     def insert(self, table: str, row: tuple | list) -> int:
-        with self.engine.write():
-            return self.heap(table).insert(tuple(row))
+        row = tuple(row)
+        with self._write():
+            if self._wal is not None:
+                self._wal.log_insert(table, row)
+            return self.heap(table).insert(row)
 
     def bulk_insert(self, table: str, rows) -> int:
-        with self.engine.write():
-            return self.heap(table).bulk_insert(rows)
+        """Insert a batch atomically (and durably, when a WAL is attached).
+
+        A mid-batch failure rolls the whole batch back
+        (:meth:`HeapTable.bulk_insert`) and aborts its WAL transaction.
+        When the database-wide governor sets a statement timeout, the
+        load checks it every 256 rows.
+        """
+        logged = self._wal is not None and not self._wal.closed
+        if logged:
+            # materialize once so the WAL and the heap see the same
+            # batch; rows are serialized inside log_bulk_insert, so
+            # later caller mutation cannot reach the log
+            rows = list(rows)
+        budget = self.governor.budget(statement=f"bulk_insert {table}")
+        with self._write():
+            if logged:
+                self._wal.log_bulk_insert(table, rows)
+            heap = self.heap(table)
+            if budget is None:
+                return heap.bulk_insert(rows)
+            from repro.engine.snapshot import activate, deactivate
+
+            token = activate(None, None, budget)
+            try:
+                return heap.bulk_insert(rows)
+            finally:
+                deactivate(token)
 
     # -- queries ------------------------------------------------------------------
 
@@ -321,26 +457,31 @@ class Database:
     def _execute_insert(
         self, statement: InsertStmt, params: ParamBox | None = None
     ) -> Result:
-        heap = self.heap(statement.table)
-        schema = heap.schema
+        """Evaluate the VALUES rows, then insert them as one atomic batch.
+
+        Evaluation happens *before* the write transaction opens, so a
+        bad expression never holds the writer lock, and the whole
+        statement lands through :meth:`bulk_insert` — one WAL record,
+        all-or-nothing storage semantics.
+        """
+        schema = self.heap(statement.table).schema
         empty = Binding([])
-        inserted = 0
-        with self.engine.write():
-            for value_row in statement.rows:
-                values = [
-                    compile_expr(expr, empty, self.registry, params)(())
-                    for expr in value_row
-                ]
-                if statement.columns:
-                    if len(values) != len(statement.columns):
-                        raise ExecutionError("INSERT arity mismatch")
-                    full: list[object] = [None] * schema.arity()
-                    for column_name, value in zip(statement.columns, values):
-                        full[schema.position(column_name)] = value
-                    heap.insert(tuple(full))
-                else:
-                    heap.insert(tuple(values))
-                inserted += 1
+        rows: list[tuple] = []
+        for value_row in statement.rows:
+            values = [
+                compile_expr(expr, empty, self.registry, params)(())
+                for expr in value_row
+            ]
+            if statement.columns:
+                if len(values) != len(statement.columns):
+                    raise ExecutionError("INSERT arity mismatch")
+                full: list[object] = [None] * schema.arity()
+                for column_name, value in zip(statement.columns, values):
+                    full[schema.position(column_name)] = value
+                rows.append(tuple(full))
+            else:
+                rows.append(tuple(values))
+        inserted = self.bulk_insert(statement.table, rows)
         return Result(["rows_inserted"], [(inserted,)])
 
     def explain(self, sql: str) -> str:
@@ -421,7 +562,9 @@ class Database:
         Advances the catalog version: cached plans are purged at publish
         time so fresh statistics can change the chosen access paths.
         """
-        with self.engine.write() as version:
+        with self._write() as version:
+            if self._wal is not None:
+                self._wal.log_runstats(table)
             if table is not None:
                 fresh = {table.lower(): collect_stats(self.heap(table))}
             else:
@@ -482,6 +625,8 @@ class Database:
             "sessions": len(self.sessions()),
             "engine_version": self.version,
             "catalog_version": self.catalog_version,
+            "governor": self.governor.report(),
+            "wal": None if self._wal is None else self._wal.report(),
             "observability": {
                 "metrics_enabled": METRICS.enabled,
                 "metrics_entries": METRICS.entry_count(),

@@ -8,6 +8,14 @@ R times the work of one, and throughput scaling is
 
     speedup(R) = (R * wall_seconds(1 reader)) / wall_seconds(R readers)
 
+Failure handling (DESIGN.md §9): a reader that raises reports its error
+in its :class:`ReaderReport` without poisoning the pool — the other
+readers run to completion and the executor always joins every thread.
+With ``max_retries > 0``, a query failing with a
+:class:`~repro.errors.TransientError` (e.g. an injected fault) is
+retried on the same session with exponential backoff before the reader
+gives up; fatal errors are never retried.
+
 Two timing modes:
 
 * ``io_stalls=False`` (default): queries run at CPU speed.  Under the
@@ -28,6 +36,8 @@ import threading
 import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Sequence
+
+from repro.errors import ConfigError, TransientError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.engine.database import Database
@@ -61,6 +71,8 @@ class ReaderReport:
     modeled_io_seconds: float = 0.0   #: disk seconds implied by charges
     #: results of the reader's final round, in workload order
     results: "list[Result]" = field(default_factory=list)
+    #: transient-error retries that eventually succeeded or exhausted
+    retries: int = 0
     error: BaseException | None = None
 
 
@@ -78,6 +90,10 @@ class ConcurrentReport:
     @property
     def total_queries(self) -> int:
         return sum(r.queries for r in self.per_reader)
+
+    @property
+    def total_retries(self) -> int:
+        return sum(r.retries for r in self.per_reader)
 
     @property
     def queries_per_second(self) -> float:
@@ -99,12 +115,38 @@ class ConcurrentExecutor:
         db: "Database",
         readers: int = 4,
         io_stalls: bool = False,
+        max_retries: int = 0,
+        backoff_seconds: float = 0.01,
     ) -> None:
         if readers < 1:
-            raise ValueError("need at least one reader")
+            raise ConfigError("need at least one reader")
+        if max_retries < 0:
+            raise ConfigError("max_retries cannot be negative")
+        if backoff_seconds < 0:
+            raise ConfigError("backoff_seconds cannot be negative")
         self.db = db
         self.readers = readers
         self.io_stalls = io_stalls
+        self.max_retries = max_retries
+        self.backoff_seconds = backoff_seconds
+
+    def _execute_with_retry(self, session, report, sql: str, params: tuple):
+        """Run one query, absorbing transient errors up to ``max_retries``.
+
+        Backoff doubles per attempt (0.01s, 0.02s, ...) — enough to let
+        an injected or load-induced glitch clear without stretching the
+        benchmark's wall clock.
+        """
+        attempt = 0
+        while True:
+            try:
+                return session.execute(sql, params)
+            except TransientError:
+                if attempt >= self.max_retries:
+                    raise
+                report.retries += 1
+                time.sleep(self.backoff_seconds * (2 ** attempt))
+                attempt += 1
 
     def run(
         self, workload: Sequence[object], rounds: int = 1
@@ -135,7 +177,9 @@ class ConcurrentExecutor:
                         report.results = []
                     for sql, params in items:
                         session.io.reset()
-                        result = session.execute(sql, params)
+                        result = self._execute_with_retry(
+                            session, report, sql, params
+                        )
                         report.queries += 1
                         disk = session.io.modeled_seconds()
                         report.modeled_io_seconds += disk

@@ -79,6 +79,29 @@ class Index:
     def finalize(self) -> None:
         """Publish staged inserts (writer-only; no-op when none staged)."""
 
+    # -- batch rollback ----------------------------------------------------
+
+    def mark(self) -> tuple[int, int]:
+        """Size-accounting rollback point taken by ``HeapTable.mark``."""
+        return (self._entries, self._entry_bytes)
+
+    def rollback_to(self, row_count: int, mark: tuple[int, int]) -> None:
+        """Drop entries for row ids >= ``row_count`` (writer-only).
+
+        The abort path of a failed ``bulk_insert``: the heap truncates
+        its rows back to ``row_count`` and each index discards every
+        entry that referenced the truncated tail, restoring the size
+        accounting captured by :meth:`mark`.  Safe against concurrent
+        readers for the same reason in-place inserts are — the dropped
+        row ids sit beyond every published snapshot's horizon, so no
+        reader could see them.
+        """
+        self._entries, self._entry_bytes = mark
+        self._discard_from(row_count)
+
+    def _discard_from(self, row_count: int) -> None:
+        raise NotImplementedError
+
     def lookup(self, key: object, bound: int | None = None) -> list[int]:
         """Row ids whose indexed column equals ``key``, below ``bound``."""
         raise NotImplementedError
@@ -122,6 +145,18 @@ class HashIndex(Index):
                 f"unique index {self.definition.name!r} rejects duplicate {key!r}"
             )
         self._buckets.setdefault(key, []).append(row_id)
+
+    def _discard_from(self, row_count: int) -> None:
+        emptied = []
+        for key, row_ids in self._buckets.items():
+            if row_ids and row_ids[-1] >= row_count:
+                kept = [rid for rid in row_ids if rid < row_count]
+                if kept:
+                    self._buckets[key] = kept
+                else:
+                    emptied.append(key)
+        for key in emptied:
+            del self._buckets[key]
 
     def lookup(self, key: object, bound: int | None = None) -> list[int]:
         if key is None:
@@ -170,6 +205,24 @@ class BTreeIndex(Index):
         # counts an entry from both the staged list and the new arrays
         self._pending = []
         self._data = ([pair[0] for pair in pairs], [pair[1] for pair in pairs])
+
+    def _discard_from(self, row_count: int) -> None:
+        # unpublished inserts live in the staging list...
+        self._pending = [
+            (key, rid) for key, rid in self._pending if rid < row_count
+        ]
+        # ...but an index built mid-transaction (CREATE INDEX after the
+        # batch started) may have finalized tail rows into _data; rebuild
+        # the published pair only when that actually happened
+        keys, rids = self._data
+        if any(rid >= row_count for rid in rids):
+            kept = [
+                (key, rid) for key, rid in zip(keys, rids) if rid < row_count
+            ]
+            self._data = (
+                [pair[0] for pair in kept],
+                [pair[1] for pair in kept],
+            )
 
     def _pending_matches(self, key: object) -> list[int]:
         pending = self._pending

@@ -33,6 +33,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.engine.faults import FAULTS
 from repro.engine.pages import PAGE_SIZE, pages_for
 from repro.obs.metrics import METRICS
 
@@ -119,14 +120,23 @@ class IoRouter:
         return active_io() or self.base
 
     # -- charges ----------------------------------------------------------
+    # Each charge is a fault-injection site ("io.charge"): delay rules
+    # installed there model a degraded disk, which is how the chaos and
+    # governor tests make a query deterministically slow.
 
     def charge_sequential(self, pages: int) -> None:
+        if FAULTS.active:
+            FAULTS.fire("io.charge")
         self._target().charge_sequential(pages)
 
     def charge_random(self, pages: int = 1) -> None:
+        if FAULTS.active:
+            FAULTS.fire("io.charge")
         self._target().charge_random(pages)
 
     def charge_spill(self, pages: int) -> None:
+        if FAULTS.active:
+            FAULTS.fire("io.charge")
         self._target().charge_spill(pages)
 
     # -- reads ------------------------------------------------------------

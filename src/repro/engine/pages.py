@@ -99,6 +99,20 @@ class PageAccounting:
         """
         return (self.pages, self.rows, self.used_bytes)
 
+    def mark(self) -> tuple[int, int, int, int]:
+        """A rollback point: the full packer state, fill level included.
+
+        Unlike :meth:`capture` (a reader-facing reading of the totals),
+        a mark also records ``_free_in_current`` so :meth:`restore` puts
+        the packer back mid-page — an aborted batch must not leave the
+        next batch starting on a phantom page boundary.
+        """
+        return (self.pages, self.rows, self.used_bytes, self._free_in_current)
+
+    def restore(self, mark: tuple[int, int, int, int]) -> None:
+        """Rewind to a :meth:`mark` (the abort path of ``bulk_insert``)."""
+        self.pages, self.rows, self.used_bytes, self._free_in_current = mark
+
     def reset(self) -> None:
         self.pages = 0
         self.rows = 0

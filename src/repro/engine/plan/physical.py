@@ -36,7 +36,7 @@ from repro.engine.config import DEFAULT_BATCH_SIZE
 from repro.engine.expr import Binding, Compiled, Slot
 from repro.engine.index import BTreeIndex, Index
 from repro.engine.io import IoCounters, estimate_row_bytes, pages_of_bytes
-from repro.engine.snapshot import read_bound, table_version
+from repro.engine.snapshot import active_budget, read_bound, table_version
 from repro.engine.storage import HeapTable
 from repro.engine.types import SqlType
 from repro.engine.udf import FunctionRegistry
@@ -90,6 +90,19 @@ def _instrumented(impl: Iterator[Batch], stats: OperatorStats) -> Iterator[Batch
         yield batch
 
 
+def _governed(impl: Iterator[Batch], budget) -> Iterator[Batch]:
+    """Check the statement deadline before producing each batch.
+
+    Wrapped around every operator when the active
+    :class:`~repro.engine.governor.StatementBudget` carries a timeout,
+    so abort latency is bounded by the cost of one batch at the slowest
+    operator (plus one UDF call; see :mod:`repro.engine.udf`).
+    """
+    for batch in impl:
+        budget.tick()
+        yield batch
+
+
 class Operator:
     """Base class of physical operators.
 
@@ -112,6 +125,9 @@ class Operator:
 
     def batches(self) -> Iterator[Batch]:
         impl = self._execute()
+        budget = active_budget()
+        if budget is not None and budget.deadline is not None:
+            impl = _governed(impl, budget)
         stats = self.stats
         if stats is None:
             return impl
@@ -343,24 +359,31 @@ class HashJoin(Operator):
         right_keys = self.right_keys
         single = len(right_keys) == 1
         build_bytes = 0
+        budget = active_budget()
         setdefault = table.setdefault
         if single:
             right_key = right_keys[0]
             for batch in self.right.batches():
+                before = build_bytes
                 for row in batch:
                     build_bytes += estimate_row_bytes(row)
                     key = group_key(row[right_key])
                     if key is None:
                         continue  # NULL keys never join
                     setdefault(key, []).append(row)
+                if budget is not None:
+                    budget.charge_memory(build_bytes - before)
         else:
             for batch in self.right.batches():
+                before = build_bytes
                 for row in batch:
                     build_bytes += estimate_row_bytes(row)
                     key = tuple(group_key(row[i]) for i in right_keys)
                     if any(part is None for part in key):
                         continue  # NULL keys never join
                     setdefault(key, []).append(row)
+                if budget is not None:
+                    budget.charge_memory(build_bytes - before)
         spilled = (
             self.io is not None and build_bytes > self.io.work_mem_bytes
         )
@@ -432,7 +455,18 @@ class NestedLoopJoin(Operator):
         self.binding = left.binding.extend(right.binding)
 
     def _execute(self) -> Iterator[Batch]:
-        right_rows = [row for batch in self.right.batches() for row in batch]
+        budget = active_budget()
+        if budget is None:
+            right_rows = [
+                row for batch in self.right.batches() for row in batch
+            ]
+        else:
+            right_rows = []
+            for batch in self.right.batches():
+                right_rows.extend(batch)
+                budget.charge_memory(
+                    sum(estimate_row_bytes(row) for row in batch)
+                )
         predicate = self.predicate
         for left_batch in self.left.batches():
             out: Batch = []
@@ -679,18 +713,24 @@ class HashDistinct(Operator):
     def _execute(self) -> Iterator[Batch]:
         seen: set[tuple] = set()
         seen_add = seen.add
+        budget = active_budget()
         size = self.batch_size
         out: Batch = []
         for batch in self.input.batches():
+            kept_bytes = 0
             for row in batch:
                 key = tuple(group_key(value) for value in row)
                 if key in seen:
                     continue
                 seen_add(key)
+                if budget is not None:
+                    kept_bytes += estimate_row_bytes(row)
                 out.append(row)
                 if len(out) >= size:
                     yield out
                     out = []
+            if budget is not None and kept_bytes:
+                budget.charge_memory(kept_bytes)
         if out:
             yield out
 
@@ -772,8 +812,12 @@ class HashAggregate(Operator):
         groups: dict[tuple, tuple[tuple, list[_Accumulator]]] = {}
         group_exprs = self.group_exprs
         aggregates = self.aggregates
+        budget = active_budget()
+        #: modelled bytes per group entry: key tuple + accumulator slots
+        group_overhead = 56 * max(len(aggregates), 1)
         groups_get = groups.get
         for batch in self.input.batches():
+            new_bytes = 0
             for row in batch:
                 raw_key = tuple(expr(row) for expr in group_exprs)
                 key = tuple(group_key(value) for value in raw_key)
@@ -784,12 +828,18 @@ class HashAggregate(Operator):
                         [_Accumulator(a.kind, a.distinct) for a in aggregates],
                     )
                     groups[key] = entry
+                    if budget is not None:
+                        new_bytes += (
+                            estimate_row_bytes(raw_key) + group_overhead
+                        )
                 accumulators = entry[1]
                 for spec, accumulator in zip(aggregates, accumulators):
                     if spec.arg is None:  # COUNT(*)
                         accumulator.count += 1
                     else:
                         accumulator.add(spec.arg(row))
+            if budget is not None and new_bytes:
+                budget.charge_memory(new_bytes)
         if not groups and self._grand_total:
             empty = [_Accumulator(a.kind, a.distinct) for a in aggregates]
             yield [tuple(acc.result() for acc in empty)]
@@ -851,7 +901,16 @@ class Sort(Operator):
         self.binding = input_op.binding
 
     def _execute(self) -> Iterator[Batch]:
-        rows = [row for batch in self.input.batches() for row in batch]
+        budget = active_budget()
+        if budget is None:
+            rows = [row for batch in self.input.batches() for row in batch]
+        else:
+            rows = []
+            for batch in self.input.batches():
+                rows.extend(batch)
+                budget.charge_memory(
+                    sum(estimate_row_bytes(row) for row in batch)
+                )
         # stable multi-key sort: apply keys right-to-left
         for key, desc in reversed(list(zip(self.keys, self.descending))):
             rows.sort(key=lambda row: _SortKey(key(row)), reverse=desc)

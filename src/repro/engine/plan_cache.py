@@ -35,6 +35,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
+from repro.errors import ConfigError
 from repro.obs.metrics import METRICS
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -154,7 +155,7 @@ class PlanCache:
 
     def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
         if capacity < 0:
-            raise ValueError("plan cache capacity cannot be negative")
+            raise ConfigError("plan cache capacity cannot be negative")
         self.capacity = capacity
         self.stats = PlanCacheStats()
         self._entries: "OrderedDict[tuple[str, int], CachedPlan]" = OrderedDict()

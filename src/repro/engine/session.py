@@ -30,7 +30,8 @@ import time
 from typing import TYPE_CHECKING
 
 from repro.engine.expr import ParamBox
-from repro.engine.io import IoCounters
+from repro.engine.governor import GovernorLimits
+from repro.engine.io import IoCounters, estimate_row_bytes
 from repro.engine.plan.optimizer import plan_select
 from repro.engine.plan_cache import CachedPlan, normalize_sql
 from repro.engine.result import Result
@@ -148,7 +149,14 @@ class Session:
         self.query_counts: dict[str, int] = {
             "select": 0, "insert": 0, "ddl": 0,
         }
+        #: per-session governor override; None falls back to the
+        #: database-wide ``db.governor.limits``
+        self.limits: GovernorLimits | None = None
         self.closed = False
+
+    def set_limits(self, limits: GovernorLimits | None) -> None:
+        """Override (or with None, clear) this session's resource limits."""
+        self.limits = limits
 
     # -- snapshot management ----------------------------------------------
 
@@ -263,12 +271,32 @@ class Session:
     ) -> Result:
         entry.params.bind(tuple(params))
         columns = [slot.name for slot in entry.plan.binding.slots]
-        token = activate(pin, self.io) if pin is not None else None
+        budget = self._db.governor.budget_for(self.limits, statement="select")
+        # the default session (pin None) passes io=None so the router
+        # keeps charging the shared base counters, exactly as before
+        token = (
+            activate(pin, self.io if pin is not None else None, budget)
+            if pin is not None or budget is not None
+            else None
+        )
         try:
             with TRACER.span("execute") as span:
                 rows: list[tuple] = []
-                for batch in entry.plan.batches():
-                    rows.extend(batch)
+                if budget is None:
+                    for batch in entry.plan.batches():
+                        rows.extend(batch)
+                else:
+                    caps = (
+                        budget.limits.max_result_rows is not None
+                        or budget.limits.max_result_bytes is not None
+                    )
+                    for batch in entry.plan.batches():
+                        rows.extend(batch)
+                        if caps:
+                            budget.add_result_rows(len(batch))
+                            budget.add_result_bytes(
+                                sum(estimate_row_bytes(row) for row in batch)
+                            )
                 span.args["rows"] = len(rows)
         finally:
             if token is not None:

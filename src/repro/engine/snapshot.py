@@ -28,6 +28,7 @@ from typing import TYPE_CHECKING, Mapping
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.engine.catalog import CatalogState
+    from repro.engine.governor import StatementBudget
     from repro.engine.index import Index
     from repro.engine.io import IoCounters
     from repro.engine.storage import HeapTable
@@ -74,13 +75,17 @@ class EngineSnapshot:
 class ExecContext:
     """What a session installs while executing one statement."""
 
-    __slots__ = ("snapshot", "io")
+    __slots__ = ("snapshot", "io", "budget")
 
     def __init__(
-        self, snapshot: EngineSnapshot | None, io: "IoCounters | None"
+        self,
+        snapshot: EngineSnapshot | None,
+        io: "IoCounters | None",
+        budget: "StatementBudget | None" = None,
     ) -> None:
         self.snapshot = snapshot
         self.io = io
+        self.budget = budget
 
 
 #: the active execution context; None outside session-managed execution
@@ -90,10 +95,12 @@ _CONTEXT: ContextVar[ExecContext | None] = ContextVar(
 
 
 def activate(
-    snapshot: EngineSnapshot | None, io: "IoCounters | None" = None
+    snapshot: EngineSnapshot | None,
+    io: "IoCounters | None" = None,
+    budget: "StatementBudget | None" = None,
 ) -> Token:
     """Install an execution context; pair with :func:`deactivate`."""
-    return _CONTEXT.set(ExecContext(snapshot, io))
+    return _CONTEXT.set(ExecContext(snapshot, io, budget))
 
 
 def deactivate(token: Token) -> None:
@@ -128,11 +135,18 @@ def active_io() -> "IoCounters | None":
     return None if context is None else context.io
 
 
+def active_budget() -> "StatementBudget | None":
+    """The governor budget of the running statement, or None."""
+    context = _CONTEXT.get()
+    return None if context is None else context.budget
+
+
 __all__ = [
     "EngineSnapshot",
     "ExecContext",
     "TableVersion",
     "activate",
+    "active_budget",
     "active_io",
     "current_context",
     "deactivate",

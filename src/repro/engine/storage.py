@@ -18,9 +18,10 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
 
+from repro.engine.faults import FAULTS
 from repro.engine.pages import PageAccounting
 from repro.engine.schema import TableSchema
-from repro.engine.snapshot import TableVersion
+from repro.engine.snapshot import TableVersion, active_budget
 from repro.engine.types import COLUMN_OVERHEAD, ROW_OVERHEAD
 from repro.errors import ExecutionError
 from repro.obs.metrics import METRICS
@@ -60,26 +61,66 @@ class HeapTable:
         return row_id
 
     def bulk_insert(self, rows: Iterable[Sequence[object]]) -> int:
-        """Insert many rows; returns the number inserted.
+        """Insert many rows atomically; returns the number inserted.
 
         Rows are validated, stored, and indexed individually, but the
         page/byte accounting and the process-wide load metrics are
         settled once for the whole batch (``PageAccounting.add_rows``) —
         document loads are a measured axis in the paper, and per-row
-        accounting there is pure overhead.  On a mid-batch failure the
-        successfully stored prefix is still accounted for, keeping
-        modelled sizes consistent with the rows actually present.
+        accounting there is pure overhead.
+
+        All-or-nothing at the batch level (DESIGN.md §9): any mid-batch
+        failure — a rejected row, an injected fault, a governor abort —
+        rolls the heap, the primary-key set, every attached index, *and*
+        the page accounting back to the pre-batch mark, so an aborted
+        statement leaves the snapshot horizon exactly where it was.
+        When a governor budget is active, the statement timeout is
+        checked every 256 rows.
         """
+        mark = self.mark()
+        budget = active_budget()
         widths: list[int] = []
         try:
             for row in rows:
                 widths.append(self._store_row(row))
-        finally:
+                if budget is not None and len(widths) % 256 == 0:
+                    budget.tick()
             if widths:
                 self.accounting.add_rows(widths)
-                _ROWS_INSERTED.inc(len(widths))
-                _BYTES_WRITTEN.inc(sum(widths))
+        except BaseException:
+            self.rollback_to(mark)
+            raise
+        if widths:
+            _ROWS_INSERTED.inc(len(widths))
+            _BYTES_WRITTEN.inc(sum(widths))
         return len(widths)
+
+    # -- batch rollback ----------------------------------------------------
+
+    def mark(self) -> tuple:
+        """A rollback point covering rows, accounting, and index state."""
+        return (
+            len(self.rows),
+            self.accounting.mark(),
+            [index.mark() for index in self.indexes],
+        )
+
+    def rollback_to(self, mark: tuple) -> None:
+        """Rewind to :meth:`mark`; the abort path of a failed batch.
+
+        Runs under the engine writer lock.  Published snapshots are
+        unaffected: their horizons never cover unpublished rows, and the
+        rows being truncated were appended after the mark was taken, so
+        no reader can hold a horizon past it.
+        """
+        row_count, accounting_mark, index_marks = mark
+        if self._pk_position is not None:
+            for row in self.rows[row_count:]:
+                self._pk_seen.discard(row[self._pk_position])
+        del self.rows[row_count:]
+        self.accounting.restore(accounting_mark)
+        for index, index_mark in zip(self.indexes, index_marks):
+            index.rollback_to(row_count, index_mark)
 
     def _store_row(self, row: Sequence[object]) -> int:
         """Validate, append, and index one row; returns its byte width.
@@ -94,6 +135,8 @@ class HeapTable:
         Accounting is the caller's responsibility (per row for
         :meth:`insert`, per batch for :meth:`bulk_insert`).
         """
+        if FAULTS.active:
+            FAULTS.fire("heap.store_row")
         if len(row) != self.schema.arity():
             raise ExecutionError(
                 f"table {self.schema.name!r} expects {self.schema.arity()} values, "

@@ -28,6 +28,7 @@ from contextlib import contextmanager
 from typing import TYPE_CHECKING, Iterator
 
 from repro.engine.catalog import CatalogManager
+from repro.engine.faults import FAULTS
 from repro.engine.index import Index, build_index
 from repro.engine.schema import IndexDef, TableSchema
 from repro.engine.snapshot import EngineSnapshot, TableVersion
@@ -76,10 +77,12 @@ class StorageEngine:
 
         Re-entrant: nested ``write()`` blocks join the outermost
         transaction and share its version.  Publication happens in a
-        ``finally`` when the outermost block exits, even on error — a
-        failed ``bulk_insert`` keeps its documented behaviour of leaving
-        the successfully stored prefix visible (and accounted) rather
-        than rolling back.
+        ``finally`` when the outermost block exits, even on error —
+        whatever state the mutation layer left behind is republished
+        consistently.  A failed ``bulk_insert`` rolls its batch back
+        before the error propagates (DESIGN.md §9), so the snapshot
+        published by an aborted statement matches the pre-statement
+        state except for the version bump.
         """
         with self._lock:
             if self._depth == 0:
@@ -94,6 +97,8 @@ class StorageEngine:
 
     def _publish(self) -> None:
         """Swap in a new snapshot (caller holds the writer lock)."""
+        if FAULTS.active:
+            FAULTS.fire("index.publish")
         for index in self._indexes.values():
             index.finalize()
         catalog = self._catalog.state

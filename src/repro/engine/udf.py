@@ -27,6 +27,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Sequence
 
+from repro.engine.snapshot import active_budget
 from repro.engine.types import SqlType, is_xadt_value
 from repro.errors import ReproError, UdfError
 from repro.obs.metrics import METRICS
@@ -208,6 +209,12 @@ class FunctionRegistry:
         function = self.scalar(name)
         key = function.name
         self.stats.scalar_calls[key] = self.stats.scalar_calls.get(key, 0) + 1
+        # UDFs dominate a governed statement's time between batch
+        # boundaries (a sleeping or looping function body), so the
+        # timeout is also checked per invocation
+        budget = active_budget()
+        if budget is not None:
+            budget.tick()
         if not METRICS.enabled:
             return function.invoke(args)
         _CALL_COUNTERS[function.kind].inc()
@@ -220,6 +227,9 @@ class FunctionRegistry:
         function = self.table_function(name)
         key = function.name
         self.stats.table_calls[key] = self.stats.table_calls.get(key, 0) + 1
+        budget = active_budget()
+        if budget is not None:
+            budget.tick()
         if not METRICS.enabled:
             return function.invoke(args)
         _CALL_COUNTERS[function.kind].inc()

@@ -4,6 +4,23 @@ Every subsystem raises exceptions derived from :class:`ReproError` so that
 callers can catch one base class at the library boundary.  The hierarchy
 mirrors the package layout: XML parsing, DTD handling, the relational
 engine, the XADT, and the mapping algorithms each get their own branch.
+
+Orthogonal to the subsystem branches, every concrete error is classified
+for the retry layer (DESIGN.md §9):
+
+* :class:`TransientError` — the operation may succeed if retried
+  (injected chaos faults, interrupted I/O).  The concurrent executor's
+  retry-with-backoff and the XADT decode-degradation fallback key on
+  this base.
+* :class:`FatalError` — retrying the same operation will fail the same
+  way (syntax errors, schema violations, resource-cap aborts).  These
+  must surface to the caller immediately.
+
+:class:`CrashPoint` deliberately derives from ``BaseException`` (not
+:class:`ReproError`): it models the process dying at a fault-injection
+site, so no library-level ``except ReproError``/``except Exception``
+handler may swallow it — only the chaos harness, which abandons the
+in-memory engine and re-opens from the WAL, catches it.
 """
 
 from __future__ import annotations
@@ -13,7 +30,20 @@ class ReproError(Exception):
     """Base class for every error raised by the repro package."""
 
 
-class XmlError(ReproError):
+class TransientError(ReproError):
+    """An error that may not recur: safe to retry with backoff."""
+
+
+class FatalError(ReproError):
+    """An error that will recur on retry: surface it immediately."""
+
+
+def is_transient(exc: BaseException) -> bool:
+    """Whether the retry layer may re-attempt after ``exc``."""
+    return isinstance(exc, TransientError)
+
+
+class XmlError(FatalError):
     """Base class for XML toolkit errors."""
 
 
@@ -36,7 +66,7 @@ class XmlSyntaxError(XmlError):
         super().__init__(message)
 
 
-class DtdError(ReproError):
+class DtdError(FatalError):
     """Base class for DTD errors."""
 
 
@@ -48,7 +78,7 @@ class DtdValidationError(DtdError):
     """Raised when a document does not conform to its DTD."""
 
 
-class EngineError(ReproError):
+class EngineError(FatalError):
     """Base class for relational engine errors."""
 
 
@@ -76,7 +106,56 @@ class UdfError(EngineError):
     """Raised for user-defined-function registration or invocation problems."""
 
 
-class XadtError(ReproError):
+class ConfigError(EngineError, ValueError):
+    """Raised for invalid configuration arguments (caps, capacities...).
+
+    Also a :class:`ValueError` so call sites that predate the unified
+    taxonomy (and external callers using stdlib idioms) keep working.
+    """
+
+
+class WalError(EngineError):
+    """Raised for write-ahead-log failures (bad records, closed logs)."""
+
+
+class RecoveryError(WalError):
+    """Raised when a WAL cannot be replayed into a consistent database."""
+
+
+class StatementTimeout(EngineError):
+    """Raised by the resource governor when a statement exceeds its
+    configured wall-clock budget.  The in-flight statement is aborted;
+    any partially stored batch is rolled back before this surfaces."""
+
+
+class ResourceExceeded(EngineError):
+    """Raised by the resource governor when a statement exceeds a row,
+    result-byte, or working-memory cap."""
+
+
+class FaultInjected(TransientError):
+    """A deterministic fault raised by the injection harness at a named
+    site.  Transient by construction: the retry layer is expected to
+    absorb it when the fault plan stops firing."""
+
+    def __init__(self, site: str, message: str | None = None) -> None:
+        self.site = site
+        super().__init__(message or f"injected fault at {site!r}")
+
+
+class CrashPoint(BaseException):
+    """Simulated process death at a fault-injection site.
+
+    Derives from ``BaseException`` so generic ``except Exception``
+    recovery code cannot absorb it — exactly like a real ``kill -9``.
+    """
+
+    def __init__(self, site: str) -> None:
+        self.site = site
+        super().__init__(f"simulated crash at {site!r}")
+
+
+class XadtError(FatalError):
     """Base class for XML-abstract-data-type errors."""
 
 
@@ -88,17 +167,17 @@ class XadtMethodError(XadtError):
     """Raised when an XADT method is called with invalid arguments."""
 
 
-class MappingError(ReproError):
+class MappingError(FatalError):
     """Raised when a DTD cannot be mapped to a relational schema."""
 
 
-class ShreddingError(ReproError):
+class ShreddingError(FatalError):
     """Raised when a document cannot be shredded into tuples."""
 
 
-class GenerationError(ReproError):
+class GenerationError(FatalError):
     """Raised when synthetic data generation is misconfigured."""
 
 
-class BenchmarkError(ReproError):
+class BenchmarkError(FatalError):
     """Raised by the benchmark harness for invalid experiment setups."""

@@ -33,6 +33,8 @@ import threading
 from bisect import bisect_left
 from typing import Callable
 
+from repro.errors import ConfigError
+
 #: default latency boundaries in seconds (100 us .. 5 s, log-ish spacing)
 DEFAULT_LATENCY_BUCKETS = (
     0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
@@ -101,7 +103,7 @@ class Histogram:
         buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS,
     ) -> None:
         if not buckets or list(buckets) != sorted(buckets):
-            raise ValueError("histogram buckets must be sorted and non-empty")
+            raise ConfigError("histogram buckets must be sorted and non-empty")
         self.name = name
         self.buckets = tuple(float(b) for b in buckets)
         self.counts = [0] * (len(self.buckets) + 1)

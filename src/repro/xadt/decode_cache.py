@@ -25,6 +25,7 @@ import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 
+from repro.errors import ConfigError
 from repro.obs.metrics import METRICS
 
 #: default budget: enough for the benchmark corpora's hot fragments
@@ -63,7 +64,7 @@ class DecodeCache:
 
     def __init__(self, budget_bytes: int = DEFAULT_BUDGET_BYTES) -> None:
         if budget_bytes < 0:
-            raise ValueError("decode cache budget cannot be negative")
+            raise ConfigError("decode cache budget cannot be negative")
         self.budget_bytes = budget_bytes
         self.enabled = True
         self.stats = DecodeCacheStats()
@@ -123,7 +124,7 @@ class DecodeCache:
                 self.clear()
         if budget_bytes is not None:
             if budget_bytes < 0:
-                raise ValueError("decode cache budget cannot be negative")
+                raise ConfigError("decode cache budget cannot be negative")
             with self._lock:
                 self.budget_bytes = budget_bytes
                 while self.current_bytes > self.budget_bytes and self._entries:

@@ -8,13 +8,24 @@
 Both expose the same event-stream interface, so the XADT methods run
 unchanged over either representation (the compressed scan walks the
 byte stream directly — it never materializes the XML text).
+
+Graceful degradation (DESIGN.md §9): every compressed decode passes the
+``xadt.decode`` fault-injection site.  When injected (or real) transient
+decode faults exceed a threshold, the module flips into *degraded mode*:
+dict payloads are decoded once through the raw decompressor, re-serialized
+to tagged text, and from then on served through the plain-text tokenizer
+— trading the compressed codec's speed for the tagged representation's
+robustness until :func:`reset_degradation` clears the state.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Iterable, Iterator
 
-from repro.errors import XadtCodecError
+from repro.engine.faults import FAULTS
+from repro.errors import TransientError, XadtCodecError
+from repro.obs.metrics import METRICS
 from repro.xadt import compress
 from repro.xadt.decode_cache import DECODE_CACHE, event_list_cost
 from repro.xmlkit.chars import escape_attribute, escape_text
@@ -120,8 +131,95 @@ def payload_events(payload: str | bytes, codec: str) -> Iterator[Event]:
     raise XadtCodecError(f"unknown codec {codec!r}")
 
 
+_DECODE_FAULTS = METRICS.counter("xadt.decode_faults")
+_DECODE_FALLBACKS = METRICS.counter("xadt.decode_fallbacks")
+
+
+class DecodeDegradation:
+    """Fault counter that flips compressed decode into tagged fallback.
+
+    ``record_fault()`` is called when a compressed decode raises a
+    :class:`~repro.errors.TransientError`; once ``threshold`` faults
+    accumulate, ``active`` turns on and every subsequent dict decode is
+    served via :func:`_degraded_text` (decompress once, re-serialize to
+    tagged text, tokenize like a plain payload) — that path skips the
+    fault site entirely, which is the point: the tagged decoder keeps
+    working while the compressed one is considered broken.
+    """
+
+    def __init__(self, threshold: int = 3) -> None:
+        self.threshold = threshold
+        self.active = False
+        self.faults = 0
+        self._lock = threading.Lock()
+
+    def record_fault(self) -> bool:
+        """Count one decode fault; returns True once degraded."""
+        _DECODE_FAULTS.inc()
+        with self._lock:
+            self.faults += 1
+            if not self.active and self.faults >= self.threshold:
+                self.active = True
+        return self.active
+
+    def reset(self, threshold: int | None = None) -> None:
+        with self._lock:
+            self.active = False
+            self.faults = 0
+            if threshold is not None:
+                self.threshold = threshold
+
+    def report(self) -> dict[str, object]:
+        return {
+            "active": self.active,
+            "faults": self.faults,
+            "threshold": self.threshold,
+        }
+
+
+#: process-wide degradation state for the dict codec
+DEGRADATION = DecodeDegradation()
+
+
+def reset_degradation(threshold: int | None = None) -> None:
+    """Clear degraded mode (tests; or after the fault source is fixed)."""
+    DEGRADATION.reset(threshold)
+
+
+def _degraded_text(payload: bytes) -> str:
+    """The tagged-text rendering of a dict payload, cached by bytes.
+
+    The one decompression this needs bypasses the fault site: degraded
+    mode models a broken fast path with a trusted slow path, mirroring
+    how an engine falls back from a corrupt compressed page to its
+    uncompressed backup representation.
+    """
+    key = ("dict-text", payload)
+    text = DECODE_CACHE.get(key)
+    if text is None:
+        text = events_to_text(compress.decode_events(payload))
+        DECODE_CACHE.put(key, text, 64 + 2 * len(text))
+    return text  # type: ignore[return-value]
+
+
 def dict_payload_events(payload: bytes) -> Iterator[Event]:
-    """Decode a dict payload, memoizing the event list by payload bytes."""
+    """Decode a dict payload, memoizing the event list by payload bytes.
+
+    This is the ``xadt.decode`` fault site and the degradation switch:
+    transient decode faults are counted, and past the threshold the
+    payload is served through the tagged-text fallback instead.
+    """
+    if DEGRADATION.active:
+        _DECODE_FALLBACKS.inc()
+        return text_to_events(_degraded_text(payload))
+    try:
+        if FAULTS.active:
+            FAULTS.fire("xadt.decode")
+    except TransientError:
+        if DEGRADATION.record_fault():
+            _DECODE_FALLBACKS.inc()
+            return text_to_events(_degraded_text(payload))
+        raise
     if not DECODE_CACHE.enabled:
         return compress.decode_events(payload)
     return iter(dict_payload_event_list(payload))

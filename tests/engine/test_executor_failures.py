@@ -1,0 +1,109 @@
+"""Concurrent executor under failure: typed errors, no poisoned pool."""
+
+import pytest
+
+from repro.engine.database import Database
+from repro.engine.executor import ConcurrentExecutor
+from repro.engine.faults import FAULTS, FaultPlan
+from repro.errors import ConfigError, FaultInjected, UdfError
+
+
+@pytest.fixture(autouse=True)
+def clean_injector():
+    FAULTS.clear()
+    yield
+    FAULTS.clear()
+
+
+@pytest.fixture()
+def db():
+    database = Database("pool")
+    database.execute(
+        "CREATE TABLE t (id INTEGER PRIMARY KEY, parent INTEGER)"
+    )
+    database.bulk_insert("t", [(i, i % 5) for i in range(100)])
+    return database
+
+
+WORKLOAD = ["SELECT id FROM t WHERE parent = 2", "SELECT parent FROM t"]
+
+
+class TestConfig:
+    def test_bad_retry_settings_rejected(self, db):
+        with pytest.raises(ConfigError):
+            ConcurrentExecutor(db, readers=0)
+        with pytest.raises(ConfigError):
+            ConcurrentExecutor(db, max_retries=-1)
+        with pytest.raises(ConfigError):
+            ConcurrentExecutor(db, backoff_seconds=-0.5)
+
+
+class TestReaderFailure:
+    def test_one_failing_reader_does_not_poison_the_pool(self, db):
+        # exactly one injected fault: one reader errors, the rest finish
+        FAULTS.install(FaultPlan().raise_at("io.charge", hit=1))
+        executor = ConcurrentExecutor(db, readers=3)
+        report = executor.run(WORKLOAD, rounds=2)
+        failed = [r for r in report.per_reader if r.error is not None]
+        healthy = [r for r in report.per_reader if r.error is None]
+        assert len(failed) == 1
+        assert isinstance(failed[0].error, FaultInjected)
+        assert len(healthy) == 2
+        for reader in healthy:
+            assert reader.queries == len(WORKLOAD) * 2
+            assert len(reader.results) == len(WORKLOAD)
+        with pytest.raises(FaultInjected):
+            report.raise_errors()
+
+    def test_failed_reader_session_is_closed(self, db):
+        FAULTS.install(FaultPlan().raise_at("io.charge", hit=1))
+        ConcurrentExecutor(db, readers=2).run(WORKLOAD)
+        # every reader session was closed even on the error path
+        assert [s.name for s in db.sessions()] == ["default"]
+
+    def test_fatal_error_reported_not_retried(self, db):
+        db.registry.register_scalar(
+            "always_fails", lambda v: 1 / 0, min_args=1, max_args=1
+        )
+        executor = ConcurrentExecutor(db, readers=2, max_retries=3)
+        report = executor.run(["SELECT always_fails(id) FROM t"])
+        assert all(
+            isinstance(r.error, UdfError) for r in report.per_reader
+        )
+        # UdfError is fatal: the retry loop must not have spun on it
+        assert report.total_retries == 0
+
+    def test_pool_survives_other_databases_queries(self, db):
+        # a failing run leaves the executor reusable
+        FAULTS.install(FaultPlan().raise_at("io.charge", hit=1))
+        executor = ConcurrentExecutor(db, readers=2)
+        executor.run(WORKLOAD)
+        FAULTS.clear()
+        clean = executor.run(WORKLOAD)
+        clean.raise_errors()
+        assert clean.total_queries == 2 * len(WORKLOAD)
+
+
+class TestRetry:
+    def test_transient_fault_absorbed_by_retry(self, db):
+        FAULTS.install(FaultPlan().raise_at("io.charge", hit=1))
+        executor = ConcurrentExecutor(
+            db, readers=2, max_retries=2, backoff_seconds=0.001
+        )
+        report = executor.run(WORKLOAD, rounds=2)
+        report.raise_errors()  # nobody gave up
+        assert report.total_retries == 1
+        assert report.total_queries == 2 * len(WORKLOAD) * 2
+
+    def test_retries_exhausted_surfaces_the_fault(self, db):
+        # the site keeps failing: retries run out and the error surfaces
+        FAULTS.install(
+            FaultPlan().raise_at("io.charge", probability=1.0)
+        )
+        executor = ConcurrentExecutor(
+            db, readers=1, max_retries=2, backoff_seconds=0.001
+        )
+        report = executor.run(["SELECT id FROM t"])
+        reader = report.per_reader[0]
+        assert isinstance(reader.error, FaultInjected)
+        assert reader.retries == 2

@@ -105,22 +105,46 @@ class TestStoreRowAtomicity:
         assert table.row_count() == 2
         assert index.lookup(8) == [1]
 
-    def test_mid_batch_failure_keeps_prefix_consistent(self):
+    def test_mid_batch_failure_rolls_back_whole_batch(self):
+        """A failed bulk_insert is all-or-nothing (DESIGN.md §9)."""
         table = make_table()
         index = build_index(
             IndexDef("u", "t", "parent", "hash", unique=True), table
         )
         table.attach_index(index)
+        before = table.accounting.mark()
         rows = [(1, 10, "a"), (2, 11, "b"), (3, 10, "dup"), (4, 12, "d")]
         with pytest.raises(ExecutionError):
             table.bulk_insert(rows)
-        # the stored prefix is exactly the rows before the bad one
-        assert table.row_count() == 2
-        assert [row[0] for row in table.scan()] == [1, 2]
-        # the rejected row polluted neither the pk set nor the index
-        assert table.insert((3, 13, "retry")) == 2
+        # the stored prefix was rolled back along with the bad row
+        assert table.row_count() == 0
+        assert table.accounting.mark() == before
+        assert index.lookup(10) == []
+        assert index.lookup(11) == []
+        assert index.entry_count() == 0
+        # neither the pk set nor the unique index kept phantom entries:
+        # the same batch minus the duplicate now loads cleanly
+        assert table.bulk_insert(
+            [(1, 10, "a"), (2, 11, "b"), (3, 13, "retry"), (4, 12, "d")]
+        ) == 4
+        assert [row[0] for row in table.scan()] == [1, 2, 3, 4]
         assert index.lookup(10) == [0]
         assert index.lookup(13) == [2]
+
+    def test_mid_batch_failure_rolls_back_btree_and_accounting(self):
+        table = make_table()
+        btree = build_index(IndexDef("b", "t", "id", "btree"), table)
+        table.attach_index(btree)
+        table.bulk_insert([(1, 0, "keep"), (2, 0, "keep")])
+        pages_before = table.data_pages()
+        entries_before = btree.entry_count()
+        with pytest.raises(ExecutionError):
+            table.bulk_insert([(3, 0, "new"), (1, 0, "dup-pk")])
+        assert table.row_count() == 2
+        assert table.data_pages() == pages_before
+        assert btree.entry_count() == entries_before
+        assert btree.lookup(3) == []
+        assert btree.lookup(1) == [0]
 
     def test_failed_row_not_in_any_index(self):
         table = make_table()

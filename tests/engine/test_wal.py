@@ -1,0 +1,182 @@
+"""The write-ahead log: record encoding, transactions, group commit."""
+
+import json
+
+import pytest
+
+from repro.engine.recovery import read_log
+from repro.engine.wal import (
+    WriteAheadLog,
+    decode_row,
+    decode_value,
+    encode_row,
+    encode_value,
+)
+from repro.errors import WalError
+from repro.xadt.fragment import XadtValue
+
+
+class TestValueCodec:
+    def test_native_json_values_pass_through(self):
+        for value in (None, True, 42, 2.5, "text"):
+            assert encode_value(value) == value
+            assert decode_value(encode_value(value)) == value
+
+    def test_bytes_round_trip_via_base64(self):
+        encoded = encode_value(b"\x00\xffraw")
+        assert isinstance(encoded, dict) and "$y" in encoded
+        assert decode_value(encoded) == b"\x00\xffraw"
+
+    def test_plain_xadt_round_trip(self):
+        value = XadtValue.from_xml("<a>x<b/></a>")
+        decoded = decode_value(json.loads(json.dumps(encode_value(value))))
+        assert isinstance(decoded, XadtValue)
+        assert decoded.codec == value.codec
+        assert decoded.payload == value.payload
+
+    def test_dict_xadt_round_trip_through_json(self):
+        value = XadtValue.from_xml("<a attr='v'>x</a>", "dict")
+        decoded = decode_value(json.loads(json.dumps(encode_value(value))))
+        assert decoded.codec == "dict"
+        assert decoded.payload == value.payload
+        assert decoded.to_xml() == value.to_xml()
+
+    def test_row_round_trip(self):
+        row = (1, None, "s", XadtValue.from_xml("<a/>", "dict"))
+        decoded = decode_row(json.loads(json.dumps(encode_row(row))))
+        assert decoded[:3] == row[:3]
+        assert decoded[3].payload == row[3].payload
+
+    def test_unloggable_value_rejected(self):
+        with pytest.raises(WalError):
+            encode_value(object())
+
+    def test_unknown_escape_rejected(self):
+        with pytest.raises(WalError):
+            decode_value({"$z": 1})
+
+
+class TestTransactions:
+    def test_commit_makes_records_durable(self, tmp_path):
+        path = str(tmp_path / "wal.jsonl")
+        wal = WriteAheadLog(path, sync_mode="always")
+        wal.begin()
+        wal.log_insert("t", (1, "a"))
+        wal.end()
+        wal.close()
+        committed, report = read_log(path)
+        assert [r["type"] for r in committed] == ["insert"]
+        assert report.transactions_committed == 1
+        assert not report.torn_tail
+
+    def test_abort_discards_the_transaction(self, tmp_path):
+        path = str(tmp_path / "wal.jsonl")
+        wal = WriteAheadLog(path, sync_mode="always")
+        wal.begin()
+        wal.log_insert("t", (1, "a"))
+        wal.abort()
+        wal.flush()
+        wal.close()
+        committed, report = read_log(path)
+        assert committed == []
+        assert report.transactions_dropped == 1
+
+    def test_nested_begin_shares_one_transaction(self, tmp_path):
+        path = str(tmp_path / "wal.jsonl")
+        wal = WriteAheadLog(path, sync_mode="always")
+        outer = wal.begin()
+        inner = wal.begin()
+        assert inner == outer
+        wal.log_insert("t", (1, "a"))
+        wal.end()
+        wal.log_insert("t", (2, "b"))
+        wal.end()  # outermost exit appends the single commit
+        wal.close()
+        committed, report = read_log(path)
+        assert len(committed) == 2
+        assert report.transactions_committed == 1
+
+    def test_commit_marker_recorded(self, tmp_path):
+        path = str(tmp_path / "wal.jsonl")
+        wal = WriteAheadLog(path, sync_mode="always")
+        wal.begin(marker="doc:0")
+        wal.log_insert("t", (1, "a"))
+        wal.end()
+        wal.close()
+        _, report = read_log(path)
+        assert report.markers == ["doc:0"]
+
+
+class TestGroupCommit:
+    def test_unknown_sync_mode_rejected(self, tmp_path):
+        with pytest.raises(WalError):
+            WriteAheadLog(str(tmp_path / "w"), sync_mode="eventually")
+
+    def test_always_fsyncs_every_commit(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path / "w"), sync_mode="always")
+        for i in range(3):
+            wal.begin()
+            wal.log_insert("t", (i,))
+            wal.end()
+        assert wal.fsyncs == 3
+        assert wal.buffered_bytes == 0
+        wal.close()
+
+    def test_group_window_buffers_commits(self, tmp_path):
+        path = str(tmp_path / "w")
+        wal = WriteAheadLog(path, sync_mode="group", group_window_seconds=60.0)
+        for i in range(3):
+            wal.begin()
+            wal.log_insert("t", (i,))
+            wal.end()
+        # every commit landed inside the window: nothing reached the file
+        assert wal.fsyncs == 0
+        assert wal.buffered_bytes > 0
+        wal.abandon()  # the crash: buffered commits are lost
+        committed, report = read_log(path)
+        assert committed == []
+        assert report.records_read == 0
+
+    def test_off_mode_flushes_only_on_close(self, tmp_path):
+        path = str(tmp_path / "w")
+        wal = WriteAheadLog(path, sync_mode="off")
+        wal.begin()
+        wal.log_insert("t", (1,))
+        wal.end()
+        assert wal.fsyncs == 0
+        wal.close()
+        committed, _ = read_log(path)
+        assert len(committed) == 1
+
+    def test_closed_log_rejects_appends(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path / "w"))
+        wal.close()
+        assert wal.closed
+        with pytest.raises(WalError):
+            wal.begin()
+
+    def test_report_shape(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path / "w"), sync_mode="always")
+        wal.begin()
+        wal.log_insert("t", (1,))
+        wal.end()
+        report = wal.report()
+        assert report["records"] == 2  # insert + commit
+        assert report["commits"] == 1
+        assert report["closed"] is False
+        wal.close()
+
+
+class TestTornTail:
+    def test_torn_line_stops_the_scan(self, tmp_path):
+        path = str(tmp_path / "w")
+        wal = WriteAheadLog(path, sync_mode="always")
+        wal.begin()
+        wal.log_insert("t", (1,))
+        wal.end()
+        wal.close()
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"type":"insert","table":"t","ro')  # torn write
+        committed, report = read_log(path)
+        assert report.torn_tail is True
+        assert [r["type"] for r in committed] == ["insert"]
