@@ -12,6 +12,13 @@ seconds (wall CPU + the simulated 2002 disk model, the paper's reported
 metric) for both schemas and their ratio (XORator / Hybrid; < 1 means
 XORator wins, as the paper reports for all but QS6/QG6-style queries).
 
+``BENCH_qs6.json`` records the QS6 order-access sweep: per Figure 11
+scale, the per-call cost of the QS6-style XADT accesses (``getElmIndex``
+ordinal, ``findKeyInElm`` keyword, ``getElm`` keyword slice) over the
+XORator prologue fragments, tag scan vs the structural index, with the
+speedup ratio (see ``benchmarks/bench_qs6_order_access.py`` for the
+gated version and the ``lines_per_speech=14`` rationale).
+
 A third artifact, ``BENCH_concurrency.json``, records the reader-scaling
 sweep of the session layer: the scan-heavy Fig11 flattening queries run
 on 1/2/4 concurrent reader sessions (``ConcurrentExecutor`` in
@@ -29,12 +36,27 @@ from __future__ import annotations
 import argparse
 import json
 import statistics
+import time
+from dataclasses import replace
 from pathlib import Path
 
-from repro.bench.harness import build_pair, cold_query
+from repro.bench.harness import (
+    BASE_SHAKESPEARE,
+    build_database,
+    build_pair,
+    cold_query,
+)
+from repro.datagen.shakespeare import generate_corpus
+from repro.dtd import samples
 from repro.engine import ConcurrentExecutor
 from repro.engine.config import ExecutionConfig
+from repro.mapping import map_xorator
 from repro.workloads import SHAKESPEARE_QUERIES, SIGMOD_QUERIES
+from repro.workloads import shakespeare_queries
+from repro.xadt import methods
+from repro.xadt.decode_cache import DECODE_CACHE
+from repro.xadt.register import enable_structural_indexes
+from repro.xadt.structural_index import XINDEX, routing
 
 FIGURES = {
     "fig11": ("shakespeare", SHAKESPEARE_QUERIES),
@@ -79,6 +101,80 @@ def sweep(figure: str, scales: list[int], rounds: int) -> dict:
         "metric": "median modeled cold seconds (wall + simulated disk)",
         "engine_config": ExecutionConfig().as_dict(),
         "queries": results,
+    }
+
+
+#: the QS6-style access kinds the structural index serves
+QS6_ACCESS = (
+    ("ordinal", lambda f: methods.get_elm_index(f, "", "LINE", 2, 2)),
+    ("keyword", lambda f: methods.find_key_in_elm(f, "LINE", "love")),
+    ("getelm", lambda f: methods.get_elm(f, "", "LINE", "love")),
+)
+
+
+def _median_access_pass(fn, fragments, routed: bool, rounds: int) -> float:
+    times = []
+    for _ in range(rounds):
+        with routing(routed):
+            started = time.perf_counter()
+            for fragment in fragments:
+                fn(fragment)
+            times.append(time.perf_counter() - started)
+    return statistics.median(times) / len(fragments)
+
+
+def qs6_sweep(scales: list[int], rounds: int) -> dict:
+    """Indexed-vs-scan per-call cost of QS6's order accesses per scale."""
+    results: dict[str, dict] = {}
+    for scale in scales:
+        config = replace(BASE_SHAKESPEARE.scaled(scale), lines_per_speech=14)
+        loaded = build_database(
+            "xorator",
+            map_xorator(samples.shakespeare_simplified()),
+            generate_corpus(config),
+            shakespeare_queries.workload_sql("xorator"),
+            sample_for_codecs=4,
+        )
+        db = loaded.db
+        enable_structural_indexes(db)
+        fragments = [
+            row[0]
+            for row in db.execute(
+                "SELECT speech_line FROM speech "
+                "WHERE speech_parentCODE = 'PROLOGUE'"
+            ).rows
+        ]
+        cell: dict[str, object] = {
+            "fragments": len(fragments),
+            "median_fragment_bytes": statistics.median(
+                fragment.byte_size() for fragment in fragments
+            ),
+        }
+        DECODE_CACHE.enabled = False
+        try:
+            for name, fn in QS6_ACCESS:
+                scan_s = _median_access_pass(fn, fragments, False, rounds)
+                index_s = _median_access_pass(fn, fragments, True, rounds)
+                cell[name] = {
+                    "scan_seconds_per_call": round(scan_s, 9),
+                    "xindex_seconds_per_call": round(index_s, 9),
+                    "speedup": round(scan_s / index_s, 2) if index_s else None,
+                }
+        finally:
+            DECODE_CACHE.enabled = True
+            DECODE_CACHE.clear()
+        XINDEX.clear()
+        results[str(scale)] = cell
+        print(f"qs6: scale x{scale} done ({len(fragments)} fragments)")
+    return {
+        "figure": "qs6_order_access",
+        "dataset": "shakespeare (lines_per_speech=14, paper-sized prologues)",
+        "scales": scales,
+        "rounds": rounds,
+        "metric": "median per-call seconds, tag scan vs structural index "
+                  "(decode cache off)",
+        "engine_config": ExecutionConfig().as_dict(),
+        "access": results,
     }
 
 
@@ -137,6 +233,11 @@ def main() -> None:
         help="comma-separated corpus scale multipliers (default 1,2,4)",
     )
     parser.add_argument(
+        "--qs6-scales", default="1,2,4,8",
+        help="scales for the QS6 order-access sweep (default 1,2,4,8 — "
+             "the Figure 11 scales)",
+    )
+    parser.add_argument(
         "--rounds", type=int, default=5,
         help="cold executions per query; the median is reported",
     )
@@ -155,6 +256,14 @@ def main() -> None:
         path = args.out_dir / f"BENCH_{figure}.json"
         path.write_text(json.dumps(artifact, indent=2) + "\n")
         print(f"wrote {path}")
+
+    qs6_scales = [1] if args.quick else [
+        int(s) for s in args.qs6_scales.split(",") if s.strip()
+    ]
+    artifact = qs6_sweep(qs6_scales, rounds)
+    path = args.out_dir / "BENCH_qs6.json"
+    path.write_text(json.dumps(artifact, indent=2) + "\n")
+    print(f"wrote {path}")
 
     artifact = concurrency_sweep(scales[0], rounds)
     path = args.out_dir / "BENCH_concurrency.json"

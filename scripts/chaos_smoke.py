@@ -1,7 +1,7 @@
 """CI chaos smoke: crash the engine at WAL sites, recover, check parity.
 
-For each of three named fault sites (``wal.append``, ``heap.store_row``,
-``index.publish``) this script
+For each of four named fault sites (``wal.append``, ``heap.store_row``,
+``index.publish``, ``xadt.index_build``) this script
 
 1. starts a WAL-backed database (``sync_mode="always"``) and bulk-loads
    a small Shakespeare XORator corpus with one marked transaction per
@@ -42,6 +42,8 @@ from repro.mapping import map_xorator  # noqa: E402
 from repro.shred import decide_codecs, load_documents  # noqa: E402
 from repro.workloads.shakespeare_queries import workload_sql  # noqa: E402
 from repro.xadt import register_xadt_functions  # noqa: E402
+from repro.xadt.register import enable_structural_indexes  # noqa: E402
+from repro.xadt.structural_index import XINDEX  # noqa: E402
 
 #: (site, 1-based hit at which the process "dies") — hits are chosen to
 #: land mid-load: after some documents committed, before the last one
@@ -114,7 +116,62 @@ def main() -> None:
                 f"torn_tail={report.torn_tail}, Fig11 parity holds"
             )
 
-    print(f"chaos smoke passed: {len(CRASH_POINTS)} crash sites recovered")
+    xindex_stage(schema, documents, codecs, queries, expected)
+
+    print(
+        f"chaos smoke passed: {len(CRASH_POINTS) + 1} crash sites recovered"
+    )
+
+
+def xindex_stage(schema, documents, codecs, queries, expected) -> None:
+    """Crash mid structural-index build, recover, check byte parity.
+
+    With structural indexes enabled, every fragment insert passes the
+    ``xadt.index_build`` fault site before the heap mutation.  A crash
+    there must leave nothing visible (the build is staged until the
+    commit publishes), and after WAL recovery + resumed load the
+    rebuilt indexes must serve **byte-identical** query results to the
+    scan-mode reference fingerprint.
+    """
+    site, hit = "xadt.index_build", 40
+    with tempfile.TemporaryDirectory() as tmp:
+        path = str(Path(tmp) / "wal.jsonl")
+        db = Database.open(path, sync_mode="always")
+        register_xadt_functions(db)
+        enable_structural_indexes(db)
+        FAULTS.install(FaultPlan(seed=hit).crash_at(site, hit=hit))
+        crashed = False
+        try:
+            load_documents(db, schema, documents, codecs)
+        except CrashPoint:
+            crashed = True
+        finally:
+            FAULTS.clear()
+        assert crashed, f"{site}: the crash plan never fired (hit={hit})"
+        db.wal.abandon()
+        # the store is in-process state: a real crash loses it entirely
+        XINDEX.clear()
+
+        recovered = Database.open(path, recover=True)
+        register_xadt_functions(recovered)
+        enable_structural_indexes(recovered)
+        report = recovered.recovery_report
+        load_documents(
+            recovered, schema, documents, codecs,
+            resume_markers=report.markers,
+        )
+        recovered.runstats()
+        assert len(XINDEX) > 0, f"{site}: no indexes republished after recovery"
+        actual = fingerprint(recovered, queries)
+        assert actual == expected, f"{site}: query mismatch after recovery"
+        recovered.close()
+        XINDEX.clear()
+        print(
+            f"ok {site:16} crash at hit {hit}: "
+            f"{len(report.markers)} committed document txn(s), "
+            f"{report.records_replayed} records replayed, indexed results "
+            f"byte-identical to the scan-mode reference"
+        )
 
 
 if __name__ == "__main__":

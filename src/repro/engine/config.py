@@ -18,6 +18,11 @@ and steers the physical layer the planner emits:
 * ``scan_pushdown`` — push single-table predicates and the needed-column
   projection into ``SeqScan``/``IndexScan`` so filtered scans never
   materialize dropped columns.
+* ``xadt_structural_index`` — route the XADT methods through the
+  persistent per-column structural index
+  (:mod:`repro.xadt.structural_index`) when one is published for the
+  fragment.  Off by default: the tag-scan path is the paper-faithful
+  mode whose Fig11/Fig13 shapes the benchmarks reproduce.
 
 Changing the config on a live database bumps its config epoch, which
 invalidates cached plans (their operators bake in batch sizes, compiled
@@ -41,6 +46,7 @@ class ExecutionConfig:
     batch_size: int = DEFAULT_BATCH_SIZE
     compiled_expressions: bool = True
     scan_pushdown: bool = True
+    xadt_structural_index: bool = False
 
     def __post_init__(self) -> None:
         if self.batch_size < 1:
@@ -51,6 +57,7 @@ class ExecutionConfig:
             "batch_size": self.batch_size,
             "compiled_expressions": self.compiled_expressions,
             "scan_pushdown": self.scan_pushdown,
+            "xadt_structural_index": self.xadt_structural_index,
         }
 
 

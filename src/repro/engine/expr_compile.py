@@ -55,6 +55,13 @@ from repro.engine.types import IntegerType, VarcharType
 from repro.engine.udf import FunctionRegistry
 from repro.errors import ExecutionError, PlanError
 
+#: the XADT method names (lowercased) whose calls can route through the
+#: structural index; lowering records them so EXPLAIN can label the
+#: access path (``xadt[xindex]`` vs ``xadt[scan]``)
+XADT_METHOD_NAMES = frozenset(
+    {"getelm", "findkeyinelm", "getelmindex", "elmequals", "elmtext"}
+)
+
 
 # -- arithmetic helpers (bound into generated source) ------------------------
 #
@@ -135,6 +142,8 @@ class _Lowering:
             "_call_scalar": registry.call_scalar,
         }
         self._counter = 0
+        #: XADT method names seen while lowering (for EXPLAIN labels)
+        self.xadt_methods: set[str] = set()
 
     def bind(self, value: object, prefix: str = "_g") -> str:
         name = f"{prefix}{self._counter}"
@@ -163,6 +172,8 @@ class _Lowering:
                 raise PlanError(
                     f"aggregate {expr.name}() in a non-aggregate context"
                 )
+            if expr.name.lower() in XADT_METHOD_NAMES:
+                self.xadt_methods.add(expr.name.lower())
             args = ", ".join(self.lower(arg) for arg in expr.args)
             return f"_call_scalar({expr.name!r}, [{args}])"
         if isinstance(expr, Comparison):
@@ -300,6 +311,7 @@ def compile_row_expr(
 
         return compile_expr(expr, binding, registry, params)
     fn.source = fragment
+    fn.xadt_methods = frozenset(lowering.xadt_methods)
     return fn
 
 
@@ -334,7 +346,8 @@ def compile_projection(
 
         return fallback
     fn.source = source
+    fn.xadt_methods = frozenset(lowering.xadt_methods)
     return fn
 
 
-__all__ = ["compile_projection", "compile_row_expr"]
+__all__ = ["XADT_METHOD_NAMES", "compile_projection", "compile_row_expr"]

@@ -16,6 +16,8 @@ site               fires
 ``xadt.decode``    per compressed (dict-codec) fragment decode
 ``io.charge``      per modelled-I/O charge through the
                    :class:`~repro.engine.io.IoRouter`
+``xadt.index_build``  per structural-index build of one fragment
+                   (:meth:`~repro.xadt.structural_index.StructuralIndexStore.ingest_rows`)
 =================  ====================================================
 
 When no plan is installed the cost at each site is one module-attribute
@@ -54,6 +56,7 @@ SITES = (
     "index.publish",
     "xadt.decode",
     "io.charge",
+    "xadt.index_build",
 )
 
 _INJECTED = METRICS.counter("faults.injected")

@@ -43,7 +43,11 @@ from repro.engine.expr import (
     conjuncts_of,
 )
 from repro.engine.config import DEFAULT_BATCH_SIZE, ExecutionConfig, VECTORIZED
-from repro.engine.expr_compile import compile_projection, compile_row_expr
+from repro.engine.expr_compile import (
+    XADT_METHOD_NAMES,
+    compile_projection,
+    compile_row_expr,
+)
 from repro.engine.index import Index
 from repro.engine.plan import cost as cost_model
 from repro.engine.plan.physical import (
@@ -97,6 +101,29 @@ def _compiler(ctx: PlannerContext):
     if _exec_config(ctx).compiled_expressions:
         return compile_row_expr
     return compile_expr
+
+
+def _xadt_label(config: ExecutionConfig) -> str:
+    """The XADT access-path label this config routes method calls to."""
+    return "xindex" if config.xadt_structural_index else "scan"
+
+
+def _has_xadt_call(expr: Expr | None) -> bool:
+    if expr is None:
+        return False
+    if isinstance(expr, FuncCall) and expr.name.lower() in XADT_METHOD_NAMES:
+        return True
+    return any(_has_xadt_call(child) for child in _children_of(expr))
+
+
+def _xadt_access(exprs, label: str) -> str | None:
+    """``label`` when any expression calls an XADT method, else None.
+
+    Operators carry the label into EXPLAIN (``xadt[xindex]`` vs
+    ``xadt[scan]``) so plans show which access path the fragment methods
+    will take under the catalog's execution config.
+    """
+    return label if any(_has_xadt_call(e) for e in exprs) else None
 
 
 # ---------------------------------------------------------------------------
@@ -220,13 +247,17 @@ def plan_select(
         _needed_columns(stmt, global_binding) if config.scan_pushdown else None
     )
 
+    xadt_label = _xadt_label(config)
     plan = _plan_joins(
         base_refs, heaps, stats, classified, ctx, params, compile_fn, needed
     )
     plan = _plan_laterals(
-        plan, lateral_refs, classified.residual, ctx.registry, params, compile_fn
+        plan, lateral_refs, classified.residual, ctx.registry, params,
+        compile_fn, xadt_label,
     )
-    plan = _plan_output(plan, stmt, ctx.registry, params, compile_fn)
+    plan = _plan_output(
+        plan, stmt, ctx.registry, params, compile_fn, xadt_label
+    )
 
     if config.batch_size != DEFAULT_BATCH_SIZE:
         pending = [plan]
@@ -343,6 +374,7 @@ def _plan_access(
     binding = table_binding(heap, ref.alias)
     projection = _projection_of(heap, ref.qualifier.lower(), needed)
     registry = ctx.registry
+    xadt_label = _xadt_label(_exec_config(ctx))
     selectivity = 1.0
     for conjunct in pushed:
         selectivity *= cost_model.predicate_selectivity(conjunct, table_stats)
@@ -384,6 +416,7 @@ def _plan_access(
             residual_sql=residual.sql() if residual else "",
             io=getattr(ctx, "io", None),
             projection=projection,
+            xadt_access=_xadt_access(rest, xadt_label),
         )
         operator.estimated_rows = estimate
         return operator, estimate
@@ -400,6 +433,7 @@ def _plan_access(
         predicate_sql=predicate.sql() if predicate else "",
         io=getattr(ctx, "io", None),
         projection=projection,
+        xadt_access=_xadt_access(pushed, xadt_label),
     )
     operator.estimated_rows = estimate
     return operator, estimate
@@ -533,6 +567,9 @@ def _plan_joins(
             plan,
             compile_fn(predicate, plan.binding, registry, params),
             predicate.sql(),
+            xadt_access=_xadt_access(
+                [predicate], _xadt_label(_exec_config(ctx))
+            ),
         )
         plan.estimated_rows = current_rows * 0.5
     return plan
@@ -674,6 +711,7 @@ def _plan_laterals(
     registry: FunctionRegistry,
     params: ParamBox | None = None,
     compile_fn=None,
+    xadt_label: str = "scan",
 ) -> Operator:
     if compile_fn is None:
         compile_fn = compile_expr
@@ -702,6 +740,7 @@ def _plan_laterals(
                 plan,
                 compile_fn(predicate, plan.binding, registry, params),
                 predicate.sql(),
+                xadt_access=_xadt_access([predicate], xadt_label),
             )
             plan.estimated_rows = plan.input.estimated_rows * 0.5
     if pending:
@@ -806,6 +845,7 @@ def _plan_output(
     registry: FunctionRegistry,
     params: ParamBox | None = None,
     compile_fn=None,
+    xadt_label: str = "scan",
 ) -> Operator:
     if compile_fn is None:
         compile_fn = compile_expr
@@ -825,7 +865,12 @@ def _plan_output(
             stmt.having, substitutions, plan.binding, registry, params=params,
             compile_fn=compile_fn,
         )
-        plan = Filter(plan, having, stmt.having.sql())
+        plan = Filter(
+            plan,
+            having,
+            stmt.having.sql(),
+            xadt_access=_xadt_access([stmt.having], xadt_label),
+        )
 
     # SELECT list
     select_items = stmt.items
@@ -899,7 +944,16 @@ def _plan_output(
         plan = pre_sort
 
     projected = Project(
-        plan, exprs, projected_slots, tuple_fn=tuple_fn, identity=identity
+        plan,
+        exprs,
+        projected_slots,
+        tuple_fn=tuple_fn,
+        identity=identity,
+        xadt_access=(
+            None
+            if identity
+            else _xadt_access([item.expr for item in select_items], xadt_label)
+        ),
     )
     projected.estimated_rows = plan.estimated_rows
     plan = projected

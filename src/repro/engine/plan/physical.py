@@ -197,6 +197,7 @@ class SeqScan(Operator):
         predicate_sql: str = "",
         io: IoCounters | None = None,
         projection: list[int] | None = None,
+        xadt_access: str | None = None,
     ) -> None:
         self.table = table
         self.alias = alias.lower()
@@ -204,6 +205,7 @@ class SeqScan(Operator):
         self.predicate_sql = predicate_sql
         self.io = io
         self.projection = projection
+        self.xadt_access = xadt_access
         self.binding = _pruned_binding(table, alias, projection)
 
     def _execute(self) -> Iterator[Batch]:
@@ -238,6 +240,8 @@ class SeqScan(Operator):
         if self.projection is not None:
             names = ",".join(slot.name for slot in self.binding.slots)
             suffix += f" cols[{names}]"
+        if self.xadt_access is not None:
+            suffix += f" xadt[{self.xadt_access}]"
         return [
             self._line(
                 depth, f"SeqScan {self.table.schema.name} as {self.alias}{suffix}"
@@ -260,6 +264,7 @@ class IndexScan(Operator):
         io: IoCounters | None = None,
         key_fn: Compiled | None = None,
         projection: list[int] | None = None,
+        xadt_access: str | None = None,
     ) -> None:
         self.table = table
         self.alias = alias.lower()
@@ -273,6 +278,7 @@ class IndexScan(Operator):
         self.residual_sql = residual_sql
         self.io = io
         self.projection = projection
+        self.xadt_access = xadt_access
         self.binding = _pruned_binding(table, alias, projection)
 
     def _execute(self) -> Iterator[Batch]:
@@ -321,6 +327,8 @@ class IndexScan(Operator):
         if self.projection is not None:
             names = ",".join(slot.name for slot in self.binding.slots)
             suffix += f" cols[{names}]"
+        if self.xadt_access is not None:
+            suffix += f" xadt[{self.xadt_access}]"
         return [
             self._line(
                 depth,
@@ -626,10 +634,17 @@ class LateralFunctionScan(Operator):
 class Filter(Operator):
     """Row filter for predicates that could not be pushed into scans/joins."""
 
-    def __init__(self, input_op: Operator, predicate: Compiled, predicate_sql: str = ""):
+    def __init__(
+        self,
+        input_op: Operator,
+        predicate: Compiled,
+        predicate_sql: str = "",
+        xadt_access: str | None = None,
+    ):
         self.input = input_op
         self.predicate = predicate
         self.predicate_sql = predicate_sql
+        self.xadt_access = xadt_access
         self.binding = input_op.binding
 
     def _execute(self) -> Iterator[Batch]:
@@ -647,7 +662,8 @@ class Filter(Operator):
                 yield kept
 
     def explain(self, depth: int = 0) -> list[str]:
-        lines = [self._line(depth, f"Filter [{self.predicate_sql}]")]
+        suffix = f" xadt[{self.xadt_access}]" if self.xadt_access else ""
+        lines = [self._line(depth, f"Filter [{self.predicate_sql}]{suffix}")]
         lines.extend(self.input.explain(depth + 1))
         return lines
 
@@ -669,6 +685,7 @@ class Project(Operator):
         out_slots: list[Slot],
         tuple_fn: Compiled | None = None,
         identity: bool = False,
+        xadt_access: str | None = None,
     ) -> None:
         if len(exprs) != len(out_slots):
             raise ExecutionError("projection arity mismatch")
@@ -676,6 +693,7 @@ class Project(Operator):
         self.exprs = exprs
         self.tuple_fn = tuple_fn
         self.identity = identity
+        self.xadt_access = xadt_access
         self.binding = Binding(out_slots)
 
     def _execute(self) -> Iterator[Batch]:
@@ -698,7 +716,8 @@ class Project(Operator):
 
     def explain(self, depth: int = 0) -> list[str]:
         names = ", ".join(slot.name for slot in self.binding.slots)
-        lines = [self._line(depth, f"Project [{names}]")]
+        suffix = f" xadt[{self.xadt_access}]" if self.xadt_access else ""
+        lines = [self._line(depth, f"Project [{names}]{suffix}")]
         lines.extend(self.input.explain(depth + 1))
         return lines
 

@@ -66,6 +66,22 @@ class XadtValue:
         return cls(storage.encode(xml_text, codec), codec)
 
     @classmethod
+    def wrap_plain(cls, xml_text: str) -> "XadtValue":
+        """A plain-codec value over already well-formed text.
+
+        Skips the constructor's codec/type checks; only for callers that
+        hold text sliced out of an existing validated fragment (e.g. the
+        structural-index method routing).
+        """
+        value = object.__new__(cls)
+        object.__setattr__(value, "codec", PLAIN)
+        object.__setattr__(value, "payload", xml_text)
+        object.__setattr__(value, "_size", None)
+        object.__setattr__(value, "_xml", xml_text)
+        object.__setattr__(value, "_directory", None)
+        return value
+
+    @classmethod
     def from_elements(
         cls, elements: Iterable[Element], codec: str = PLAIN
     ) -> "XadtValue":

@@ -44,6 +44,12 @@ from repro.xadt import fastscan
 from repro.xadt.decode_cache import memoize_predicate
 from repro.xadt.fragment import XadtValue, coerce_fragment
 from repro.xadt.storage import Event, events_to_text
+from repro.xadt.structural_index import (
+    XINDEX,
+    record_hit,
+    record_miss,
+    routing_enabled,
+)
 
 
 def get_elm(
@@ -55,6 +61,14 @@ def get_elm(
 ) -> XadtValue:
     """Return all matching ``root_elm`` elements as a new fragment."""
     value = coerce_fragment(fragment)
+    if level < 0 and routing_enabled():
+        index = XINDEX.lookup(value)
+        if index is not None:
+            record_hit("get_elm")
+            return XadtValue.wrap_plain(
+                index.get_elm(root_elm, search_elm, search_key)
+            )
+        record_miss("get_elm")
     if value.codec == "indexed" and level < 0:
         from repro.xadt import metadata
 
@@ -89,6 +103,12 @@ def find_key_in_elm(fragment: object, search_elm: str, search_key: str) -> int:
             "findKeyInElm: searchElm and searchKey cannot both be empty"
         )
     value = coerce_fragment(fragment)
+    if routing_enabled():
+        index = XINDEX.lookup(value)
+        if index is not None:
+            record_hit("find_key_in_elm")
+            return index.find_key(search_elm, search_key)
+        record_miss("find_key_in_elm")
     if value.codec == "indexed":
         from repro.xadt import metadata
 
@@ -102,6 +122,7 @@ def find_key_in_elm(fragment: object, search_elm: str, search_key: str) -> int:
             lambda: metadata.find_key_in_elm_indexed(
                 value.payload, directory, search_elm, search_key
             ),
+            version=XINDEX.epoch,
         )
     if value.codec == "plain":
         return memoize_predicate(
@@ -111,12 +132,14 @@ def find_key_in_elm(fragment: object, search_elm: str, search_key: str) -> int:
             lambda: fastscan.find_key_in_elm_plain(
                 value.payload, search_elm, search_key
             ),
+            version=XINDEX.epoch,
         )
     return memoize_predicate(
         "findkey-dict",
         value.payload,
         (search_elm, search_key),
         lambda: _find_key_in_events(value, search_elm, search_key),
+        version=XINDEX.epoch,
     )
 
 
@@ -171,6 +194,16 @@ def get_elm_index(
     if not child_elm:
         raise XadtMethodError("getElmIndex: childElm cannot be an empty string")
     value = coerce_fragment(fragment)
+    if routing_enabled():
+        index = XINDEX.lookup(value)
+        if index is not None:
+            record_hit("get_elm_index")
+            return XadtValue.wrap_plain(
+                index.get_elm_index(
+                    parent_elm, child_elm, int(start_pos), int(end_pos)
+                )
+            )
+        record_miss("get_elm_index")
     if value.codec == "indexed":
         from repro.xadt import metadata
 

@@ -1,0 +1,606 @@
+"""Persistent structural index per XADT column (ROADMAP item 3).
+
+The paper's XADT loses exactly where order access dominates (QS6):
+``get_elm_index`` and ``find_key_in_elm`` scan the serialized fragment,
+so intra-fragment access is O(fragment bytes).  Native XML stores
+(XRecursive, RadegastXDB — see PAPERS.md) win this query class with
+persistent structural indexes instead of text scans.  This module is
+that index, grown out of the per-fragment span directories of
+:mod:`repro.xadt.metadata`:
+
+* **tag-path postings** — every root-to-element tag path (``"SPEECH/LINE"``)
+  maps to the entry ids (and through them the byte offsets) of its
+  occurrences, in document order.  ``get_elm`` derives its outermost
+  candidate sets from these postings instead of re-scanning the text.
+* **per-tag ordinal arrays** — ``(parent entry, child tag)`` maps to the
+  document-ordered array of that parent's direct children with the tag,
+  so ``get_elm_index`` resolves a ``startPos..endPos`` ordinal range by
+  array slicing (better than the ~O(log n) the design asked for) instead
+  of walking sibling spans.
+* **inverted keyword map** — every maximal word token of an element's
+  character content posts to the element and its tag, so
+  ``find_key_in_elm`` answers word-key membership without touching the
+  payload text.  Non-word keys (whitespace/punctuation) fall back to a
+  bounded per-span scan of just the matching elements.
+
+One :class:`StructuralIndex` is immutable and fragment-scoped; the
+process-wide :class:`StructuralIndexStore` (:data:`XINDEX`) holds them
+content-keyed per column.  Builds run inside the writer transaction
+(through the ``xadt.index_build`` fault site, charged to the governor's
+statement memory budget) into a *staged* set; the storage engine
+publishes staged indexes together with the catalog snapshot swap, after
+WAL commit — the same commit-before-publish ordering every other index
+follows, so a crash between build and publish loses nothing: recovery
+replays the logged loads and rebuilds deterministically.
+
+Routing is per-statement: the session layer calls
+:func:`statement_routing` with the catalog's
+``ExecutionConfig.xadt_structural_index`` flag, so two databases in one
+process (one paper-faithful, one indexed) never contaminate each other's
+access paths.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Iterable, Iterator
+
+from repro.engine.faults import FAULTS
+from repro.engine.snapshot import active_budget
+from repro.obs.metrics import METRICS
+from repro.xadt import fastscan
+from repro.xadt.metadata import ENTRY_BYTES, HEADER_BYTES, SpanDirectory, SpanEntry
+
+_WORD_RE = re.compile(r"\w+")
+
+#: modelled bytes per posting (one 32-bit entry id)
+_POSTING_BYTES = 4
+#: modelled per-key overhead of a postings map entry
+_KEY_OVERHEAD = 8
+
+_METHODS = ("get_elm", "find_key_in_elm", "get_elm_index")
+_HITS = {m: METRICS.counter(f"xindex.hits.{m}") for m in _METHODS}
+_MISSES = {m: METRICS.counter(f"xindex.misses.{m}") for m in _METHODS}
+_BUILDS = METRICS.counter("xindex.builds")
+_BUILD_SECONDS = METRICS.histogram("xindex.build_seconds")
+
+
+def record_hit(method: str) -> None:
+    _HITS[method].inc()
+
+
+def record_miss(method: str) -> None:
+    _MISSES[method].inc()
+
+
+# ---------------------------------------------------------------------------
+# per-fragment index
+# ---------------------------------------------------------------------------
+
+
+class StructuralIndex:
+    """The structural index of one fragment's tagged text.
+
+    Built once from the fragment text (for the dict codec, its canonical
+    serialization — element serialization is context-free, so subtree
+    slices of the rendered text equal the event walk's output for the
+    subtree).  All answers are parity-equal to the fastscan
+    implementations in :mod:`repro.xadt.fastscan`; the randomized suite
+    in ``tests/xadt/test_structural_index.py`` enforces that.
+    """
+
+    __slots__ = (
+        "text",
+        "entries",
+        "_by_tag",
+        "_by_path",
+        "_outermost",
+        "_ordinals",
+        "_top_ordinals",
+        "_token_tags",
+        "_token_entries",
+        "_tag_blob",
+        "_doc_blob",
+        "_doc_tokens",
+        "_text_content",
+        "_byte_size",
+    )
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        directory = SpanDirectory.build(text)
+        self.entries: list[SpanEntry] = directory.entries
+        by_tag: dict[str, list[int]] = {}
+        by_path: dict[str, list[int]] = {}
+        ordinals: dict[tuple[int, str], list[int]] = {}
+        paths: list[str] = []
+        for index, entry in enumerate(self.entries):
+            by_tag.setdefault(entry.tag, []).append(index)
+            path = (
+                entry.tag
+                if entry.parent == -1
+                else paths[entry.parent] + "/" + entry.tag
+            )
+            paths.append(path)
+            by_path.setdefault(path, []).append(index)
+            ordinals.setdefault((entry.parent, entry.tag), []).append(index)
+        self._by_tag = by_tag
+        self._by_path = by_path
+        self._ordinals = {key: tuple(ids) for key, ids in ordinals.items()}
+        # the empty-parent case (QS6's top-level sibling list) is the hot
+        # one: give it its own tag-keyed map, no tuple key construction
+        self._top_ordinals = {
+            tag: ids
+            for (parent, tag), ids in self._ordinals.items()
+            if parent == -1
+        }
+        # outermost occurrences of a tag, derived from the path postings:
+        # an occurrence is non-nested exactly when its root path contains
+        # the tag once (as the final segment).
+        outermost: dict[str, list[int]] = {}
+        for path, ids in by_path.items():
+            segments = path.split("/")
+            tag = segments[-1]
+            if segments.count(tag) == 1:
+                outermost.setdefault(tag, []).extend(ids)
+        self._outermost = {
+            tag: tuple(sorted(ids)) for tag, ids in outermost.items()
+        }
+        # inverted keyword map: maximal word runs of each element's
+        # concatenated character content (the same concatenation
+        # fastscan.text_of sees, so tokens never split at nested tags).
+        token_tags: dict[str, set[str]] = {}
+        token_entries: dict[str, list[int]] = {}
+        for index, entry in enumerate(self.entries):
+            if entry.content_end <= entry.content_start:
+                continue
+            content_text = fastscan.text_of(entry.content(text))
+            for token in set(_WORD_RE.findall(content_text)):
+                token_tags.setdefault(token, set()).add(entry.tag)
+                token_entries.setdefault(token, []).append(index)
+        self._token_tags = {
+            token: frozenset(tags) for token, tags in token_tags.items()
+        }
+        self._token_entries = {
+            token: tuple(ids) for token, ids in token_entries.items()
+        }
+        # per-tag token blobs: every token of a tag's elements joined on
+        # NUL.  A word key is \w+ so a match can never span the
+        # separator — word-key membership (exact or substring-of-token)
+        # collapses to one C-speed ``key in blob`` test.
+        tag_tokens: dict[str, set[str]] = {}
+        for token, tags in token_tags.items():
+            for tag in tags:
+                tag_tokens.setdefault(tag, set()).add(token)
+        self._tag_blob = {
+            tag: "\x00".join(tokens) for tag, tokens in tag_tokens.items()
+        }
+        # whole-document tokens: covers top-level text and word runs that
+        # straddle element boundaries once tags are stripped.
+        self._doc_tokens = frozenset(_WORD_RE.findall(fastscan.text_of(text)))
+        self._doc_blob = "\x00".join(self._doc_tokens)
+        self._text_content: str | None = None
+        self._byte_size = self._model_bytes()
+
+    @classmethod
+    def from_payload(cls, payload: str | bytes, codec: str) -> "StructuralIndex":
+        """Build from a stored payload via its canonical text rendering."""
+        from repro.xadt.storage import payload_text
+
+        return cls(payload_text(payload, codec))
+
+    # -- layout ------------------------------------------------------------
+
+    def _model_bytes(self) -> int:
+        """Modelled storage cost (the governor charges this on build)."""
+        if not self.entries:
+            return HEADER_BYTES
+        cost = HEADER_BYTES + ENTRY_BYTES * len(self.entries)
+        for tag in self._by_tag:
+            cost += len(tag.encode("utf-8")) + _KEY_OVERHEAD
+        for path, ids in self._by_path.items():
+            cost += len(path.encode("utf-8")) + _KEY_OVERHEAD
+            cost += _POSTING_BYTES * len(ids)
+        for ids in self._ordinals.values():
+            cost += _KEY_OVERHEAD + _POSTING_BYTES * len(ids)
+        for token, ids in self._token_entries.items():
+            cost += len(token.encode("utf-8")) + _KEY_OVERHEAD
+            cost += _POSTING_BYTES * len(ids)
+        cost += sum(
+            len(t.encode("utf-8")) + _POSTING_BYTES for t in self._doc_tokens
+        )
+        cost += len(self._doc_blob.encode("utf-8"))
+        cost += sum(len(b.encode("utf-8")) for b in self._tag_blob.values())
+        return cost
+
+    def byte_size(self) -> int:
+        return self._byte_size
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    @property
+    def text_content(self) -> str:
+        if self._text_content is None:
+            self._text_content = fastscan.text_of(self.text)
+        return self._text_content
+
+    def has_path(self, path: str) -> bool:
+        return path in self._by_path
+
+    def path_postings(self, path: str) -> tuple[int, ...]:
+        """Entry ids stored under a root-to-element tag path."""
+        return tuple(self._by_path.get(path, ()))
+
+    def path_offsets(self, path: str) -> tuple[int, ...]:
+        """Byte offsets ('<' positions) of a tag path's occurrences."""
+        return tuple(
+            self.entries[i].start for i in self._by_path.get(path, ())
+        )
+
+    def paths(self) -> Iterator[str]:
+        return iter(self._by_path)
+
+    # -- method implementations -------------------------------------------
+
+    def _entry_text(self, index: int) -> str:
+        return fastscan.text_of(self.entries[index].content(self.text))
+
+    def _key_in_entry(self, index: int, search_key: str) -> bool:
+        return search_key in self._entry_text(index)
+
+    def find_key(self, search_elm: str, search_key: str) -> int:
+        """``findKeyInElm`` over the index (same 0/1 contract)."""
+        if not search_elm:
+            if not search_key:
+                return 1
+            if _WORD_RE.fullmatch(search_key):
+                return 1 if search_key in self._doc_blob else 0
+            return 1 if search_key in self.text_content else 0
+        if search_elm not in self._by_tag:
+            return 0
+        if not search_key:
+            return 1
+        if _WORD_RE.fullmatch(search_key):
+            blob = self._tag_blob.get(search_elm)
+            return 1 if blob and search_key in blob else 0
+        # non-word key: bounded scan of just the outermost matching spans
+        for index in self._outermost.get(search_elm, ()):
+            if self._key_in_entry(index, search_key):
+                return 1
+        return 0
+
+    def get_elm_index(
+        self, parent_elm: str, child_elm: str, start_pos: int, end_pos: int
+    ) -> str:
+        """``getElmIndex`` via the ordinal arrays (array slice per parent)."""
+        lo = max(start_pos - 1, 0)
+        hi = max(end_pos, 0)
+        if hi <= lo:
+            return ""
+        text = self.text
+        entries = self.entries
+        if not parent_elm:
+            seq = self._top_ordinals.get(child_elm, ())
+            return "".join(entries[i].slice(text) for i in seq[lo:hi])
+        ordinals = self._ordinals
+        matched: list[str] = []
+        for parent_index in self._outermost.get(parent_elm, ()):
+            seq = ordinals.get((parent_index, child_elm), ())
+            for i in seq[lo:hi]:
+                matched.append(entries[i].slice(text))
+        return "".join(matched)
+
+    def get_elm(self, root_elm: str, search_elm: str, search_key: str) -> str:
+        """``getElm`` (unlimited level) via path postings + keyword map."""
+        if root_elm:
+            candidates: Iterable[int] = self._outermost.get(root_elm, ())
+        else:
+            candidates = self._ordinals_top_level()
+        # word keys prune the candidate walk through the inverted map:
+        # only entries whose content holds a token containing the key can
+        # satisfy the key test.
+        key_entries: frozenset[int] | None = None
+        if search_key and _WORD_RE.fullmatch(search_key):
+            hits: set[int] = set()
+            for token, ids in self._token_entries.items():
+                if search_key in token:
+                    hits.update(ids)
+            key_entries = frozenset(hits)
+        text = self.text
+        entries = self.entries
+        matched: list[str] = []
+        for candidate in candidates:
+            if self._candidate_matches(
+                candidate, search_elm, search_key, key_entries
+            ):
+                matched.append(entries[candidate].slice(text))
+        return "".join(matched)
+
+    def _ordinals_top_level(self) -> list[int]:
+        top = [
+            i for (parent, _), ids in self._ordinals.items()
+            if parent == -1 for i in ids
+        ]
+        top.sort()
+        return top
+
+    def _candidate_matches(
+        self,
+        candidate: int,
+        search_elm: str,
+        search_key: str,
+        key_entries: frozenset[int] | None,
+    ) -> bool:
+        if not search_elm and not search_key:
+            return True
+        entries = self.entries
+        root = entries[candidate]
+        if not search_elm:
+            if key_entries is not None:
+                return candidate in key_entries
+            return search_key in self._entry_text(candidate)
+        # descendant-or-self: containment includes the candidate itself
+        # when the tags coincide (QE1's rootElm == searchElm case).
+        for index in self._by_tag.get(search_elm, ()):
+            if not root.contains(entries[index]):
+                continue
+            if not search_key:
+                return True
+            if key_entries is not None:
+                if index in key_entries:
+                    return True
+            elif self._key_in_entry(index, search_key):
+                return True
+        return False
+
+
+# ---------------------------------------------------------------------------
+# per-statement routing
+# ---------------------------------------------------------------------------
+
+#: per-statement routing override: True/False pins the access path for
+#: the current statement (set by the session layer from the catalog's
+#: ExecutionConfig); None falls back to whether the store holds columns.
+_ROUTING: ContextVar[bool | None] = ContextVar("xadt_structural_routing", default=None)
+
+
+def routing_enabled() -> bool:
+    override = _ROUTING.get()
+    if override is not None:
+        return override
+    return XINDEX.active
+
+
+@contextmanager
+def routing(enabled: bool):
+    """Pin the access path for a code block (tests and benchmarks)."""
+    token = _ROUTING.set(enabled)
+    try:
+        yield
+    finally:
+        _ROUTING.reset(token)
+
+
+@contextmanager
+def statement_routing(enabled: bool):
+    """Session-layer wrapper: pin the path for one statement's execution."""
+    token = _ROUTING.set(enabled)
+    try:
+        yield
+    finally:
+        _ROUTING.reset(token)
+
+
+# ---------------------------------------------------------------------------
+# column-level store
+# ---------------------------------------------------------------------------
+
+
+class ColumnStats:
+    """Build accounting for one registered XADT column."""
+
+    __slots__ = ("table", "column", "fragments", "bytes", "entries")
+
+    def __init__(self, table: str, column: str) -> None:
+        self.table = table
+        self.column = column
+        self.fragments = 0
+        self.bytes = 0
+        self.entries = 0
+
+    def report(self) -> dict[str, object]:
+        return {
+            "table": self.table,
+            "column": self.column,
+            "fragments": self.fragments,
+            "bytes": self.bytes,
+            "entries": self.entries,
+        }
+
+
+class StructuralIndexStore:
+    """Content-keyed structural indexes for the registered XADT columns.
+
+    ``ingest_rows`` (writer transaction) builds into a staged set;
+    ``publish`` (called by the storage engine after the WAL commit,
+    alongside the catalog snapshot swap) merges staged indexes into a
+    fresh published map and swaps it atomically — readers only ever see
+    the published map, which is what makes lookups snapshot-consistent:
+    a statement pinned to catalog version *v* can only observe indexes
+    published at or before *v*, never a build in flight.
+
+    ``epoch`` counts generations (publishes that changed the map, and
+    clears); the XADT methods key their memoized predicate verdicts on
+    it so a rebuilt index can never serve a verdict computed against the
+    previous generation.
+    """
+
+    def __init__(self) -> None:
+        self.active = False
+        self.epoch = 0
+        self.catalog_version = 0
+        self._columns: dict[tuple[str, str], ColumnStats] = {}
+        self._published: dict[object, StructuralIndex] = {}
+        self._staged: dict[object, tuple[StructuralIndex, tuple[str, str]]] = {}
+        self._lock = threading.Lock()
+
+    # -- registration ------------------------------------------------------
+
+    def register_column(self, table: str, column: str) -> None:
+        key = (table.lower(), column.lower())
+        with self._lock:
+            if key not in self._columns:
+                self._columns[key] = ColumnStats(*key)
+            self.active = True
+
+    def unregister_table(self, table: str) -> None:
+        name = table.lower()
+        with self._lock:
+            for key in [k for k in self._columns if k[0] == name]:
+                del self._columns[key]
+            if not self._columns:
+                self.active = False
+
+    def columns_for(self, table: str) -> list[str]:
+        name = table.lower()
+        return [col for (tbl, col) in self._columns if tbl == name]
+
+    # -- build / publish ---------------------------------------------------
+
+    def ingest_rows(
+        self,
+        table: str,
+        column_names: list[str],
+        rows: Iterable[tuple],
+    ) -> int:
+        """Build staged indexes for every new fragment in ``rows``.
+
+        Runs inside the writer transaction.  Each fragment build passes
+        the ``xadt.index_build`` fault site first — a chaos crash there
+        leaves only staged (invisible) state behind, and the WAL replay
+        rebuilds it.  Modelled index bytes are charged to the active
+        statement budget, so runaway builds trip the governor like any
+        other memory hog.
+        """
+        targets = [
+            position
+            for position, name in enumerate(column_names)
+            if (table.lower(), name.lower()) in self._columns
+        ]
+        if not targets:
+            return 0
+        built = 0
+        budget = active_budget()
+        for row in rows:
+            for position in targets:
+                value = row[position]
+                if value is None or not getattr(value, "__xadt__", False):
+                    continue
+                payload = value.payload
+                if payload in self._published or payload in self._staged:
+                    continue
+                if FAULTS.active:
+                    FAULTS.fire("xadt.index_build")
+                started = time.perf_counter()
+                index = StructuralIndex(value.to_xml())
+                _BUILD_SECONDS.observe(time.perf_counter() - started)
+                _BUILDS.inc()
+                key = (table.lower(), column_names[position].lower())
+                self._staged[payload] = (index, key)
+                if budget is not None:
+                    budget.charge_memory(index.byte_size())
+                built += 1
+        return built
+
+    def publish(self, catalog_version: int) -> None:
+        """Merge staged indexes into a fresh published map (atomic swap)."""
+        with self._lock:
+            self.catalog_version = catalog_version
+            if not self._staged:
+                return
+            merged = dict(self._published)
+            for payload, (index, key) in self._staged.items():
+                merged[payload] = index
+                stats = self._columns.get(key)
+                if stats is not None:
+                    stats.fragments += 1
+                    stats.bytes += index.byte_size()
+                    stats.entries += len(index)
+            self._published = merged
+            self._staged = {}
+            self.epoch += 1
+
+    def discard_staged(self) -> None:
+        """Drop staged builds (a writer transaction rolled back)."""
+        with self._lock:
+            self._staged = {}
+
+    # -- reads -------------------------------------------------------------
+
+    def lookup(self, value: object) -> StructuralIndex | None:
+        """The published index of a fragment, or None (never staged)."""
+        return self._published.get(getattr(value, "payload", None))
+
+    def __len__(self) -> int:
+        return len(self._published)
+
+    # -- maintenance -------------------------------------------------------
+
+    def clear(self) -> None:
+        """Forget everything (a cold process start in the chaos harness)."""
+        with self._lock:
+            self._published = {}
+            self._staged = {}
+            self._columns = {}
+            self.active = False
+            self.epoch += 1
+
+    def total_bytes(self) -> int:
+        return sum(index.byte_size() for index in self._published.values())
+
+    def report(self) -> dict[str, object]:
+        with self._lock:
+            columns = [stats.report() for stats in self._columns.values()]
+        return {
+            "active": self.active,
+            "epoch": self.epoch,
+            "catalog_version": self.catalog_version,
+            "fragments": len(self._published),
+            "staged": len(self._staged),
+            "bytes": self.total_bytes(),
+            "columns": columns,
+        }
+
+
+#: the process-wide store the XADT methods and the engine consult
+XINDEX = StructuralIndexStore()
+
+
+def _collect_metrics() -> dict[str, float]:
+    report = XINDEX.report()
+    return {
+        "xindex.fragments": report["fragments"],
+        "xindex.bytes": report["bytes"],
+        "xindex.columns": len(report["columns"]),
+        "xindex.epoch": report["epoch"],
+    }
+
+
+METRICS.register_collector("xadt.xindex", _collect_metrics)
+
+
+__all__ = [
+    "StructuralIndex",
+    "StructuralIndexStore",
+    "XINDEX",
+    "record_hit",
+    "record_miss",
+    "routing",
+    "routing_enabled",
+    "statement_routing",
+]
