@@ -16,6 +16,13 @@ Figure 11 query set: it drains each XORator plan twice per round —
 
 and asserts the *off* total is at most 5 % above *raw* (plus a small
 absolute epsilon so microsecond-scale totals cannot trip the ratio).
+
+A second gate covers the statement-statistics collector
+(:data:`repro.obs.statements.STATEMENTS`): running the same workload
+through ``Database.execute`` with statement stats *and* wait profiling
+enabled must stay within 10 % of the collector-off path — the cost of
+one observation object, the wait-sink contextvar set/reset, and one
+locked dict fold per statement.
 """
 
 from __future__ import annotations
@@ -25,11 +32,13 @@ import time
 import pytest
 from conftest import print_report
 
-from repro.obs import METRICS, TRACER, walk
+from repro.obs import METRICS, STATEMENTS, TRACER, walk
 from repro.workloads import SHAKESPEARE_QUERIES
 
 #: allowed relative overhead of the instrumented-but-disabled path
 OVERHEAD_BOUND = 0.05
+#: allowed relative overhead with statement stats + wait profiling on
+STATEMENTS_BOUND = 0.10
 #: absolute slack in seconds (guards tiny totals against timer noise)
 ABSOLUTE_EPSILON = 0.002
 #: timing rounds per query; the minimum is the reported figure
@@ -122,6 +131,57 @@ def test_disabled_instrumentation_within_bound(shakespeare_pair_x1, benchmark):
         benchmark(lambda: [_drain_seconds(plan) for _, plan in plans])
     finally:
         METRICS.enabled = True
+        TRACER.enabled = prior_trace
+
+
+def test_statement_stats_overhead_within_bound(shakespeare_pair_x1, benchmark):
+    """Statement stats + wait profiling cost <=10% on ``Database.execute``.
+
+    Unlike the iterator-path gate above, this measures the full
+    statement path (parse/plan-cache/execute) because that is where the
+    collector hooks in; plans are cached by the warmup, so per-statement
+    bookkeeping is the dominant delta being bounded.
+    """
+    db = shakespeare_pair_x1.xorator.db
+    workload = [query.xorator_sql for query in SHAKESPEARE_QUERIES]
+    prior_trace = TRACER.enabled
+    TRACER.enabled = False
+    STATEMENTS.reset()
+    STATEMENTS.disable()
+
+    def run_workload() -> float:
+        started = time.perf_counter()
+        for sql in workload:
+            db.execute(sql)
+        return time.perf_counter() - started
+
+    try:
+        run_workload()  # warm plan cache and decode cache
+        off_best = float("inf")
+        on_best = float("inf")
+        for _ in range(ROUNDS):
+            STATEMENTS.disable()
+            off_best = min(off_best, run_workload())
+            STATEMENTS.enable(profile_waits=True)
+            on_best = min(on_best, run_workload())
+        overhead = on_best / off_best - 1.0 if off_best else 0.0
+        print_report(
+            "Statement-statistics overhead — collector+wait profiling vs "
+            "collector off (Figure 11 XORator queries, Database.execute)",
+            f"off {off_best * 1000:.3f}ms  on {on_best * 1000:.3f}ms  "
+            f"overhead {overhead:.1%}  (bound {STATEMENTS_BOUND:.0%} + "
+            f"{ABSOLUTE_EPSILON * 1000:.0f}ms epsilon, min of {ROUNDS} "
+            f"rounds; {len(STATEMENTS.statements())} keys tracked)",
+        )
+        assert on_best <= off_best * (1.0 + STATEMENTS_BOUND) + ABSOLUTE_EPSILON, (
+            f"statement-stats path {on_best:.6f}s exceeds off path "
+            f"{off_best:.6f}s by more than {STATEMENTS_BOUND:.0%}"
+        )
+        STATEMENTS.disable()
+        benchmark(run_workload)
+    finally:
+        STATEMENTS.disable()
+        STATEMENTS.reset()
         TRACER.enabled = prior_trace
 
 

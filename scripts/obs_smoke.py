@@ -4,7 +4,11 @@ Builds a small Shakespeare XORator database, runs one Figure 11 query
 under EXPLAIN ANALYZE with tracing on, dumps the trace in Chrome
 trace-event JSON, and validates the dump against the checked-in schema
 (``schemas/trace.schema.json``) with a dependency-free mini validator —
-CI must not install jsonschema.
+CI must not install jsonschema.  Then exercises the statement-statistics
+stack: enables ``STATEMENTS``, runs the workload observed, queries
+``sys_statements`` *through SQL*, checks the wait breakdown sums to the
+measured wall time, validates ``METRICS.snapshot()`` against
+``schemas/metrics.schema.json``, and renders the Prometheus exposition.
 
 Usage::
 
@@ -29,13 +33,20 @@ from repro.datagen.shakespeare import (  # noqa: E402
 )
 from repro.dtd import samples  # noqa: E402
 from repro.mapping import map_xorator  # noqa: E402
-from repro.obs import METRICS, TRACER  # noqa: E402
+from repro.obs import METRICS, STATEMENTS, TRACER  # noqa: E402
+from repro.obs.prometheus import render_prometheus  # noqa: E402
 from repro.workloads import SHAKESPEARE_QUERIES  # noqa: E402
 from repro.workloads.shakespeare_queries import workload_sql  # noqa: E402
 
 
 def validate(instance, schema, path="$"):
-    """Minimal JSON Schema check: type/enum/required/properties/items/minItems."""
+    """Minimal JSON Schema check.
+
+    Supports type/enum/required/properties/additionalProperties/items/
+    minItems — enough for the two checked-in schemas.  A dict-valued
+    ``additionalProperties`` is applied to every key ``properties``
+    does not name (the map-of-histograms shape in the metrics schema).
+    """
     expected = schema.get("type")
     if expected:
         matched = {
@@ -55,9 +66,15 @@ def validate(instance, schema, path="$"):
     if isinstance(instance, dict):
         for name in schema.get("required", ()):
             assert name in instance, f"{path}: missing required key {name!r}"
-        for name, subschema in schema.get("properties", {}).items():
+        named = schema.get("properties", {})
+        for name, subschema in named.items():
             if name in instance:
                 validate(instance[name], subschema, f"{path}.{name}")
+        extra = schema.get("additionalProperties")
+        if isinstance(extra, dict):
+            for name, value in instance.items():
+                if name not in named:
+                    validate(value, extra, f"{path}.{name}")
     if isinstance(instance, list):
         if "minItems" in schema:
             assert len(instance) >= schema["minItems"], (
@@ -129,6 +146,64 @@ def main() -> int:
     print(
         f"trace: {len(payload['traceEvents'])} events "
         f"({len(operator_events)} operator spans) -> {output}; schema OK"
+    )
+
+    # -- statement statistics, sys.* views, Prometheus --------------------
+    print("\nenabling statement statistics ...")
+    STATEMENTS.reset()
+    STATEMENTS.enable()
+    try:
+        db.execute(query.xorator_sql)
+        db.execute(query.xorator_sql)
+        top = db.execute(
+            "SELECT query, calls, total_ms, rows_returned "
+            "FROM sys_statements ORDER BY total_ms DESC"
+        )
+        assert top.rows, "sys_statements is empty after observed queries"
+        by_key = {row[0]: row for row in top.rows}
+        observed = [row for row in top.rows if row[1] >= 2]
+        assert observed, f"no statement saw 2 calls: {sorted(by_key)}"
+
+        stats = STATEMENTS.statements()[0]
+        wall = stats.total_seconds
+        attributed = sum(stats.waits.values())
+        assert wall > 0.0, "no wall time recorded"
+        drift = abs(attributed - wall) / wall
+        assert drift <= 0.10, (
+            f"wait breakdown ({attributed:.6f}s) drifts {drift:.1%} from "
+            f"wall ({wall:.6f}s)"
+        )
+        print(
+            f"sys_statements: {len(top.rows)} tracked; slowest "
+            f"{stats.key[:60]!r} ({stats.calls} calls); wait breakdown "
+            f"within {drift:.1%} of wall"
+        )
+    finally:
+        STATEMENTS.disable()
+
+    snapshot = METRICS.snapshot()
+    metrics_schema = json.loads(
+        (REPO_ROOT / "schemas" / "metrics.schema.json").read_text(
+            encoding="utf-8"
+        )
+    )
+    validate(snapshot, metrics_schema)
+    assert not snapshot["collector_errors"], snapshot["collector_errors"]
+
+    exposition = render_prometheus(snapshot)
+    lines = exposition.splitlines()
+    assert any(
+        line.startswith("repro_plan_cache_hits ") for line in lines
+    ), "plan-cache counter missing from Prometheus exposition"
+    inf_buckets = [line for line in lines if 'le="+Inf"' in line]
+    assert inf_buckets, "no +Inf histogram bucket in Prometheus exposition"
+    for name, data in snapshot["histograms"].items():
+        prom = name.replace(".", "_").replace("-", "_")
+        expected = f"repro_{prom}_count {data['count']}"
+        assert expected in lines, f"missing or stale sample: {expected}"
+    print(
+        f"metrics: snapshot schema OK; Prometheus exposition {len(lines)} "
+        f"lines, {len(inf_buckets)} +Inf buckets"
     )
     return 0
 

@@ -21,7 +21,14 @@ commands (interactive or piped):
 * ``\\cache`` — plan-cache and XADT decode-cache counters;
 * ``\\sessions`` — open sessions with pinned snapshot epoch and per-kind
   query counts;
-* ``\\metrics [json|reset]`` — the process metrics registry;
+* ``\\metrics [json|prom|reset]`` — the process metrics registry
+  (``prom`` renders the Prometheus text exposition format);
+* ``\\statements [N|on|off|reset]`` — statement-level statistics: the
+  top-N statements by total time, or toggle/clear the collector;
+* ``\\waits`` — database-wide wait profile (where statement wall time
+  went: parse, plan, execute, wal.fsync, io.stall, ...);
+* ``\\slowlog [N|set <file> [threshold_ms]|off]`` — the slow-query log:
+  show the most recent entries, attach a JSONL log file, or detach;
 * ``\\trace on|off|dump [file]`` — query tracing (Chrome trace format);
 * ``\\governor [set <limit> <value>|off]`` — show or change the resource
   governor's database-wide limits (``timeout`` seconds, ``rows``,
@@ -42,7 +49,8 @@ from repro.bench.harness import build_pair
 from repro.engine.database import Database
 from repro.errors import ReproError
 from repro.mapping.base import MappedSchema
-from repro.obs import METRICS, TRACER
+from repro.obs import METRICS, STATEMENTS, TRACER, SlowQueryLog
+from repro.obs.prometheus import render_prometheus
 from repro.xquery import compile_path, parse_path
 
 
@@ -80,6 +88,12 @@ class Shell:
                 self._print_sessions()
             elif line == "\\metrics" or line.startswith("\\metrics "):
                 self._run_metrics(line[len("\\metrics"):].strip())
+            elif line == "\\statements" or line.startswith("\\statements "):
+                self._run_statements(line[len("\\statements"):].strip())
+            elif line == "\\waits":
+                self._print_waits()
+            elif line == "\\slowlog" or line.startswith("\\slowlog "):
+                self._run_slowlog(line[len("\\slowlog"):].strip())
             elif line.startswith("\\trace"):
                 self._run_trace(line[len("\\trace"):].strip())
             elif line == "\\governor" or line.startswith("\\governor "):
@@ -91,8 +105,9 @@ class Shell:
             elif line.startswith("\\"):
                 self._print(f"unknown command {line.split()[0]!r}; try \\dt, "
                             f"\\d, \\explain, \\analyze, \\path, \\io, "
-                            f"\\cache, \\sessions, \\metrics, \\trace, "
-                            f"\\governor, \\wal, \\xindex, \\q")
+                            f"\\cache, \\sessions, \\metrics, \\statements, "
+                            f"\\waits, \\slowlog, \\trace, \\governor, "
+                            f"\\wal, \\xindex, \\q")
             else:
                 self._run_sql(line)
         except ReproError as exc:
@@ -191,12 +206,15 @@ class Shell:
         if argument == "json":
             self._print(METRICS.to_json(indent=2))
             return
+        if argument == "prom":
+            self._print(render_prometheus(METRICS.snapshot()).rstrip("\n"))
+            return
         if argument == "reset":
             METRICS.reset()
             self._print("metrics reset.")
             return
         if argument:
-            self._print("usage: \\metrics [json|reset]")
+            self._print("usage: \\metrics [json|prom|reset]")
             return
         snapshot = METRICS.snapshot()
         state = "on" if snapshot["enabled"] else "off"
@@ -210,6 +228,130 @@ class Shell:
             self._print(
                 f"  {name:40}{data['count']:>14}  "
                 f"(mean {mean * 1000:.3f} ms)"
+            )
+
+    def _run_statements(self, argument: str) -> None:
+        if argument == "on":
+            STATEMENTS.enable()
+            self._print("statement statistics on.")
+            return
+        if argument == "off":
+            STATEMENTS.disable()
+            self._print("statement statistics off.")
+            return
+        if argument == "reset":
+            STATEMENTS.reset()
+            self._print("statement statistics reset.")
+            return
+        if argument:
+            try:
+                top = int(argument)
+            except ValueError:
+                self._print("usage: \\statements [N|on|off|reset]")
+                return
+        else:
+            top = 10
+        state = "on" if STATEMENTS.enabled else "off"
+        entries = STATEMENTS.statements()[:top]
+        if not entries:
+            self._print(
+                f"statement statistics ({state}): no statements tracked"
+                + ("" if STATEMENTS.enabled
+                   else "; enable with \\statements on")
+            )
+            return
+        self._print(
+            f"statement statistics ({state}), top {len(entries)} by "
+            f"total time:"
+        )
+        self._print(
+            f"{'calls':>7}{'total ms':>10}{'mean ms':>9}{'p95 ms':>9}"
+            f"{'rows':>9}{'hit%':>6}  query"
+        )
+        for stats in entries:
+            probes = stats.plan_cache_hits + stats.plan_cache_misses
+            hit_rate = (
+                f"{stats.plan_cache_hits / probes:.0%}" if probes else "-"
+            )
+            key = stats.key if len(stats.key) <= 48 else stats.key[:45] + "..."
+            self._print(
+                f"{stats.calls:>7}{stats.total_seconds * 1000:>10.2f}"
+                f"{stats.mean_seconds * 1000:>9.3f}"
+                f"{stats.p95_seconds * 1000:>9.3f}"
+                f"{stats.rows_returned:>9}{hit_rate:>6}  {key}"
+            )
+
+    def _print_waits(self) -> None:
+        totals = STATEMENTS.wait_totals()
+        if not totals:
+            state = "on" if STATEMENTS.enabled else "off"
+            self._print(
+                f"wait profile ({state}): nothing recorded"
+                + ("" if STATEMENTS.enabled
+                   else "; enable with \\statements on")
+            )
+            return
+        wall = sum(totals.values())
+        self._print(f"wait profile ({wall * 1000:.2f} ms observed wall):")
+        for name, seconds in sorted(
+            totals.items(), key=lambda item: item[1], reverse=True
+        ):
+            share = seconds / wall if wall else 0.0
+            self._print(
+                f"  {name:20}{seconds * 1000:>12.2f} ms{share:>8.1%}"
+            )
+
+    def _run_slowlog(self, argument: str) -> None:
+        parts = argument.split()
+        if parts and parts[0] == "set":
+            if len(parts) not in (2, 3):
+                self._print("usage: \\slowlog [N|set <file> [threshold_ms]"
+                            "|off]")
+                return
+            threshold = 100.0
+            if len(parts) == 3:
+                try:
+                    threshold = float(parts[2])
+                except ValueError:
+                    self._print(f"not a number: {parts[2]!r}")
+                    return
+            STATEMENTS.attach_slow_log(
+                SlowQueryLog(parts[1], threshold_ms=threshold)
+            )
+            self._print(
+                f"slow-query log -> {parts[1]} (threshold {threshold} ms)"
+            )
+            return
+        if parts and parts[0] == "off":
+            STATEMENTS.attach_slow_log(None)
+            self._print("slow-query log detached.")
+            return
+        if parts:
+            try:
+                count = int(parts[0])
+            except ValueError:
+                self._print("usage: \\slowlog [N|set <file> [threshold_ms]"
+                            "|off]")
+                return
+        else:
+            count = 10
+        log = STATEMENTS.slow_log
+        if log is None:
+            self._print(
+                "slow-query log: not attached; "
+                "attach with \\slowlog set <file> [threshold_ms]"
+            )
+            return
+        self._print(
+            f"slow-query log: {log.path} (threshold {log.threshold_ms} ms, "
+            f"{log.entries_written} written, {log.rotations} rotation(s))"
+        )
+        for record in log.tail(count):
+            error = record.get("error")
+            suffix = f"  [{error}]" if error else ""
+            self._print(
+                f"  {record['ms']:>10.2f} ms  session {record['session']}"
+                f"  {record['key']}{suffix}"
             )
 
     def _run_trace(self, argument: str) -> None:

@@ -67,6 +67,11 @@ from repro.engine.sql.parser import parse_sql
 from repro.engine.statistics import TableStats, collect_stats
 from repro.engine.storage import HeapTable
 from repro.engine.storage_engine import StorageEngine
+from repro.engine.system_views import (
+    SystemViewTable,
+    install_system_views,
+    is_system_view_name,
+)
 from repro.engine.types import type_from_name
 from repro.engine.udf import FunctionRegistry
 from repro.engine.wal import WriteAheadLog
@@ -78,6 +83,7 @@ from repro.obs.explain import (
     detach_stats,
 )
 from repro.obs.metrics import METRICS
+from repro.obs.statements import STATEMENTS
 from repro.obs.trace import TRACER
 
 
@@ -104,6 +110,12 @@ class Database:
         #: compiled-plan cache; capacity 0 re-plans every execution
         self.plan_cache = PlanCache(plan_cache_capacity)
         self.engine.attach_plan_cache(self.plan_cache)
+        #: read-only sys.* telemetry relations (catalog-registered, but
+        #: never part of the storage engine's heap map — see
+        #: repro.engine.system_views)
+        self._system_views: dict[str, SystemViewTable] = (
+            install_system_views(self)
+        )
         #: open sessions by id (the default session is id 0)
         self._sessions: dict[int, Session] = {}
         self._session_ids = itertools.count(1)
@@ -282,7 +294,8 @@ class Database:
         schema = self.heap(table).schema
         names = [column.name for column in schema.columns]
         try:
-            XINDEX.ingest_rows(table, names, rows)
+            with TRACER.span("xindex.build", cat="xadt", args={"table": table}):
+                XINDEX.ingest_rows(table, names, rows)
         except BaseException:
             # a failed (or crashed) statement must not leak its builds
             # into the next publish
@@ -341,6 +354,9 @@ class Database:
     # -- PlannerContext protocol (live view, for explain/advisor paths) ----
 
     def heap(self, table_name: str) -> HeapTable:
+        view = self._system_views.get(table_name.lower())
+        if view is not None:
+            return view
         return self.engine.heap(table_name)
 
     def stats_for(self, table_name: str) -> TableStats | None:
@@ -358,7 +374,15 @@ class Database:
 
     # -- DDL -------------------------------------------------------------------
 
+    def _reject_system_name(self, name: str, action: str) -> None:
+        if is_system_view_name(name):
+            raise CatalogError(
+                f"cannot {action} {name!r}: the sys_* namespace is "
+                f"reserved for system views"
+            )
+
     def create_table(self, schema: TableSchema) -> None:
+        self._reject_system_name(schema.name, "create table")
         with self._write() as version:
             if self._wal is not None:
                 self._wal.log_create_table(schema)
@@ -368,6 +392,7 @@ class Database:
                 self._register_structural_columns(schema)
 
     def drop_table(self, name: str) -> None:
+        self._reject_system_name(name, "drop table")
         with self._write() as version:
             if self._wal is not None:
                 self._wal.log_drop_table(name)
@@ -388,6 +413,8 @@ class Database:
     ) -> None:
         from repro.engine.types import XadtType
 
+        self._reject_system_name(table, "index system view")
+        self._reject_system_name(name, "create index")
         column_type = self.catalog.table(table).column(column).sql_type
         if isinstance(column_type, XadtType) and kind == "btree":
             raise CatalogError(
@@ -404,6 +431,8 @@ class Database:
     # -- DML ---------------------------------------------------------------------
 
     def insert(self, table: str, row: tuple | list) -> int:
+        # refuse before anything reaches the WAL
+        self._reject_system_name(table, "insert into")
         row = tuple(row)
         with self._write():
             if self._wal is not None:
@@ -420,6 +449,7 @@ class Database:
         When the database-wide governor sets a statement timeout, the
         load checks it every 256 rows.
         """
+        self._reject_system_name(table, "insert into")
         logged = self._wal is not None and not self._wal.closed
         structural = self._structural_enabled()
         if logged or structural:
@@ -648,6 +678,8 @@ class Database:
         Advances the catalog version: cached plans are purged at publish
         time so fresh statistics can change the chosen access paths.
         """
+        if table is not None:
+            self._reject_system_name(table, "collect statistics on")
         with self._write() as version:
             if self._wal is not None:
                 self._wal.log_runstats(table)
@@ -722,6 +754,8 @@ class Database:
                 "trace_events": len(TRACER.events),
                 "trace_dropped_events": TRACER.dropped_events,
                 "trace_buffer_bytes": TRACER.buffer_bytes(),
+                "statements": STATEMENTS.report(),
+                "system_views": sorted(self._system_views),
             },
         }
 

@@ -37,7 +37,9 @@ import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Sequence
 
+from repro.engine.plan_cache import normalize_sql
 from repro.errors import ConfigError, TransientError
+from repro.obs.statements import STATEMENTS
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.engine.database import Database
@@ -186,6 +188,13 @@ class ConcurrentExecutor:
                         if self.io_stalls and disk > 0:
                             report.stall_seconds += disk
                             time.sleep(disk)
+                            if STATEMENTS.enabled:
+                                # the stall happens after execute()
+                                # returned, outside the statement's
+                                # wait sink — attribute it directly
+                                STATEMENTS.record_wait(
+                                    normalize_sql(sql), "io.stall", disk
+                                )
                         if final_round:
                             report.results.append(result)
                 report.wall_seconds = time.perf_counter() - started

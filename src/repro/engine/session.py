@@ -38,9 +38,20 @@ from repro.engine.result import Result
 from repro.engine.snapshot import EngineSnapshot, activate, deactivate
 from repro.engine.sql.ast import SelectStmt, Statement, count_parameters
 from repro.engine.sql.parser import parse_sql
-from repro.errors import CatalogError, ExecutionError
-from repro.obs.explain import AnalyzeReport
+from repro.errors import (
+    CatalogError,
+    ExecutionError,
+    ResourceExceeded,
+    StatementTimeout,
+)
+from repro.obs.explain import (
+    AnalyzeReport,
+    attach_stats,
+    build_report,
+    detach_stats,
+)
 from repro.obs.metrics import METRICS
+from repro.obs.statements import STATEMENTS, StatementObservation
 from repro.obs.trace import TRACER
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -59,6 +70,23 @@ _QUERY_HISTOGRAMS = {
 
 #: statements executed through any session (all databases)
 _SESSION_QUERIES = METRICS.counter("session.queries")
+
+#: the WAL's byte counter (shared instance) — read before/after an
+#: observed statement for the best-effort per-statement WAL-byte delta
+_WAL_BYTES = METRICS.counter("wal.bytes_written")
+
+#: the process-wide XADT decode cache, resolved lazily (repro.xadt's
+#: package init imports this module's importer)
+_DECODE_CACHE = None
+
+
+def _decode_cache_hits() -> int:
+    global _DECODE_CACHE
+    if _DECODE_CACHE is None:
+        from repro.xadt.decode_cache import DECODE_CACHE
+
+        _DECODE_CACHE = DECODE_CACHE
+    return _DECODE_CACHE.stats.hits
 
 
 def statement_routing(enabled: bool):
@@ -111,6 +139,11 @@ class _PlannerView:
         return self._catalog.exec_config
 
     def heap(self, table_name: str) -> "HeapTable":
+        # sys.* views live outside the snapshot machinery: they are
+        # materialized at scan time, never published
+        view = self._db._system_views.get(table_name.lower())
+        if view is not None:
+            return view
         if self._snapshot is not None:
             heap = self._snapshot.heaps.get(table_name.lower())
             if heap is None:
@@ -196,6 +229,11 @@ class Session:
         key = normalize_sql(sql)
         kind = _statement_kind(key)
         started = time.perf_counter()
+        observation = STATEMENTS.begin(key, kind, self.session_id)
+        if observation is not None:
+            return self._execute_observed(
+                observation, key, kind, sql, params, started
+            )
         with TRACER.span("query", args={"sql": key[:200], "kind": kind}):
             if kind == "select":
                 result = self._execute_select(key, None, sql, params)
@@ -206,6 +244,60 @@ class Session:
         self._count(kind)
         _QUERY_HISTOGRAMS[kind].observe(time.perf_counter() - started)
         return result
+
+    def _execute_observed(
+        self,
+        observation: StatementObservation,
+        key: str,
+        kind: str,
+        sql: str,
+        params: tuple | list,
+        started: float,
+    ) -> Result:
+        """``execute`` with the statement collector's bookkeeping on."""
+        error: BaseException | None = None
+        decode_start = _decode_cache_hits()
+        wal_start = _WAL_BYTES.value
+        try:
+            with TRACER.span("query", args={"sql": key[:200], "kind": kind}):
+                if kind == "select":
+                    result = self._execute_select(
+                        key, None, sql, params, observation
+                    )
+                else:
+                    with TRACER.span("parse"):
+                        statement = parse_sql(sql)
+                    result = self._execute_write(statement, params)
+            self._note_result(observation, result, decode_start, wal_start)
+            self._count(kind)
+            _QUERY_HISTOGRAMS[kind].observe(time.perf_counter() - started)
+            return result
+        except BaseException as exc:
+            error = exc
+            if isinstance(exc, (StatementTimeout, ResourceExceeded)):
+                observation.governor_abort = True
+            raise
+        finally:
+            STATEMENTS.finish(observation, error=error)
+
+    @staticmethod
+    def _note_result(
+        observation: StatementObservation,
+        result: Result,
+        decode_start: int,
+        wal_start: int,
+    ) -> None:
+        observation.rows = len(result.rows)
+        if STATEMENTS.track_result_bytes:
+            observation.bytes = sum(
+                estimate_row_bytes(row) for row in result.rows
+            )
+        # deltas of process-wide counters: exact single-threaded,
+        # best-effort (may over-attribute) under concurrent writers
+        observation.decode_cache_hits = max(
+            0, _decode_cache_hits() - decode_start
+        )
+        observation.wal_bytes = max(0, _WAL_BYTES.value - wal_start)
 
     def prepare(self, sql: str) -> "PreparedStatement":
         """Parse ``sql`` once; execute it repeatedly with bind values."""
@@ -243,13 +335,19 @@ class Session:
         _SESSION_QUERIES.inc()
 
     def _execute_prepared(
-        self, key: str, statement: Statement, params: tuple | list
+        self,
+        key: str,
+        statement: Statement,
+        params: tuple | list,
+        observation: StatementObservation | None = None,
     ) -> Result:
         """Prepared-statement entry point (statement already parsed)."""
         self._check_open()
         kind = _statement_kind(key)
         if isinstance(statement, SelectStmt):
-            result = self._execute_select(key, statement, None, params)
+            result = self._execute_select(
+                key, statement, None, params, observation
+            )
         else:
             result = self._execute_write(statement, params)
         self._count(kind)
@@ -261,24 +359,28 @@ class Session:
         statement: SelectStmt | None,
         sql: str | None,
         params: tuple | list,
+        observation: StatementObservation | None = None,
     ) -> Result:
         pin = self._pin()
         # one consistent catalog state for lookup, planning, and store —
         # the version cannot move between the cache probe and the compile
         catalog = pin.catalog if pin is not None else self._db.catalog
         entry = self._db.plan_cache.lookup(key, catalog.version)
+        if observation is not None:
+            observation.plan_cache_hit = entry is not None
         if entry is None:
             if statement is None:
                 with TRACER.span("parse"):
                     statement = parse_sql(sql)
             entry = self._db._build_entry(statement, key, catalog, pin)
-        return self._run_select(entry, params, pin)
+        return self._run_select(entry, params, pin, observation)
 
     def _run_select(
         self,
         entry: CachedPlan,
         params: tuple | list,
         pin: EngineSnapshot | None,
+        observation: StatementObservation | None = None,
     ) -> Result:
         entry.params.bind(tuple(params))
         columns = [slot.name for slot in entry.plan.binding.slots]
@@ -294,6 +396,15 @@ class Session:
             if pin is not None or budget is not None
             else None
         )
+        # slow-log plan capture: instrument the cached plan for this
+        # execution only (skipped if another execution already holds
+        # instrumentation on the shared plan)
+        capture = (
+            observation is not None
+            and STATEMENTS.capture_explain()
+            and getattr(entry.plan, "stats", None) is None
+        )
+        nodes = attach_stats(entry.plan) if capture else None
         try:
             with TRACER.span("execute") as span, statement_routing(
                 config.xadt_structural_index
@@ -318,6 +429,17 @@ class Session:
         finally:
             if token is not None:
                 deactivate(token)
+            if nodes is not None:
+                try:
+                    report = build_report(nodes, {}, None)
+                    observation.plan_text = "\n".join(
+                        line
+                        for line in report.text().splitlines()
+                        if not line.startswith("phases:")
+                    )
+                except Exception:  # noqa: BLE001 - capture is best-effort
+                    pass
+                detach_stats(nodes)
         return Result(columns, rows)
 
     def _select_entry(self, key: str, statement: SelectStmt) -> CachedPlan:
@@ -333,7 +455,8 @@ class Session:
         self, statement: Statement, params: tuple | list
     ) -> Result:
         """Writes bypass the pin: they run on the live writer path."""
-        result = self._db._execute_statement(statement, params)
+        with TRACER.span("execute"):
+            result = self._db._execute_statement(statement, params)
         # read-your-writes: re-pin so this session's next read sees the
         # version its own write published
         if self.snapshot_reads:
@@ -367,12 +490,38 @@ class PreparedStatement:
     def execute(self, *params: object) -> Result:
         kind = _statement_kind(self._key)
         started = time.perf_counter()
-        with TRACER.span("query", args={"sql": self._key[:200], "kind": kind}):
-            result = self._session._execute_prepared(
-                self._key, self._statement, params
-            )
-        _QUERY_HISTOGRAMS[kind].observe(time.perf_counter() - started)
-        return result
+        observation = STATEMENTS.begin(
+            self._key, kind, self._session.session_id
+        )
+        if observation is None:
+            with TRACER.span(
+                "query", args={"sql": self._key[:200], "kind": kind}
+            ):
+                result = self._session._execute_prepared(
+                    self._key, self._statement, params
+                )
+            _QUERY_HISTOGRAMS[kind].observe(time.perf_counter() - started)
+            return result
+        error: BaseException | None = None
+        decode_start = _decode_cache_hits()
+        wal_start = _WAL_BYTES.value
+        try:
+            with TRACER.span(
+                "query", args={"sql": self._key[:200], "kind": kind}
+            ):
+                result = self._session._execute_prepared(
+                    self._key, self._statement, params, observation
+                )
+            Session._note_result(observation, result, decode_start, wal_start)
+            _QUERY_HISTOGRAMS[kind].observe(time.perf_counter() - started)
+            return result
+        except BaseException as exc:
+            error = exc
+            if isinstance(exc, (StatementTimeout, ResourceExceeded)):
+                observation.governor_abort = True
+            raise
+        finally:
+            STATEMENTS.finish(observation, error=error)
 
     def explain(self) -> str:
         """The physical plan this statement currently executes."""

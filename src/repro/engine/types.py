@@ -1,7 +1,8 @@
 """SQL data types for the engine.
 
 Three types cover the paper's schemas: INTEGER, VARCHAR, and the XADT
-(the paper's XML abstract data type).  Each type knows how to validate
+(the paper's XML abstract data type); DOUBLE exists for the telemetry
+system views, which expose latencies.  Each type knows how to validate
 and coerce Python values and how many bytes a value occupies on a page,
 which drives the database/index size accounting behind Tables 1 and 2.
 
@@ -67,6 +68,29 @@ class IntegerType(SqlType):
 
     def byte_width(self, value: object) -> int:
         return 0 if value is None else 4
+
+
+class FloatType(SqlType):
+    """A double-precision float (used by the sys.* telemetry views)."""
+
+    name = "DOUBLE"
+
+    def validate(self, value: object) -> object:
+        if value is None:
+            return None
+        if isinstance(value, bool):
+            raise TypeMismatchError("BOOLEAN is not valid for DOUBLE columns")
+        if isinstance(value, (int, float)):
+            return float(value)
+        if isinstance(value, str):
+            try:
+                return float(value)
+            except ValueError:
+                raise TypeMismatchError(f"cannot parse {value!r} as DOUBLE") from None
+        raise TypeMismatchError(f"cannot store {type(value).__name__} in DOUBLE")
+
+    def byte_width(self, value: object) -> int:
+        return 0 if value is None else 8
 
 
 class VarcharType(SqlType):
@@ -139,6 +163,7 @@ class XadtType(SqlType):
 
 
 INTEGER = IntegerType()
+DOUBLE = FloatType()
 VARCHAR = VarcharType()
 XADT = XadtType()
 
@@ -148,6 +173,8 @@ def type_from_name(name: str) -> SqlType:
     text = name.strip().upper()
     if text == "INTEGER" or text == "INT":
         return INTEGER
+    if text in ("DOUBLE", "FLOAT", "REAL"):
+        return DOUBLE
     if text == "XADT":
         return XADT
     if text == "VARCHAR" or text == "STRING":

@@ -52,6 +52,7 @@ import time
 from repro.engine.faults import FAULTS
 from repro.errors import WalError
 from repro.obs.metrics import METRICS
+from repro.obs.trace import TRACER
 
 _APPENDS = METRICS.counter("wal.appends")
 _COMMITS = METRICS.counter("wal.commits")
@@ -322,8 +323,10 @@ class WriteAheadLog:
             self._buffered_bytes = 0
             _BYTES.inc(len(payload))
         if sync:
-            self._file.flush()
-            _SYNC(self._file.fileno())
+            # the span doubles as the statement profiler's wal.fsync wait
+            with TRACER.span("wal.fsync", cat="wal"):
+                self._file.flush()
+                _SYNC(self._file.fileno())
             self._last_fsync = time.monotonic()
             self.fsyncs += 1
             _FSYNCS.inc()

@@ -1,6 +1,6 @@
-"""Engine-wide observability: metrics, query tracing, EXPLAIN ANALYZE.
+"""Engine-wide observability: metrics, tracing, statements, exporters.
 
-Three cooperating pieces (see DESIGN.md "Observability"):
+Five cooperating pieces (see DESIGN.md "Observability"):
 
 * :mod:`repro.obs.metrics` — a process-wide registry of counters,
   gauges, and fixed-bucket histograms that the plan cache, UDF
@@ -8,9 +8,16 @@ Three cooperating pieces (see DESIGN.md "Observability"):
   into; snapshot/JSON export via ``METRICS.snapshot()``.
 * :mod:`repro.obs.trace` — span recording in the Chrome trace-event
   format (``TRACER``), covering parse/plan/execute phases and, under
-  EXPLAIN ANALYZE, per-operator spans.
+  EXPLAIN ANALYZE, per-operator spans; also the per-thread wait sink
+  (``WAIT_SINK``) statement profiling taps.
 * :mod:`repro.obs.explain` — the runtime operator statistics and the
   report behind ``Database.explain_analyze()``.
+* :mod:`repro.obs.statements` — the pg_stat_statements-style collector
+  (``STATEMENTS``): per-statement call/latency/row aggregates keyed on
+  normalized SQL, wait breakdowns, a flight recorder, and the
+  threshold-triggered slow-query log.
+* :mod:`repro.obs.prometheus` — ``render_prometheus`` renders a metrics
+  snapshot in the Prometheus text exposition format.
 
 Importing this package pulls in no engine modules, so every engine
 subsystem can depend on it without cycles.
@@ -34,7 +41,15 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
 )
-from repro.obs.trace import DEFAULT_MAX_EVENTS, TRACER, Tracer
+from repro.obs.prometheus import render_prometheus, sanitize_name
+from repro.obs.statements import (
+    STATEMENTS,
+    SlowQueryLog,
+    StatementStats,
+    StatementStatsCollector,
+    WAIT_NAMES,
+)
+from repro.obs.trace import DEFAULT_MAX_EVENTS, TRACER, WAIT_SINK, Tracer
 
 __all__ = [
     "AnalyzeReport",
@@ -48,10 +63,18 @@ __all__ = [
     "MetricsRegistry",
     "OperatorReport",
     "OperatorStats",
+    "STATEMENTS",
+    "SlowQueryLog",
+    "StatementStats",
+    "StatementStatsCollector",
     "TRACER",
     "Tracer",
+    "WAIT_NAMES",
+    "WAIT_SINK",
     "attach_stats",
     "build_report",
     "detach_stats",
+    "render_prometheus",
+    "sanitize_name",
     "walk",
 ]

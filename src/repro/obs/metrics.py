@@ -125,10 +125,36 @@ class Histogram:
         self.sum = 0.0
         self.count = 0
 
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile from bucket upper bounds.
+
+        Reports the boundary of the bucket holding the target rank
+        (overflow observations report the last boundary) — the same
+        upper-bound estimate Prometheus' ``histogram_quantile`` would
+        give for these fixed buckets.
+        """
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        running = 0
+        for index, cell in enumerate(self.counts):
+            running += cell
+            if running >= target:
+                return self.buckets[min(index, len(self.buckets) - 1)]
+        return self.buckets[-1]
+
     def as_dict(self) -> dict[str, object]:
+        cumulative: list[int] = []
+        running = 0
+        for cell in self.counts:
+            running += cell
+            cumulative.append(running)
         return {
             "buckets": list(self.buckets),
             "counts": list(self.counts),
+            # cumulative[i] = observations <= buckets[i]; the final cell is
+            # the +Inf bucket and always equals ``count``
+            "cumulative": cumulative,
             "sum": self.sum,
             "count": self.count,
         }
@@ -196,21 +222,40 @@ class MetricsRegistry:
     # -- reading ----------------------------------------------------------
 
     def snapshot(self) -> dict[str, object]:
-        """A JSON-serializable view of every instrument and collector."""
+        """A JSON-serializable view of every instrument and collector.
+
+        Counter values and histogram cells are read under each
+        instrument's own lock in one pass, so a snapshot taken while
+        writers are active never sees a histogram whose ``sum`` and
+        ``counts`` disagree.  Collector callbacks are isolated: one that
+        raises degrades to a ``collector.<name>.error`` gauge plus an
+        entry in ``collector_errors`` instead of breaking the snapshot.
+        """
+        counters: dict[str, int] = {}
+        for name, counter in sorted(self._counters.items()):
+            with counter._lock:
+                counters[name] = counter.value
         gauges = {name: g.value for name, g in sorted(self._gauges.items())}
-        for fn in self._collectors.values():
-            for name, value in fn().items():
+        collector_errors: dict[str, str] = {}
+        for cname, fn in sorted(self._collectors.items()):
+            try:
+                values = fn()
+            except Exception as exc:  # noqa: BLE001 - isolation is the point
+                gauges[f"collector.{cname}.error"] = 1.0
+                collector_errors[cname] = f"{type(exc).__name__}: {exc}"
+                continue
+            for name, value in values.items():
                 gauges[name] = value
+        histograms: dict[str, object] = {}
+        for name, histogram in sorted(self._histograms.items()):
+            with histogram._lock:
+                histograms[name] = histogram.as_dict()
         return {
             "enabled": self.enabled,
-            "counters": {
-                name: c.value for name, c in sorted(self._counters.items())
-            },
+            "counters": counters,
             "gauges": dict(sorted(gauges.items())),
-            "histograms": {
-                name: h.as_dict()
-                for name, h in sorted(self._histograms.items())
-            },
+            "histograms": histograms,
+            "collector_errors": collector_errors,
         }
 
     def to_json(self, indent: int | None = None) -> str:

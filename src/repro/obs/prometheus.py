@@ -1,0 +1,86 @@
+"""Prometheus text-exposition rendering over the metrics registry.
+
+:func:`render_prometheus` turns one ``METRICS.snapshot()`` into the
+Prometheus text format (version 0.0.4): counters and gauges become
+single samples, histograms become the standard cumulative
+``_bucket{le="..."}`` series ending at ``le="+Inf"`` plus ``_sum`` and
+``_count`` — exactly what the histogram's ``cumulative`` cells encode,
+so no re-aggregation happens here.  Metric names are sanitized to the
+``[a-zA-Z_][a-zA-Z0-9_]*`` charset (dots become underscores) and
+prefixed (default ``repro_``) so the engine's series namespace under a
+shared scrape target.
+
+This is a pure snapshot -> text function: the upcoming server PR mounts
+it at ``/metrics``, and the CLI prints it for ``\\metrics prom``.
+"""
+
+from __future__ import annotations
+
+#: default metric-name prefix
+DEFAULT_PREFIX = "repro"
+
+_ALLOWED = set(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_"
+)
+
+
+def sanitize_name(name: str, prefix: str = DEFAULT_PREFIX) -> str:
+    """A registry metric name -> a legal Prometheus metric name."""
+    cleaned = "".join(c if c in _ALLOWED else "_" for c in name)
+    if prefix:
+        cleaned = f"{prefix}_{cleaned}"
+    if cleaned[0].isdigit():
+        cleaned = f"_{cleaned}"
+    return cleaned
+
+
+def _format_value(value: object) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, float):
+        return repr(value)
+    return str(value)
+
+
+def _format_le(bound: float) -> str:
+    """A bucket boundary as Prometheus renders it (no trailing zeros)."""
+    text = repr(bound)
+    return text[:-2] if text.endswith(".0") else text
+
+
+def render_prometheus(
+    snapshot: dict[str, object], prefix: str = DEFAULT_PREFIX
+) -> str:
+    """One registry snapshot -> Prometheus text exposition."""
+    lines: list[str] = []
+    for name, value in snapshot.get("counters", {}).items():  # type: ignore[union-attr]
+        metric = sanitize_name(name, prefix)
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_format_value(value)}")
+    for name, value in snapshot.get("gauges", {}).items():  # type: ignore[union-attr]
+        metric = sanitize_name(name, prefix)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_format_value(value)}")
+    for name, data in snapshot.get("histograms", {}).items():  # type: ignore[union-attr]
+        metric = sanitize_name(name, prefix)
+        buckets = data["buckets"]
+        cumulative = data.get("cumulative")
+        if cumulative is None:
+            # derive from per-bucket counts for pre-upgrade snapshots
+            cumulative = []
+            running = 0
+            for cell in data["counts"]:
+                running += cell
+                cumulative.append(running)
+        lines.append(f"# TYPE {metric} histogram")
+        for bound, running in zip(buckets, cumulative):
+            lines.append(
+                f'{metric}_bucket{{le="{_format_le(bound)}"}} {running}'
+            )
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {data["count"]}')
+        lines.append(f"{metric}_sum {_format_value(float(data['sum']))}")
+        lines.append(f"{metric}_count {data['count']}")
+    return "\n".join(lines) + "\n"
+
+
+__all__ = ["DEFAULT_PREFIX", "render_prometheus", "sanitize_name"]

@@ -22,10 +22,20 @@ from __future__ import annotations
 
 import json
 import time
+from contextvars import ContextVar
 from typing import Iterator
 
 #: default event-buffer bound (one query traces ~5-50 events)
 DEFAULT_MAX_EVENTS = 100_000
+
+#: per-thread wait sink for the statement profiler: when a dict is
+#: installed here, every closing span adds its duration under its span
+#: name (``repro.obs.statements`` installs one per observed statement).
+#: Spans fire whenever tracing OR a sink is active, so wait profiling
+#: works with the Chrome trace buffer off.
+WAIT_SINK: ContextVar["dict[str, float] | None"] = ContextVar(
+    "repro.obs.wait_sink", default=None
+)
 
 #: rough per-event in-memory bytes, for size accounting
 _EVENT_OVERHEAD = 160
@@ -66,9 +76,14 @@ class _Span:
 
     def __exit__(self, *exc_info: object) -> None:
         end = time.perf_counter()
-        self.tracer.add_complete(
-            self.name, self.cat, self._start, end - self._start, self.args
-        )
+        duration = end - self._start
+        if self.tracer.enabled:
+            self.tracer.add_complete(
+                self.name, self.cat, self._start, duration, self.args
+            )
+        sink = WAIT_SINK.get()
+        if sink is not None:
+            sink[self.name] = sink.get(self.name, 0.0) + duration
 
 
 class Tracer:
@@ -86,8 +101,13 @@ class Tracer:
 
     def span(self, name: str, cat: str = "engine",
              args: dict | None = None) -> "_Span | _NullSpan":
-        """Context manager timing one phase; no-op while disabled."""
-        if not self.enabled:
+        """Context manager timing one phase.
+
+        No-op unless tracing is enabled or this thread has a wait sink
+        installed (statement wait profiling) — the fully-off cost is one
+        attribute check plus one contextvar read.
+        """
+        if not self.enabled and WAIT_SINK.get() is None:
             return _NULL_SPAN
         return _Span(self, name, cat, args)
 
@@ -232,4 +252,5 @@ __all__ = [
     "DEFAULT_MAX_EVENTS",
     "TRACER",
     "Tracer",
+    "WAIT_SINK",
 ]

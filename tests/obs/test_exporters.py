@@ -1,0 +1,159 @@
+"""Exporters: the slow-query log and the Prometheus text renderer.
+
+The slow log is threshold-triggered and size-rotated JSONL; its records
+carry the normalized SQL key (never bind parameters) and, when capture
+is on, the EXPLAIN ANALYZE tree of the slow execution.  The Prometheus
+renderer is pinned by a golden test: one registry with a known counter,
+gauge, and histogram must render byte-for-byte, cumulative ``le``
+buckets, ``+Inf``, ``_sum``, and ``_count`` included.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.engine.database import Database
+from repro.obs import METRICS, STATEMENTS, SlowQueryLog
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.prometheus import render_prometheus, sanitize_name
+
+
+@pytest.fixture()
+def collector():
+    STATEMENTS.reset()
+    STATEMENTS.enable()
+    yield STATEMENTS
+    STATEMENTS.disable()
+    STATEMENTS.attach_slow_log(None)
+    STATEMENTS.reset()
+
+
+class TestSlowQueryLog:
+    def test_below_threshold_is_not_logged(self, tmp_path):
+        log = SlowQueryLog(str(tmp_path / "slow.jsonl"), threshold_ms=50.0)
+        assert log.maybe_log({"ms": 10.0, "key": "fast"}) is False
+        assert log.entries_written == 0
+        assert not (tmp_path / "slow.jsonl").exists()
+
+    def test_above_threshold_appends_jsonl(self, tmp_path):
+        path = tmp_path / "slow.jsonl"
+        log = SlowQueryLog(str(path), threshold_ms=50.0)
+        assert log.maybe_log({"ms": 75.0, "key": "slow one"}) is True
+        assert log.maybe_log({"ms": 60.0, "key": "slow two"}) is True
+        lines = path.read_text(encoding="utf-8").splitlines()
+        assert [json.loads(line)["key"] for line in lines] == [
+            "slow one", "slow two",
+        ]
+        assert log.entries_written == 2
+        assert log.tail(1)[0]["key"] == "slow two"
+
+    def test_rotation_caps_file_size(self, tmp_path):
+        path = tmp_path / "slow.jsonl"
+        log = SlowQueryLog(str(path), threshold_ms=0.0, max_bytes=200)
+        for index in range(20):
+            log.maybe_log({"ms": 1.0, "key": f"statement {index}", "i": index})
+        assert log.rotations >= 1
+        assert (tmp_path / "slow.jsonl.1").exists()
+        # rotation bounds what is on disk: at most one full rotated
+        # file plus the partial live one (which may have just rotated
+        # away entirely)
+        live = path.stat().st_size if path.exists() else 0
+        assert live <= 200 + 100  # one record of slack past the cap
+
+    def test_write_errors_do_not_raise(self, tmp_path):
+        log = SlowQueryLog(str(tmp_path), threshold_ms=0.0)  # a directory
+        assert log.maybe_log({"ms": 5.0, "key": "k"}) is True
+        assert log.write_errors == 1
+        assert log.tail(1)  # the in-memory record survives
+
+    def test_slow_statements_logged_with_plan(self, tmp_path, collector):
+        db = Database("slowlog")
+        db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)")
+        db.bulk_insert("t", [(i, i) for i in range(30)])
+        path = tmp_path / "slow.jsonl"
+        collector.attach_slow_log(
+            SlowQueryLog(str(path), threshold_ms=0.0)
+        )
+        db.execute("SELECT id FROM t WHERE v > ?", (5,))
+        records = [
+            json.loads(line)
+            for line in path.read_text(encoding="utf-8").splitlines()
+        ]
+        mine = [
+            r for r in records if r["key"] == "SELECT id FROM t WHERE v > ?"
+        ]
+        assert mine, records
+        record = mine[0]
+        # bind parameters are elided: only the normalized key is logged
+        assert "5" not in record["key"]
+        assert record["rows"] == 24
+        assert "waits_ms" in record and record["waits_ms"]
+        assert "SeqScan" in record.get("plan", "")
+
+    def test_threshold_filters_fast_statements(self, tmp_path, collector):
+        db = Database("fastlog")
+        db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY)")
+        path = tmp_path / "slow.jsonl"
+        collector.attach_slow_log(
+            SlowQueryLog(str(path), threshold_ms=10_000.0)
+        )
+        db.execute("SELECT COUNT(*) FROM t")
+        assert not path.exists()
+        assert collector.statements()  # still aggregated
+
+
+GOLDEN = """\
+# TYPE repro_plan_cache_hits counter
+repro_plan_cache_hits 3
+# TYPE repro_pool_size gauge
+repro_pool_size 7.5
+# TYPE repro_query_seconds histogram
+repro_query_seconds_bucket{le="0.01"} 2
+repro_query_seconds_bucket{le="0.1"} 3
+repro_query_seconds_bucket{le="1"} 3
+repro_query_seconds_bucket{le="+Inf"} 4
+repro_query_seconds_sum 2.565
+repro_query_seconds_count 4
+"""
+
+
+class TestPrometheusRenderer:
+    def test_golden_exposition(self):
+        registry = MetricsRegistry()
+        registry.counter("plan_cache.hits").inc(3)
+        registry.gauge("pool.size").set(7.5)
+        histogram = registry.histogram(
+            "query.seconds", buckets=(0.01, 0.1, 1.0)
+        )
+        for value in (0.005, 0.002, 0.058, 2.5):
+            histogram.observe(value)
+        assert render_prometheus(registry.snapshot()) == GOLDEN
+
+    def test_sanitize_name(self):
+        assert sanitize_name("plan_cache.hits") == "repro_plan_cache_hits"
+        assert sanitize_name("io.stall-time") == "repro_io_stall_time"
+        assert sanitize_name("2fast") == "repro_2fast"
+        assert sanitize_name("weird name!") == "repro_weird_name_"
+
+    def test_global_registry_renders(self):
+        text = render_prometheus(METRICS.snapshot())
+        assert text.endswith("\n")
+        assert "# TYPE repro_plan_cache_hits counter" in text
+        assert 'le="+Inf"' in text
+
+    def test_snapshot_matches_checked_in_schema(self):
+        import pathlib
+
+        schema = json.loads(
+            (pathlib.Path(__file__).resolve().parents[2]
+             / "schemas" / "metrics.schema.json").read_text(encoding="utf-8")
+        )
+        snapshot = METRICS.snapshot()
+        for key in schema["required"]:
+            assert key in snapshot
+        for data in snapshot["histograms"].values():
+            assert len(data["counts"]) == len(data["buckets"]) + 1
+            assert data["cumulative"][-1] == data["count"]
+            assert sum(data["counts"]) == data["count"]

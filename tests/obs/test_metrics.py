@@ -117,6 +117,70 @@ class TestSnapshot:
         registry.register_collector("coll", dict)
         assert registry.entry_count() == 4
 
+    def test_raising_collector_degrades_to_error_marker(self, registry):
+        def broken():
+            raise RuntimeError("source unavailable")
+
+        registry.register_collector("broken", broken)
+        registry.register_collector("fine", lambda: {"fine.value": 4.0})
+        snapshot = registry.snapshot()
+        # the healthy collector still contributed
+        assert snapshot["gauges"]["fine.value"] == 4.0
+        assert snapshot["gauges"]["collector.broken.error"] == 1.0
+        assert snapshot["collector_errors"] == {
+            "broken": "RuntimeError: source unavailable"
+        }
+
+    def test_collector_errors_key_always_present(self, registry):
+        assert registry.snapshot()["collector_errors"] == {}
+
+    def test_histogram_dict_carries_cumulative_and_sum(self, registry):
+        histogram = registry.histogram("h", buckets=(1.0, 2.0))
+        for value in (0.5, 1.5, 99.0):
+            histogram.observe(value)
+        data = histogram.as_dict()
+        assert data["counts"] == [1, 1, 1]
+        assert data["cumulative"] == [1, 2, 3]
+        assert data["cumulative"][-1] == data["count"] == 3
+        assert data["sum"] == pytest.approx(101.0)
+
+    def test_quantile_reports_bucket_upper_bounds(self, registry):
+        histogram = registry.histogram("h", buckets=(1.0, 2.0, 4.0))
+        assert histogram.quantile(0.95) == 0.0  # empty
+        for value in (0.5, 0.6, 0.7, 0.8, 0.9, 1.5, 1.6, 1.7, 1.8, 9.0):
+            histogram.observe(value)
+        assert histogram.quantile(0.5) == 1.0
+        assert histogram.quantile(0.9) == 2.0
+        assert histogram.quantile(1.0) == 4.0  # overflow -> last bound
+
+    def test_snapshot_is_consistent_under_concurrent_writers(self, registry):
+        import threading
+
+        histogram = registry.histogram("h", buckets=(0.5, 1.0))
+        counter = registry.counter("c")
+        stop = threading.Event()
+
+        def hammer():
+            while not stop.is_set():
+                histogram.observe(0.25)
+                counter.inc()
+
+        threads = [threading.Thread(target=hammer) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        try:
+            for _ in range(50):
+                data = registry.snapshot()["histograms"]["h"]
+                # sum/counts/cumulative were read under one lock: they
+                # must describe the same set of observations
+                assert sum(data["counts"]) == data["count"]
+                assert data["cumulative"][-1] == data["count"]
+                assert data["sum"] == pytest.approx(0.25 * data["count"])
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join()
+
 
 class TestReset:
     def test_reset_zeroes_but_keeps_registration(self, registry):

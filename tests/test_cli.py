@@ -112,6 +112,69 @@ class TestShellCommands:
         assert "engine epoch" in text
         session.close()
 
+    def test_metrics_prom(self, shell):
+        sh, out = shell
+        sh.handle("\\metrics prom")
+        text = out.getvalue()
+        assert "# TYPE repro_plan_cache_hits counter" in text
+        assert 'le="+Inf"' in text
+
+    def test_statements_commands(self, shell):
+        from repro.obs import STATEMENTS
+
+        sh, out = shell
+        try:
+            sh.handle("\\statements on")
+            sh.handle("SELECT COUNT(*) FROM speech")
+            sh.handle("SELECT COUNT(*) FROM speech")
+            sh.handle("\\statements 5")
+            sh.handle("\\waits")
+        finally:
+            sh.handle("\\statements off")
+            sh.handle("\\statements reset")
+        text = out.getvalue()
+        assert "top 1 by total time" in text
+        assert "SELECT COUNT(*) FROM speech" in text
+        assert "wait profile" in text and "execute" in text
+        assert not STATEMENTS.enabled
+
+    def test_statements_off_hint(self, shell):
+        sh, out = shell
+        sh.handle("\\statements")
+        assert "enable with \\statements on" in out.getvalue()
+
+    def test_slowlog_attach_and_tail(self, shell, tmp_path):
+        from repro.obs import STATEMENTS
+
+        sh, out = shell
+        target = tmp_path / "slow.jsonl"
+        try:
+            sh.handle("\\statements on")
+            sh.handle(f"\\slowlog set {target} 0.0")
+            sh.handle("SELECT COUNT(*) FROM speech")
+            sh.handle("\\slowlog 5")
+        finally:
+            sh.handle("\\slowlog off")
+            sh.handle("\\statements off")
+            sh.handle("\\statements reset")
+        text = out.getvalue()
+        assert "slow-query log ->" in text
+        assert "SELECT COUNT(*) FROM speech" in text
+        assert target.exists()
+        assert STATEMENTS.slow_log is None
+
+    def test_slowlog_detached_hint(self, shell):
+        sh, out = shell
+        sh.handle("\\slowlog")
+        assert "not attached" in out.getvalue()
+
+    def test_sys_views_via_sql(self, shell):
+        sh, out = shell
+        sh.handle("SELECT table_name, row_count FROM sys_tables")
+        text = out.getvalue()
+        assert "speech" in text
+        assert "record(s) selected" in text
+
     def test_quit(self, shell):
         sh, _ = shell
         assert sh.handle("\\q") is False
