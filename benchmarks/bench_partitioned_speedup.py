@@ -1,0 +1,127 @@
+"""Partition-parallel scatter-gather speedup on the Fig11 workload.
+
+The tentpole acceptance gate: hash-partitioning the XORator ``speech``
+table 4 ways and scanning it through the multiprocessing Exchange must
+cut the *modeled cold* time of the Fig11 sweep by >= 2.5x median at
+DSx16 — the partitioned analogue of the paper's cold-number methodology
+on a scaled-out 2002 machine (one disk spindle and one worker core per
+partition plus the coordinator; DESIGN.md §12).  Both sides of the
+ratio use the same accounting discipline:
+
+* serial baseline: wall CPU + modeled disk of the full sequential scan;
+* partitioned: wall CPU net of the overlap credit (fragment compute the
+  1-CPU host serialized that the modeled pool overlaps — never more
+  than wall minus the critical path) + modeled disk of the *widest*
+  partition plus one parallel dispatch seek.
+
+Every parallel run must return byte-identical rows to the serial
+baseline, and the default configuration (``parallel_workers = 0``)
+must keep planning exactly as before — no Exchange in any plan.
+
+Set ``REPRO_PART_QUICK=1`` for the reduced CI sweep (DSx4, 2 workers,
+proportionally lower target — 2 lanes can at best halve the CPU term).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import statistics
+
+import pytest
+from conftest import print_report
+
+from repro.bench.harness import build_database, build_pair, cold_query
+from repro.dtd import samples
+from repro.datagen.shakespeare import ShakespeareConfig, generate_corpus
+from repro.mapping import map_xorator
+from repro.workloads import SHAKESPEARE_QUERIES
+from repro.workloads.shakespeare_queries import workload_sql
+
+QUICK = bool(os.environ.get("REPRO_PART_QUICK"))
+SCALE = 4 if QUICK else 16
+WORKERS = 2 if QUICK else 4
+PARTITIONS = 4
+TARGET_SPEEDUP = 1.3 if QUICK else 2.5
+RUNS = 3
+
+
+@pytest.fixture(scope="module")
+def speech_db():
+    """The XORator Shakespeare database at the gate's scale."""
+    documents = generate_corpus(ShakespeareConfig(plays=6 * SCALE))
+    simplified = samples.shakespeare_simplified()
+    loaded = build_database(
+        "xorator", map_xorator(simplified), documents,
+        workload_sql("xorator"), sample_for_codecs=4,
+    )
+    yield loaded.db
+    loaded.db.close()
+
+
+def _median_sweep(db) -> dict[str, float]:
+    medians = {}
+    for query in SHAKESPEARE_QUERIES:
+        runs = [cold_query(db, query.xorator_sql) for _ in range(RUNS)]
+        medians[query.key] = statistics.median(
+            run.modeled_seconds for run in runs
+        )
+    return medians
+
+
+def test_partitioned_sweep_speedup(speech_db, benchmark):
+    """The acceptance gate: median Fig11 speedup >= the target."""
+    db = speech_db
+    expected = [
+        db.execute(query.xorator_sql).rows for query in SHAKESPEARE_QUERIES
+    ]
+    serial = _median_sweep(db)
+
+    db.partition_table("speech", "speechID", PARTITIONS)
+    db.set_exec_config(
+        dataclasses.replace(db.exec_config, parallel_workers=WORKERS)
+    )
+    for query, rows in zip(SHAKESPEARE_QUERIES, expected):
+        assert db.execute(query.xorator_sql).rows == rows, query.key
+    parallel = _median_sweep(db)
+
+    speedups = {key: serial[key] / parallel[key] for key in serial}
+    median_speedup = statistics.median(speedups.values())
+    lines = [
+        f"{key}: serial {serial[key] * 1000:7.1f} ms   "
+        f"parallel {parallel[key] * 1000:7.1f} ms   "
+        f"speedup {speedups[key]:.2f}x"
+        for key in serial
+    ]
+    lines.append(
+        f"median speedup: {median_speedup:.2f}x "
+        f"(target >= {TARGET_SPEEDUP:.1f}x)"
+    )
+    print_report(
+        f"Partitioned Fig11 sweep, XORator DSx{SCALE}, "
+        f"{PARTITIONS} hash partitions, {WORKERS} workers",
+        "\n".join(lines),
+    )
+    assert median_speedup >= TARGET_SPEEDUP, (
+        f"expected >= {TARGET_SPEEDUP}x median, measured "
+        f"{median_speedup:.2f}x ({speedups})"
+    )
+    benchmark(lambda: None)
+
+
+def test_default_mode_is_unchanged(benchmark):
+    """``parallel_workers = 0`` (the default) never plans an Exchange,
+    even over a partitioned table."""
+    pair = build_pair("shakespeare", 1)
+    db = pair.xorator.db
+    expected = [
+        db.execute(query.xorator_sql).rows for query in SHAKESPEARE_QUERIES
+    ]
+    db.partition_table("speech", "speechID", PARTITIONS)
+    assert db.exec_config.parallel_workers == 0
+    for query, rows in zip(SHAKESPEARE_QUERIES, expected):
+        assert "Exchange" not in db.explain(query.xorator_sql)
+        assert db.execute(query.xorator_sql).rows == rows, query.key
+    db.close()
+    pair.hybrid.db.close()
+    benchmark(lambda: None)

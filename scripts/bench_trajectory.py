@@ -25,10 +25,19 @@ on 1/2/4 concurrent reader sessions (``ConcurrentExecutor`` in
 ``io_stalls`` mode, overlapping the simulated disk waits) with wall
 time, throughput, and speedup per reader count.
 
+``BENCH_partitioned.json`` records the partition-parallel sweep: the
+Fig11 XORator queries over the ``speech`` table hash-partitioned 4
+ways, executed serially and through the multiprocessing Exchange at
+1/2/4 workers, with median modeled cold seconds and the speedup per
+worker count (the gated version is
+``benchmarks/bench_partitioned_speedup.py``; DESIGN.md §12 has the
+scaled-out machine model).
+
 Usage::
 
     PYTHONPATH=src python scripts/bench_trajectory.py [--quick]
         [--scales 1,2,4] [--rounds 5] [--out-dir .]
+        [--only fig11,partitioned]
 """
 
 from __future__ import annotations
@@ -222,6 +231,65 @@ def concurrency_sweep(scale: int, rounds: int) -> dict:
     }
 
 
+#: worker-pool sizes for the partitioned sweep
+PARTITIONED_WORKERS = (1, 2, 4)
+PARTITIONED_PARTITIONS = 4
+
+
+def partitioned_sweep(scale: int, rounds: int) -> dict:
+    """Serial vs partition-parallel medians for the Fig11 XORator sweep."""
+    documents = generate_corpus(BASE_SHAKESPEARE.scaled(scale))
+    loaded = build_database(
+        "xorator",
+        map_xorator(samples.shakespeare_simplified()),
+        documents,
+        shakespeare_queries.workload_sql("xorator"),
+        sample_for_codecs=4,
+    )
+    db = loaded.db
+    results: dict[str, dict] = {}
+    serial: dict[str, float] = {}
+    for query in SHAKESPEARE_QUERIES:
+        serial[query.key] = _median_cold(db, query.xorator_sql, rounds)
+        results[query.key] = {"serial_median_seconds": round(serial[query.key], 6)}
+    db.partition_table("speech", "speechID", PARTITIONED_PARTITIONS)
+    for workers in PARTITIONED_WORKERS:
+        db.set_exec_config(replace(db.exec_config, parallel_workers=workers))
+        for query in SHAKESPEARE_QUERIES:
+            median = _median_cold(db, query.xorator_sql, rounds)
+            results[query.key][f"workers_{workers}"] = {
+                "median_seconds": round(median, 6),
+                "speedup": round(serial[query.key] / median, 3)
+                if median else None,
+            }
+        print(f"partitioned: {workers} worker(s) done")
+    medians = {
+        workers: statistics.median(
+            results[q.key][f"workers_{workers}"]["speedup"]
+            for q in SHAKESPEARE_QUERIES
+        )
+        for workers in PARTITIONED_WORKERS
+    }
+    db.close()
+    return {
+        "figure": "partitioned_speedup",
+        "dataset": "shakespeare (xorator schema)",
+        "scale": scale,
+        "partitions": PARTITIONED_PARTITIONS,
+        "partition_column": "speechID",
+        "worker_counts": list(PARTITIONED_WORKERS),
+        "rounds": rounds,
+        "metric": "median modeled cold seconds (wall net of the exchange "
+                  "overlap credit + simulated disk of the widest partition; "
+                  "DESIGN.md §12)",
+        "engine_config": ExecutionConfig().as_dict(),
+        "median_speedup_by_workers": {
+            str(workers): round(value, 3) for workers, value in medians.items()
+        },
+        "queries": results,
+    }
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -245,30 +313,55 @@ def main() -> None:
         "--out-dir", type=Path, default=Path(__file__).resolve().parent.parent,
         help="directory for the BENCH_*.json artifacts (default: repo root)",
     )
+    parser.add_argument(
+        "--partitioned-scale", type=int, default=16,
+        help="corpus scale for the partitioned sweep (default 16, the "
+             "benchmark gate's scale)",
+    )
+    parser.add_argument(
+        "--only", default="",
+        help="comma-separated subset of artifacts to regenerate "
+             "(fig11, fig13, qs6, concurrency, partitioned; default all)",
+    )
     args = parser.parse_args()
     scales = [1] if args.quick else [
         int(s) for s in args.scales.split(",") if s.strip()
     ]
     rounds = 3 if args.quick else args.rounds
+    only = {name.strip() for name in args.only.split(",") if name.strip()}
+
+    def wanted(name: str) -> bool:
+        return not only or name in only
 
     for figure in FIGURES:
+        if not wanted(figure):
+            continue
         artifact = sweep(figure, scales, rounds)
         path = args.out_dir / f"BENCH_{figure}.json"
         path.write_text(json.dumps(artifact, indent=2) + "\n")
         print(f"wrote {path}")
 
-    qs6_scales = [1] if args.quick else [
-        int(s) for s in args.qs6_scales.split(",") if s.strip()
-    ]
-    artifact = qs6_sweep(qs6_scales, rounds)
-    path = args.out_dir / "BENCH_qs6.json"
-    path.write_text(json.dumps(artifact, indent=2) + "\n")
-    print(f"wrote {path}")
+    if wanted("qs6"):
+        qs6_scales = [1] if args.quick else [
+            int(s) for s in args.qs6_scales.split(",") if s.strip()
+        ]
+        artifact = qs6_sweep(qs6_scales, rounds)
+        path = args.out_dir / "BENCH_qs6.json"
+        path.write_text(json.dumps(artifact, indent=2) + "\n")
+        print(f"wrote {path}")
 
-    artifact = concurrency_sweep(scales[0], rounds)
-    path = args.out_dir / "BENCH_concurrency.json"
-    path.write_text(json.dumps(artifact, indent=2) + "\n")
-    print(f"wrote {path}")
+    if wanted("concurrency"):
+        artifact = concurrency_sweep(scales[0], rounds)
+        path = args.out_dir / "BENCH_concurrency.json"
+        path.write_text(json.dumps(artifact, indent=2) + "\n")
+        print(f"wrote {path}")
+
+    if wanted("partitioned"):
+        partitioned_scale = 4 if args.quick else args.partitioned_scale
+        artifact = partitioned_sweep(partitioned_scale, rounds)
+        path = args.out_dir / "BENCH_partitioned.json"
+        path.write_text(json.dumps(artifact, indent=2) + "\n")
+        print(f"wrote {path}")
 
 
 if __name__ == "__main__":

@@ -117,9 +117,10 @@ def main() -> None:
             )
 
     xindex_stage(schema, documents, codecs, queries, expected)
+    worker_crash_stage(schema, documents, codecs, queries, expected)
 
     print(
-        f"chaos smoke passed: {len(CRASH_POINTS) + 1} crash sites recovered"
+        f"chaos smoke passed: {len(CRASH_POINTS) + 2} fault sites survived"
     )
 
 
@@ -172,6 +173,73 @@ def xindex_stage(schema, documents, codecs, queries, expected) -> None:
             f"{report.records_replayed} records replayed, indexed results "
             f"byte-identical to the scan-mode reference"
         )
+
+
+def worker_crash_stage(schema, documents, codecs, queries, expected) -> None:
+    """Kill exchange workers mid-sweep; results must never be wrong.
+
+    Three escalating failures against a hash-partitioned, 2-worker
+    database running the Fig11 sweep:
+
+    1. an injected ``worker.crash`` fault at dispatch (the pool
+       terminates the worker for real) — retried onto a respawned
+       worker;
+    2. ``kill -9`` of every live worker pid from outside — the next
+       dispatch detects the dead pipes and respawns;
+    3. a 100%-probability crash plan — retries exhausted, every fragment
+       degrades to inline coordinator execution.
+
+    After each, the sweep's results must be byte-identical to the
+    serial reference fingerprint.
+    """
+    import dataclasses
+    import os
+    import signal as signals
+
+    db = Database("worker-crash")
+    register_xadt_functions(db)
+    load_documents(db, schema, documents, codecs)
+    db.runstats()
+    for name in list(db.catalog.tables):
+        if not name.startswith("sys_"):
+            db.partition_table(
+                name, db.catalog.table(name).columns[0].name, 4
+            )
+    db.set_exec_config(
+        dataclasses.replace(db.exec_config, parallel_workers=2)
+    )
+
+    pool = db.worker_pool()  # spawn before arming so the fault hits dispatch
+    FAULTS.install(FaultPlan(seed=7).raise_at("worker.crash", hit=1))
+    try:
+        actual = fingerprint(db, queries)
+    finally:
+        FAULTS.clear()
+    assert actual == expected, "worker.crash: mismatch after injected crash"
+    print("ok worker.crash     injected crash at dispatch: retried, parity holds")
+
+    pids = pool.workers_alive()
+    assert pids, "worker.crash: no live workers to kill"
+    for pid in pids:
+        os.kill(pid, signals.SIGKILL)
+    actual = fingerprint(db, queries)
+    assert actual == expected, "worker.crash: mismatch after SIGKILL"
+    print(
+        f"ok worker.crash     kill -9 of {len(pids)} worker(s): "
+        "respawned, parity holds"
+    )
+
+    FAULTS.install(FaultPlan(seed=7).raise_at("worker.crash", probability=1.0))
+    try:
+        actual = fingerprint(db, queries)
+    finally:
+        FAULTS.clear()
+    assert actual == expected, "worker.crash: mismatch after inline degrade"
+    db.close()
+    print(
+        "ok worker.crash     100% crash plan: every fragment degraded "
+        "inline, parity holds"
+    )
 
 
 if __name__ == "__main__":

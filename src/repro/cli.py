@@ -36,6 +36,8 @@ commands (interactive or piped):
 * ``\\wal`` — write-ahead-log status (or "disabled" in volatile mode);
 * ``\\xindex`` — XADT structural-index store status (per-column stats,
   build/hit/miss counters);
+* ``\\partitions`` — partitioned-table layout (per-partition row and
+  byte extents) and the parallel worker pool's state;
 * ``\\q`` — quit.
 """
 
@@ -102,12 +104,14 @@ class Shell:
                 self._print_wal()
             elif line == "\\xindex":
                 self._print_xindex()
+            elif line == "\\partitions":
+                self._print_partitions()
             elif line.startswith("\\"):
                 self._print(f"unknown command {line.split()[0]!r}; try \\dt, "
                             f"\\d, \\explain, \\analyze, \\path, \\io, "
                             f"\\cache, \\sessions, \\metrics, \\statements, "
                             f"\\waits, \\slowlog, \\trace, \\governor, "
-                            f"\\wal, \\xindex, \\q")
+                            f"\\wal, \\xindex, \\partitions, \\q")
             else:
                 self._run_sql(line)
         except ReproError as exc:
@@ -467,6 +471,33 @@ class Shell:
                 f"{m} {hits[m]}/{misses[m]}" for m in hits
             )
         )
+
+    def _print_partitions(self) -> None:
+        from repro.engine.storage import PartitionedHeapTable
+
+        workers = self.db.exec_config.parallel_workers
+        pool = self.db._pool
+        alive = 0 if pool is None else len(pool.workers_alive())
+        self._print(
+            f"parallel workers: {workers} configured, {alive} alive"
+        )
+        found = False
+        for heap in self.db.engine.heaps().values():
+            if not isinstance(heap, PartitionedHeapTable):
+                continue
+            found = True
+            spec = heap.spec
+            self._print(
+                f"{heap.schema.name}: {spec.kind} on {spec.column}, "
+                f"{spec.partitions} partitions"
+            )
+            for partition, count in enumerate(heap.partition_counts()):
+                self._print(
+                    f"  p{partition:<4}{count:>10} rows"
+                    f"{heap.partition_bytes(partition):>12} bytes"
+                )
+        if not found:
+            self._print("no partitioned tables")
 
     def _print(self, text: str) -> None:
         print(text, file=self.out)

@@ -13,10 +13,17 @@ from repro.engine.database import Database
 from repro.engine.executor import ConcurrentExecutor, ConcurrentReport
 from repro.engine.faults import FAULTS, FaultInjector, FaultPlan
 from repro.engine.governor import GovernorLimits, ResourceGovernor
+from repro.engine.parallel import WorkerPool, run_with_retry
 from repro.engine.recovery import RecoveryReport, recover_database
 from repro.engine.result import Result
 from repro.engine.wal import WriteAheadLog
-from repro.engine.schema import Catalog, Column, IndexDef, TableSchema
+from repro.engine.schema import (
+    Catalog,
+    Column,
+    IndexDef,
+    PartitionSpec,
+    TableSchema,
+)
 from repro.engine.session import PreparedStatement, Session
 from repro.engine.snapshot import EngineSnapshot, TableVersion
 from repro.engine.storage_engine import StorageEngine
@@ -52,6 +59,7 @@ __all__ = [
     "IndexDef",
     "IndexSuggestion",
     "IntegerType",
+    "PartitionSpec",
     "PreparedStatement",
     "RecoveryReport",
     "ResourceGovernor",
@@ -63,9 +71,11 @@ __all__ = [
     "TableVersion",
     "VARCHAR",
     "VarcharType",
+    "WorkerPool",
     "WriteAheadLog",
     "XADT",
     "XadtType",
     "recover_database",
+    "run_with_retry",
     "type_from_name",
 ]

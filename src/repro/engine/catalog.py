@@ -113,6 +113,19 @@ class CatalogManager:
         tables[schema.key] = schema
         self._swap(version, tables=tables)
 
+    def replace_table(self, schema: TableSchema, version: int) -> None:
+        """Swap the schema of an existing table (partitioning DDL).
+
+        Index definitions and statistics survive: the replacement must
+        keep the same columns (``partition_table`` only changes the
+        partition spec), which the caller is responsible for.
+        """
+        if schema.key not in self._state.tables:
+            raise CatalogError(f"unknown table {schema.name!r}")
+        tables = dict(self._state.tables)
+        tables[schema.key] = schema
+        self._swap(version, tables=tables)
+
     def drop_table(self, name: str, version: int) -> None:
         key = name.lower()
         if key not in self._state.tables:

@@ -23,6 +23,12 @@ and steers the physical layer the planner emits:
   (:mod:`repro.xadt.structural_index`) when one is published for the
   fragment.  Off by default: the tag-scan path is the paper-faithful
   mode whose Fig11/Fig13 shapes the benchmarks reproduce.
+* ``parallel_workers`` — size of the multiprocessing worker pool for
+  partition-parallel scans (DESIGN.md §12).  0 (the default) disables
+  the pool entirely: plans never contain an Exchange operator and the
+  engine behaves byte-identically to the pre-partitioning executor.
+  Scans of partitioned tables with ``parallel_workers >= 1`` are
+  wrapped in a scatter-gather Exchange.
 
 Changing the config on a live database bumps its config epoch, which
 invalidates cached plans (their operators bake in batch sizes, compiled
@@ -47,10 +53,13 @@ class ExecutionConfig:
     compiled_expressions: bool = True
     scan_pushdown: bool = True
     xadt_structural_index: bool = False
+    parallel_workers: int = 0
 
     def __post_init__(self) -> None:
         if self.batch_size < 1:
             raise ConfigError("batch_size must be at least 1")
+        if self.parallel_workers < 0:
+            raise ConfigError("parallel_workers cannot be negative")
 
     def as_dict(self) -> dict[str, object]:
         return {
@@ -58,6 +67,7 @@ class ExecutionConfig:
             "compiled_expressions": self.compiled_expressions,
             "scan_pushdown": self.scan_pushdown,
             "xadt_structural_index": self.xadt_structural_index,
+            "parallel_workers": self.parallel_workers,
         }
 
 

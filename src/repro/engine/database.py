@@ -51,7 +51,7 @@ from repro.engine.plan_cache import (
     normalize_sql,
 )
 from repro.engine.result import Result
-from repro.engine.schema import Column, IndexDef, TableSchema
+from repro.engine.schema import Column, IndexDef, PartitionSpec, TableSchema
 from repro.engine.session import PreparedStatement, Session, _PlannerView
 from repro.engine.snapshot import EngineSnapshot
 from repro.engine.sql.ast import (
@@ -65,7 +65,7 @@ from repro.engine.sql.ast import (
 )
 from repro.engine.sql.parser import parse_sql
 from repro.engine.statistics import TableStats, collect_stats
-from repro.engine.storage import HeapTable
+from repro.engine.storage import HeapTable, PartitionedHeapTable
 from repro.engine.storage_engine import StorageEngine
 from repro.engine.system_views import (
     SystemViewTable,
@@ -136,6 +136,9 @@ class Database:
         self.governor = ResourceGovernor()
         #: set by :func:`repro.engine.recovery.recover_database`
         self.recovery_report = None
+        #: lazy partition-parallel worker pool (DESIGN.md §12)
+        self._pool = None
+        self._pool_lock = threading.Lock()
 
     # -- durability --------------------------------------------------------
 
@@ -183,9 +186,83 @@ class Database:
         return self._wal
 
     def close(self) -> None:
-        """Durably flush and detach the WAL (no-op in volatile mode)."""
+        """Durably flush and detach the WAL; stop the worker pool."""
         if self._wal is not None and not self._wal.closed:
             self._wal.close()
+        with self._pool_lock:
+            if self._pool is not None:
+                self._pool.close()
+                self._pool = None
+
+    # -- partition-parallel execution --------------------------------------
+
+    def worker_pool(self):
+        """The scatter-gather worker pool, sized by the execution config.
+
+        Returns None while ``parallel_workers`` is 0 (the default: plans
+        never contain an Exchange).  The pool spawns lazily on first use
+        and is rebuilt when the configured size changes; plans hold this
+        *method* as their pool provider, so cached plans follow resizes
+        and never pin dead worker processes.
+        """
+        workers = self.exec_config.parallel_workers
+        with self._pool_lock:
+            if workers < 1:
+                if self._pool is not None:
+                    self._pool.close()
+                    self._pool = None
+                return None
+            if self._pool is not None and self._pool.size != workers:
+                self._pool.close()
+                self._pool = None
+            if self._pool is None:
+                from repro.engine.parallel import WorkerPool
+
+                self._pool = WorkerPool(workers)
+            return self._pool
+
+    def partition_table(
+        self,
+        name: str,
+        column: str,
+        partitions: int,
+        kind: str = "hash",
+        bounds: tuple | list | None = None,
+    ) -> None:
+        """Hash/range-partition an existing table by ``column``.
+
+        Rebuilds the heap as a
+        :class:`~repro.engine.storage.PartitionedHeapTable` under the
+        writer lock: rows keep their ids (the unified append-only row
+        list is preserved, so row-id ordering — and therefore every
+        query result — is unchanged), gaining per-partition row-id
+        buckets; attached indexes are rebuilt against the new heap.
+        Readers pinned to older snapshots keep the old heap object.
+        The catalog version bump purges cached plans, keeping plan-cache
+        keys sound under the new partition metadata.
+        """
+        self._reject_system_name(name, "partition table")
+        old_schema = self.catalog.table(name)
+        spec = PartitionSpec(
+            column=column,
+            partitions=partitions,
+            kind=kind,
+            bounds=tuple(bounds) if bounds is not None else None,
+        )
+        schema = TableSchema(
+            old_schema.name, list(old_schema.columns), partition=spec
+        )
+        with self._write() as version:
+            if self._wal is not None:
+                self._wal.log_partition_table(name, spec)
+            old_heap = self.engine.heap(name)
+            heap = PartitionedHeapTable(schema)
+            heap.bulk_insert(list(old_heap.rows))
+            definitions = [index.definition for index in old_heap.indexes]
+            self._catalog_mgr.replace_table(schema, version)
+            self.engine.replace_heap(heap)
+            for definition in definitions:
+                self.engine.add_index(definition)
 
     @contextmanager
     def _write(self, marker: str | None = None) -> Iterator[int]:
@@ -551,7 +628,16 @@ class Database:
                 Column(c.name, type_from_name(c.type_name), c.primary_key)
                 for c in statement.columns
             ]
-            self.create_table(TableSchema(statement.table, columns))
+            partition = None
+            if statement.partition_column is not None:
+                partition = PartitionSpec(
+                    column=statement.partition_column,
+                    partitions=statement.partition_count or 0,
+                    kind=statement.partition_kind,
+                )
+            self.create_table(
+                TableSchema(statement.table, columns, partition=partition)
+            )
             return Result(["status"], [("table created",)])
         if isinstance(statement, CreateIndexStmt):
             self.create_index(

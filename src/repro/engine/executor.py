@@ -37,8 +37,9 @@ import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Sequence
 
+from repro.engine.parallel import run_with_retry
 from repro.engine.plan_cache import normalize_sql
-from repro.errors import ConfigError, TransientError
+from repro.errors import ConfigError
 from repro.obs.statements import STATEMENTS
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -135,20 +136,28 @@ class ConcurrentExecutor:
     def _execute_with_retry(self, session, report, sql: str, params: tuple):
         """Run one query, absorbing transient errors up to ``max_retries``.
 
-        Backoff doubles per attempt (0.01s, 0.02s, ...) — enough to let
-        an injected or load-induced glitch clear without stretching the
-        benchmark's wall clock.
+        Delegates to the shared :func:`~repro.engine.parallel.run_with_retry`
+        helper (the same policy the scatter-gather exchange uses for failed
+        workers): only transient errors retry, backoff doubles per attempt
+        (0.01s, 0.02s, ...), and each backoff sleep is attributed to the
+        statement's wait profile as ``retry.backoff``.
         """
-        attempt = 0
-        while True:
-            try:
-                return session.execute(sql, params)
-            except TransientError:
-                if attempt >= self.max_retries:
-                    raise
-                report.retries += 1
-                time.sleep(self.backoff_seconds * (2 ** attempt))
-                attempt += 1
+
+        def _attribute(attempt: int, exc: BaseException) -> None:
+            report.retries += 1
+            if STATEMENTS.enabled:
+                STATEMENTS.record_wait(
+                    normalize_sql(sql),
+                    "retry.backoff",
+                    self.backoff_seconds * (2**attempt),
+                )
+
+        return run_with_retry(
+            lambda: session.execute(sql, params),
+            max_retries=self.max_retries,
+            backoff_seconds=self.backoff_seconds,
+            on_retry=_attribute,
+        )
 
     def run(
         self, workload: Sequence[object], rounds: int = 1

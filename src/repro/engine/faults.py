@@ -57,6 +57,7 @@ SITES = (
     "xadt.decode",
     "io.charge",
     "xadt.index_build",
+    "worker.crash",
 )
 
 _INJECTED = METRICS.counter("faults.injected")

@@ -62,6 +62,13 @@ class IoCounters:
     sequential_pages: int = 0
     random_pages: int = 0
     spill_pages: int = 0  #: sequential pages written+read by join spills
+    #: fragment-compute seconds a partition-parallel exchange ran that a
+    #: multi-core pool would overlap: sum over fragments minus the
+    #: busiest lane.  The 1-CPU benchmark host serializes worker CPU
+    #: into the coordinator's wall clock, so the modeled cold time
+    #: credits this back — the same simulation discipline as the disk
+    #: constants above (DESIGN.md §12).
+    overlapped_seconds: float = 0.0
     #: memory ceiling used by spill decisions
     work_mem_bytes: int = DEFAULT_WORK_MEM_BYTES
     #: per-category detail for EXPLAIN-style reporting
@@ -71,6 +78,7 @@ class IoCounters:
         self.sequential_pages = 0
         self.random_pages = 0
         self.spill_pages = 0
+        self.overlapped_seconds = 0.0
         self.notes.clear()
 
     def charge_sequential(self, pages: int) -> None:
@@ -84,6 +92,10 @@ class IoCounters:
     def charge_spill(self, pages: int) -> None:
         self.spill_pages += pages
         _SPILL_PAGES.inc(pages)
+
+    def charge_overlap(self, seconds: float) -> None:
+        if seconds > 0:
+            self.overlapped_seconds += seconds
 
     def modeled_seconds(self) -> float:
         """Disk seconds implied by the counters."""
@@ -139,6 +151,9 @@ class IoRouter:
             FAULTS.fire("io.charge")
         self._target().charge_spill(pages)
 
+    def charge_overlap(self, seconds: float) -> None:
+        self._target().charge_overlap(seconds)
+
     # -- reads ------------------------------------------------------------
 
     @property
@@ -152,6 +167,10 @@ class IoRouter:
     @property
     def spill_pages(self) -> int:
         return self._target().spill_pages
+
+    @property
+    def overlapped_seconds(self) -> float:
+        return self._target().overlapped_seconds
 
     @property
     def notes(self) -> list[str]:

@@ -52,6 +52,7 @@ from repro.engine.index import Index
 from repro.engine.plan import cost as cost_model
 from repro.engine.plan.physical import (
     AggSpec,
+    Exchange,
     Filter,
     HashAggregate,
     HashDistinct,
@@ -69,7 +70,7 @@ from repro.engine.plan.physical import (
 )
 from repro.engine.schema import IndexDef
 from repro.engine.statistics import TableStats
-from repro.engine.storage import HeapTable
+from repro.engine.storage import HeapTable, PartitionedHeapTable
 from repro.engine.sql.ast import SelectStmt, TableFunctionRef, TableRef
 from repro.engine.types import INTEGER, VARCHAR, SqlType
 from repro.engine.udf import FunctionRegistry
@@ -374,7 +375,16 @@ def _plan_access(
     binding = table_binding(heap, ref.alias)
     projection = _projection_of(heap, ref.qualifier.lower(), needed)
     registry = ctx.registry
-    xadt_label = _xadt_label(_exec_config(ctx))
+    config = _exec_config(ctx)
+    xadt_label = _xadt_label(config)
+    # partition-parallel scans need a partitioned heap, an enabled pool,
+    # and a context that can provide one (DESIGN.md §12)
+    pool_provider = getattr(ctx, "worker_pool", None)
+    exchange_ready = (
+        config.parallel_workers > 0
+        and isinstance(heap, PartitionedHeapTable)
+        and pool_provider is not None
+    )
     selectivity = 1.0
     for conjunct in pushed:
         selectivity *= cost_model.predicate_selectivity(conjunct, table_stats)
@@ -388,7 +398,16 @@ def _plan_access(
             table_stats, column.name if column else "", heap.row_count()
         )
         index_cost = cost_model.index_scan_cost(matches, heap.data_pages())
-        scan_cost = cost_model.seq_scan_cost(heap.row_count(), heap.data_pages())
+        scan_cost = (
+            cost_model.parallel_scan_cost(
+                heap.row_count(),
+                heap.data_pages(),
+                heap.spec.partitions,
+                config.parallel_workers,
+            )
+            if exchange_ready
+            else cost_model.seq_scan_cost(heap.row_count(), heap.data_pages())
+        )
         if index_cost >= scan_cost:
             index_choice = None
     if index_choice is not None:
@@ -436,7 +455,62 @@ def _plan_access(
         xadt_access=_xadt_access(pushed, xadt_label),
     )
     operator.estimated_rows = estimate
+    if exchange_ready:
+        exchange = Exchange(
+            operator,
+            pool_provider=pool_provider,
+            registry=registry,
+            workers=config.parallel_workers,
+            predicate_ast=predicate,
+            params=params,
+            prunes=_partition_prunes(pushed, heap.spec),
+        )
+        exchange.estimated_rows = estimate
+        return exchange, estimate
     return operator, estimate
+
+
+#: comparison flips for constant-on-the-left partition-column conjuncts
+_PRUNE_FLIP = {"=": "=", "<": ">", "<=": ">=", ">": "<", ">=": "<="}
+
+
+def _partition_prunes(
+    pushed: list[Expr], spec
+) -> list[tuple[str, tuple[str, object]]]:
+    """Bind-aware prune descriptors from partition-column conjuncts.
+
+    Each descriptor is ``(op, ("lit", value) | ("param", index))``; the
+    Exchange resolves literals at plan time and parameters per execution
+    (so one cached prepared plan prunes correctly for every binding).
+    """
+    prunes: list[tuple[str, tuple[str, object]]] = []
+    column_key = spec.column.lower()
+    for conjunct in pushed:
+        if not isinstance(conjunct, Comparison):
+            continue
+        op = conjunct.op
+        if op not in _PRUNE_FLIP:
+            continue
+        left, right = conjunct.left, conjunct.right
+        if isinstance(left, ColumnRef) and isinstance(
+            right, (Literal, Parameter)
+        ):
+            column, key_expr = left, right
+        elif isinstance(right, ColumnRef) and isinstance(
+            left, (Literal, Parameter)
+        ):
+            column, key_expr, op = right, left, _PRUNE_FLIP[op]
+        else:
+            continue
+        if column.name.lower() != column_key:
+            continue
+        source = (
+            ("lit", key_expr.value)
+            if isinstance(key_expr, Literal)
+            else ("param", key_expr.index)
+        )
+        prunes.append((op, source))
+    return prunes
 
 
 def _find_eq_index(
@@ -854,9 +928,11 @@ def _plan_output(
     substitutions: dict[Expr, int] = {}
 
     if needs_aggregate:
+        aggregate_input = plan
         plan, substitutions = _plan_aggregate(
             plan, stmt, aggregates, registry, params, compile_fn
         )
+        plan = _maybe_push_partial_agg(aggregate_input, plan, stmt, aggregates)
 
     if stmt.having is not None:
         if not needs_aggregate:
@@ -943,24 +1019,41 @@ def _plan_output(
         pre_sort.estimated_rows = plan.estimated_rows
         plan = pre_sort
 
-    projected = Project(
-        plan,
-        exprs,
-        projected_slots,
-        tuple_fn=tuple_fn,
-        identity=identity,
-        xadt_access=(
-            None
-            if identity
-            else _xadt_access([item.expr for item in select_items], xadt_label)
-        ),
-    )
-    projected.estimated_rows = plan.estimated_rows
-    plan = projected
+    if (
+        not identity
+        and isinstance(plan, Exchange)
+        and plan.agg is None
+        and plan.project is None
+    ):
+        # push the SELECT list into the fragments: workers evaluate the
+        # (already-validated) expressions per row, the exchange emits
+        # final output tuples, and the coordinator-side Project is
+        # dropped.  Per-row XADT decode then runs partition-parallel.
+        plan.attach_project(
+            [item.expr for item in select_items], Binding(projected_slots)
+        )
+    else:
+        projected = Project(
+            plan,
+            exprs,
+            projected_slots,
+            tuple_fn=tuple_fn,
+            identity=identity,
+            xadt_access=(
+                None
+                if identity
+                else _xadt_access(
+                    [item.expr for item in select_items], xadt_label
+                )
+            ),
+        )
+        projected.estimated_rows = plan.estimated_rows
+        plan = projected
 
     if stmt.distinct:
+        distinct_input_rows = plan.estimated_rows
         plan = HashDistinct(plan)
-        plan.estimated_rows = projected.estimated_rows * 0.5
+        plan.estimated_rows = distinct_input_rows * 0.5
 
     if post_sort_keys:
         keys = [
@@ -971,6 +1064,47 @@ def _plan_output(
     if stmt.limit is not None:
         plan = Limit(plan, stmt.limit)
     return plan
+
+
+#: aggregate kinds with mergeable partial states (DESIGN.md §12)
+_PARTIAL_AGG_KINDS = frozenset({"count", "sum", "avg", "min", "max"})
+
+
+def _maybe_push_partial_agg(
+    source: Operator,
+    aggregate: Operator,
+    stmt: SelectStmt,
+    aggregates: list[FuncCall],
+) -> Operator:
+    """Fold ``HashAggregate(Exchange)`` into a partial-agg exchange.
+
+    Only when the aggregate sits *directly* on a scan-mode Exchange and
+    every aggregate is non-DISTINCT with a mergeable partial state do
+    workers pre-aggregate their partitions; the coordinator merges the
+    states and reproduces HashAggregate's first-seen group order by
+    minimal row id.  Anything else keeps the inline HashAggregate (the
+    Exchange's ordered merge already feeds it the exact row stream).
+    """
+    if not isinstance(source, Exchange) or source.agg is not None:
+        return aggregate
+    if not isinstance(aggregate, HashAggregate) or aggregate.input is not source:
+        return aggregate
+    agg_asts: list[tuple[str, Expr | None]] = []
+    for call in aggregates:
+        kind = call.name.lower()
+        if kind not in _PARTIAL_AGG_KINDS or call.distinct:
+            return aggregate
+        if kind == "count" and (not call.args or isinstance(call.args[0], Star)):
+            agg_asts.append((kind, None))
+        else:
+            agg_asts.append((kind, call.args[0]))
+    source.attach_partial_agg(
+        list(stmt.group_by),
+        agg_asts,
+        aggregate.binding,
+        aggregate.estimated_rows,
+    )
+    return source
 
 
 def _compile_substituted(

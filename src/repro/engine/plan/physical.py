@@ -27,22 +27,29 @@ the scan-level projection pushdown (``SeqScan``/``IndexScan`` accept a
 
 from __future__ import annotations
 
+import heapq
 import time
 from dataclasses import dataclass
 from operator import itemgetter
-from typing import Iterable, Iterator
+from typing import Callable, Iterable, Iterator
 
 from repro.engine.config import DEFAULT_BATCH_SIZE
-from repro.engine.expr import Binding, Compiled, Slot
+from repro.engine.expr import Binding, Compiled, Expr, Slot
 from repro.engine.index import BTreeIndex, Index
 from repro.engine.io import IoCounters, estimate_row_bytes, pages_of_bytes
-from repro.engine.snapshot import active_budget, read_bound, table_version
-from repro.engine.storage import HeapTable
+from repro.engine.snapshot import (
+    active_budget,
+    current_context,
+    read_bound,
+    table_version,
+)
+from repro.engine.storage import HeapTable, PartitionedHeapTable
 from repro.engine.types import SqlType
 from repro.engine.udf import FunctionRegistry
 from repro.engine.values import group_key
 from repro.errors import ExecutionError
 from repro.obs.explain import OperatorStats
+from repro.obs.trace import TRACER
 
 #: a batch is a plain list of row tuples — cheap to slice, comprehend, extend
 Batch = list
@@ -971,6 +978,327 @@ class Limit(Operator):
         return lines
 
 
+class Exchange(Operator):
+    """Scatter-gather over the partitions of a partitioned heap scan.
+
+    Wraps a template :class:`SeqScan` of a
+    :class:`~repro.engine.storage.PartitionedHeapTable`: each live
+    partition (after pruning) becomes one fragment task shipped to the
+    worker pool (:mod:`repro.engine.parallel`), and the coordinator
+    stitches the per-partition results back together.
+
+    * **ordered** mode (the default) k-way merges the ``(row_id, row)``
+      streams by row id.  Partition buckets are ascending row-id subsets
+      of the heap, so the merged stream is byte-identical to the
+      unpartitioned scan order — every downstream operator (joins,
+      aggregation, DISTINCT) sees exactly the stream it would have seen
+      without partitioning.
+    * **unordered** mode concatenates streams in partition order without
+      the merge heap (for consumers that re-order anyway).
+    * **partial aggregation**: when the planner pushes a GROUP BY down
+      (:meth:`attach_partial_agg`), workers pre-aggregate their
+      partition and the coordinator merges the mergeable accumulator
+      states, emitting groups ordered by their minimal first row id —
+      the same first-seen order ``HashAggregate`` produces inline.
+
+    Pruning is *bind-aware*: equality/range predicates on the partition
+    column resolve literals at plan time and parameters at execution
+    time, so a cached prepared plan prunes correctly for each binding.
+
+    Modelled I/O charges the **maximum** per-partition page count (the
+    partition streams are read concurrently, so the scan costs as much
+    as its slowest fragment) plus one random page per fragment for
+    dispatch.  The governor is charged for each shipped slice's bytes —
+    the coordinator-side estimate of per-worker memory.
+
+    Fragments that still fail after the pool's retry budget degrade to
+    inline execution through the same fragment interpreter the workers
+    run, so worker loss never changes results.
+    """
+
+    def __init__(
+        self,
+        template: SeqScan,
+        pool_provider: Callable[[], object],
+        registry: FunctionRegistry,
+        workers: int,
+        predicate_ast: Expr | None = None,
+        params=None,
+        prunes: list[tuple[str, tuple[str, object]]] | None = None,
+        mode: str = "ordered",
+    ) -> None:
+        if not isinstance(template.table, PartitionedHeapTable):
+            raise ExecutionError("Exchange requires a partitioned heap")
+        if mode not in ("ordered", "unordered"):
+            raise ExecutionError(f"unknown exchange mode {mode!r}")
+        self.template = template
+        self.input = template  # children() / batch-size propagation
+        self.heap: PartitionedHeapTable = template.table
+        self.alias = template.alias
+        self.pool_provider = pool_provider
+        self.registry = registry
+        self.workers = workers
+        self.predicate_ast = predicate_ast
+        self.params = params
+        self.prunes = list(prunes or ())
+        self.mode = mode
+        self.io = template.io
+        self.binding = template.binding
+        self.estimated_rows = template.estimated_rows
+        self.agg: dict | None = None
+        self.project: list[Expr] | None = None
+        self._static_parts = self._static_prune()
+
+    # -- planner hooks -----------------------------------------------------
+
+    def attach_partial_agg(
+        self,
+        group_asts: list[Expr],
+        agg_asts: list[tuple[str, Expr | None]],
+        binding: Binding,
+        estimated_rows: float,
+    ) -> None:
+        """Turn this exchange into a partial-aggregation exchange."""
+        self.agg = {
+            "group": group_asts,
+            "aggs": agg_asts,
+            "grand_total": not group_asts,
+        }
+        self.binding = binding
+        self.estimated_rows = estimated_rows
+
+    def attach_project(
+        self, project_asts: list[Expr], binding: Binding
+    ) -> None:
+        """Push the SELECT list into the fragments.
+
+        Workers evaluate the projection expressions (XADT method calls
+        included — each worker carries the full UDF registry) per row,
+        so the exchange emits final output tuples and the planner drops
+        the coordinator-side ``Project``.  The heavy per-row compute
+        then lands in the fragments, where the overlap credit models a
+        multi-core pool running the lanes concurrently.
+        """
+        if self.agg is not None:
+            raise ExecutionError(
+                "cannot push a projection into a partial-agg exchange"
+            )
+        self.project = list(project_asts)
+        self.binding = binding
+
+    # -- pruning -----------------------------------------------------------
+
+    def _resolve_source(self, source: tuple[str, object]) -> object:
+        kind, payload = source
+        if kind == "lit":
+            return payload
+        return self.params.values[payload]  # type: ignore[union-attr]
+
+    def _apply_prunes(self, resolve) -> list[int]:
+        spec = self.heap.spec
+        parts = set(range(spec.partitions))
+        for op, source in self.prunes:
+            value = resolve(source)
+            if value is None:
+                # ``col <op> NULL`` matches no row under SQL semantics
+                return []
+            if op == "=":
+                parts &= {spec.partition_for(value)}
+            else:
+                pruned = spec.prune_range(op, value)
+                if pruned is not None:
+                    parts &= set(pruned)
+        return sorted(parts)
+
+    def _static_prune(self) -> list[int] | None:
+        """Partitions surviving literal-only pruning; None if bind-dependent."""
+        if any(source[0] != "lit" for _, source in self.prunes):
+            return None
+        return self._apply_prunes(lambda source: source[1])
+
+    def _live_partitions(self) -> list[int]:
+        if self._static_parts is not None:
+            return self._static_parts
+        return self._apply_prunes(self._resolve_source)
+
+    # -- execution ---------------------------------------------------------
+
+    def _param_values(self) -> tuple:
+        if self.params is None or not getattr(self.params, "count", 0):
+            return ()
+        return tuple(self.params.values)
+
+    def _make_task(
+        self, partition: int, horizon: int, catalog_token: int, values: tuple
+    ) -> dict:
+        key = self.heap.schema.key
+        task = {
+            "kind": "agg" if self.agg is not None else "scan",
+            "table": key,
+            "partition": partition,
+            "slice_key": (key, partition, catalog_token, horizon),
+            "schema": self.heap.schema,
+            "alias": self.alias,
+            "predicate": self.predicate_ast,
+            "projection": self.template.projection,
+            "params": values,
+        }
+        if self.agg is not None:
+            task["group"] = self.agg["group"]
+            task["aggs"] = self.agg["aggs"]
+        if self.project is not None:
+            task["project"] = self.project
+        return task
+
+    def _execute(self) -> Iterator[Batch]:
+        from repro.engine import parallel
+
+        wall_started = time.perf_counter()
+        cpu_started = time.process_time()
+        heap = self.heap
+        version = table_version(heap)
+        horizon = len(heap.rows) if version is None else version.row_count
+        parts = self._live_partitions()
+        if not parts:
+            if self.agg is not None and self.agg["grand_total"]:
+                yield [
+                    tuple(
+                        parallel.PartialAgg(kind).result()
+                        for kind, _ in self.agg["aggs"]
+                    )
+                ]
+            return
+        if self.io is not None:
+            # partitions live on separate spindles (shared-nothing layout,
+            # DESIGN.md §12) and are read concurrently: charge the widest
+            # fragment, not the sum, and one parallel dispatch seek
+            self.io.charge_sequential(
+                max(pages_of_bytes(heap.partition_bytes(p)) for p in parts)
+            )
+            self.io.charge_random(1)
+        budget = active_budget()
+        if budget is not None:
+            for p in parts:
+                budget.charge_memory(heap.partition_bytes(p))
+        context = current_context()
+        catalog_token = (
+            context.snapshot.catalog.version
+            if context is not None and context.snapshot is not None
+            else -1
+        )
+        values = self._param_values()
+        tasks = [
+            self._make_task(p, horizon, catalog_token, values) for p in parts
+        ]
+        providers = [
+            (lambda p=p: heap.partition_rows(p, limit=horizon)) for p in parts
+        ]
+        pool = self.pool_provider() if self.pool_provider is not None else None
+        if pool is not None:
+            with TRACER.span("exchange"):
+                outcomes = pool.run_tasks(list(zip(tasks, providers)))
+        else:
+            outcomes = [("failed", "no worker pool", 0.0, 0)] * len(tasks)
+        results = []
+        lane_seconds: dict[int, float] = {}
+        for task, provider, outcome in zip(tasks, providers, outcomes):
+            if outcome[0] == "ok":
+                results.append(outcome[1])
+                lane_seconds[outcome[3]] = (
+                    lane_seconds.get(outcome[3], 0.0) + outcome[2]
+                )
+            else:
+                # degrade to inline execution of the same fragment; its
+                # compute is genuine coordinator CPU, so it lands in the
+                # process_time window and lengthens the critical path
+                results.append(
+                    parallel.execute_fragment(task, provider(), self.registry)
+                )
+        batches = list(self._stitch(results, parallel))
+        if self.io is not None and lane_seconds:
+            # The 1-CPU host serialized coordinator work and every worker
+            # lane into our wall clock.  On the modeled pool (one core per
+            # worker plus the coordinator, DESIGN.md §12) the scatter-
+            # gather pipeline runs lanes and the coordinator's own
+            # dispatch/collect/stitch concurrently, so its elapsed time is
+            # the critical path: the busiest lane or the coordinator,
+            # whichever is longer.  Credit back the rest.
+            coordinator_cpu = time.process_time() - cpu_started
+            wall = time.perf_counter() - wall_started
+            critical = max(coordinator_cpu, max(lane_seconds.values()))
+            self.io.charge_overlap(max(wall - critical, 0.0))
+        yield from batches
+
+    def _stitch(self, results, parallel) -> Iterator[Batch]:
+        """Merge fragment results into output batches (coordinator side)."""
+        if self.agg is not None:
+            yield from self._merge_partial_agg(results, parallel)
+            return
+        size = self.batch_size
+        if self.mode == "ordered":
+            merged = heapq.merge(*results, key=itemgetter(0))
+            batch: Batch = []
+            for _, row in merged:
+                batch.append(row)
+                if len(batch) >= size:
+                    yield batch
+                    batch = []
+            if batch:
+                yield batch
+        else:
+            for pairs in results:
+                for start in range(0, len(pairs), size):
+                    yield [row for _, row in pairs[start : start + size]]
+
+    def _merge_partial_agg(self, results, parallel) -> Iterator[Batch]:
+        assert self.agg is not None
+        kinds = [kind for kind, _ in self.agg["aggs"]]
+        merged: dict[tuple, list] = {}
+        for partial in results:
+            for key, (raw_key, first_rid, states) in partial.items():
+                entry = merged.get(key)
+                if entry is None:
+                    entry = [raw_key, first_rid, [
+                        parallel.PartialAgg(kind) for kind in kinds
+                    ]]
+                    merged[key] = entry
+                elif first_rid < entry[1]:
+                    entry[1] = first_rid
+                for accumulator, state in zip(entry[2], states):
+                    accumulator.merge(state)
+        if not merged:
+            if self.agg["grand_total"]:
+                yield [
+                    tuple(parallel.PartialAgg(kind).result() for kind in kinds)
+                ]
+            return
+        # ascending minimal row id == HashAggregate's first-seen order
+        rows = [
+            raw_key + tuple(acc.result() for acc in accumulators)
+            for raw_key, _, accumulators in sorted(
+                merged.values(), key=itemgetter(1)
+            )
+        ]
+        yield from _batched(rows, self.batch_size)
+
+    # -- explain -----------------------------------------------------------
+
+    def explain(self, depth: int = 0) -> list[str]:
+        total = self.heap.spec.partitions
+        live = "?" if self._static_parts is None else len(self._static_parts)
+        suffix = f" exchange[{live}/{total} parts] workers={self.workers}"
+        if self.agg is not None:
+            suffix += " partial-agg"
+        if self.project is not None:
+            names = ", ".join(slot.name for slot in self.binding.slots)
+            suffix += f" project[{names}]"
+        if self.mode != "ordered":
+            suffix += f" {self.mode}"
+        lines = [self._line(depth, f"Exchange{suffix}")]
+        lines.extend(self.template.explain(depth + 1))
+        return lines
+
+
 def _rows_per_page(table: HeapTable) -> int:
     """Average rows per data page, for page-id derivation from row ids."""
     pages = max(table.data_pages(), 1)
@@ -991,6 +1319,7 @@ def table_binding(table: HeapTable, alias: str) -> Binding:
 __all__ = [
     "AggSpec",
     "Batch",
+    "Exchange",
     "Filter",
     "HashAggregate",
     "HashDistinct",

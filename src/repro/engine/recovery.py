@@ -38,7 +38,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 from repro.engine.config import ExecutionConfig
-from repro.engine.schema import Column, TableSchema
+from repro.engine.schema import Column, PartitionSpec, TableSchema
 from repro.engine.types import type_from_name
 from repro.engine.wal import WriteAheadLog, decode_bulk_rows, decode_row
 from repro.errors import RecoveryError
@@ -120,7 +120,18 @@ def _apply(db: "Database", record: dict) -> None:
             Column(name, type_from_name(type_name), primary_key)
             for name, type_name, primary_key in record["columns"]
         ]
-        db.create_table(TableSchema(record["table"], columns))
+        partition = _decode_partition(record.get("partition"))
+        db.create_table(
+            TableSchema(record["table"], columns, partition=partition)
+        )
+    elif kind == "partition_table":
+        db.partition_table(
+            record["table"],
+            record["column"],
+            record["partitions"],
+            kind=record["kind"],
+            bounds=tuple(record["bounds"]) if record["bounds"] else None,
+        )
     elif kind == "drop_table":
         db.drop_table(record["table"])
     elif kind == "create_index":
@@ -138,6 +149,18 @@ def _apply(db: "Database", record: dict) -> None:
         db.set_exec_config(ExecutionConfig(**record["config"]))
     else:
         raise RecoveryError(f"unknown WAL record type {kind!r}")
+
+
+def _decode_partition(payload: dict | None) -> "PartitionSpec | None":
+    if payload is None:
+        return None
+    bounds = payload["bounds"]
+    return PartitionSpec(
+        column=payload["column"],
+        partitions=payload["partitions"],
+        kind=payload["kind"],
+        bounds=tuple(bounds) if bounds else None,
+    )
 
 
 def recover_database(

@@ -214,14 +214,31 @@ class WriteAheadLog:
     # -- record helpers ----------------------------------------------------
 
     def log_create_table(self, schema) -> None:
-        self._append({
+        record = {
             "type": "create_table",
             "table": schema.name,
             "columns": [
                 [c.name, repr(c.sql_type), bool(c.primary_key)]
                 for c in schema.columns
             ],
-        })
+        }
+        if schema.partition is not None:
+            record["partition"] = self._partition_payload(schema.partition)
+        self._append(record)
+
+    @staticmethod
+    def _partition_payload(spec) -> dict:
+        return {
+            "column": spec.column,
+            "partitions": spec.partitions,
+            "kind": spec.kind,
+            "bounds": list(spec.bounds) if spec.bounds is not None else None,
+        }
+
+    def log_partition_table(self, name: str, spec) -> None:
+        record = {"type": "partition_table", "table": name}
+        record.update(self._partition_payload(spec))
+        self._append(record)
 
     def log_drop_table(self, name: str) -> None:
         self._append({"type": "drop_table", "table": name})

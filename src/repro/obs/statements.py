@@ -56,9 +56,11 @@ from repro.obs.trace import WAIT_SINK
 #: ``governor.throttle`` is admission-control delay (reserved — the
 #: governor aborts rather than throttles today, so it reads zero);
 #: ``io.stall`` is the concurrent executor's modelled-disk sleep;
-#: ``xindex.build`` is structural-index staging inside a write.  The
-#: residual bucket ``other`` absorbs unattributed wall time, so a
-#: breakdown always sums to the statement's measured wall clock.
+#: ``xindex.build`` is structural-index staging inside a write;
+#: ``exchange`` is time a partition-parallel scan spent scattered to the
+#: worker pool (dispatch through last reply).  The residual bucket
+#: ``other`` absorbs unattributed wall time, so a breakdown always sums
+#: to the statement's measured wall clock.
 WAIT_NAMES = (
     "parse",
     "plan",
@@ -67,11 +69,12 @@ WAIT_NAMES = (
     "governor.throttle",
     "io.stall",
     "xindex.build",
+    "exchange",
 )
 
 #: waits nested inside the ``execute`` span, subtracted so the
 #: breakdown never double-counts
-_NESTED_WAITS = ("wal.fsync", "xindex.build", "governor.throttle")
+_NESTED_WAITS = ("wal.fsync", "xindex.build", "governor.throttle", "exchange")
 
 #: bounded number of distinct statement keys (LRU-evicted past this)
 DEFAULT_MAX_STATEMENTS = 512

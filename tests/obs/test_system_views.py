@@ -22,7 +22,7 @@ from repro.obs import METRICS, STATEMENTS
 
 VIEW_NAMES = (
     "sys_metrics", "sys_sessions", "sys_tables", "sys_indexes",
-    "sys_statements", "sys_wal", "sys_xindex",
+    "sys_statements", "sys_wal", "sys_xindex", "sys_partitions",
 )
 
 
@@ -105,6 +105,23 @@ class TestViewsThroughSql:
 
     def test_sys_xindex_empty_without_structural_index(self, db):
         assert db.execute("SELECT * FROM sys_xindex").rows == []
+
+    def test_sys_partitions_empty_without_partitioned_tables(self, db):
+        assert db.execute("SELECT * FROM sys_partitions").rows == []
+
+    def test_sys_partitions_reports_layout(self, db):
+        db.partition_table("t", "id", 3)
+        rows = db.execute(
+            "SELECT table_name, partition_id, kind, column_name, "
+            "row_count, workers FROM sys_partitions"
+        ).rows
+        assert [row[:4] for row in rows] == [
+            ("t", 0, "hash", "id"),
+            ("t", 1, "hash", "id"),
+            ("t", 2, "hash", "id"),
+        ]
+        assert sum(row[4] for row in rows) == 20
+        assert all(row[5] == 0 for row in rows)  # no pool configured
 
 
 class TestSysStatements:

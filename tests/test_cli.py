@@ -168,6 +168,19 @@ class TestShellCommands:
         sh.handle("\\slowlog")
         assert "not attached" in out.getvalue()
 
+    def test_partitions_without_partitioned_tables(self, shell):
+        sh, out = shell
+        sh.handle("\\partitions")
+        assert "no partitioned tables" in out.getvalue()
+
+    def test_partitions_reports_layout(self, shell):
+        sh, out = shell
+        sh.db.partition_table("speech", "speechID", 2)
+        sh.handle("\\partitions")
+        text = out.getvalue()
+        assert "speech: hash on speechID, 2 partitions" in text
+        assert "p0" in text and "p1" in text
+
     def test_sys_views_via_sql(self, shell):
         sh, out = shell
         sh.handle("SELECT table_name, row_count FROM sys_tables")
