@@ -33,11 +33,18 @@ worker count (the gated version is
 ``benchmarks/bench_partitioned_speedup.py``; DESIGN.md §12 has the
 scaled-out machine model).
 
+``BENCH_difftest.json`` records the differential-oracle sweep: per
+seed, the query-shape mix the generator drew and the
+executed/unsupported/divergence counts from running every query on
+both the native engine and the sqlite backend (DESIGN.md §13).  A
+committed divergence count other than zero fails CI's
+``difftest-smoke`` job.
+
 Usage::
 
     PYTHONPATH=src python scripts/bench_trajectory.py [--quick]
         [--scales 1,2,4] [--rounds 5] [--out-dir .]
-        [--only fig11,partitioned]
+        [--only fig11,partitioned,difftest]
 """
 
 from __future__ import annotations
@@ -290,6 +297,46 @@ def partitioned_sweep(scale: int, rounds: int) -> dict:
     }
 
 
+#: seeds the committed difftest artifact records
+DIFFTEST_SEEDS = (0, 1, 2, 3)
+DIFFTEST_COUNT = 60
+
+
+def difftest_sweep(seeds, count: int) -> dict:
+    """Differential native-vs-sqlite runs over both Shakespeare schemas."""
+    from repro.difftest import run_difftest
+
+    pair = build_pair("shakespeare", scale=1)
+    runs = []
+    for loaded in (pair.hybrid, pair.xorator):
+        for seed in seeds:
+            report = run_difftest(
+                loaded.db, loaded.schema, count=count, seed=seed
+            )
+            runs.append(
+                {
+                    "schema": loaded.algorithm,
+                    "seed": seed,
+                    "requested": report.requested,
+                    "executed": report.executed,
+                    "unsupported": report.unsupported,
+                    "divergences": len(report.divergences),
+                    "shapes": dict(sorted(report.shapes.items())),
+                }
+            )
+    return {
+        "artifact": "difftest",
+        "dataset": "shakespeare",
+        "backend": "sqlite",
+        "queries_per_seed": count,
+        "seeds": list(seeds),
+        "metric": "queries executed on both backends with canonicalized "
+                  "multiset comparison; divergences must stay 0",
+        "total_divergences": sum(run["divergences"] for run in runs),
+        "runs": runs,
+    }
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -321,7 +368,8 @@ def main() -> None:
     parser.add_argument(
         "--only", default="",
         help="comma-separated subset of artifacts to regenerate "
-             "(fig11, fig13, qs6, concurrency, partitioned; default all)",
+             "(fig11, fig13, qs6, concurrency, partitioned, difftest; "
+             "default all)",
     )
     args = parser.parse_args()
     scales = [1] if args.quick else [
@@ -353,6 +401,14 @@ def main() -> None:
     if wanted("concurrency"):
         artifact = concurrency_sweep(scales[0], rounds)
         path = args.out_dir / "BENCH_concurrency.json"
+        path.write_text(json.dumps(artifact, indent=2) + "\n")
+        print(f"wrote {path}")
+
+    if wanted("difftest"):
+        seeds = DIFFTEST_SEEDS[:2] if args.quick else DIFFTEST_SEEDS
+        count = 30 if args.quick else DIFFTEST_COUNT
+        artifact = difftest_sweep(seeds, count)
+        path = args.out_dir / "BENCH_difftest.json"
         path.write_text(json.dumps(artifact, indent=2) + "\n")
         print(f"wrote {path}")
 

@@ -1,0 +1,12 @@
+"""Alternative execution backends.
+
+The optimizer's logical plan (:mod:`repro.engine.plan.logical`) is
+backend-portable: the native vectorized executor is just one lowering of
+it.  This package holds the others — currently :mod:`repro.backends.sqlite`,
+which compiles the same IR to SQL text over the stdlib ``sqlite3``
+module with XADT columns shredded into relational side tables.
+"""
+
+from repro.backends.sqlite import SqliteBackend, shred_fragment
+
+__all__ = ["SqliteBackend", "shred_fragment"]

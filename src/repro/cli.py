@@ -38,6 +38,11 @@ commands (interactive or piped):
   build/hit/miss counters);
 * ``\\partitions`` — partitioned-table layout (per-partition row and
   byte extents) and the parallel worker pool's state;
+* ``\\backends [sql]`` — list execution backends, or show the SQL the
+  sqlite backend compiles for a statement;
+* ``\\difftest [N] [seed]`` — differentially execute N seeded random
+  queries on the native engine and the sqlite backend and report any
+  divergence;
 * ``\\q`` — quit.
 """
 
@@ -106,12 +111,17 @@ class Shell:
                 self._print_xindex()
             elif line == "\\partitions":
                 self._print_partitions()
+            elif line == "\\backends" or line.startswith("\\backends "):
+                self._run_backends(line[len("\\backends"):].strip())
+            elif line == "\\difftest" or line.startswith("\\difftest "):
+                self._run_difftest(line[len("\\difftest"):].strip())
             elif line.startswith("\\"):
                 self._print(f"unknown command {line.split()[0]!r}; try \\dt, "
                             f"\\d, \\explain, \\analyze, \\path, \\io, "
                             f"\\cache, \\sessions, \\metrics, \\statements, "
                             f"\\waits, \\slowlog, \\trace, \\governor, "
-                            f"\\wal, \\xindex, \\partitions, \\q")
+                            f"\\wal, \\xindex, \\partitions, \\backends, "
+                            f"\\difftest, \\q")
             else:
                 self._run_sql(line)
         except ReproError as exc:
@@ -498,6 +508,30 @@ class Shell:
                 )
         if not found:
             self._print("no partitioned tables")
+
+    def _run_backends(self, args: str) -> None:
+        if not args:
+            for name in self.db.backend_names():
+                marker = " (default)" if name == "native" else ""
+                self._print(f"{name}{marker}")
+            return
+        compiled = self.db.backend("sqlite").compile(args)
+        self._print(compiled.text)
+
+    def _run_difftest(self, args: str) -> None:
+        from repro.difftest import run_difftest
+
+        parts = args.split()
+        count = int(parts[0]) if parts else 50
+        seed = int(parts[1]) if len(parts) > 1 else 0
+        report = run_difftest(self.db, self.schema, count=count, seed=seed)
+        self._print(report.summary())
+        for divergence in report.divergences[:5]:
+            self._print(f"DIVERGENCE [{divergence.shape}] {divergence.sql}")
+            self._print(
+                f"  native {divergence.native_count} row(s), "
+                f"{report.backend} {divergence.backend_count} row(s)"
+            )
 
     def _print(self, text: str) -> None:
         print(text, file=self.out)

@@ -1,0 +1,21 @@
+"""Differential backend testing.
+
+A seeded random query generator (:mod:`repro.difftest.generator`)
+produces SELECT statements over a loaded database's mapped schema; the
+runner (:mod:`repro.difftest.runner`) executes each on the native
+vectorized engine and on an alternative backend lowered from the same
+logical plan, canonicalizes both result sets, and reports any
+divergence.  The native engine and the backend disagree only if one of
+them is wrong — each acts as the other's oracle.
+"""
+
+from repro.difftest.generator import GeneratedQuery, QueryGenerator
+from repro.difftest.runner import DiffReport, Divergence, run_difftest
+
+__all__ = [
+    "DiffReport",
+    "Divergence",
+    "GeneratedQuery",
+    "QueryGenerator",
+    "run_difftest",
+]

@@ -1,0 +1,140 @@
+"""The differential oracle runner.
+
+Executes every generated query on the native engine and on an
+alternative backend, canonicalizes both result sets, and compares them
+as multisets.  Multiset comparison makes unordered results (and hash
+aggregation order) moot; ordered parity is still exercised because
+``order_limit`` shapes pin a total order before applying ``LIMIT``.
+
+Canonicalization maps both executors into one value domain: XADT
+fragments serialize to their XML text (the native engine returns
+:class:`~repro.xadt.fragment.XadtValue`, the SQLite mirror stores
+text), and floats round to 9 decimal places to absorb formatting-level
+noise while still catching real numeric bugs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.difftest.generator import GeneratedQuery, QueryGenerator
+from repro.errors import BackendUnsupported
+from repro.obs.metrics import METRICS
+from repro.xadt.fragment import XadtValue
+
+_QUERIES = METRICS.counter("difftest.queries")
+_DIVERGENCES = METRICS.counter("difftest.divergences")
+_UNSUPPORTED = METRICS.counter("difftest.unsupported")
+
+
+def canonical_value(value: object) -> object:
+    if isinstance(value, XadtValue):
+        return value.to_xml()
+    if isinstance(value, float):
+        return round(value, 9)
+    return value
+
+
+def canonical_rows(rows) -> list[tuple]:
+    """Rows as a sorted multiset of canonical tuples."""
+    out = [tuple(canonical_value(v) for v in row) for row in rows]
+    out.sort(key=repr)
+    return out
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """One query whose two executions disagreed."""
+
+    sql: str
+    params: tuple
+    shape: str
+    native_count: int
+    backend_count: int
+    native_sample: tuple
+    backend_sample: tuple
+
+
+@dataclass
+class DiffReport:
+    """Outcome of one differential run."""
+
+    seed: int
+    backend: str
+    requested: int
+    executed: int = 0
+    unsupported: int = 0
+    shapes: dict[str, int] = field(default_factory=dict)
+    divergences: list[Divergence] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences
+
+    def summary(self) -> str:
+        shape_text = ", ".join(
+            f"{name}={count}" for name, count in sorted(self.shapes.items())
+        )
+        verdict = "ok" if self.ok else f"{len(self.divergences)} DIVERGENCES"
+        return (
+            f"difftest seed={self.seed} backend={self.backend}: "
+            f"{self.executed}/{self.requested} executed, "
+            f"{self.unsupported} unsupported, {verdict} [{shape_text}]"
+        )
+
+
+def run_query(db, query: GeneratedQuery, backend: str) -> Divergence | None:
+    """Execute one query on both sides; a Divergence if they disagree."""
+    native = canonical_rows(db.execute(query.sql, query.params).rows)
+    mirrored = canonical_rows(
+        db.execute(query.sql, query.params, backend=backend).rows
+    )
+    if native == mirrored:
+        return None
+    native_only = next((r for r in native if r not in mirrored), ())
+    backend_only = next((r for r in mirrored if r not in native), ())
+    return Divergence(
+        sql=query.sql,
+        params=query.params,
+        shape=query.shape,
+        native_count=len(native),
+        backend_count=len(mirrored),
+        native_sample=native_only,
+        backend_sample=backend_only,
+    )
+
+
+def run_difftest(
+    db,
+    schema,
+    count: int = 200,
+    seed: int = 0,
+    backend: str = "sqlite",
+) -> DiffReport:
+    """Generate ``count`` queries and differentially execute each one."""
+    generator = QueryGenerator(db, schema, seed)
+    report = DiffReport(seed=seed, backend=backend, requested=count)
+    for query in generator.generate(count):
+        report.shapes[query.shape] = report.shapes.get(query.shape, 0) + 1
+        _QUERIES.inc()
+        try:
+            divergence = run_query(db, query, backend)
+        except BackendUnsupported:
+            report.unsupported += 1
+            _UNSUPPORTED.inc()
+            continue
+        report.executed += 1
+        if divergence is not None:
+            report.divergences.append(divergence)
+            _DIVERGENCES.inc()
+    return report
+
+
+__all__ = [
+    "DiffReport",
+    "Divergence",
+    "canonical_rows",
+    "canonical_value",
+    "run_difftest",
+    "run_query",
+]

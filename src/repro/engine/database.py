@@ -139,6 +139,9 @@ class Database:
         #: lazy partition-parallel worker pool (DESIGN.md §12)
         self._pool = None
         self._pool_lock = threading.Lock()
+        #: lazy alternative execution backends by name (DESIGN.md §13)
+        self._backends: dict[str, object] = {}
+        self._backends_lock = threading.Lock()
 
     # -- durability --------------------------------------------------------
 
@@ -560,15 +563,46 @@ class Database:
 
     # -- queries ------------------------------------------------------------------
 
-    def execute(self, sql: str, params: tuple | list = ()) -> Result:
+    def execute(
+        self, sql: str, params: tuple | list = (), backend: str = "native"
+    ) -> Result:
         """Execute one statement; ``params`` bind any ``?`` markers.
 
         Runs on the default session (live reads, shared I/O counters).
         SELECTs are served through the plan cache: a repeat of the same
         normalized SQL reuses the compiled plan and only re-runs the
         operator tree.
+
+        ``backend`` selects the execution backend: ``"native"`` (the
+        vectorized operator tree) or any name accepted by
+        :meth:`backend` — currently ``"sqlite"``, which lowers the same
+        logical plan to SQL text over an in-memory SQLite mirror.
         """
-        return self._default.execute(sql, params)
+        if backend == "native":
+            return self._default.execute(sql, params)
+        return self.backend(backend).execute(sql, params)
+
+    def backend(self, name: str):
+        """The named alternative execution backend (lazily created)."""
+        key = name.lower()
+        with self._backends_lock:
+            existing = self._backends.get(key)
+            if existing is not None:
+                return existing
+            if key == "sqlite":
+                from repro.backends.sqlite import SqliteBackend
+
+                created = SqliteBackend(self)
+            else:
+                from repro.errors import BackendError
+
+                raise BackendError(f"unknown execution backend {name!r}")
+            self._backends[key] = created
+            return created
+
+    def backend_names(self) -> list[str]:
+        """Every selectable backend name."""
+        return ["native", "sqlite"]
 
     def prepare(self, sql: str) -> PreparedStatement:
         """Parse ``sql`` once; execute it repeatedly with bind values."""

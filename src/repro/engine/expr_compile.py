@@ -203,7 +203,7 @@ class _Lowering:
         if isinstance(expr, Negate):
             self.env.setdefault("_negate", _negate)
             return f"_negate({self.lower(expr.operand)})"
-        if type(expr).__name__ == "_SlotRef" and hasattr(expr, "index"):
+        if type(expr).__name__ in ("SlotRef", "_SlotRef") and hasattr(expr, "index"):
             # the planner's post-aggregation slot placeholder
             return f"row[{expr.index}]"
         raise PlanError(f"cannot compile expression node {type(expr).__name__}")

@@ -1,16 +1,22 @@
 """Query planner/optimizer.
 
-Turns a parsed :class:`SelectStmt` into a physical operator tree:
+Plans a parsed :class:`SelectStmt` in two phases:
 
-1. classify WHERE conjuncts (single-table, equi-join edge, residual);
-2. pick an access path per base table (index scan when an equality
-   predicate has a live index, else sequential scan with the pushed
-   predicate);
-3. order joins greedily by estimated cost, choosing between hash join
-   and index nested-loop join per step;
-4. append lateral table functions in declared order (DB2 semantics:
-   their arguments may reference any FROM item to their left);
-5. plan aggregation / having / distinct / order / limit on top.
+1. :func:`plan_logical` makes every planning decision on the logical IR
+   (:mod:`repro.engine.plan.logical`): classify WHERE conjuncts
+   (single-table, equi-join edge, residual), pick an access path per
+   base table (index scan when an equality predicate has a live index
+   and wins on cost, else sequential scan — partition-parallel when a
+   worker pool and a partitioned heap allow it), order joins greedily by
+   estimated cost choosing between hash join and index nested-loop join
+   per step, append lateral table functions in declared order (DB2
+   semantics: their arguments may reference any FROM item to their
+   left), and stack aggregation / having / projection / distinct /
+   order / limit on top.
+2. a lowering backend turns the IR into something executable.  The
+   native backend is :func:`repro.engine.plan.physical.lower_select`
+   (compiled-closure operator trees — :func:`plan_select` below); the
+   SQLite backend (:mod:`repro.backends.sqlite`) emits SQL text instead.
 
 Statistics come from the engine's ``runstats``; without them the
 defaults in :mod:`repro.engine.statistics` apply.
@@ -18,61 +24,43 @@ defaults in :mod:`repro.engine.statistics` apply.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Protocol
 
 from repro.engine.expr import (
-    And,
-    Arithmetic,
     Binding,
     ColumnRef,
     Comparison,
-    Compiled,
     Expr,
-    FuncCall,
-    Like,
     Literal,
-    Not,
-    Or,
     ParamBox,
     Parameter,
     Slot,
     Star,
     and_together,
-    compile_expr,
     conjuncts_of,
 )
-from repro.engine.config import DEFAULT_BATCH_SIZE, ExecutionConfig, VECTORIZED
-from repro.engine.expr_compile import (
-    XADT_METHOD_NAMES,
-    compile_projection,
-    compile_row_expr,
-)
+from repro.engine.config import ExecutionConfig, VECTORIZED
 from repro.engine.index import Index
 from repro.engine.plan import cost as cost_model
-from repro.engine.plan.physical import (
-    AggSpec,
-    Exchange,
-    Filter,
-    HashAggregate,
-    HashDistinct,
-    HashJoin,
-    IndexNestedLoopJoin,
-    IndexScan,
-    LateralFunctionScan,
-    Limit,
-    NestedLoopJoin,
-    Operator,
-    Project,
-    SeqScan,
-    Sort,
-    table_binding,
+from repro.engine.plan.logical import (
+    JoinEdge,
+    LogicalAggregate,
+    LogicalDistinct,
+    LogicalFilter,
+    LogicalJoin,
+    LogicalLateral,
+    LogicalLimit,
+    LogicalNode,
+    LogicalProject,
+    LogicalScan,
+    LogicalSort,
+    collect_aggregates,
 )
+from repro.engine.plan.physical import Operator, lower_select, table_binding
 from repro.engine.schema import IndexDef
 from repro.engine.statistics import TableStats
 from repro.engine.storage import HeapTable, PartitionedHeapTable
 from repro.engine.sql.ast import SelectStmt, TableFunctionRef, TableRef
-from repro.engine.types import INTEGER, VARCHAR, SqlType
 from repro.engine.udf import FunctionRegistry
 from repro.errors import PlanError
 
@@ -97,68 +85,15 @@ def _exec_config(ctx: PlannerContext) -> ExecutionConfig:
     return getattr(ctx, "exec_config", None) or VECTORIZED
 
 
-def _compiler(ctx: PlannerContext):
-    """The expression compiler this plan uses (generated vs tree-walking)."""
-    if _exec_config(ctx).compiled_expressions:
-        return compile_row_expr
-    return compile_expr
-
-
-def _xadt_label(config: ExecutionConfig) -> str:
-    """The XADT access-path label this config routes method calls to."""
-    return "xindex" if config.xadt_structural_index else "scan"
-
-
-def _has_xadt_call(expr: Expr | None) -> bool:
-    if expr is None:
-        return False
-    if isinstance(expr, FuncCall) and expr.name.lower() in XADT_METHOD_NAMES:
-        return True
-    return any(_has_xadt_call(child) for child in _children_of(expr))
-
-
-def _xadt_access(exprs, label: str) -> str | None:
-    """``label`` when any expression calls an XADT method, else None.
-
-    Operators carry the label into EXPLAIN (``xadt[xindex]`` vs
-    ``xadt[scan]``) so plans show which access path the fragment methods
-    will take under the catalog's execution config.
-    """
-    return label if any(_has_xadt_call(e) for e in exprs) else None
-
-
 # ---------------------------------------------------------------------------
 # conjunct classification
 # ---------------------------------------------------------------------------
 
 
-@dataclass
-class _JoinEdge:
-    """An equi-join conjunct ``left.col = right.col``."""
-
-    expr: Comparison
-    left_qualifier: str
-    left_column: str
-    right_qualifier: str
-    right_column: str
-
-    def side(self, qualifier: str) -> str | None:
-        if self.left_qualifier == qualifier:
-            return self.left_column
-        if self.right_qualifier == qualifier:
-            return self.right_column
-        return None
-
-    def other(self, qualifier: str) -> tuple[str, str]:
-        if self.left_qualifier == qualifier:
-            return self.right_qualifier, self.right_column
-        return self.left_qualifier, self.left_column
-
-
 class _Classified:
     def __init__(self) -> None:
         self.per_table: dict[str, list[Expr]] = {}
-        self.edges: list[_JoinEdge] = []
+        self.edges: list[JoinEdge] = []
         self.residual: list[Expr] = []
         self.constants: list[Expr] = []
 
@@ -197,7 +132,7 @@ def _classify(
     return result
 
 
-def _as_join_edge(expr: Expr, global_binding: Binding) -> _JoinEdge | None:
+def _as_join_edge(expr: Expr, global_binding: Binding) -> JoinEdge | None:
     if not (
         isinstance(expr, Comparison)
         and expr.op == "="
@@ -209,7 +144,7 @@ def _as_join_edge(expr: Expr, global_binding: Binding) -> _JoinEdge | None:
     right_slot = global_binding.slot_of(expr.right)
     if left_slot.qualifier == right_slot.qualifier:
         return None
-    return _JoinEdge(
+    return JoinEdge(
         expr,
         left_slot.qualifier,
         left_slot.name,
@@ -219,13 +154,19 @@ def _as_join_edge(expr: Expr, global_binding: Binding) -> _JoinEdge | None:
 
 
 # ---------------------------------------------------------------------------
-# planner
+# planner entry points
 # ---------------------------------------------------------------------------
 
 
 def plan_select(
     stmt: SelectStmt, ctx: PlannerContext, params: ParamBox | None = None
 ) -> Operator:
+    """Plan ``stmt`` and lower it to the native physical backend."""
+    return lower_select(plan_logical(stmt, ctx), ctx, params)
+
+
+def plan_logical(stmt: SelectStmt, ctx: PlannerContext) -> LogicalNode:
+    """Make all planning decisions; return the annotated logical plan."""
     base_refs = [item for item in stmt.from_items if isinstance(item, TableRef)]
     lateral_refs = [
         item for item in stmt.from_items if isinstance(item, TableFunctionRef)
@@ -243,30 +184,17 @@ def plan_select(
     )
 
     config = _exec_config(ctx)
-    compile_fn = _compiler(ctx)
     needed = (
         _needed_columns(stmt, global_binding) if config.scan_pushdown else None
     )
 
-    xadt_label = _xadt_label(config)
-    plan = _plan_joins(
-        base_refs, heaps, stats, classified, ctx, params, compile_fn, needed
+    node, binding, _ = _logical_joins(
+        base_refs, heaps, stats, classified, ctx, needed
     )
-    plan = _plan_laterals(
-        plan, lateral_refs, classified.residual, ctx.registry, params,
-        compile_fn, xadt_label,
+    node, binding = _logical_laterals(
+        node, binding, lateral_refs, classified.residual, ctx.registry
     )
-    plan = _plan_output(
-        plan, stmt, ctx.registry, params, compile_fn, xadt_label
-    )
-
-    if config.batch_size != DEFAULT_BATCH_SIZE:
-        pending = [plan]
-        while pending:
-            node = pending.pop()
-            node.batch_size = config.batch_size
-            pending.extend(node.children())
-    return plan
+    return _logical_output(node, stmt)
 
 
 def _needed_columns(
@@ -325,6 +253,16 @@ def _projection_of(
     ]
 
 
+def _scan_binding(
+    heap: HeapTable, alias: str, projection: list[int] | None
+) -> Binding:
+    """The slot layout a lowered scan will expose (projection applied)."""
+    full = table_binding(heap, alias)
+    if projection is None:
+        return full
+    return Binding([full.slots[i] for i in projection])
+
+
 def _check_alias_uniqueness(stmt: SelectStmt) -> None:
     seen: set[str] = set()
     for item in stmt.from_items:
@@ -354,29 +292,22 @@ def _global_binding(
 # -- base-table access and joins ---------------------------------------------
 
 
-def _plan_access(
+def _decide_access(
     ref: TableRef,
     heap: HeapTable,
     table_stats: TableStats | None,
     pushed: list[Expr],
     ctx: PlannerContext,
-    params: ParamBox | None = None,
-    compile_fn=None,
     needed: dict[str, set[str]] | None = None,
-) -> tuple[Operator, float]:
-    """Access path for one base table; returns (operator, estimated rows).
+) -> LogicalScan:
+    """Access-path decision for one base table (recorded, not built).
 
-    Pushed predicates compile against the *full* table binding (they run
-    before the scan's projection drops columns); the projection itself
-    comes from ``needed`` and prunes the operator's output binding.
+    Mirrors the lowered operator's cost model exactly: an equality
+    conjunct with a live index wins when the index probe is cheaper than
+    the (possibly partition-parallel) sequential scan.
     """
-    if compile_fn is None:
-        compile_fn = _compiler(ctx)
-    binding = table_binding(heap, ref.alias)
-    projection = _projection_of(heap, ref.qualifier.lower(), needed)
-    registry = ctx.registry
     config = _exec_config(ctx)
-    xadt_label = _xadt_label(config)
+    projection = _projection_of(heap, ref.qualifier.lower(), needed)
     # partition-parallel scans need a partitioned heap, an enabled pool,
     # and a context that can provide one (DESIGN.md §12)
     pool_provider = getattr(ctx, "worker_pool", None)
@@ -412,62 +343,29 @@ def _plan_access(
             index_choice = None
     if index_choice is not None:
         eq_conjunct, key_expr, index = index_choice
-        rest = [c for c in pushed if c is not eq_conjunct]
-        residual = and_together(rest)
-        # literal keys probe directly; parameter keys resolve per execution
-        key_value = key_expr.value if isinstance(key_expr, Literal) else None
-        key_fn = (
-            compile_fn(key_expr, Binding([]), registry, params)
-            if isinstance(key_expr, Parameter)
-            else None
-        )
-        operator: Operator = IndexScan(
-            heap,
-            ref.alias,
-            index,
-            key=key_value,
-            key_fn=key_fn,
-            residual=(
-                compile_fn(residual, binding, registry, params)
-                if residual
-                else None
-            ),
-            residual_sql=residual.sql() if residual else "",
-            io=getattr(ctx, "io", None),
+        return LogicalScan(
+            ref=ref,
+            heap=heap,
+            pushed=list(pushed),
             projection=projection,
-            xadt_access=_xadt_access(rest, xadt_label),
+            access="index",
+            eq_conjunct=eq_conjunct,
+            key_expr=key_expr,
+            index=index,
+            estimate=estimate,
         )
-        operator.estimated_rows = estimate
-        return operator, estimate
-
-    predicate = and_together(pushed)
-    operator = SeqScan(
-        heap,
-        ref.alias,
-        predicate=(
-            compile_fn(predicate, binding, registry, params)
-            if predicate
-            else None
-        ),
-        predicate_sql=predicate.sql() if predicate else "",
-        io=getattr(ctx, "io", None),
+    scan = LogicalScan(
+        ref=ref,
+        heap=heap,
+        pushed=list(pushed),
         projection=projection,
-        xadt_access=_xadt_access(pushed, xadt_label),
+        access="seq",
+        estimate=estimate,
     )
-    operator.estimated_rows = estimate
     if exchange_ready:
-        exchange = Exchange(
-            operator,
-            pool_provider=pool_provider,
-            registry=registry,
-            workers=config.parallel_workers,
-            predicate_ast=predicate,
-            params=params,
-            prunes=_partition_prunes(pushed, heap.spec),
-        )
-        exchange.estimated_rows = estimate
-        return exchange, estimate
-    return operator, estimate
+        scan.exchange = True
+        scan.prunes = _partition_prunes(pushed, heap.spec)
+    return scan
 
 
 #: comparison flips for constant-on-the-left partition-column conjuncts
@@ -546,21 +444,16 @@ def _split_eq(comparison: Comparison) -> tuple[ColumnRef | None, Expr | None]:
     return None, None
 
 
-def _plan_joins(
+def _logical_joins(
     base_refs: list[TableRef],
     heaps: dict[str, HeapTable],
     stats: dict[str, TableStats | None],
     classified: _Classified,
     ctx: PlannerContext,
-    params: ParamBox | None = None,
-    compile_fn=None,
     needed: dict[str, set[str]] | None = None,
-) -> Operator:
+) -> tuple[LogicalNode, Binding, float]:
     if not base_refs:
         raise PlanError("at least one base table is required in FROM")
-    if compile_fn is None:
-        compile_fn = _compiler(ctx)
-    registry = ctx.registry
     pushed = dict(classified.per_table)
     # constant conjuncts ride along with the first planned table
     first_extra = list(classified.constants)
@@ -585,10 +478,14 @@ def _plan_joins(
     start_qualifier = min(remaining, key=lambda q: estimates[q])
     start_ref = remaining.pop(start_qualifier)
     start_pushed = pushed.get(start_qualifier, []) + first_extra
-    plan, current_rows = _plan_access(
+    node: LogicalNode = _decide_access(
         start_ref, heaps[start_qualifier], stats[start_qualifier], start_pushed,
-        ctx, params, compile_fn, needed,
+        ctx, needed,
     )
+    binding = _scan_binding(
+        heaps[start_qualifier], start_ref.alias, node.projection
+    )
+    current_rows = node.estimate
     joined = {start_qualifier}
 
     while remaining:
@@ -603,8 +500,9 @@ def _plan_joins(
         ]
         table_pushed = pushed.get(ref.qualifier, [])
         if connecting:
-            plan, current_rows = _join_one(
-                plan,
+            node, binding, current_rows = _decide_join(
+                node,
+                binding,
                 current_rows,
                 ref,
                 heaps[ref.qualifier],
@@ -612,47 +510,47 @@ def _plan_joins(
                 table_pushed,
                 connecting,
                 ctx,
-                params,
-                compile_fn,
                 needed,
             )
             applied_edges.update(i for i, _ in connecting)
         else:
-            right, right_rows = _plan_access(
+            right = _decide_access(
                 ref, heaps[ref.qualifier], stats[ref.qualifier], table_pushed,
-                ctx, params, compile_fn, needed,
+                ctx, needed,
             )
-            plan = NestedLoopJoin(plan, right)
-            current_rows = max(current_rows * right_rows, 0.1)
-            plan.estimated_rows = current_rows
+            current_rows = max(current_rows * right.estimate, 0.1)
+            node = LogicalJoin(
+                left=node,
+                ref=ref,
+                heap=heaps[ref.qualifier],
+                strategy="cross",
+                pushed=list(table_pushed),
+                right=right,
+                estimate=current_rows,
+            )
+            binding = binding.extend(
+                _scan_binding(heaps[ref.qualifier], ref.alias, right.projection)
+            )
         joined.add(candidate)
 
     # residual conjuncts that touch only base tables
     base_only = [
         conjunct
         for conjunct in classified.residual
-        if _refs_within(conjunct, plan.binding)
+        if _refs_within(conjunct, binding)
     ]
     for conjunct in base_only:
         classified.residual.remove(conjunct)
     predicate = and_together(base_only)
     if predicate is not None:
-        plan = Filter(
-            plan,
-            compile_fn(predicate, plan.binding, registry, params),
-            predicate.sql(),
-            xadt_access=_xadt_access(
-                [predicate], _xadt_label(_exec_config(ctx))
-            ),
-        )
-        plan.estimated_rows = current_rows * 0.5
-    return plan
+        node = LogicalFilter(node, predicate, estimate=current_rows * 0.5)
+    return node, binding, current_rows
 
 
 def _pick_candidate(
     remaining: dict[str, TableRef],
     joined: set[str],
-    edges: list[_JoinEdge],
+    edges: list[JoinEdge],
     applied_edges: set[int],
     estimates: dict[str, float],
 ) -> str:
@@ -670,22 +568,18 @@ def _pick_candidate(
     return min(pool, key=lambda q: estimates[q])
 
 
-def _join_one(
-    plan: Operator,
+def _decide_join(
+    left: LogicalNode,
+    binding: Binding,
     current_rows: float,
     ref: TableRef,
     heap: HeapTable,
     table_stats: TableStats | None,
     table_pushed: list[Expr],
-    connecting: list[tuple[int, _JoinEdge]],
+    connecting: list[tuple[int, JoinEdge]],
     ctx: PlannerContext,
-    params: ParamBox | None = None,
-    compile_fn=None,
     needed: dict[str, set[str]] | None = None,
-) -> tuple[Operator, float]:
-    if compile_fn is None:
-        compile_fn = _compiler(ctx)
-    registry = ctx.registry
+) -> tuple[LogicalNode, Binding, float]:
     qualifier = ref.qualifier
 
     # estimated join selectivity over all connecting edges
@@ -713,7 +607,7 @@ def _join_one(
             current_rows, right_rows, work_mem, right_row_bytes=right_width
         )
     )
-    index_option: tuple[Index, _JoinEdge] | None = None
+    index_option: tuple[Index, JoinEdge] | None = None
     for _, edge in connecting:
         own_column = edge.side(qualifier)
         found = ctx.live_index(ref.table, own_column or "")
@@ -729,46 +623,38 @@ def _join_one(
 
     if index_option is not None and index_cost < hash_cost:
         index, main_edge = index_option
-        other_q, other_col = main_edge.other(qualifier)
-        left_key_slot = plan.binding.resolve(ColumnRef(other_q, other_col))
         residual_parts = [edge.expr for i, edge in connecting if edge is not main_edge]
         residual_parts.extend(table_pushed)
-        residual = and_together(residual_parts)
-        join: Operator = IndexNestedLoopJoin(
-            plan,
-            heap,
-            ref.alias,
-            index,
-            left_key_slot,
-            residual=(
-                compile_fn(
-                    residual,
-                    plan.binding.extend(table_binding(heap, ref.alias)),
-                    registry,
-                    params,
-                )
-                if residual
-                else None
-            ),
-            residual_sql=residual.sql() if residual else "",
-            io=getattr(ctx, "io", None),
+        join = LogicalJoin(
+            left=left,
+            ref=ref,
+            heap=heap,
+            strategy="index_nl",
+            edges=[edge for _, edge in connecting],
+            pushed=list(table_pushed),
+            index=index,
+            main_edge=main_edge,
+            residual_parts=residual_parts,
+            estimate=output_rows,
         )
-        join.estimated_rows = output_rows
-        return join, output_rows
+        return join, binding.extend(table_binding(heap, ref.alias)), output_rows
 
-    right, _ = _plan_access(
-        ref, heap, table_stats, table_pushed, ctx, params, compile_fn, needed
+    right = _decide_access(ref, heap, table_stats, table_pushed, ctx, needed)
+    join = LogicalJoin(
+        left=left,
+        ref=ref,
+        heap=heap,
+        strategy="hash",
+        edges=[edge for _, edge in connecting],
+        pushed=list(table_pushed),
+        right=right,
+        estimate=output_rows,
     )
-    left_keys: list[int] = []
-    right_keys: list[int] = []
-    for _, edge in connecting:
-        own_column = edge.side(qualifier)
-        other_q, other_col = edge.other(qualifier)
-        left_keys.append(plan.binding.resolve(ColumnRef(other_q, other_col)))
-        right_keys.append(right.binding.resolve(ColumnRef(qualifier, own_column)))
-    join = HashJoin(plan, right, left_keys, right_keys, io=getattr(ctx, "io", None))
-    join.estimated_rows = output_rows
-    return join, output_rows
+    return (
+        join,
+        binding.extend(_scan_binding(heap, ref.alias, right.projection)),
+        output_rows,
+    )
 
 
 def _refs_within(expr: Expr, binding: Binding) -> bool:
@@ -778,515 +664,56 @@ def _refs_within(expr: Expr, binding: Binding) -> bool:
 # -- lateral table functions ---------------------------------------------------
 
 
-def _plan_laterals(
-    plan: Operator,
+def _logical_laterals(
+    node: LogicalNode,
+    binding: Binding,
     lateral_refs: list[TableFunctionRef],
     residual: list[Expr],
     registry: FunctionRegistry,
-    params: ParamBox | None = None,
-    compile_fn=None,
-    xadt_label: str = "scan",
-) -> Operator:
-    if compile_fn is None:
-        compile_fn = compile_expr
+) -> tuple[LogicalNode, Binding]:
     pending = list(residual)
     for item in lateral_refs:
         function = registry.table_function(item.call.name)
-        args = [
-            compile_fn(arg, plan.binding, registry, params)
-            for arg in item.call.args
-        ]
-        plan = LateralFunctionScan(
-            plan,
-            item.call.name,
-            args,
-            item.alias,
-            function.output_columns,
-            registry,
+        binding = binding.extend(
+            Binding(
+                [
+                    Slot(item.alias.lower(), name, sql_type)
+                    for name, sql_type in function.output_columns
+                ]
+            )
         )
-        plan.estimated_rows = plan.input.estimated_rows * 4  # fan-out guess
-        ready = [c for c in pending if _refs_within(c, plan.binding)]
+        ready = [c for c in pending if _refs_within(c, binding)]
         for conjunct in ready:
             pending.remove(conjunct)
-        predicate = and_together(ready)
-        if predicate is not None:
-            plan = Filter(
-                plan,
-                compile_fn(predicate, plan.binding, registry, params),
-                predicate.sql(),
-                xadt_access=_xadt_access([predicate], xadt_label),
-            )
-            plan.estimated_rows = plan.input.estimated_rows * 0.5
+        node = LogicalLateral(node, item.call, item.alias, filters=ready)
     if pending:
         raise PlanError(
             f"predicate {pending[0].sql()!r} references unknown columns"
         )
-    return plan
+    return node, binding
 
 
-# -- aggregation / projection / ordering ------------------------------------------
+# -- aggregation / projection / ordering -------------------------------------
 
 
-def _collect_aggregates(stmt: SelectStmt) -> list[FuncCall]:
-    collected: list[FuncCall] = []
-
-    def visit(expr: Expr) -> None:
-        if isinstance(expr, FuncCall) and expr.is_aggregate():
-            if expr not in collected:
-                collected.append(expr)
-            return  # no nested aggregates
-        for child in _children_of(expr):
-            visit(child)
-
-    for item in stmt.items:
-        visit(item.expr)
-    if stmt.having is not None:
-        visit(stmt.having)
-    for order in stmt.order_by:
-        visit(order.expr)
-    return collected
-
-
-def _children_of(expr: Expr) -> list[Expr]:
-    if isinstance(expr, FuncCall):
-        return list(expr.args)
-    for attribute in ("items",):
-        if hasattr(expr, attribute):
-            return list(getattr(expr, attribute))
-    children: list[Expr] = []
-    for attribute in ("left", "right", "operand"):
-        child = getattr(expr, attribute, None)
-        if isinstance(child, Expr):
-            children.append(child)
-    return children
-
-
-def _rebuild_with_slots(expr: Expr, substitutions: dict[Expr, int]) -> Expr | None:
-    """Replace substituted subtrees by _SlotRef placeholders.
-
-    Returns None when the expression still contains free aggregates.
-    """
-    # Local import keeps the placeholder private to planning.
-    if expr in substitutions:
-        return _SlotRef(substitutions[expr])
-    if isinstance(expr, FuncCall):
-        if expr.is_aggregate():
-            return None
-        new_args = []
-        for arg in expr.args:
-            rebuilt = _rebuild_with_slots(arg, substitutions)
-            if rebuilt is None:
-                return None
-            new_args.append(rebuilt)
-        return FuncCall(expr.name, tuple(new_args), expr.distinct)
-    import dataclasses
-
-    if dataclasses.is_dataclass(expr):
-        replacements = {}
-        for field_info in dataclasses.fields(expr):
-            value = getattr(expr, field_info.name)
-            if isinstance(value, Expr):
-                rebuilt = _rebuild_with_slots(value, substitutions)
-                if rebuilt is None:
-                    return None
-                replacements[field_info.name] = rebuilt
-            elif isinstance(value, tuple) and value and isinstance(value[0], Expr):
-                rebuilt_items = []
-                for item in value:
-                    rebuilt = _rebuild_with_slots(item, substitutions)
-                    if rebuilt is None:
-                        return None
-                    rebuilt_items.append(rebuilt)
-                replacements[field_info.name] = tuple(rebuilt_items)
-        if replacements:
-            return dataclasses.replace(expr, **replacements)
-    return expr
-
-
-@dataclass(frozen=True)
-class _SlotRef(Expr):
-    """Planner-internal direct slot reference."""
-
-    index: int
-
-    def sql(self) -> str:
-        return f"$${self.index}"
-
-
-def _plan_output(
-    plan: Operator,
-    stmt: SelectStmt,
-    registry: FunctionRegistry,
-    params: ParamBox | None = None,
-    compile_fn=None,
-    xadt_label: str = "scan",
-) -> Operator:
-    if compile_fn is None:
-        compile_fn = compile_expr
-    aggregates = _collect_aggregates(stmt)
+def _logical_output(node: LogicalNode, stmt: SelectStmt) -> LogicalNode:
+    aggregates = collect_aggregates(stmt.items, stmt.having, stmt.order_by)
     needs_aggregate = bool(aggregates) or bool(stmt.group_by)
-    substitutions: dict[Expr, int] = {}
+    if stmt.having is not None and not needs_aggregate:
+        raise PlanError("HAVING requires GROUP BY or aggregates")
+    star = len(stmt.items) == 1 and isinstance(stmt.items[0].expr, Star)
+    if star and needs_aggregate:
+        raise PlanError("SELECT * cannot be combined with aggregation")
 
     if needs_aggregate:
-        aggregate_input = plan
-        plan, substitutions = _plan_aggregate(
-            plan, stmt, aggregates, registry, params, compile_fn
+        node = LogicalAggregate(
+            node, list(stmt.group_by), aggregates, stmt.having
         )
-        plan = _maybe_push_partial_agg(aggregate_input, plan, stmt, aggregates)
-
-    if stmt.having is not None:
-        if not needs_aggregate:
-            raise PlanError("HAVING requires GROUP BY or aggregates")
-        having = _compile_substituted(
-            stmt.having, substitutions, plan.binding, registry, params=params,
-            compile_fn=compile_fn,
-        )
-        plan = Filter(
-            plan,
-            having,
-            stmt.having.sql(),
-            xadt_access=_xadt_access([stmt.having], xadt_label),
-        )
-
-    # SELECT list
-    select_items = stmt.items
-    identity = False
-    tuple_fn: Compiled | None = None
-    if len(select_items) == 1 and isinstance(select_items[0].expr, Star):
-        if needs_aggregate:
-            raise PlanError("SELECT * cannot be combined with aggregation")
-        out_slots = list(plan.binding.slots)
-        exprs: list[Compiled] = [
-            (lambda i: (lambda row: row[i]))(i) for i in range(len(out_slots))
-        ]
-        projected_slots = [
-            Slot("", slot.name, slot.sql_type) for slot in out_slots
-        ]
-        identity = True  # rows already have exactly this layout
-    else:
-        exprs = []
-        projected_slots = []
-        for position, item in enumerate(select_items):
-            compiled = _compile_substituted(
-                item.expr, substitutions, plan.binding, registry,
-                allow_free_columns=not needs_aggregate,
-                params=params,
-                compile_fn=compile_fn,
-            )
-            exprs.append(compiled)
-            projected_slots.append(
-                Slot("", _output_name(item.expr, item.alias, position),
-                     _infer_type(item.expr, plan.binding, registry))
-            )
-        if compile_fn is compile_row_expr and not substitutions:
-            # whole SELECT list as one generated closure (batch-evaluated)
-            try:
-                tuple_fn = compile_projection(
-                    [item.expr for item in select_items],
-                    plan.binding,
-                    registry,
-                    params,
-                )
-            except PlanError:  # pragma: no cover - per-item compile succeeded
-                tuple_fn = None
-
-    # ORDER BY: try before projection (can see all columns + aggregates)
-    pre_sort: Sort | None = None
-    post_sort_keys: list[tuple[int, bool]] = []
-    if stmt.order_by:
-        try:
-            keys = [
-                _compile_substituted(
-                    order.expr, substitutions, plan.binding, registry,
-                    allow_free_columns=not needs_aggregate,
-                    params=params,
-                    compile_fn=compile_fn,
-                )
-                for order in stmt.order_by
-            ]
-            pre_sort = Sort(plan, keys, [o.descending for o in stmt.order_by])
-        except PlanError:
-            # fall back to aliases of the projected output
-            output_binding = Binding(projected_slots)
-            for order in stmt.order_by:
-                if not isinstance(order.expr, ColumnRef):
-                    raise
-                post_sort_keys.append(
-                    (output_binding.resolve(order.expr), order.descending)
-                )
-
-    if pre_sort is not None:
-        pre_sort.estimated_rows = plan.estimated_rows
-        plan = pre_sort
-
-    if (
-        not identity
-        and isinstance(plan, Exchange)
-        and plan.agg is None
-        and plan.project is None
-    ):
-        # push the SELECT list into the fragments: workers evaluate the
-        # (already-validated) expressions per row, the exchange emits
-        # final output tuples, and the coordinator-side Project is
-        # dropped.  Per-row XADT decode then runs partition-parallel.
-        plan.attach_project(
-            [item.expr for item in select_items], Binding(projected_slots)
-        )
-    else:
-        projected = Project(
-            plan,
-            exprs,
-            projected_slots,
-            tuple_fn=tuple_fn,
-            identity=identity,
-            xadt_access=(
-                None
-                if identity
-                else _xadt_access(
-                    [item.expr for item in select_items], xadt_label
-                )
-            ),
-        )
-        projected.estimated_rows = plan.estimated_rows
-        plan = projected
-
+    node = LogicalProject(node, list(stmt.items), star=star)
     if stmt.distinct:
-        distinct_input_rows = plan.estimated_rows
-        plan = HashDistinct(plan)
-        plan.estimated_rows = distinct_input_rows * 0.5
-
-    if post_sort_keys:
-        keys = [
-            (lambda i: (lambda row: row[i]))(index) for index, _ in post_sort_keys
-        ]
-        plan = Sort(plan, keys, [desc for _, desc in post_sort_keys])
-
+        node = LogicalDistinct(node)
+    if stmt.order_by:
+        node = LogicalSort(node, list(stmt.order_by))
     if stmt.limit is not None:
-        plan = Limit(plan, stmt.limit)
-    return plan
-
-
-#: aggregate kinds with mergeable partial states (DESIGN.md §12)
-_PARTIAL_AGG_KINDS = frozenset({"count", "sum", "avg", "min", "max"})
-
-
-def _maybe_push_partial_agg(
-    source: Operator,
-    aggregate: Operator,
-    stmt: SelectStmt,
-    aggregates: list[FuncCall],
-) -> Operator:
-    """Fold ``HashAggregate(Exchange)`` into a partial-agg exchange.
-
-    Only when the aggregate sits *directly* on a scan-mode Exchange and
-    every aggregate is non-DISTINCT with a mergeable partial state do
-    workers pre-aggregate their partitions; the coordinator merges the
-    states and reproduces HashAggregate's first-seen group order by
-    minimal row id.  Anything else keeps the inline HashAggregate (the
-    Exchange's ordered merge already feeds it the exact row stream).
-    """
-    if not isinstance(source, Exchange) or source.agg is not None:
-        return aggregate
-    if not isinstance(aggregate, HashAggregate) or aggregate.input is not source:
-        return aggregate
-    agg_asts: list[tuple[str, Expr | None]] = []
-    for call in aggregates:
-        kind = call.name.lower()
-        if kind not in _PARTIAL_AGG_KINDS or call.distinct:
-            return aggregate
-        if kind == "count" and (not call.args or isinstance(call.args[0], Star)):
-            agg_asts.append((kind, None))
-        else:
-            agg_asts.append((kind, call.args[0]))
-    source.attach_partial_agg(
-        list(stmt.group_by),
-        agg_asts,
-        aggregate.binding,
-        aggregate.estimated_rows,
-    )
-    return source
-
-
-def _compile_substituted(
-    expr: Expr,
-    substitutions: dict[Expr, int],
-    binding: Binding,
-    registry: FunctionRegistry,
-    allow_free_columns: bool = False,
-    params: ParamBox | None = None,
-    compile_fn=None,
-) -> Compiled:
-    if compile_fn is None:
-        compile_fn = compile_expr
-    if not substitutions:
-        return compile_fn(expr, binding, registry, params)
-    rebuilt = _rebuild_with_slots(expr, substitutions)
-    if rebuilt is None:
-        raise PlanError(f"cannot plan expression {expr.sql()!r}")
-    if not allow_free_columns:
-        for ref in rebuilt.column_refs():
-            raise PlanError(
-                f"column {ref.sql()!r} must appear in GROUP BY or inside an aggregate"
-            )
-    return _compile_tree(rebuilt, binding, registry, params)
-
-
-def _compile_tree(
-    expr: Expr,
-    binding: Binding,
-    registry: FunctionRegistry,
-    params: ParamBox | None = None,
-) -> Compiled:
-    """compile_expr extended with _SlotRef support, applied recursively."""
-    if isinstance(expr, _SlotRef):
-        index = expr.index
-        return lambda row: row[index]
-    if isinstance(expr, FuncCall) and not expr.is_aggregate():
-        parts = [_compile_tree(arg, binding, registry, params) for arg in expr.args]
-        name = expr.name
-        return lambda row: registry.call_scalar(name, [part(row) for part in parts])
-    if _contains_slot_ref(expr):
-        # decompose one level and recurse
-        if isinstance(expr, Comparison):
-            left = _compile_tree(expr.left, binding, registry, params)
-            right = _compile_tree(expr.right, binding, registry, params)
-            op = expr.op
-            from repro.engine import values as value_ops
-
-            return lambda row: value_ops.compare(op, left(row), right(row))
-        if isinstance(expr, And):
-            parts = [
-                _compile_tree(item, binding, registry, params)
-                for item in expr.items
-            ]
-            return lambda row: all(part(row) for part in parts)
-        if isinstance(expr, Or):
-            parts = [
-                _compile_tree(item, binding, registry, params)
-                for item in expr.items
-            ]
-            return lambda row: any(part(row) for part in parts)
-        if isinstance(expr, Like):
-            operand = _compile_tree(expr.operand, binding, registry, params)
-            from repro.engine import values as value_ops
-
-            pattern = expr.pattern
-            negated = expr.negated
-            if negated:
-                return lambda row: (
-                    operand(row) is not None
-                    and not value_ops.like(operand(row), pattern)
-                )
-            return lambda row: value_ops.like(operand(row), pattern)
-        if isinstance(expr, Not):
-            operand = _compile_tree(expr.operand, binding, registry, params)
-            return lambda row: not operand(row)
-        if isinstance(expr, Arithmetic):
-            left = _compile_tree(expr.left, binding, registry, params)
-            right = _compile_tree(expr.right, binding, registry, params)
-            op = expr.op
-
-            def arith(row: tuple) -> object:
-                lv, rv = left(row), right(row)
-                if lv is None or rv is None:
-                    return None
-                if op == "+":
-                    return lv + rv
-                if op == "-":
-                    return lv - rv
-                if op == "*":
-                    return lv * rv
-                return lv / rv
-
-            return arith
-        raise PlanError(f"cannot compile substituted expression {expr.sql()!r}")
-    return compile_expr(expr, binding, registry, params)
-
-
-def _contains_slot_ref(expr: Expr) -> bool:
-    if isinstance(expr, _SlotRef):
-        return True
-    return any(_contains_slot_ref(child) for child in _children_of(expr))
-
-
-def _plan_aggregate(
-    plan: Operator,
-    stmt: SelectStmt,
-    aggregates: list[FuncCall],
-    registry: FunctionRegistry,
-    params: ParamBox | None = None,
-    compile_fn=None,
-) -> tuple[Operator, dict[Expr, int]]:
-    if compile_fn is None:
-        compile_fn = compile_expr
-    group_exprs_ast = list(stmt.group_by)
-    group_compiled = [
-        compile_fn(expr, plan.binding, registry, params)
-        for expr in group_exprs_ast
-    ]
-    group_slots = []
-    for position, expr in enumerate(group_exprs_ast):
-        if isinstance(expr, ColumnRef):
-            slot = plan.binding.slot_of(expr)
-            group_slots.append(Slot("", slot.name, slot.sql_type))
-        else:
-            group_slots.append(
-                Slot("", f"group_{position}", _infer_type(expr, plan.binding, registry))
-            )
-
-    agg_specs: list[AggSpec] = []
-    agg_slots: list[Slot] = []
-    for position, call in enumerate(aggregates):
-        kind = call.name.lower()
-        if kind == "count" and (not call.args or isinstance(call.args[0], Star)):
-            arg = None
-        else:
-            if len(call.args) != 1:
-                raise PlanError(f"{call.name}() takes exactly one argument")
-            arg = compile_fn(call.args[0], plan.binding, registry, params)
-        agg_specs.append(AggSpec(kind, arg, call.distinct))
-        result_type: SqlType = INTEGER if kind in ("count", "sum") else VARCHAR
-        if kind in ("min", "max", "avg") and call.args and isinstance(call.args[0], ColumnRef):
-            result_type = plan.binding.slot_of(call.args[0]).sql_type
-        agg_slots.append(Slot("", f"agg_{position}", result_type))
-
-    aggregate = HashAggregate(plan, group_compiled, group_slots, agg_specs, agg_slots)
-    aggregate.estimated_rows = max(plan.estimated_rows * 0.1, 1.0)
-
-    substitutions: dict[Expr, int] = {}
-    for position, expr in enumerate(group_exprs_ast):
-        substitutions[expr] = position
-    for position, call in enumerate(aggregates):
-        substitutions[call] = len(group_exprs_ast) + position
-    return aggregate, substitutions
-
-
-def _output_name(expr: Expr, alias: str | None, position: int) -> str:
-    if alias:
-        return alias
-    if isinstance(expr, ColumnRef):
-        return expr.name
-    if isinstance(expr, FuncCall):
-        return expr.name.lower()
-    return f"col_{position}"
-
-
-def _infer_type(expr: Expr, binding: Binding, registry: FunctionRegistry) -> SqlType:
-    if isinstance(expr, ColumnRef):
-        try:
-            return binding.slot_of(expr).sql_type
-        except PlanError:
-            return VARCHAR
-    if isinstance(expr, Literal):
-        return INTEGER if isinstance(expr.value, int) else VARCHAR
-    if isinstance(expr, FuncCall):
-        if expr.name.lower() in ("count", "sum"):
-            return INTEGER
-        if registry.has_scalar(expr.name):
-            declared = registry.scalar(expr.name).result_type
-            if declared is not None:
-                return declared
-        return VARCHAR
-    if isinstance(expr, (Comparison, Like)):
-        return INTEGER
-    return VARCHAR
+        node = LogicalLimit(node, stmt.limit)
+    return node

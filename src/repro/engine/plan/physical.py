@@ -33,8 +33,28 @@ from dataclasses import dataclass
 from operator import itemgetter
 from typing import Callable, Iterable, Iterator
 
-from repro.engine.config import DEFAULT_BATCH_SIZE
-from repro.engine.expr import Binding, Compiled, Expr, Slot
+from repro.engine.config import DEFAULT_BATCH_SIZE, VECTORIZED
+from repro.engine.expr import (
+    And,
+    Arithmetic,
+    Binding,
+    ColumnRef,
+    Comparison,
+    Compiled,
+    Expr,
+    FuncCall,
+    Like,
+    Literal,
+    Not,
+    Or,
+    ParamBox,
+    Parameter,
+    Slot,
+    Star,
+    and_together,
+    compile_expr,
+)
+from repro.engine.expr_compile import compile_projection, compile_row_expr
 from repro.engine.index import BTreeIndex, Index
 from repro.engine.io import IoCounters, estimate_row_bytes, pages_of_bytes
 from repro.engine.snapshot import (
@@ -43,11 +63,29 @@ from repro.engine.snapshot import (
     read_bound,
     table_version,
 )
+from repro.engine.plan.logical import (
+    LogicalAggregate,
+    LogicalDistinct,
+    LogicalFilter,
+    LogicalJoin,
+    LogicalLateral,
+    LogicalLimit,
+    LogicalNode,
+    LogicalProject,
+    LogicalScan,
+    LogicalSort,
+    SlotRef,
+    contains_slot_ref,
+    infer_type,
+    output_name,
+    rebuild_with_slots,
+    xadt_access,
+)
 from repro.engine.storage import HeapTable, PartitionedHeapTable
-from repro.engine.types import SqlType
+from repro.engine.types import INTEGER, VARCHAR, SqlType
 from repro.engine.udf import FunctionRegistry
 from repro.engine.values import group_key
-from repro.errors import ExecutionError
+from repro.errors import ExecutionError, PlanError
 from repro.obs.explain import OperatorStats
 from repro.obs.trace import TRACER
 
@@ -1316,6 +1354,595 @@ def table_binding(table: HeapTable, alias: str) -> Binding:
     )
 
 
+# ---------------------------------------------------------------------------
+# lowering: logical IR -> native operator tree
+# ---------------------------------------------------------------------------
+#
+# The optimizer (repro.engine.plan.optimizer.plan_logical) records every
+# planning decision on the logical IR; this section mechanically builds
+# the corresponding operators — compiling predicate/projection ASTs to
+# closures against the exact bindings the pre-IR planner used.  The
+# golden-EXPLAIN snapshot tests pin that the round trip is byte-for-byte
+# plan-neutral.
+
+
+def _exec_config_of(ctx):
+    return getattr(ctx, "exec_config", None) or VECTORIZED
+
+
+def _compiler_of(ctx):
+    """The expression compiler this plan uses (generated vs tree-walking)."""
+    if _exec_config_of(ctx).compiled_expressions:
+        return compile_row_expr
+    return compile_expr
+
+
+def _xadt_label(config) -> str:
+    """The XADT access-path label this config routes method calls to."""
+    return "xindex" if config.xadt_structural_index else "scan"
+
+
+def lower_select(
+    root: LogicalNode, ctx, params: ParamBox | None = None
+) -> Operator:
+    """Lower a decided logical plan to the native operator tree."""
+    config = _exec_config_of(ctx)
+    lowering = _SelectLowering(ctx, params, _compiler_of(ctx), _xadt_label(config))
+    plan = lowering.lower(root)
+    if config.batch_size != DEFAULT_BATCH_SIZE:
+        pending = [plan]
+        while pending:
+            node = pending.pop()
+            node.batch_size = config.batch_size
+            pending.extend(node.children())
+    return plan
+
+
+class _SelectLowering:
+    """One lowering pass: carries context, params, and the compiler."""
+
+    def __init__(self, ctx, params: ParamBox | None, compile_fn, xadt_label: str):
+        self.ctx = ctx
+        self.registry: FunctionRegistry = ctx.registry
+        self.params = params
+        self.compile_fn = compile_fn
+        self.xadt_label = xadt_label
+        self.io = getattr(ctx, "io", None)
+
+    def lower(self, root: LogicalNode) -> Operator:
+        # peel the output chain the optimizer stacked on top
+        limit: int | None = None
+        sort: LogicalSort | None = None
+        distinct = False
+        aggregate: LogicalAggregate | None = None
+        node = root
+        if isinstance(node, LogicalLimit):
+            limit = node.limit
+            node = node.input
+        if isinstance(node, LogicalSort):
+            sort = node
+            node = node.input
+        if isinstance(node, LogicalDistinct):
+            distinct = True
+            node = node.input
+        if not isinstance(node, LogicalProject):
+            raise PlanError("logical plan is missing its projection node")
+        project = node
+        node = node.input
+        if isinstance(node, LogicalAggregate):
+            aggregate = node
+            node = node.input
+        plan = self._lower_rel(node)
+        return self._lower_output(plan, project, aggregate, distinct, sort, limit)
+
+    # -- relational part (scans, joins, filters, laterals) -------------------
+
+    def _lower_rel(self, node: LogicalNode) -> Operator:
+        if isinstance(node, LogicalScan):
+            return self._lower_scan(node)
+        if isinstance(node, LogicalJoin):
+            return self._lower_join(node)
+        if isinstance(node, LogicalFilter):
+            plan = self._lower_rel(node.input)
+            filtered = Filter(
+                plan,
+                self.compile_fn(
+                    node.predicate, plan.binding, self.registry, self.params
+                ),
+                node.predicate.sql(),
+                xadt_access=xadt_access([node.predicate], self.xadt_label),
+            )
+            filtered.estimated_rows = node.estimate
+            return filtered
+        if isinstance(node, LogicalLateral):
+            return self._lower_lateral(node)
+        raise PlanError(f"cannot lower logical node {type(node).__name__}")
+
+    def _lower_scan(self, scan: LogicalScan) -> Operator:
+        heap = scan.heap
+        ref = scan.ref
+        registry = self.registry
+        # pushed predicates compile against the *full* table binding
+        # (they run before the scan's projection drops columns)
+        binding = table_binding(heap, ref.alias)
+        if scan.access == "index":
+            eq_conjunct, key_expr = scan.eq_conjunct, scan.key_expr
+            rest = [c for c in scan.pushed if c is not eq_conjunct]
+            residual = and_together(rest)
+            # literal keys probe directly; parameter keys resolve per execution
+            key_value = key_expr.value if isinstance(key_expr, Literal) else None
+            key_fn = (
+                self.compile_fn(key_expr, Binding([]), registry, self.params)
+                if isinstance(key_expr, Parameter)
+                else None
+            )
+            operator: Operator = IndexScan(
+                heap,
+                ref.alias,
+                scan.index,
+                key=key_value,
+                key_fn=key_fn,
+                residual=(
+                    self.compile_fn(residual, binding, registry, self.params)
+                    if residual
+                    else None
+                ),
+                residual_sql=residual.sql() if residual else "",
+                io=self.io,
+                projection=scan.projection,
+                xadt_access=xadt_access(rest, self.xadt_label),
+            )
+            operator.estimated_rows = scan.estimate
+            return operator
+        predicate = and_together(scan.pushed)
+        operator = SeqScan(
+            heap,
+            ref.alias,
+            predicate=(
+                self.compile_fn(predicate, binding, registry, self.params)
+                if predicate
+                else None
+            ),
+            predicate_sql=predicate.sql() if predicate else "",
+            io=self.io,
+            projection=scan.projection,
+            xadt_access=xadt_access(scan.pushed, self.xadt_label),
+        )
+        operator.estimated_rows = scan.estimate
+        if scan.exchange:
+            config = _exec_config_of(self.ctx)
+            exchange = Exchange(
+                operator,
+                pool_provider=getattr(self.ctx, "worker_pool", None),
+                registry=registry,
+                workers=config.parallel_workers,
+                predicate_ast=predicate,
+                params=self.params,
+                prunes=scan.prunes,
+            )
+            exchange.estimated_rows = scan.estimate
+            return exchange
+        return operator
+
+    def _lower_join(self, join: LogicalJoin) -> Operator:
+        plan = self._lower_rel(join.left)
+        heap = join.heap
+        ref = join.ref
+        qualifier = ref.qualifier
+        if join.strategy == "index_nl":
+            main_edge = join.main_edge
+            other_q, other_col = main_edge.other(qualifier)
+            left_key_slot = plan.binding.resolve(ColumnRef(other_q, other_col))
+            residual = and_together(join.residual_parts)
+            operator: Operator = IndexNestedLoopJoin(
+                plan,
+                heap,
+                ref.alias,
+                join.index,
+                left_key_slot,
+                residual=(
+                    self.compile_fn(
+                        residual,
+                        plan.binding.extend(table_binding(heap, ref.alias)),
+                        self.registry,
+                        self.params,
+                    )
+                    if residual
+                    else None
+                ),
+                residual_sql=residual.sql() if residual else "",
+                io=self.io,
+            )
+            operator.estimated_rows = join.estimate
+            return operator
+        right = self._lower_scan(join.right)
+        if join.strategy == "cross":
+            operator = NestedLoopJoin(plan, right)
+            operator.estimated_rows = join.estimate
+            return operator
+        left_keys: list[int] = []
+        right_keys: list[int] = []
+        for edge in join.edges:
+            own_column = edge.side(qualifier)
+            other_q, other_col = edge.other(qualifier)
+            left_keys.append(plan.binding.resolve(ColumnRef(other_q, other_col)))
+            right_keys.append(
+                right.binding.resolve(ColumnRef(qualifier, own_column))
+            )
+        operator = HashJoin(plan, right, left_keys, right_keys, io=self.io)
+        operator.estimated_rows = join.estimate
+        return operator
+
+    def _lower_lateral(self, node: LogicalLateral) -> Operator:
+        plan = self._lower_rel(node.input)
+        function = self.registry.table_function(node.call.name)
+        args = [
+            self.compile_fn(arg, plan.binding, self.registry, self.params)
+            for arg in node.call.args
+        ]
+        plan = LateralFunctionScan(
+            plan,
+            node.call.name,
+            args,
+            node.alias,
+            function.output_columns,
+            self.registry,
+        )
+        plan.estimated_rows = plan.input.estimated_rows * 4  # fan-out guess
+        predicate = and_together(node.filters)
+        if predicate is not None:
+            plan = Filter(
+                plan,
+                self.compile_fn(predicate, plan.binding, self.registry, self.params),
+                predicate.sql(),
+                xadt_access=xadt_access([predicate], self.xadt_label),
+            )
+            plan.estimated_rows = plan.input.estimated_rows * 0.5
+        return plan
+
+    # -- aggregation / projection / ordering ---------------------------------
+
+    def _lower_output(
+        self,
+        plan: Operator,
+        project: LogicalProject,
+        aggregate: LogicalAggregate | None,
+        distinct: bool,
+        sort: LogicalSort | None,
+        limit: int | None,
+    ) -> Operator:
+        compile_fn = self.compile_fn
+        registry = self.registry
+        params = self.params
+        needs_aggregate = aggregate is not None
+        substitutions: dict[Expr, int] = {}
+
+        if aggregate is not None:
+            aggregate_input = plan
+            plan, substitutions = self._lower_aggregate(plan, aggregate)
+            plan = _maybe_push_partial_agg(
+                aggregate_input, plan, aggregate.group_by, aggregate.aggregates
+            )
+            if aggregate.having is not None:
+                having = _compile_substituted(
+                    aggregate.having, substitutions, plan.binding, registry,
+                    params=params, compile_fn=compile_fn,
+                )
+                plan = Filter(
+                    plan,
+                    having,
+                    aggregate.having.sql(),
+                    xadt_access=xadt_access([aggregate.having], self.xadt_label),
+                )
+
+        # SELECT list
+        select_items = project.items
+        identity = False
+        tuple_fn: Compiled | None = None
+        if project.star:
+            out_slots = list(plan.binding.slots)
+            exprs: list[Compiled] = [
+                (lambda i: (lambda row: row[i]))(i) for i in range(len(out_slots))
+            ]
+            projected_slots = [
+                Slot("", slot.name, slot.sql_type) for slot in out_slots
+            ]
+            identity = True  # rows already have exactly this layout
+        else:
+            exprs = []
+            projected_slots = []
+            for position, item in enumerate(select_items):
+                compiled = _compile_substituted(
+                    item.expr, substitutions, plan.binding, registry,
+                    allow_free_columns=not needs_aggregate,
+                    params=params,
+                    compile_fn=compile_fn,
+                )
+                exprs.append(compiled)
+                projected_slots.append(
+                    Slot("", output_name(item.expr, item.alias, position),
+                         infer_type(item.expr, plan.binding, registry))
+                )
+            if compile_fn is compile_row_expr and not substitutions:
+                # whole SELECT list as one generated closure (batch-evaluated)
+                try:
+                    tuple_fn = compile_projection(
+                        [item.expr for item in select_items],
+                        plan.binding,
+                        registry,
+                        params,
+                    )
+                except PlanError:  # pragma: no cover - per-item compile succeeded
+                    tuple_fn = None
+
+        # ORDER BY: try before projection (can see all columns + aggregates)
+        pre_sort: Sort | None = None
+        post_sort_keys: list[tuple[int, bool]] = []
+        if sort is not None:
+            try:
+                keys = [
+                    _compile_substituted(
+                        order.expr, substitutions, plan.binding, registry,
+                        allow_free_columns=not needs_aggregate,
+                        params=params,
+                        compile_fn=compile_fn,
+                    )
+                    for order in sort.order_by
+                ]
+                pre_sort = Sort(plan, keys, [o.descending for o in sort.order_by])
+            except PlanError:
+                # fall back to aliases of the projected output
+                output_binding = Binding(projected_slots)
+                for order in sort.order_by:
+                    if not isinstance(order.expr, ColumnRef):
+                        raise
+                    post_sort_keys.append(
+                        (output_binding.resolve(order.expr), order.descending)
+                    )
+
+        if pre_sort is not None:
+            pre_sort.estimated_rows = plan.estimated_rows
+            plan = pre_sort
+
+        if (
+            not identity
+            and isinstance(plan, Exchange)
+            and plan.agg is None
+            and plan.project is None
+        ):
+            # push the SELECT list into the fragments: workers evaluate the
+            # (already-validated) expressions per row, the exchange emits
+            # final output tuples, and the coordinator-side Project is
+            # dropped.  Per-row XADT decode then runs partition-parallel.
+            plan.attach_project(
+                [item.expr for item in select_items], Binding(projected_slots)
+            )
+        else:
+            projected = Project(
+                plan,
+                exprs,
+                projected_slots,
+                tuple_fn=tuple_fn,
+                identity=identity,
+                xadt_access=(
+                    None
+                    if identity
+                    else xadt_access(
+                        [item.expr for item in select_items], self.xadt_label
+                    )
+                ),
+            )
+            projected.estimated_rows = plan.estimated_rows
+            plan = projected
+
+        if distinct:
+            distinct_input_rows = plan.estimated_rows
+            plan = HashDistinct(plan)
+            plan.estimated_rows = distinct_input_rows * 0.5
+
+        if post_sort_keys:
+            keys = [
+                (lambda i: (lambda row: row[i]))(index)
+                for index, _ in post_sort_keys
+            ]
+            plan = Sort(plan, keys, [desc for _, desc in post_sort_keys])
+
+        if limit is not None:
+            plan = Limit(plan, limit)
+        return plan
+
+    def _lower_aggregate(
+        self, plan: Operator, aggregate: LogicalAggregate
+    ) -> tuple[Operator, dict[Expr, int]]:
+        compile_fn = self.compile_fn
+        registry = self.registry
+        params = self.params
+        group_exprs_ast = list(aggregate.group_by)
+        group_compiled = [
+            compile_fn(expr, plan.binding, registry, params)
+            for expr in group_exprs_ast
+        ]
+        group_slots = []
+        for position, expr in enumerate(group_exprs_ast):
+            if isinstance(expr, ColumnRef):
+                slot = plan.binding.slot_of(expr)
+                group_slots.append(Slot("", slot.name, slot.sql_type))
+            else:
+                group_slots.append(
+                    Slot("", f"group_{position}",
+                         infer_type(expr, plan.binding, registry))
+                )
+
+        agg_specs: list[AggSpec] = []
+        agg_slots: list[Slot] = []
+        for position, call in enumerate(aggregate.aggregates):
+            kind = call.name.lower()
+            if kind == "count" and (not call.args or isinstance(call.args[0], Star)):
+                arg = None
+            else:
+                if len(call.args) != 1:
+                    raise PlanError(f"{call.name}() takes exactly one argument")
+                arg = compile_fn(call.args[0], plan.binding, registry, params)
+            agg_specs.append(AggSpec(kind, arg, call.distinct))
+            result_type: SqlType = INTEGER if kind in ("count", "sum") else VARCHAR
+            if (
+                kind in ("min", "max", "avg")
+                and call.args
+                and isinstance(call.args[0], ColumnRef)
+            ):
+                result_type = plan.binding.slot_of(call.args[0]).sql_type
+            agg_slots.append(Slot("", f"agg_{position}", result_type))
+
+        hash_aggregate = HashAggregate(
+            plan, group_compiled, group_slots, agg_specs, agg_slots
+        )
+        hash_aggregate.estimated_rows = max(plan.estimated_rows * 0.1, 1.0)
+
+        substitutions: dict[Expr, int] = {}
+        for position, expr in enumerate(group_exprs_ast):
+            substitutions[expr] = position
+        for position, call in enumerate(aggregate.aggregates):
+            substitutions[call] = len(group_exprs_ast) + position
+        return hash_aggregate, substitutions
+
+
+#: aggregate kinds with mergeable partial states (DESIGN.md §12)
+_PARTIAL_AGG_KINDS = frozenset({"count", "sum", "avg", "min", "max"})
+
+
+def _maybe_push_partial_agg(
+    source: Operator,
+    aggregate: Operator,
+    group_by: list[Expr],
+    aggregates: list[FuncCall],
+) -> Operator:
+    """Fold ``HashAggregate(Exchange)`` into a partial-agg exchange.
+
+    Only when the aggregate sits *directly* on a scan-mode Exchange and
+    every aggregate is non-DISTINCT with a mergeable partial state do
+    workers pre-aggregate their partitions; the coordinator merges the
+    states and reproduces HashAggregate's first-seen group order by
+    minimal row id.  Anything else keeps the inline HashAggregate (the
+    Exchange's ordered merge already feeds it the exact row stream).
+    """
+    if not isinstance(source, Exchange) or source.agg is not None:
+        return aggregate
+    if not isinstance(aggregate, HashAggregate) or aggregate.input is not source:
+        return aggregate
+    agg_asts: list[tuple[str, Expr | None]] = []
+    for call in aggregates:
+        kind = call.name.lower()
+        if kind not in _PARTIAL_AGG_KINDS or call.distinct:
+            return aggregate
+        if kind == "count" and (not call.args or isinstance(call.args[0], Star)):
+            agg_asts.append((kind, None))
+        else:
+            agg_asts.append((kind, call.args[0]))
+    source.attach_partial_agg(
+        list(group_by),
+        agg_asts,
+        aggregate.binding,
+        aggregate.estimated_rows,
+    )
+    return source
+
+
+def _compile_substituted(
+    expr: Expr,
+    substitutions: dict[Expr, int],
+    binding: Binding,
+    registry: FunctionRegistry,
+    allow_free_columns: bool = False,
+    params: ParamBox | None = None,
+    compile_fn=None,
+) -> Compiled:
+    if compile_fn is None:
+        compile_fn = compile_expr
+    if not substitutions:
+        return compile_fn(expr, binding, registry, params)
+    rebuilt = rebuild_with_slots(expr, substitutions)
+    if rebuilt is None:
+        raise PlanError(f"cannot plan expression {expr.sql()!r}")
+    if not allow_free_columns:
+        for ref in rebuilt.column_refs():
+            raise PlanError(
+                f"column {ref.sql()!r} must appear in GROUP BY or inside an aggregate"
+            )
+    return _compile_tree(rebuilt, binding, registry, params)
+
+
+def _compile_tree(
+    expr: Expr,
+    binding: Binding,
+    registry: FunctionRegistry,
+    params: ParamBox | None = None,
+) -> Compiled:
+    """compile_expr extended with SlotRef support, applied recursively."""
+    if isinstance(expr, SlotRef):
+        index = expr.index
+        return lambda row: row[index]
+    if isinstance(expr, FuncCall) and not expr.is_aggregate():
+        parts = [_compile_tree(arg, binding, registry, params) for arg in expr.args]
+        name = expr.name
+        return lambda row: registry.call_scalar(name, [part(row) for part in parts])
+    if contains_slot_ref(expr):
+        # decompose one level and recurse
+        if isinstance(expr, Comparison):
+            left = _compile_tree(expr.left, binding, registry, params)
+            right = _compile_tree(expr.right, binding, registry, params)
+            op = expr.op
+            from repro.engine import values as value_ops
+
+            return lambda row: value_ops.compare(op, left(row), right(row))
+        if isinstance(expr, And):
+            parts = [
+                _compile_tree(item, binding, registry, params)
+                for item in expr.items
+            ]
+            return lambda row: all(part(row) for part in parts)
+        if isinstance(expr, Or):
+            parts = [
+                _compile_tree(item, binding, registry, params)
+                for item in expr.items
+            ]
+            return lambda row: any(part(row) for part in parts)
+        if isinstance(expr, Like):
+            operand = _compile_tree(expr.operand, binding, registry, params)
+            from repro.engine import values as value_ops
+
+            pattern = expr.pattern
+            negated = expr.negated
+            if negated:
+                return lambda row: (
+                    operand(row) is not None
+                    and not value_ops.like(operand(row), pattern)
+                )
+            return lambda row: value_ops.like(operand(row), pattern)
+        if isinstance(expr, Not):
+            operand = _compile_tree(expr.operand, binding, registry, params)
+            return lambda row: not operand(row)
+        if isinstance(expr, Arithmetic):
+            left = _compile_tree(expr.left, binding, registry, params)
+            right = _compile_tree(expr.right, binding, registry, params)
+            op = expr.op
+
+            def arith(row: tuple) -> object:
+                lv, rv = left(row), right(row)
+                if lv is None or rv is None:
+                    return None
+                if op == "+":
+                    return lv + rv
+                if op == "-":
+                    return lv - rv
+                if op == "*":
+                    return lv * rv
+                return lv / rv
+
+            return arith
+        raise PlanError(f"cannot compile substituted expression {expr.sql()!r}")
+    return compile_expr(expr, binding, registry, params)
+
+
 __all__ = [
     "AggSpec",
     "Batch",
@@ -1333,5 +1960,6 @@ __all__ = [
     "Project",
     "SeqScan",
     "Sort",
+    "lower_select",
     "table_binding",
 ]

@@ -133,6 +133,22 @@ class ResourceExceeded(EngineError):
     result-byte, or working-memory cap."""
 
 
+class BackendError(EngineError):
+    """Raised when an alternative execution backend fails.
+
+    Every ``sqlite3`` exception crossing the backend boundary is wrapped
+    into this class (or a subclass) so callers only ever see the repro
+    taxonomy; the original driver exception stays attached as
+    ``__cause__``."""
+
+
+class BackendUnsupported(BackendError):
+    """Raised when a statement uses a feature the selected backend
+    cannot translate (lateral table functions, non-XADT scalar UDFs,
+    level-bounded ``getElm``...).  The differential harness counts these
+    separately from divergences."""
+
+
 class WorkerError(TransientError):
     """A partition-parallel worker failed or died mid-fragment.
 

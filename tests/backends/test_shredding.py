@@ -1,0 +1,106 @@
+"""XADT shredding: schema invariants, edge cases, codec round trips."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.backends.sqlite import SHRED_COLUMNS, shred_fragment
+from repro.xadt.fragment import XadtValue
+from repro.xadt.storage import CODECS, DICT, INDEXED, PLAIN
+
+DOC = (
+    "<SPEECH><SPEAKER>HAMLET</SPEAKER>"
+    "<LINE>To be, or not to be</LINE>"
+    "<LINE>that is the <B>question</B></LINE></SPEECH>"
+)
+
+
+def _by_column(row):
+    return dict(zip([name for name, _ in SHRED_COLUMNS], row))
+
+
+def _shred(xml, codec=PLAIN):
+    return [_by_column(r) for r in shred_fragment(1, XadtValue.from_xml(xml, codec))]
+
+
+def test_document_row_leads():
+    rows = _shred(DOC)
+    doc = rows[0]
+    assert doc["node"] == 0
+    assert doc["parent"] is None
+    assert doc["tag"] == ""
+    assert doc["xml"] == DOC
+    assert doc["text"] == "HAMLETTo be, or not to bethat is the question"
+    assert doc["last"] == len(rows) - 1
+
+
+def test_element_rows_in_document_order():
+    rows = _shred(DOC)[1:]
+    assert [r["node"] for r in rows] == [1, 2, 3, 4, 5]
+    assert [r["tag"] for r in rows] == ["SPEECH", "SPEAKER", "LINE", "LINE", "B"]
+
+
+def test_subtree_interval_and_parenthood():
+    rows = {r["node"]: r for r in _shred(DOC)[1:]}
+    speech = rows[1]
+    assert speech["parent"] == 0 and speech["last"] == 5
+    assert speech["path"] == "/SPEECH"
+    b = rows[5]
+    assert b["parent"] == 4 and b["depth"] == 2
+    assert b["path"] == "/SPEECH/LINE/B"
+    assert b["text"] == "question"
+
+
+def test_ordinals_count_same_tag_siblings():
+    rows = _shred(DOC)[1:]
+    lines = [r for r in rows if r["tag"] == "LINE"]
+    assert [r["ordinal"] for r in lines] == [1, 2]
+    assert all(r["parent_tag"] == "SPEECH" for r in lines)
+
+
+def test_outermost_flags_nested_repeats():
+    rows = _shred("<A><A><B/></A><B/></A>")[1:]
+    flags = {(r["node"], r["tag"]): r["outermost"] for r in rows}
+    assert flags[(1, "A")] == 1
+    assert flags[(2, "A")] == 0  # nested same-tag occurrence
+    assert flags[(3, "B")] == 1  # different-tag ancestor does not nest it
+    assert flags[(4, "B")] == 1
+
+
+def test_empty_fragment_shreds_to_document_row_only():
+    rows = shred_fragment(3, XadtValue.from_xml("", PLAIN))
+    assert len(rows) == 1
+    doc = _by_column(rows[0])
+    assert doc["doc_id"] == 3 and doc["node"] == 0 and doc["xml"] == ""
+
+
+def test_null_fragment_shreds_to_no_rows():
+    assert shred_fragment(1, None) == []
+
+
+def test_attributes_survive_in_xml_not_text():
+    rows = _shred('<LINE n="7">word</LINE>')
+    assert rows[1]["xml"] == '<LINE n="7">word</LINE>'
+    assert rows[1]["text"] == "word"
+
+
+def test_self_closing_round_trip():
+    rows = _shred("<S><STAGEDIR/></S>")
+    assert rows[2]["xml"] == "<STAGEDIR/>"
+    assert rows[2]["text"] == ""
+
+
+@pytest.mark.parametrize("codec", sorted(CODECS))
+def test_codecs_shred_identically(codec):
+    plain = shred_fragment(1, XadtValue.from_xml(DOC, PLAIN))
+    other = shred_fragment(1, XadtValue.from_xml(DOC, codec))
+    assert other == plain
+
+
+def test_codec_round_trip_parity_on_repeated_tags():
+    xml = "<L><W>a</W><W>b</W><W>a</W></L>"
+    for codec in (PLAIN, DICT, INDEXED):
+        rows = [_by_column(r) for r in shred_fragment(1, XadtValue.from_xml(xml, codec))]
+        ws = [r for r in rows if r["tag"] == "W"]
+        assert [r["ordinal"] for r in ws] == [1, 2, 3]
+        assert [r["text"] for r in ws] == ["a", "b", "a"]

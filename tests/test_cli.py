@@ -188,6 +188,26 @@ class TestShellCommands:
         assert "speech" in text
         assert "record(s) selected" in text
 
+    def test_backends_listing(self, shell):
+        sh, out = shell
+        sh.handle("\\backends")
+        text = out.getvalue()
+        assert "native (default)" in text and "sqlite" in text
+
+    def test_backends_shows_compiled_sql(self, shell):
+        sh, out = shell
+        sh.handle("\\backends SELECT speechID FROM speech")
+        text = out.getvalue()
+        assert 'FROM "speech"' in text
+
+    def test_difftest_reports_clean_run(self, shell):
+        sh, out = shell
+        sh.handle("\\difftest 15 3")
+        text = out.getvalue()
+        assert "seed=3" in text
+        assert "15/15 executed" in text
+        assert "DIVERGENCE" not in text
+
     def test_quit(self, shell):
         sh, _ = shell
         assert sh.handle("\\q") is False

@@ -1,0 +1,42 @@
+"""Golden-EXPLAIN snapshots for the Fig11/Fig13 workloads.
+
+The files under tests/golden/explain/ were recorded with the
+pre-logical-IR planner (scripts/record_golden_explains.py).  Asserting
+byte-for-byte equality here proves the logical-IR refactor is
+plan-neutral: every planning decision (join order, access paths, join
+strategies, pushdowns, estimates) survives the IR round trip unchanged.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.workloads import SHAKESPEARE_QUERIES, SIGMOD_QUERIES
+
+GOLDEN_DIR = pathlib.Path(__file__).resolve().parent.parent / "golden/explain"
+
+
+def golden_plan(dataset: str, algorithm: str, key: str) -> str:
+    path = GOLDEN_DIR / f"{dataset}_{algorithm}_{key}.txt"
+    return path.read_text(encoding="utf-8").rstrip("\n")
+
+
+class TestGoldenExplain:
+    @pytest.mark.parametrize("query", SHAKESPEARE_QUERIES, ids=lambda q: q.key)
+    @pytest.mark.parametrize("algorithm", ["hybrid", "xorator"])
+    def test_shakespeare(self, query, algorithm, shakespeare_pair):
+        loaded = shakespeare_pair[0 if algorithm == "hybrid" else 1]
+        plan = loaded.db.explain(query.sql_for(algorithm))
+        assert plan == golden_plan("shakespeare", algorithm, query.key)
+
+    @pytest.mark.parametrize("query", SIGMOD_QUERIES, ids=lambda q: q.key)
+    @pytest.mark.parametrize("algorithm", ["hybrid", "xorator"])
+    def test_sigmod(self, query, algorithm, sigmod_pair):
+        loaded = sigmod_pair[0 if algorithm == "hybrid" else 1]
+        plan = loaded.db.explain(query.sql_for(algorithm))
+        assert plan == golden_plan("sigmod", algorithm, query.key)
+
+    def test_snapshots_cover_both_workloads(self):
+        files = list(GOLDEN_DIR.glob("*.txt"))
+        expected = 2 * (len(SHAKESPEARE_QUERIES) + len(SIGMOD_QUERIES))
+        assert len(files) == expected
