@@ -40,6 +40,13 @@ both the native engine and the sqlite backend (DESIGN.md §13).  A
 committed divergence count other than zero fails CI's
 ``difftest-smoke`` job.
 
+``BENCH_server.json`` records the network front-end sweep
+(DESIGN.md §14): closed-loop client scaling (50/100/200 concurrent
+clients, wall/throughput/p50/p99) against a served database, plus the
+clean-overload cell — a 1-thread server under ~2x offered load, where
+every rejection must be the typed ``Overloaded`` (the gated version is
+``benchmarks/bench_server_load.py``).
+
 Usage::
 
     PYTHONPATH=src python scripts/bench_trajectory.py [--quick]
@@ -337,6 +344,150 @@ def difftest_sweep(seeds, count: int) -> dict:
     }
 
 
+#: closed-loop client counts for the server scaling sweep
+SERVER_CLIENT_COUNTS = (50, 100, 200)
+SERVER_REQUESTS = 5
+SERVER_ROWS = 200
+
+
+def server_sweep(quick: bool) -> dict:
+    """Client scaling + clean-overload cells for the network front-end."""
+    import asyncio
+
+    from repro.engine.database import Database
+    from repro.engine.faults import FAULTS, FaultPlan
+    from repro.errors import Overloaded, TransientError
+    from repro.server import AsyncReproClient, start_server_thread
+    from repro.xadt import register_xadt_functions
+
+    counts = (20, 50) if quick else SERVER_CLIENT_COUNTS
+    requests = 3 if quick else SERVER_REQUESTS
+
+    db = Database("served-bench")
+    register_xadt_functions(db)
+    db.execute("CREATE TABLE docs (id INT, body VARCHAR(40))")
+    db.execute_many(
+        "INSERT INTO docs VALUES (?, ?)",
+        [(i, f"document-{i:05d}") for i in range(SERVER_ROWS)],
+    )
+
+    def quantile(values: list[float], q: float) -> float:
+        ordered = sorted(values)
+        return ordered[min(len(ordered) - 1, int(q * len(ordered)))]
+
+    async def closed_loop(n: int, host: str, port: int,
+                          latencies: list[float]) -> None:
+        client = AsyncReproClient(host, port, client_name=f"bench{n}")
+        try:
+            await client.connect()
+            for i in range(requests):
+                started = time.perf_counter()
+                for attempt in range(8):
+                    try:
+                        await client.execute(
+                            "SELECT body FROM docs WHERE id = ?",
+                            ((n + i) % SERVER_ROWS,),
+                        )
+                        break
+                    except TransientError as exc:
+                        hint = getattr(exc, "retry_after", None) or 0.01
+                        await asyncio.sleep(min(hint, 0.2))
+                        if client._writer is None:
+                            await client.connect()
+                latencies.append(time.perf_counter() - started)
+        finally:
+            await client.close()
+
+    scaling: dict[str, dict] = {}
+    for clients in counts:
+        handle = start_server_thread(
+            db,
+            max_inflight=8,
+            queue_watermark=max(64, clients),
+            max_sessions=16,
+            per_client_cap=2,
+        )
+        latencies: list[float] = []
+
+        async def drive(clients=clients, handle=handle,
+                        latencies=latencies):
+            await asyncio.gather(*[
+                closed_loop(n, handle.host, handle.port, latencies)
+                for n in range(clients)
+            ])
+
+        started = time.perf_counter()
+        asyncio.run(drive())
+        wall = time.perf_counter() - started
+        handle.stop()
+        total = clients * requests
+        scaling[str(clients)] = {
+            "requests": total,
+            "completed": len(latencies),
+            "wall_seconds": round(wall, 6),
+            "queries_per_second": round(total / wall, 2) if wall else None,
+            "p50_ms": round(quantile(latencies, 0.50) * 1000, 3),
+            "p99_ms": round(quantile(latencies, 0.99) * 1000, 3),
+        }
+        print(f"server: {clients} client(s) done")
+
+    # the overload cell: 1 executor thread, watermark 0, deterministically
+    # slow queries — every rejection must be the typed Overloaded
+    handle = start_server_thread(
+        db, max_inflight=1, queue_watermark=0, max_sessions=2
+    )
+    FAULTS.install(FaultPlan().delay_at("io.charge", 0.005))
+    outcomes = {"ok": 0, "shed": 0, "other": 0}
+    overload_clients = max(8, counts[-1] // 10)
+
+    async def offered(n: int) -> None:
+        client = AsyncReproClient(handle.host, handle.port,
+                                  client_name=f"over{n}")
+        try:
+            await client.connect()
+            for _ in range(requests):
+                try:
+                    await client.execute("SELECT COUNT(*) FROM docs")
+                    outcomes["ok"] += 1
+                except Overloaded:
+                    outcomes["shed"] += 1
+                except Exception:  # noqa: BLE001 - counted, must stay 0
+                    outcomes["other"] += 1
+        finally:
+            await client.close()
+
+    async def drive_overload():
+        await asyncio.gather(*[offered(n) for n in range(overload_clients)])
+
+    asyncio.run(drive_overload())
+    FAULTS.clear()
+    handle.stop()
+    db.close()
+    print(f"server: overload cell done ({overload_clients} clients)")
+
+    return {
+        "artifact": "server_load",
+        "dataset": f"{SERVER_ROWS}-row docs table, point queries",
+        "client_counts": list(counts),
+        "requests_per_client": requests,
+        "server_config": {
+            "max_inflight": 8,
+            "max_sessions": 16,
+            "per_client_cap": 2,
+        },
+        "metric": "closed-loop wall/throughput/latency per concurrency "
+                  "level; overload cell on a 1-thread server must shed "
+                  "with typed Overloaded only (DESIGN.md §14)",
+        "scaling": scaling,
+        "overload": {
+            "clients": overload_clients,
+            "max_inflight": 1,
+            "queue_watermark": 0,
+            **outcomes,
+        },
+    }
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -368,8 +519,8 @@ def main() -> None:
     parser.add_argument(
         "--only", default="",
         help="comma-separated subset of artifacts to regenerate "
-             "(fig11, fig13, qs6, concurrency, partitioned, difftest; "
-             "default all)",
+             "(fig11, fig13, qs6, concurrency, partitioned, difftest, "
+             "server; default all)",
     )
     args = parser.parse_args()
     scales = [1] if args.quick else [
@@ -409,6 +560,12 @@ def main() -> None:
         count = 30 if args.quick else DIFFTEST_COUNT
         artifact = difftest_sweep(seeds, count)
         path = args.out_dir / "BENCH_difftest.json"
+        path.write_text(json.dumps(artifact, indent=2) + "\n")
+        print(f"wrote {path}")
+
+    if wanted("server"):
+        artifact = server_sweep(args.quick)
+        path = args.out_dir / "BENCH_server.json"
         path.write_text(json.dumps(artifact, indent=2) + "\n")
         print(f"wrote {path}")
 

@@ -118,9 +118,10 @@ def main() -> None:
 
     xindex_stage(schema, documents, codecs, queries, expected)
     worker_crash_stage(schema, documents, codecs, queries, expected)
+    server_stage(schema, documents, codecs, queries, expected)
 
     print(
-        f"chaos smoke passed: {len(CRASH_POINTS) + 2} fault sites survived"
+        f"chaos smoke passed: {len(CRASH_POINTS) + 3} fault sites survived"
     )
 
 
@@ -239,6 +240,61 @@ def worker_crash_stage(schema, documents, codecs, queries, expected) -> None:
     print(
         "ok worker.crash     100% crash plan: every fragment degraded "
         "inline, parity holds"
+    )
+
+
+def server_stage(schema, documents, codecs, queries, expected) -> None:
+    """Fig11 parity over the wire while connections are chaos-dropped.
+
+    The whole workload runs through the network front-end
+    (DESIGN.md §14) under a fault plan that drops ``server.read`` and
+    ``server.write`` mid-frame and redirects pool sweeps into killing
+    in-use sessions (``server.session_evict``).  The retrying client
+    must recover every query, the wire results must be byte-identical
+    to the in-process reference fingerprint, and a graceful stop must
+    leave zero pooled sessions and an empty connection registry.
+    """
+    from repro.server import ReproClient, RetryPolicy, start_server_thread
+    from repro.server.registry import CONNECTIONS
+
+    db = Database("served-chaos")
+    register_xadt_functions(db)
+    load_documents(db, schema, documents, codecs)
+    db.runstats()
+    handle = start_server_thread(db, sweep_interval=0.05)
+    client = ReproClient(
+        handle.host, handle.port,
+        client_name="chaos", retry=RetryPolicy(attempts=8, seed=13),
+    )
+    client.connect()  # handshake before the chaos starts
+    FAULTS.install(
+        FaultPlan(seed=13)
+        .raise_at("server.read", probability=0.15)
+        .raise_at("server.write", probability=0.1)
+        .raise_at("server.session_evict", probability=0.5)
+    )
+    try:
+        # one frame per result: a fetch cursor dies with its dropped
+        # connection, so paging would not survive this fault plan
+        actual = [
+            [tuple(row) for row in client.execute(sql, fetch_size=10**6).rows]
+            for sql in queries
+        ]
+    finally:
+        FAULTS.clear()
+    recovered = client.reconnects + client.retries
+    client.close()
+    assert actual == expected, "server.*: wire results diverge from reference"
+    handle.stop()
+    assert len(CONNECTIONS) == 0, "server.*: connection registry leaked"
+    assert all(s.name != "pool" for s in db.sessions()), (
+        "server.*: pooled sessions leaked past drain"
+    )
+    db.close()
+    print(
+        f"ok server.*         read/write/evict chaos: recovered "
+        f"{recovered} drop(s)/retries, wire results byte-identical, "
+        f"drained leak-free"
     )
 
 

@@ -43,7 +43,13 @@ commands (interactive or piped):
 * ``\\difftest [N] [seed]`` — differentially execute N seeded random
   queries on the native engine and the sqlite backend and report any
   divergence;
+* ``\\server [start [port]|status|stop]`` — the network front-end: start
+  a TCP server over the loaded database on a background thread, show
+  its pool/admission/connection state, or drain and stop it;
 * ``\\q`` — quit.
+
+``--serve [--host H] [--port P]`` skips the prompt entirely and runs the
+server in the foreground until SIGINT/SIGTERM, then drains gracefully.
 """
 
 from __future__ import annotations
@@ -68,6 +74,7 @@ class Shell:
         self.db = db
         self.schema = schema
         self.out = out
+        self._server_handle = None
 
     def handle(self, line: str) -> bool:
         """Process one input line; returns False when the shell should exit."""
@@ -115,13 +122,15 @@ class Shell:
                 self._run_backends(line[len("\\backends"):].strip())
             elif line == "\\difftest" or line.startswith("\\difftest "):
                 self._run_difftest(line[len("\\difftest"):].strip())
+            elif line == "\\server" or line.startswith("\\server "):
+                self._run_server(line[len("\\server"):].strip())
             elif line.startswith("\\"):
                 self._print(f"unknown command {line.split()[0]!r}; try \\dt, "
                             f"\\d, \\explain, \\analyze, \\path, \\io, "
                             f"\\cache, \\sessions, \\metrics, \\statements, "
                             f"\\waits, \\slowlog, \\trace, \\governor, "
                             f"\\wal, \\xindex, \\partitions, \\backends, "
-                            f"\\difftest, \\q")
+                            f"\\difftest, \\server, \\q")
             else:
                 self._run_sql(line)
         except ReproError as exc:
@@ -520,10 +529,17 @@ class Shell:
 
     def _run_difftest(self, args: str) -> None:
         from repro.difftest import run_difftest
+        from repro.errors import ConfigError
 
         parts = args.split()
-        count = int(parts[0]) if parts else 50
-        seed = int(parts[1]) if len(parts) > 1 else 0
+        try:
+            count = int(parts[0]) if parts else 50
+            seed = int(parts[1]) if len(parts) > 1 else 0
+        except ValueError:
+            # ConfigError keeps the failure inside the ReproError
+            # taxonomy, so handle()'s catch-all renders it instead of
+            # the shell dying on a bare ValueError
+            raise ConfigError("usage: \\difftest [N] [seed]") from None
         report = run_difftest(self.db, self.schema, count=count, seed=seed)
         self._print(report.summary())
         for divergence in report.divergences[:5]:
@@ -533,8 +549,94 @@ class Shell:
                 f"{report.backend} {divergence.backend_count} row(s)"
             )
 
+    def _run_server(self, args: str) -> None:
+        from repro.errors import ConfigError
+        from repro.server import CONNECTIONS, start_server_thread
+
+        parts = args.split()
+        verb = parts[0] if parts else "status"
+        if verb == "start":
+            if self._server_handle is not None:
+                self._print(
+                    f"server already running on "
+                    f"{self._server_handle.host}:{self._server_handle.port}"
+                )
+                return
+            try:
+                port = int(parts[1]) if len(parts) > 1 else 0
+            except ValueError:
+                raise ConfigError(
+                    "usage: \\server [start [port]|status|stop]"
+                ) from None
+            self._server_handle = start_server_thread(self.db, port=port)
+            self._print(
+                f"server listening on {self._server_handle.host}:"
+                f"{self._server_handle.port}"
+            )
+        elif verb == "stop":
+            if self._server_handle is None:
+                self._print("server not running")
+                return
+            self._server_handle.stop()
+            self._server_handle = None
+            self._print("server drained and stopped.")
+        elif verb == "status":
+            handle = self._server_handle
+            if handle is None:
+                self._print(
+                    "server not running; start with \\server start [port]"
+                )
+                return
+            pool = handle.server.pool.report()
+            admission = handle.server.admission.report()
+            self._print(
+                f"server on {handle.host}:{handle.port}; "
+                f"{len(CONNECTIONS)} connection(s)"
+            )
+            self._print(
+                f"pool: {pool['size']} session(s) "
+                f"({pool['in_use']} in use, {pool['idle']} idle)"
+            )
+            self._print(
+                f"admission: {admission['running']} running, "
+                f"{admission['queued']} queued, {admission['admitted']} "
+                f"admitted, {admission['shed']} shed"
+                + (" [draining]" if admission["draining"] else "")
+            )
+        else:
+            self._print("usage: \\server [start [port]|status|stop]")
+
     def _print(self, text: str) -> None:
         print(text, file=self.out)
+
+
+def _serve(db: Database, host: str, port: int, out: TextIO) -> int:
+    """Foreground server mode: run until SIGINT/SIGTERM, then drain."""
+    import signal
+    import threading
+
+    from repro.server import start_server_thread
+
+    handle = start_server_thread(db, host=host, port=port)
+    print(
+        f"serving on {handle.host}:{handle.port} "
+        f"(SIGINT/SIGTERM drains and exits)",
+        file=out,
+    )
+    stop = threading.Event()
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        try:
+            signal.signal(sig, lambda *_: stop.set())
+        except ValueError:  # not the main thread (embedded use)
+            break
+    try:
+        stop.wait()
+    except KeyboardInterrupt:
+        pass
+    print("draining ...", file=out)
+    handle.stop()
+    print("server stopped.", file=out)
+    return 0
 
 
 def main(argv: list[str] | None = None, stdin: TextIO | None = None,
@@ -552,6 +654,13 @@ def main(argv: list[str] | None = None, stdin: TextIO | None = None,
                         help="run one SQL statement and exit")
     parser.add_argument("--path", metavar="PATHQUERY",
                         help="compile and run one path query and exit")
+    parser.add_argument("--serve", action="store_true",
+                        help="serve the loaded database over TCP until "
+                             "SIGINT/SIGTERM, then drain")
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="bind address for --serve")
+    parser.add_argument("--port", type=int, default=7401,
+                        help="bind port for --serve (0 = ephemeral)")
     args = parser.parse_args(argv)
 
     out = stdout or sys.stdout
@@ -577,6 +686,8 @@ def main(argv: list[str] | None = None, stdin: TextIO | None = None,
     if args.path:
         shell.handle(f"\\path {args.path}")
         return 0
+    if args.serve:
+        return _serve(loaded.db, args.host, args.port, out)
 
     interactive = source is sys.stdin and sys.stdin.isatty()
     while True:

@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.difftest.generator import GeneratedQuery, QueryGenerator
-from repro.errors import BackendUnsupported
+from repro.errors import BackendUnsupported, ConfigError
 from repro.obs.metrics import METRICS
 from repro.xadt.fragment import XadtValue
 
@@ -112,6 +112,8 @@ def run_difftest(
     backend: str = "sqlite",
 ) -> DiffReport:
     """Generate ``count`` queries and differentially execute each one."""
+    if count <= 0:
+        raise ConfigError(f"count must be positive, got {count!r}")
     generator = QueryGenerator(db, schema, seed)
     report = DiffReport(seed=seed, backend=backend, requested=count)
     for query in generator.generate(count):

@@ -18,6 +18,16 @@ site               fires
                    :class:`~repro.engine.io.IoRouter`
 ``xadt.index_build``  per structural-index build of one fragment
                    (:meth:`~repro.xadt.structural_index.StructuralIndexStore.ingest_rows`)
+``server.accept``  per TCP connection accepted by the network
+                   front-end (a raise drops the connection before the
+                   handshake; the accept loop must survive)
+``server.read``    per wire frame read from a client (a raise models
+                   the peer vanishing mid-request)
+``server.write``   per response frame written to a client (a raise
+                   drops the connection mid-result-stream)
+``server.session_evict``  per session-pool sweep; a raise makes the
+                   pool kill one in-use session, modelling a pooled
+                   session dying under a live request
 =================  ====================================================
 
 When no plan is installed the cost at each site is one module-attribute
@@ -58,6 +68,10 @@ SITES = (
     "io.charge",
     "xadt.index_build",
     "worker.crash",
+    "server.accept",
+    "server.read",
+    "server.write",
+    "server.session_evict",
 )
 
 _INJECTED = METRICS.counter("faults.injected")

@@ -79,6 +79,21 @@ class GovernorLimits:
             "memory_budget_bytes": self.memory_budget_bytes,
         }
 
+    def merged(self, **overrides: float | int | None) -> "GovernorLimits":
+        """These limits with per-field ``overrides`` applied.
+
+        The network front-end uses this to enforce a per-request
+        statement timeout on top of the server's default limits: only
+        keys passed with a non-None value replace the base field, so a
+        request cannot silently clear a server-side cap."""
+        fields = self.as_dict()
+        for name, value in overrides.items():
+            if name not in fields:
+                raise ConfigError(f"unknown governor limit {name!r}")
+            if value is not None:
+                fields[name] = value
+        return GovernorLimits(**fields)  # type: ignore[arg-type]
+
 
 #: the all-off default: zero enforcement, zero per-statement overhead
 UNLIMITED = GovernorLimits()

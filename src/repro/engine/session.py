@@ -26,6 +26,7 @@ the single-threaded tests and benchmarks measure.
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import TYPE_CHECKING
 
@@ -42,6 +43,7 @@ from repro.errors import (
     CatalogError,
     ExecutionError,
     ResourceExceeded,
+    SessionClosed,
     StatementTimeout,
 )
 from repro.obs.explain import (
@@ -206,6 +208,9 @@ class Session:
         #: database-wide ``db.governor.limits``
         self.limits: GovernorLimits | None = None
         self.closed = False
+        #: serializes close() against concurrent closers (the session
+        #: pool's eviction sweep races the owning connection's teardown)
+        self._close_lock = threading.Lock()
 
     def set_limits(self, limits: GovernorLimits | None) -> None:
         """Override (or with None, clear) this session's resource limits."""
@@ -321,11 +326,26 @@ class Session:
         return [prepared.execute(*row) for row in param_rows]
 
     def close(self) -> None:
-        """Release the pinned snapshot and deregister from the database."""
-        if not self.closed:
+        """Release this session's resources and deregister it.
+
+        Idempotent and safe under concurrent closers: exactly one
+        caller performs the teardown.  Closing unpins the snapshot
+        (releasing the heap/index references the pin kept alive),
+        clears the per-session governor override, and removes the
+        session from the database's registry — after ``close`` the
+        session holds no engine state, which is what lets the network
+        front-end's pool evict sessions without leaking.  A statement
+        already executing keeps its locally captured snapshot and
+        finishes normally; the *next* statement raises
+        :class:`~repro.errors.SessionClosed`.
+        """
+        with self._close_lock:
+            if self.closed:
+                return
             self.closed = True
-            self._snapshot = None
-            self._db._forget_session(self)
+        self._snapshot = None
+        self.limits = None
+        self._db._forget_session(self)
 
     def __enter__(self) -> "Session":
         return self
@@ -337,7 +357,7 @@ class Session:
 
     def _check_open(self) -> None:
         if self.closed:
-            raise ExecutionError(f"session {self.name!r} is closed")
+            raise SessionClosed(f"session {self.name!r} is closed")
 
     def _count(self, kind: str) -> None:
         self.query_counts[kind] = self.query_counts.get(kind, 0) + 1

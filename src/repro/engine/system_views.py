@@ -1,7 +1,7 @@
 """SQL-queryable system views: the engine's telemetry as relations.
 
 The paper's thesis is that XML belongs *inside* the ORDBMS; this module
-applies the same discipline to the engine's own runtime state.  Eight
+applies the same discipline to the engine's own runtime state.  Nine
 ``sys_*`` virtual tables are registered in the catalog as read-only
 relations whose "heap" materializes a live snapshot at scan time, so
 
@@ -22,7 +22,10 @@ executor — no side channel, no special syntax:
 * ``sys_partitions``  — per-partition row/byte extents of partitioned
   heaps plus the parallel worker pool's configured/alive counts;
 * ``sys_wal``         — the write-ahead log's report;
-* ``sys_xindex``      — the XADT structural-index column store.
+* ``sys_xindex``      — the XADT structural-index column store;
+* ``sys_connections`` — the network front-end's live connections
+  (process-wide: the server is a process-level component, like the
+  metrics registry).
 
 A :class:`SystemViewTable` subclasses :class:`~repro.engine.storage.HeapTable`
 so every physical operator treats it like any other table, with three
@@ -261,6 +264,18 @@ def _xindex_rows(db: "Database") -> list[tuple]:
     return sorted(rows)
 
 
+def _connections_rows(db: "Database") -> list[tuple]:
+    # lazy: the server package is optional at runtime and imports the
+    # engine; pulling it in here would cycle and cost every database
+    # the import even when no server runs
+    from repro.server.registry import CONNECTIONS
+
+    return [
+        tuple(-1 if cell is None else cell for cell in row)
+        for row in CONNECTIONS.rows()
+    ]
+
+
 def _partitions_rows(db: "Database") -> list[tuple]:
     # lazy to keep this module's import surface minimal
     from repro.engine.storage import PartitionedHeapTable
@@ -361,6 +376,17 @@ _VIEW_DEFS: dict[str, tuple[list[tuple[str, object]], Callable]] = {
             ("bytes", INTEGER),
         ],
         _xindex_rows,
+    ),
+    "sys_connections": (
+        [
+            ("conn_id", INTEGER), ("client", VARCHAR),
+            ("state", VARCHAR), ("session_id", INTEGER),
+            ("requests", INTEGER), ("errors", INTEGER),
+            ("sheds", INTEGER), ("bytes_in", INTEGER),
+            ("bytes_out", INTEGER), ("age_ms", INTEGER),
+            ("idle_ms", INTEGER),
+        ],
+        _connections_rows,
     ),
 }
 

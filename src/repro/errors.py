@@ -98,6 +98,15 @@ class ExecutionError(EngineError):
     """Raised when a plan fails at run time (type errors, bad UDF calls...)."""
 
 
+class SessionClosed(ExecutionError):
+    """Raised when a statement runs on a closed session.
+
+    Fatal on *this* session — the handle is gone — but the network
+    front-end maps it to a transient wire error: a pooled session
+    evicted (or chaos-killed) under a live request is replaced by a
+    fresh one on retry (DESIGN.md §14)."""
+
+
 class TypeMismatchError(ExecutionError):
     """Raised when a value does not conform to its declared SQL type."""
 
@@ -147,6 +156,48 @@ class BackendUnsupported(BackendError):
     cannot translate (lateral table functions, non-XADT scalar UDFs,
     level-bounded ``getElm``...).  The differential harness counts these
     separately from divergences."""
+
+
+class ServerError(EngineError):
+    """Base class for network front-end failures (repro.server)."""
+
+
+class ProtocolError(ServerError):
+    """Raised when a wire frame or message violates the protocol.
+
+    Fatal: the connection is desynchronized and must be closed — the
+    server drops the transport rather than guessing at frame
+    boundaries, and the client reconnects."""
+
+
+class Overloaded(TransientError):
+    """The server shed this request at admission control.
+
+    Raised (and serialized over the wire) when the in-flight executor's
+    queue depth crosses the shed watermark, or while the server is
+    draining.  Transient by design: ``retry_after`` carries the
+    server's backoff hint in seconds, which the bundled client honors
+    before its jittered exponential backoff."""
+
+    def __init__(
+        self, message: str = "server overloaded", retry_after: float = 0.05
+    ) -> None:
+        self.retry_after = retry_after
+        super().__init__(message)
+
+
+class SessionLimitExceeded(TransientError):
+    """A client exceeded its concurrent pooled-session cap.
+
+    Transient: sessions free up as the client's other requests finish,
+    so backing off and retrying is the correct response."""
+
+
+class ConnectionLost(TransientError):
+    """The wire connection dropped mid-request (client side).
+
+    Transient: the bundled client reconnects and retries idempotent
+    (read-only) requests under its backoff policy."""
 
 
 class WorkerError(TransientError):

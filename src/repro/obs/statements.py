@@ -58,9 +58,12 @@ from repro.obs.trace import WAIT_SINK
 #: ``io.stall`` is the concurrent executor's modelled-disk sleep;
 #: ``xindex.build`` is structural-index staging inside a write;
 #: ``exchange`` is time a partition-parallel scan spent scattered to the
-#: worker pool (dispatch through last reply).  The residual bucket
-#: ``other`` absorbs unattributed wall time, so a breakdown always sums
-#: to the statement's measured wall clock.
+#: worker pool (dispatch through last reply); ``network`` is time the
+#: server spent writing a statement's result frames to the client
+#: (attributed out-of-band by the network front-end via
+#: :meth:`StatementStatsCollector.record_wait`, like ``io.stall``).
+#: The residual bucket ``other`` absorbs unattributed wall time, so a
+#: breakdown always sums to the statement's measured wall clock.
 WAIT_NAMES = (
     "parse",
     "plan",
@@ -70,6 +73,7 @@ WAIT_NAMES = (
     "io.stall",
     "xindex.build",
     "exchange",
+    "network",
 )
 
 #: waits nested inside the ``execute`` span, subtracted so the

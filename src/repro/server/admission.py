@@ -1,0 +1,130 @@
+"""Admission control: bound the work in flight, shed the rest early.
+
+The engine is synchronous, so the server executes statements on a
+thread pool of ``max_inflight`` workers.  An unbounded submission queue
+in front of that pool is how servers melt down: under overload every
+queued request eventually times out, but only after holding memory and
+making *every* client slow.  The controller instead tracks
+
+* ``running`` — requests occupying an executor thread, and
+* ``queued`` — requests submitted but not yet running,
+
+and sheds a request *immediately* with a typed
+:class:`~repro.errors.Overloaded` once the queue depth crosses the
+watermark.  Shedding is cheap (one lock, no executor touch), the error
+is transient, and it carries a ``retry_after`` hint scaled by how deep
+the queue is — the standard load-shedding shape (degrade crisply, never
+collapse).  While the server drains for shutdown, everything is shed.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.errors import ConfigError, Overloaded
+from repro.obs.metrics import METRICS
+
+_ADMITTED = METRICS.counter("server.requests_admitted")
+_SHED = METRICS.counter("server.requests_shed")
+_QUEUE_DEPTH = METRICS.gauge("server.queue_depth")
+_INFLIGHT = METRICS.gauge("server.inflight")
+
+
+class AdmissionController:
+    """Bounded in-flight + queue-depth watermark with immediate shed."""
+
+    def __init__(
+        self,
+        max_inflight: int = 8,
+        queue_watermark: int = 32,
+        retry_after: float = 0.05,
+    ) -> None:
+        if max_inflight <= 0:
+            raise ConfigError(
+                f"max_inflight must be positive, got {max_inflight!r}"
+            )
+        if queue_watermark < 0:
+            raise ConfigError(
+                f"queue_watermark must be >= 0, got {queue_watermark!r}"
+            )
+        self.max_inflight = max_inflight
+        self.queue_watermark = queue_watermark
+        self.retry_after = retry_after
+        self.draining = False
+        self._lock = threading.Lock()
+        self._running = 0
+        self._queued = 0
+        self.admitted = 0
+        self.shed = 0
+
+    # -- lifecycle of one request ------------------------------------------
+
+    def admit(self) -> None:
+        """Admit one request or raise :class:`Overloaded` right away."""
+        with self._lock:
+            if self.draining:
+                self.shed += 1
+                _SHED.inc()
+                raise Overloaded(
+                    "server is draining", retry_after=self.retry_after
+                )
+            queued = max(0, self._running + self._queued + 1
+                         - self.max_inflight)
+            if queued > self.queue_watermark:
+                self.shed += 1
+                _SHED.inc()
+                # deeper queue -> longer hint, so retry storms spread out
+                depth_factor = 1.0 + queued / max(1, self.queue_watermark)
+                raise Overloaded(
+                    f"admission queue depth {queued} exceeds the "
+                    f"{self.queue_watermark}-request watermark",
+                    retry_after=self.retry_after * depth_factor,
+                )
+            self._queued += 1
+            self.admitted += 1
+            _ADMITTED.inc()
+            _QUEUE_DEPTH.set(self._queued)
+
+    def started(self) -> None:
+        """The admitted request got an executor thread."""
+        with self._lock:
+            self._queued = max(0, self._queued - 1)
+            self._running += 1
+            _QUEUE_DEPTH.set(self._queued)
+            _INFLIGHT.set(self._running)
+
+    def finished(self) -> None:
+        """The request left the executor (success or failure)."""
+        with self._lock:
+            self._running = max(0, self._running - 1)
+            _INFLIGHT.set(self._running)
+
+    def abandoned(self) -> None:
+        """An admitted request never reached the executor (I/O died)."""
+        with self._lock:
+            self._queued = max(0, self._queued - 1)
+            _QUEUE_DEPTH.set(self._queued)
+
+    # -- drain --------------------------------------------------------------
+
+    def start_draining(self) -> None:
+        with self._lock:
+            self.draining = True
+
+    @property
+    def inflight(self) -> int:
+        with self._lock:
+            return self._running + self._queued
+
+    def report(self) -> dict[str, int | bool]:
+        with self._lock:
+            return {
+                "running": self._running,
+                "queued": self._queued,
+                "admitted": self.admitted,
+                "shed": self.shed,
+                "draining": self.draining,
+            }
+
+
+__all__ = ["AdmissionController"]

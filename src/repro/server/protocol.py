@@ -1,0 +1,192 @@
+"""The wire protocol: length-prefixed JSON frames and typed errors.
+
+One frame is a 4-byte big-endian length followed by that many bytes of
+UTF-8 JSON.  Requests and responses are JSON objects; every request
+carries an ``op`` and a client-chosen ``id`` that the response echoes,
+so a client can detect a desynchronized stream immediately (a mismatch
+means a protocol bug, never silent corruption).
+
+Operations (DESIGN.md §14):
+
+=================  =====================================================
+op                 meaning
+=================  =====================================================
+``hello``          handshake: protocol version + client name
+``execute``        run one statement (``sql`` text or a prepared
+                   ``stmt`` id) with optional ``params``,
+                   ``timeout_ms`` and ``fetch_size``
+``execute_many``   prepare once, execute per bind row; returns counts
+``prepare``        server-side prepared statement; returns a stmt id
+``fetch``          next chunk of a paged result (``cursor`` id)
+``close_stmt``     deallocate a prepared statement
+``close_cursor``   discard a paged result early
+``ping``           liveness probe (used by drain tests)
+``close``          orderly goodbye
+=================  =====================================================
+
+**Errors are typed end to end.**  A failure serializes as
+``{"code": <ReproError class name>, "message", "transient",
+"retry_after"}``; :func:`raise_wire_error` re-raises the *same* class on
+the client (codes resolve against the :mod:`repro.errors` taxonomy), so
+``except StatementTimeout`` / ``except Overloaded`` work identically
+in-process and over the wire.  An unknown code degrades to
+:class:`~repro.errors.ServerError` (or :class:`~repro.errors.TransientError`
+when the payload says it is retryable) rather than an untyped exception.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+
+import repro.errors as _errors
+from repro.errors import (
+    Overloaded,
+    ProtocolError,
+    ReproError,
+    ServerError,
+    TransientError,
+    is_transient,
+)
+
+#: the protocol generation; bumped on incompatible frame/message changes
+PROTOCOL_VERSION = 1
+
+#: refuse frames larger than this (a corrupt length prefix must not
+#: make the reader try to buffer gigabytes)
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+#: default rows per execute/fetch response frame
+DEFAULT_FETCH_SIZE = 512
+
+_LENGTH = struct.Struct(">I")
+
+
+def encode_frame(message: dict) -> bytes:
+    """One wire frame: length prefix + compact JSON body."""
+    body = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {len(body)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte cap"
+        )
+    return _LENGTH.pack(len(body)) + body
+
+
+def decode_body(body: bytes) -> dict:
+    try:
+        message = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable frame: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            f"frame body must be a JSON object, got {type(message).__name__}"
+        )
+    return message
+
+
+def frame_length(prefix: bytes) -> int:
+    """Validate and unpack a 4-byte length prefix."""
+    if len(prefix) != _LENGTH.size:
+        raise ProtocolError("truncated frame length prefix")
+    (length,) = _LENGTH.unpack(prefix)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"declared frame of {length} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte cap"
+        )
+    return length
+
+
+# -- value encoding ---------------------------------------------------------
+
+
+def jsonable_value(value: object) -> object:
+    """One result cell as a JSON-safe value.
+
+    XADT fragments serialize to their XML text (the same canonical form
+    the differential oracle compares on); anything else non-primitive
+    degrades to ``str`` so a response frame can always be encoded.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if getattr(value, "__xadt__", False):
+        return value.to_xml()
+    return str(value)
+
+
+def jsonable_rows(rows) -> list[list[object]]:
+    return [[jsonable_value(cell) for cell in row] for row in rows]
+
+
+# -- typed errors over the wire --------------------------------------------
+
+
+def _error_classes() -> dict[str, type]:
+    """Every concrete ReproError class in the taxonomy, by name."""
+    classes: dict[str, type] = {}
+    for name in dir(_errors):
+        obj = getattr(_errors, name)
+        if isinstance(obj, type) and issubclass(obj, ReproError):
+            classes[name] = obj
+    return classes
+
+
+_ERROR_CLASSES = _error_classes()
+
+
+def error_payload(exc: BaseException) -> dict:
+    """Serialize ``exc`` as a typed wire error.
+
+    Exceptions outside the taxonomy (a bug the admission layer did not
+    anticipate) are reported as ``ServerError`` with the original class
+    named in the message — the wire never carries an untyped shape.
+    """
+    payload: dict[str, object] = {
+        "code": type(exc).__name__,
+        "message": str(exc),
+        "transient": is_transient(exc),
+    }
+    if not isinstance(exc, ReproError):
+        payload["code"] = "ServerError"
+        payload["message"] = f"{type(exc).__name__}: {exc}"
+    retry_after = getattr(exc, "retry_after", None)
+    if retry_after is not None:
+        payload["retry_after"] = retry_after
+    return payload
+
+
+def wire_error(payload: dict) -> ReproError:
+    """Reconstruct the typed exception a wire error payload names."""
+    code = payload.get("code", "ServerError")
+    message = payload.get("message", "server error")
+    cls = _ERROR_CLASSES.get(str(code))
+    if cls is Overloaded:
+        return Overloaded(message, retry_after=payload.get("retry_after", 0.05))
+    if cls is not None:
+        try:
+            return cls(message)
+        except TypeError:  # constructor wants more than a message
+            pass
+    if payload.get("transient"):
+        return TransientError(f"{code}: {message}")
+    return ServerError(f"{code}: {message}")
+
+
+def raise_wire_error(payload: dict) -> None:
+    raise wire_error(payload)
+
+
+__all__ = [
+    "DEFAULT_FETCH_SIZE",
+    "MAX_FRAME_BYTES",
+    "PROTOCOL_VERSION",
+    "decode_body",
+    "encode_frame",
+    "error_payload",
+    "frame_length",
+    "jsonable_rows",
+    "jsonable_value",
+    "raise_wire_error",
+    "wire_error",
+]

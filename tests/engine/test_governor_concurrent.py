@@ -1,0 +1,166 @@
+"""Governor limits under concurrent sessions: typed aborts, no bleed."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.engine.faults import FAULTS, FaultPlan
+from repro.engine.governor import GovernorLimits
+from repro.errors import ConfigError, ResourceExceeded, StatementTimeout
+
+
+@pytest.fixture(autouse=True)
+def _clean_faults():
+    FAULTS.clear()
+    yield
+    FAULTS.clear()
+
+
+@pytest.fixture()
+def db(empty_db):
+    empty_db.execute("CREATE TABLE t (id INT)")
+    for i in range(64):
+        empty_db.execute("INSERT INTO t VALUES (?)", (i,))
+    return empty_db
+
+
+def test_limits_do_not_bleed_across_concurrent_sessions(db):
+    """One session's row cap aborts it — and only it — under contention."""
+    capped = db.connect("capped")
+    capped.set_limits(GovernorLimits(max_result_rows=4))
+    free_sessions = [db.connect(f"free{i}") for i in range(4)]
+    results: dict[str, object] = {}
+    lock = threading.Lock()
+
+    def run(name, session):
+        try:
+            rows = session.execute("SELECT id FROM t").rows
+            outcome = len(rows)
+        except Exception as exc:  # noqa: BLE001
+            outcome = type(exc).__name__
+        with lock:
+            results[name] = outcome
+
+    threads = [threading.Thread(target=run, args=("capped", capped))]
+    threads += [
+        threading.Thread(target=run, args=(s.name, s))
+        for s in free_sessions
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert results["capped"] == "ResourceExceeded"
+    for session in free_sessions:
+        assert results[session.name] == 64  # untouched by the cap
+    capped.close()
+    for session in free_sessions:
+        session.close()
+
+
+def test_concurrent_timeouts_abort_typed(db):
+    """N slow sessions under a timeout all abort with the typed error."""
+    FAULTS.install(FaultPlan().delay_at("io.charge", 0.02))
+    sessions = [db.connect(f"slow{i}") for i in range(3)]
+    for session in sessions:
+        session.set_limits(
+            GovernorLimits(statement_timeout_seconds=0.001)
+        )
+    outcomes = []
+    lock = threading.Lock()
+
+    def run(session):
+        try:
+            session.execute("SELECT id FROM t")
+            result = "completed"
+        except StatementTimeout:
+            result = "timeout"
+        except Exception as exc:  # noqa: BLE001
+            result = type(exc).__name__
+        with lock:
+            outcomes.append(result)
+
+    threads = [
+        threading.Thread(target=run, args=(s,)) for s in sessions
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    FAULTS.clear()
+    assert outcomes == ["timeout"] * 3
+    for session in sessions:
+        session.close()
+
+
+def test_aborts_never_move_engine_or_catalog_version(db):
+    """Governor aborts must not publish snapshots or bump the catalog."""
+    engine_before = db.version
+    catalog_before = db.catalog_version
+    session = db.connect("abort")
+    session.set_limits(GovernorLimits(max_result_rows=1))
+    for _ in range(5):
+        with pytest.raises(ResourceExceeded):
+            session.execute("SELECT id FROM t")
+    assert db.version == engine_before
+    assert db.catalog_version == catalog_before
+    session.close()
+
+
+def test_engine_version_is_monotonic_under_concurrent_writers(db):
+    """Sessions writing concurrently only ever observe the epoch rising."""
+    observed: list[list[int]] = []
+    lock = threading.Lock()
+
+    def writer(n):
+        session = db.connect(f"writer{n}")
+        seen = []
+        for i in range(8):
+            session.execute(
+                "INSERT INTO t VALUES (?)", (1000 + n * 100 + i,)
+            )
+            seen.append(session.snapshot_version)
+        session.close()
+        with lock:
+            observed.append(seen)
+
+    threads = [
+        threading.Thread(target=writer, args=(n,)) for n in range(4)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    for seen in observed:
+        assert seen == sorted(seen)  # never goes backwards
+    assert db.execute("SELECT COUNT(*) FROM t").rows == [(64 + 32,)]
+
+
+def test_session_override_beats_database_default(db):
+    db.governor.configure(max_result_rows=1000)
+    try:
+        session = db.connect("override")
+        session.set_limits(GovernorLimits(max_result_rows=2))
+        with pytest.raises(ResourceExceeded):
+            session.execute("SELECT id FROM t")
+        session.set_limits(None)  # falls back to the permissive default
+        assert len(session.execute("SELECT id FROM t").rows) == 64
+        session.close()
+    finally:
+        db.governor.configure(max_result_rows=None)
+
+
+def test_merged_overlays_without_clearing(db):
+    base = GovernorLimits(
+        statement_timeout_seconds=5.0, max_result_rows=10
+    )
+    merged = base.merged(statement_timeout_seconds=0.5)
+    assert merged.statement_timeout_seconds == 0.5
+    assert merged.max_result_rows == 10          # untouched
+    # None overrides never clear a server-side cap
+    unchanged = base.merged(statement_timeout_seconds=None)
+    assert unchanged == base
+    with pytest.raises(ConfigError):
+        base.merged(not_a_limit=1)

@@ -1,0 +1,82 @@
+"""Admission control: bounded in-flight, watermark shed, drain."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError, Overloaded
+from repro.server.admission import AdmissionController
+
+
+def test_admits_until_watermark_then_sheds():
+    control = AdmissionController(max_inflight=2, queue_watermark=1)
+    # 2 running + 1 queued fit; the 4th request must shed immediately
+    for _ in range(3):
+        control.admit()
+    with pytest.raises(Overloaded) as info:
+        control.admit()
+    assert info.value.retry_after > 0
+    assert control.shed == 1
+    assert control.admitted == 3
+
+
+def test_finishing_frees_capacity():
+    control = AdmissionController(max_inflight=1, queue_watermark=0)
+    control.admit()
+    control.started()
+    with pytest.raises(Overloaded):
+        control.admit()
+    control.finished()
+    control.admit()  # slot freed
+
+
+def test_abandoned_request_releases_queue_slot():
+    control = AdmissionController(max_inflight=1, queue_watermark=0)
+    control.admit()
+    control.abandoned()
+    control.admit()
+
+
+def test_retry_after_grows_with_queue_depth():
+    control = AdmissionController(
+        max_inflight=1, queue_watermark=2, retry_after=0.1
+    )
+    for _ in range(3):
+        control.admit()
+    with pytest.raises(Overloaded) as first:
+        control.admit()
+    control2 = AdmissionController(
+        max_inflight=1, queue_watermark=2, retry_after=0.1
+    )
+    for _ in range(3):
+        control2.admit()
+    control2._queued += 4  # deeper queue than control's
+    with pytest.raises(Overloaded) as second:
+        control2.admit()
+    assert second.value.retry_after > first.value.retry_after
+
+
+def test_draining_sheds_everything():
+    control = AdmissionController(max_inflight=8, queue_watermark=8)
+    control.start_draining()
+    with pytest.raises(Overloaded) as info:
+        control.admit()
+    assert "draining" in str(info.value)
+
+
+def test_invalid_config_rejected():
+    with pytest.raises(ConfigError):
+        AdmissionController(max_inflight=0)
+    with pytest.raises(ConfigError):
+        AdmissionController(queue_watermark=-1)
+
+
+def test_report_shape():
+    control = AdmissionController(max_inflight=2, queue_watermark=2)
+    control.admit()
+    control.started()
+    report = control.report()
+    assert report["running"] == 1
+    assert report["queued"] == 0
+    assert report["admitted"] == 1
+    assert report["draining"] is False

@@ -1,0 +1,125 @@
+"""Session pool: reuse, lazy refresh, caps, eviction, chaos kill."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.engine.faults import FAULTS, FaultPlan
+from repro.errors import Overloaded, SessionClosed, SessionLimitExceeded
+from repro.server.pool import SessionPool
+
+
+@pytest.fixture(autouse=True)
+def _clean_faults():
+    FAULTS.clear()
+    yield
+    FAULTS.clear()
+
+
+@pytest.fixture()
+def db(empty_db):
+    empty_db.execute("CREATE TABLE t (id INT)")
+    empty_db.execute("INSERT INTO t VALUES (1)")
+    return empty_db
+
+
+def test_release_then_acquire_reuses_the_session(db):
+    pool = SessionPool(db)
+    first = pool.acquire("c1")
+    session = first.session
+    pool.release(first)
+    second = pool.acquire("c1")
+    assert second.session is session
+    pool.close()
+
+
+def test_lazy_refresh_follows_engine_epoch(db):
+    pool = SessionPool(db)
+    entry = pool.acquire("c1")
+    assert entry.session.snapshot_version == db.version
+    pool.release(entry)
+    db.execute("INSERT INTO t VALUES (2)")  # publishes a new epoch
+    entry = pool.acquire("c1")
+    assert entry.session.snapshot_version == db.version
+    assert entry.session.execute("SELECT COUNT(*) FROM t").rows == [(2,)]
+    pool.release(entry)
+    pool.close()
+
+
+def test_per_client_cap(db):
+    pool = SessionPool(db, per_client_cap=2)
+    held = [pool.acquire("greedy"), pool.acquire("greedy")]
+    with pytest.raises(SessionLimitExceeded):
+        pool.acquire("greedy")
+    pool.acquire("other")  # other clients are unaffected
+    for entry in held:
+        pool.release(entry)
+    pool.acquire("greedy")  # freed capacity is reusable
+    pool.close()
+
+
+def test_pool_cap_sheds(db):
+    pool = SessionPool(db, max_sessions=2, per_client_cap=8)
+    pool.acquire("c1")
+    pool.acquire("c1")
+    with pytest.raises(Overloaded):
+        pool.acquire("c1")
+    pool.close()
+
+
+def test_sweep_evicts_idle_sessions(db):
+    pool = SessionPool(db, idle_seconds=0.01)
+    entry = pool.acquire("c1")
+    session = entry.session
+    pool.release(entry)
+    time.sleep(0.03)
+    assert pool.sweep() == 1
+    assert session.closed
+    assert pool.report()["size"] == 0
+    pool.close()
+
+
+def test_ttl_expired_session_dropped_on_release(db):
+    pool = SessionPool(db, ttl_seconds=0.01)
+    entry = pool.acquire("c1")
+    time.sleep(0.03)
+    pool.release(entry)
+    assert pool.report()["size"] == 0
+
+
+def test_kill_one_closes_in_use_session(db):
+    pool = SessionPool(db)
+    entry = pool.acquire("c1")
+    assert pool.kill_one() is True
+    assert entry.session.closed
+    with pytest.raises(SessionClosed):
+        entry.session.execute("SELECT id FROM t")
+    pool.release(entry)  # the dead entry leaves the pool on release
+    assert pool.report()["size"] == 0
+    # and the engine-side registry holds no leaked session
+    assert all(s.name != "pool" for s in db.sessions())
+    pool.close()
+
+
+def test_session_evict_fault_triggers_kill(db):
+    pool = SessionPool(db)
+    entry = pool.acquire("c1")
+    FAULTS.install(
+        FaultPlan(seed=3).raise_at("server.session_evict", hit=1)
+    )
+    assert pool.sweep() == 1
+    assert entry.session.closed
+    pool.release(entry)
+    pool.close()
+
+
+def test_close_closes_every_session_without_leaks(db):
+    pool = SessionPool(db)
+    entries = [pool.acquire(f"c{i}") for i in range(3)]
+    pool.close()
+    assert all(entry.session.closed for entry in entries)
+    assert all(s.name != "pool" for s in db.sessions())
+    with pytest.raises(Overloaded):
+        pool.acquire("late")

@@ -1,0 +1,104 @@
+"""Wire protocol: framing, value encoding, typed error roundtrips."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    CatalogError,
+    Overloaded,
+    ProtocolError,
+    ServerError,
+    StatementTimeout,
+    TransientError,
+)
+from repro.server.protocol import (
+    MAX_FRAME_BYTES,
+    decode_body,
+    encode_frame,
+    error_payload,
+    frame_length,
+    jsonable_value,
+    wire_error,
+)
+
+
+class TestFraming:
+    def test_roundtrip(self):
+        frame = encode_frame({"op": "ping", "id": 7})
+        assert frame_length(frame[:4]) == len(frame) - 4
+        assert decode_body(frame[4:]) == {"op": "ping", "id": 7}
+
+    def test_truncated_prefix_rejected(self):
+        with pytest.raises(ProtocolError):
+            frame_length(b"\x00\x00")
+
+    def test_oversized_declared_length_rejected(self):
+        prefix = (MAX_FRAME_BYTES + 1).to_bytes(4, "big")
+        with pytest.raises(ProtocolError):
+            frame_length(prefix)
+
+    def test_undecodable_body_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_body(b"\xff\xfe not json")
+
+    def test_non_object_body_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_body(b"[1, 2, 3]")
+
+
+class TestValueEncoding:
+    def test_primitives_pass_through(self):
+        for value in (None, True, 3, 2.5, "x"):
+            assert jsonable_value(value) == value
+
+    def test_xadt_serializes_to_xml(self):
+        class Fragment:
+            __xadt__ = True
+
+            def to_xml(self):
+                return "<a/>"
+
+        assert jsonable_value(Fragment()) == "<a/>"
+
+    def test_unknown_degrades_to_str(self):
+        assert jsonable_value({1, 2}) == str({1, 2})
+
+
+class TestTypedErrors:
+    def test_same_class_roundtrips(self):
+        payload = error_payload(StatementTimeout("too slow"))
+        raised = wire_error(payload)
+        assert isinstance(raised, StatementTimeout)
+        assert "too slow" in str(raised)
+        assert payload["transient"] is False
+
+    def test_overloaded_keeps_retry_after(self):
+        payload = error_payload(Overloaded("busy", retry_after=0.25))
+        raised = wire_error(payload)
+        assert isinstance(raised, Overloaded)
+        assert raised.retry_after == 0.25
+        assert payload["transient"] is True
+
+    def test_catalog_error_roundtrips(self):
+        raised = wire_error(error_payload(CatalogError("no such table")))
+        assert isinstance(raised, CatalogError)
+
+    def test_non_taxonomy_exception_becomes_server_error(self):
+        payload = error_payload(KeyError("boom"))
+        assert payload["code"] == "ServerError"
+        assert "KeyError" in payload["message"]
+        assert isinstance(wire_error(payload), ServerError)
+
+    def test_unknown_transient_code_degrades_to_transient(self):
+        raised = wire_error(
+            {"code": "NotAClass", "message": "m", "transient": True}
+        )
+        assert isinstance(raised, TransientError)
+
+    def test_unknown_fatal_code_degrades_to_server_error(self):
+        raised = wire_error(
+            {"code": "NotAClass", "message": "m", "transient": False}
+        )
+        assert isinstance(raised, ServerError)
+        assert not isinstance(raised, TransientError)
